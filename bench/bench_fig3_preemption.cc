@@ -1,0 +1,90 @@
+// Figure 3 — preemptive vs non-preemptive policies on the (synthetic
+// stand-in for the) real-world eBay auction trace: AuctionWatch(3)
+// profiles, 400 auction resources, window W = 20, budget C = 2.
+//
+// Paper findings to reproduce:
+//   * MRSF(P) and M-EDF(P) outperform S-EDF;
+//   * MRSF and M-EDF benefit from preemption;
+//   * for C > 1 the preemptive S-EDF beats the non-preemptive one;
+//   * preemption can change completeness by up to ~20%.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace pullmon {
+namespace {
+
+int RunBench() {
+  bench::PrintHeader(
+      "Figure 3: policy comparison on the auction trace (with/without "
+      "preemption)",
+      "rank/multi-EI policies dominate S-EDF and gain from preemption");
+
+  SimulationConfig config = BaselineConfig();
+  config.dataset = DatasetKind::kAuction;
+  config.num_resources = 400;
+  config.epoch_length = 1000;
+  config.num_profiles = 500;
+  config.max_rank = 3;  // AuctionWatch(3)
+  config.restriction = LengthRestriction::kWindow;
+  config.window = 20;
+  config.budget = 2;
+  // Bid-process intensity tuned so the proxy is probe-constrained, as in
+  // the paper's trace (three months of live laptop auctions): without
+  // scarcity every policy trivially captures most t-intervals.
+  config.auction.base_bid_rate = 0.06;
+  config.auction.snipe_intensity = 8.0;
+
+  const int repetitions = 10;
+  bench::PrintConfig(config, repetitions);
+
+  std::vector<PolicySpec> specs = {
+      {"S-EDF", ExecutionMode::kNonPreemptive},
+      {"S-EDF", ExecutionMode::kPreemptive},
+      {"M-EDF", ExecutionMode::kNonPreemptive},
+      {"M-EDF", ExecutionMode::kPreemptive},
+      {"MRSF", ExecutionMode::kNonPreemptive},
+      {"MRSF", ExecutionMode::kPreemptive},
+  };
+  ExperimentRunner runner(repetitions, /*base_seed=*/3003);
+  auto result = runner.Run(config, specs);
+  if (!result.ok()) {
+    std::cerr << "experiment failed: " << result.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"policy", "GC", "runtime(ms)"});
+  for (const auto& outcome : result->policies) {
+    table.AddRow({outcome.spec.Label(), bench::MeanCi(outcome.gc),
+                  bench::Millis(outcome.runtime_seconds)});
+  }
+  table.Print(std::cout);
+
+  auto gc_of = [&](const std::string& label) {
+    for (const auto& outcome : result->policies) {
+      if (outcome.spec.Label() == label) return outcome.gc.mean();
+    }
+    return 0.0;
+  };
+  std::cout << "\nShape checks vs the paper:\n";
+  std::cout << "  MRSF(P)  > S-EDF(P):  "
+            << (gc_of("MRSF(P)") > gc_of("S-EDF(P)") ? "yes" : "NO")
+            << "\n";
+  std::cout << "  M-EDF(P) > S-EDF(P):  "
+            << (gc_of("M-EDF(P)") > gc_of("S-EDF(P)") ? "yes" : "NO")
+            << "\n";
+  std::cout << "  MRSF(P)  > MRSF(NP):  "
+            << (gc_of("MRSF(P)") > gc_of("MRSF(NP)") ? "yes" : "NO")
+            << "\n";
+  std::cout << "  S-EDF(P) > S-EDF(NP) (C=2): "
+            << (gc_of("S-EDF(P)") > gc_of("S-EDF(NP)") ? "yes" : "NO")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pullmon
+
+int main() { return pullmon::RunBench(); }

@@ -1,0 +1,89 @@
+// Figure 6 — workload analysis: gained completeness of the online
+// policies as (1) the average update intensity per resource (lambda) and
+// (2) the number of profiles (m) grow.
+//
+// Paper findings to reproduce:
+//   * GC decreases with lambda and with m (more t-intervals to capture);
+//   * MRSF(P) and M-EDF(P) clearly dominate S-EDF in all settings;
+//   * M-EDF(P) tracks MRSF(P) closely, slightly below;
+//   * with strict budget C = 1, S-EDF(NP) >= S-EDF(P).
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace pullmon {
+namespace {
+
+int SweepLambda() {
+  std::cout << "\n--- Figure 6(1): GC vs average update intensity "
+               "(lambda) ---\n";
+  SimulationConfig config = BaselineConfig();
+  const int repetitions = 5;
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  TablePrinter table({"lambda", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
+                      "MRSF(P)"});
+  for (double lambda : {5.0, 10.0, 20.0, 30.0, 40.0}) {
+    SimulationConfig point = config;
+    point.lambda = lambda;
+    ExperimentRunner runner(repetitions,
+                            /*base_seed=*/6006 +
+                                static_cast<uint64_t>(lambda));
+    auto result = runner.Run(point, specs);
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
+    table.AddRow({TablePrinter::FormatDouble(lambda, 0),
+                  bench::MeanCi(result->policies[0].gc),
+                  bench::MeanCi(result->policies[1].gc),
+                  bench::MeanCi(result->policies[2].gc),
+                  bench::MeanCi(result->policies[3].gc)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int SweepProfiles() {
+  std::cout << "\n--- Figure 6(2): GC vs number of profiles (m) ---\n";
+  SimulationConfig config = BaselineConfig();
+  const int repetitions = 5;
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  TablePrinter table({"profiles", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
+                      "MRSF(P)"});
+  for (int m : {100, 250, 500, 1000, 2000}) {
+    SimulationConfig point = config;
+    point.num_profiles = m;
+    ExperimentRunner runner(repetitions, /*base_seed=*/6060 + m);
+    auto result = runner.Run(point, specs);
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
+    table.AddRow({std::to_string(m),
+                  bench::MeanCi(result->policies[0].gc),
+                  bench::MeanCi(result->policies[1].gc),
+                  bench::MeanCi(result->policies[2].gc),
+                  bench::MeanCi(result->policies[3].gc)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pullmon
+
+int main() {
+  pullmon::bench::PrintHeader(
+      "Figure 6: workload analysis (update intensity; number of profiles)",
+      "GC decreases with workload; MRSF(P)/M-EDF(P) dominate S-EDF");
+  {
+    pullmon::SimulationConfig config = pullmon::BaselineConfig();
+    pullmon::bench::PrintConfig(config, 5);
+  }
+  int rc = pullmon::SweepLambda();
+  if (rc != 0) return rc;
+  return pullmon::SweepProfiles();
+}

@@ -1,0 +1,47 @@
+// Table 1 — controlled parameters and baseline settings, plus a baseline
+// run of the standard policy line-up under those settings.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace pullmon {
+namespace {
+
+int RunBench() {
+  bench::PrintHeader(
+      "Table 1: controlled parameters and baseline settings",
+      "the baseline parameter grid of Section 5.1, exercised end-to-end");
+
+  SimulationConfig config = BaselineConfig();
+  const int repetitions = 10;
+  bench::PrintConfig(config, repetitions);
+
+  ExperimentRunner runner(repetitions, /*base_seed=*/20080407);
+  auto result = runner.Run(config, StandardPolicySpecs());
+  if (!result.ok()) {
+    std::cerr << "experiment failed: " << result.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  std::cout << "Baseline gained completeness (mean over " << repetitions
+            << " repetitions):\n";
+  TablePrinter table(
+      {"policy", "GC", "probes used", "runtime(ms)"});
+  for (const auto& outcome : result->policies) {
+    table.AddRow({outcome.spec.Label(), bench::MeanCi(outcome.gc),
+                  TablePrinter::FormatDouble(outcome.probes_used.mean(), 0),
+                  bench::Millis(outcome.runtime_seconds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nInstance size: " << result->t_intervals.mean()
+            << " t-intervals / " << result->eis.mean()
+            << " EIs on average per repetition.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pullmon
+
+int main() { return pullmon::RunBench(); }

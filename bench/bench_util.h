@@ -1,0 +1,53 @@
+#ifndef PULLMON_BENCH_BENCH_UTIL_H_
+#define PULLMON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pullmon {
+namespace bench {
+
+/// Prints the standard banner of a reproduction harness.
+inline void PrintHeader(const std::string& figure,
+                        const std::string& paper_claim) {
+  std::cout << "==============================================================="
+               "=========\n"
+            << figure << "\n"
+            << "Paper: Roitman, Gal, Raschid — Pull-Based Online Monitoring "
+               "of Volatile\nData Sources (ICDE 2008)\n"
+            << "Claim under reproduction: " << paper_claim << "\n"
+            << "==============================================================="
+               "=========\n";
+}
+
+/// "0.823 ±0.011" formatting of an aggregated statistic.
+inline std::string MeanCi(const RunningStats& stats, int precision = 3) {
+  return StringFormat("%.*f ±%.*f", precision, stats.mean(), precision,
+                      stats.ci95_halfwidth());
+}
+
+/// Milliseconds with a sensible precision.
+inline std::string Millis(const RunningStats& seconds) {
+  return StringFormat("%.2f", seconds.mean() * 1000.0);
+}
+
+/// Prints the configuration rows of an experiment.
+inline void PrintConfig(const SimulationConfig& config, int repetitions) {
+  TablePrinter table({"parameter", "value"});
+  for (const auto& [key, value] : config.ToRows()) {
+    table.AddRow({key, value});
+  }
+  table.AddRow({"repetitions", StringFormat("%d", repetitions)});
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace pullmon
+
+#endif  // PULLMON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,114 @@
+// The paper's Section 1 motivating scenario: a financial analyst hunting
+// arbitrage opportunities across two stock markets. Prices of the same
+// stock update independently on each market; an arbitrage check is only
+// meaningful when the proxy holds *time-overlapping* observations from
+// both markets, so the profile pairs overlapping execution intervals
+// (Figure 1 of the paper).
+//
+// The example builds two synthetic market tick streams, derives an
+// arbitrage profile plus a set of competing single-market watchers, and
+// compares how many overlapping price pairs each policy certifies under
+// a tight probe budget.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/online_executor.h"
+#include "policies/policy_factory.h"
+#include "profilegen/auction_watch.h"
+#include "trace/poisson_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pullmon;  // NOLINT: example brevity
+
+int RunExample() {
+  constexpr Chronon kEpoch = 500;
+  constexpr int kNumMarkets = 16;  // markets 0 and 1 trade our stock
+
+  // Market tick streams: markets update a few dozen times per epoch.
+  Rng rng(20080615);
+  PoissonTraceOptions trace_options;
+  trace_options.num_resources = kNumMarkets;
+  trace_options.epoch_length = kEpoch;
+  trace_options.lambda = 60.0;
+  auto trace = GeneratePoissonTrace(trace_options, &rng);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace generation failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  // Price quotes go stale quickly: window(3) tolerance.
+  EiDerivationOptions ei_options;
+  ei_options.restriction = LengthRestriction::kWindow;
+  ei_options.window = 3;
+
+  // The arbitrage profile pairs overlapping EIs of markets 0 and 1.
+  auto arbitrage = MakeArbitrageProfile(*trace, 0, 1, ei_options);
+  if (!arbitrage.ok()) {
+    std::fprintf(stderr, "profile construction failed: %s\n",
+                 arbitrage.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Arbitrage profile: %zu overlapping price pairs "
+              "(rank %zu)\n",
+              arbitrage->size(), arbitrage->rank());
+
+  // Competing clients: simple single-market watchers on markets 2..5.
+  MonitoringProblem problem;
+  problem.num_resources = kNumMarkets;
+  problem.epoch.length = kEpoch;
+  problem.budget = BudgetVector::Uniform(1, kEpoch);
+  problem.profiles.push_back(*arbitrage);
+  for (ResourceId market = 2; market < kNumMarkets; ++market) {
+    auto watcher = MakeAuctionWatchProfile(*trace, {market}, ei_options);
+    if (watcher.ok() && !watcher->empty()) {
+      watcher->set_name("ticker-watch-" + std::to_string(market));
+      problem.profiles.push_back(std::move(*watcher));
+    }
+  }
+  std::printf("Problem: %zu profiles, %zu t-intervals, %zu EIs, "
+              "budget C=1\n\n",
+              problem.profiles.size(), problem.TotalTIntervalCount(),
+              problem.TotalEiCount());
+
+  TablePrinter table({"policy", "mode", "arbitrage pairs certified",
+                      "overall GC"});
+  for (const std::string name : {"S-EDF", "M-EDF", "MRSF"}) {
+    for (ExecutionMode mode :
+         {ExecutionMode::kNonPreemptive, ExecutionMode::kPreemptive}) {
+      auto policy = MakePolicy(name);
+      if (!policy.ok()) return 1;
+      OnlineExecutor executor(&problem, policy->get(), mode);
+      auto result = executor.Run();
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const auto& arb = result->completeness.per_profile[0];
+      table.AddRow({name, ExecutionModeToString(mode),
+                    StringFormat("%zu / %zu", arb.captured, arb.total),
+                    TablePrinter::FormatDouble(
+                        result->completeness.GainedCompleteness(), 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nA pair counts only if BOTH markets were probed inside "
+               "overlapping quote windows\n(otherwise the two prices refer "
+               "to different times and the arbitrage signal is invalid).\n"
+               "Note the trade-off: MRSF maximizes overall completeness by "
+               "favoring the simple\nrank-1 watchers, sacrificing the "
+               "rank-2 arbitrage pairs; deadline-driven S-EDF\nserves the "
+               "arbitrage client best. Complexity-aware scheduling "
+               "chooses winners.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RunExample(); }

@@ -1,0 +1,28 @@
+#ifndef PULLMON_CORE_CHRONON_H_
+#define PULLMON_CORE_CHRONON_H_
+
+#include <cstdint>
+
+namespace pullmon {
+
+/// A chronon is the indivisible unit of time in the model (Section 3 of
+/// the paper). The library uses 0-based chronons: an epoch of K chronons
+/// spans {0, 1, ..., K-1}.
+using Chronon = int32_t;
+
+/// Identifies a monitored resource r_i in R = {r_1, ..., r_n}; 0-based.
+using ResourceId = int32_t;
+
+/// Identifies a client profile within a problem instance; 0-based.
+using ProfileId = int32_t;
+
+/// An epoch T = (T_1, ..., T_K): simply its length K.
+struct Epoch {
+  Chronon length = 0;
+
+  bool Contains(Chronon t) const { return t >= 0 && t < length; }
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_CHRONON_H_

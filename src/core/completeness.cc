@@ -1,0 +1,48 @@
+#include "core/completeness.h"
+
+namespace pullmon {
+
+bool IsCaptured(const ExecutionInterval& ei, const Schedule& schedule) {
+  for (Chronon t = ei.start; t <= ei.finish; ++t) {
+    if (schedule.HasProbe(ei.resource, t)) return true;
+  }
+  return false;
+}
+
+bool IsCaptured(const TInterval& eta, const Schedule& schedule) {
+  if (eta.empty()) return false;
+  std::size_t captured = 0;
+  std::size_t required = eta.required();
+  for (const auto& ei : eta.eis()) {
+    if (IsCaptured(ei, schedule) && ++captured >= required) return true;
+  }
+  return false;
+}
+
+CompletenessReport EvaluateCompleteness(const std::vector<Profile>& profiles,
+                                        const Schedule& schedule) {
+  CompletenessReport report;
+  report.per_profile.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    ProfileCompleteness pc;
+    pc.total = p.size();
+    for (const auto& eta : p.t_intervals()) {
+      report.total_weight += eta.weight();
+      if (IsCaptured(eta, schedule)) {
+        ++pc.captured;
+        report.captured_weight += eta.weight();
+      }
+    }
+    report.captured_t_intervals += pc.captured;
+    report.total_t_intervals += pc.total;
+    report.per_profile.push_back(pc);
+  }
+  return report;
+}
+
+double GainedCompleteness(const std::vector<Profile>& profiles,
+                          const Schedule& schedule) {
+  return EvaluateCompleteness(profiles, schedule).GainedCompleteness();
+}
+
+}  // namespace pullmon

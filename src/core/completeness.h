@@ -1,0 +1,66 @@
+#ifndef PULLMON_CORE_COMPLETENESS_H_
+#define PULLMON_CORE_COMPLETENESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/schedule.h"
+
+namespace pullmon {
+
+/// Capture indicator for a single EI: true iff the schedule probes the
+/// EI's resource at some chronon inside [start, finish] (Section 3.2).
+bool IsCaptured(const ExecutionInterval& ei, const Schedule& schedule);
+
+/// Capture indicator for a t-interval: at least eta.required() of its
+/// EIs captured (all of them by default — the paper's product
+/// indicator; Section 6's "alternatives" extension relaxes it).
+bool IsCaptured(const TInterval& eta, const Schedule& schedule);
+
+/// Per-profile capture counts produced by EvaluateCompleteness.
+struct ProfileCompleteness {
+  std::size_t captured = 0;
+  std::size_t total = 0;
+
+  double Fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(captured) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Full evaluation of a schedule against a profile set.
+struct CompletenessReport {
+  std::size_t captured_t_intervals = 0;
+  std::size_t total_t_intervals = 0;
+  /// Utility-weighted totals (Section 6 extension); equal to the counts
+  /// when all weights are 1.
+  double captured_weight = 0.0;
+  double total_weight = 0.0;
+  std::vector<ProfileCompleteness> per_profile;
+
+  /// GC(P, T, S) from Section 3.3: captured / total t-intervals.
+  double GainedCompleteness() const {
+    return total_t_intervals == 0
+               ? 0.0
+               : static_cast<double>(captured_t_intervals) /
+                     static_cast<double>(total_t_intervals);
+  }
+
+  /// Utility-weighted completeness: captured / total utility.
+  double WeightedGainedCompleteness() const {
+    return total_weight == 0.0 ? 0.0 : captured_weight / total_weight;
+  }
+};
+
+/// Evaluates every t-interval of every profile against the schedule.
+CompletenessReport EvaluateCompleteness(const std::vector<Profile>& profiles,
+                                        const Schedule& schedule);
+
+/// Shorthand for EvaluateCompleteness(...).GainedCompleteness().
+double GainedCompleteness(const std::vector<Profile>& profiles,
+                          const Schedule& schedule);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_COMPLETENESS_H_

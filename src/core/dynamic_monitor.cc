@@ -1,0 +1,241 @@
+#include "core/dynamic_monitor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+DynamicMonitor::DynamicMonitor(int num_resources, Chronon epoch_length,
+                               BudgetVector budget, Policy* policy,
+                               ExecutionMode mode)
+    : num_resources_(num_resources),
+      epoch_length_(epoch_length),
+      budget_(std::move(budget)),
+      policy_(policy),
+      mode_(mode),
+      schedule_(epoch_length),
+      starting_at_(static_cast<std::size_t>(
+          epoch_length < 0 ? 0 : epoch_length)),
+      ending_at_(static_cast<std::size_t>(
+          epoch_length < 0 ? 0 : epoch_length)),
+      active_by_resource_(static_cast<std::size_t>(
+          num_resources < 0 ? 0 : num_resources)),
+      probed_stamp_(static_cast<std::size_t>(
+                        num_resources < 0 ? 0 : num_resources),
+                    -1) {
+  policy_->Reset();
+}
+
+ProfileId DynamicMonitor::RegisterProfile(std::string name) {
+  profile_names_.push_back(std::move(name));
+  rank_of_profile_.push_back(0);
+  runtimes_of_profile_.emplace_back();
+  return static_cast<ProfileId>(profile_names_.size()) - 1;
+}
+
+Result<int> DynamicMonitor::Submit(ProfileId profile,
+                                   TInterval t_interval) {
+  if (profile < 0 ||
+      profile >= static_cast<ProfileId>(profile_names_.size())) {
+    return Status::InvalidArgument(
+        StringFormat("unknown profile id %d", profile));
+  }
+  PULLMON_RETURN_NOT_OK(t_interval.Validate(Epoch{epoch_length_}));
+  for (const auto& ei : t_interval.eis()) {
+    if (ei.resource >= num_resources_) {
+      return Status::OutOfRange(
+          StringFormat("EI resource %d outside [0,%d)", ei.resource,
+                       num_resources_));
+    }
+    if (ei.start < now_) {
+      return Status::FailedPrecondition(StringFormat(
+          "EI starts at %d but the monitor is already at chronon %d",
+          ei.start, now_));
+    }
+  }
+
+  submitted_.push_back(std::move(t_interval));
+  const TInterval& stored = submitted_.back();
+  int t_id = static_cast<int>(runtimes_.size());
+
+  // Grow the profile's rank and refresh its existing runtimes so
+  // rank-level policies see the new complexity.
+  auto& rank = rank_of_profile_[static_cast<std::size_t>(profile)];
+  rank = std::max(rank, static_cast<int>(stored.size()));
+  for (int other : runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    runtimes_[static_cast<std::size_t>(other)].profile_rank = rank;
+  }
+  runtimes_of_profile_[static_cast<std::size_t>(profile)].push_back(t_id);
+
+  TIntervalRuntime rt;
+  rt.profile = profile;
+  rt.profile_rank = rank;
+  rt.source = &stored;
+  rt.weight = stored.weight();
+  rt.required = static_cast<int>(stored.required());
+  rt.ei_captured.assign(stored.size(), 0);
+  runtimes_.push_back(std::move(rt));
+  int submission = static_cast<int>(
+      runtimes_of_profile_[static_cast<std::size_t>(profile)].size()) -
+      1;
+  submission_id_.push_back(submission);
+
+  for (std::size_t i = 0; i < stored.eis().size(); ++i) {
+    const auto& ei = stored.eis()[i];
+    int flat_id = static_cast<int>(eis_.size());
+    eis_.push_back(FlatEi{ei, t_id, static_cast<int>(i), false});
+    starting_at_[static_cast<std::size_t>(ei.start)].push_back(flat_id);
+    ending_at_[static_cast<std::size_t>(ei.finish)].push_back(flat_id);
+  }
+  return submission;
+}
+
+bool DynamicMonitor::IsLive(const FlatEi& flat) const {
+  if (flat.captured) return false;
+  const TIntervalRuntime& parent =
+      runtimes_[static_cast<std::size_t>(flat.t_id)];
+  if (parent.failed || parent.completed) return false;
+  return flat.ei.finish >= now_;
+}
+
+Result<StepResult> DynamicMonitor::Step() {
+  if (now_ >= epoch_length_) {
+    return Status::FailedPrecondition("the epoch is over");
+  }
+  StepResult step;
+  step.chronon = now_;
+
+  // 1. Reveal EIs starting now.
+  for (int id : starting_at_[static_cast<std::size_t>(now_)]) {
+    const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
+    const TIntervalRuntime& parent =
+        runtimes_[static_cast<std::size_t>(flat.t_id)];
+    if (parent.failed || parent.completed) continue;
+    active_ids_.push_back(id);
+    active_by_resource_[static_cast<std::size_t>(flat.ei.resource)]
+        .push_back(id);
+  }
+
+  // 2. Compact and score candidates.
+  struct ScoredCandidate {
+    int flat_id;
+    int np_class;
+    double score;
+    Chronon deadline;
+  };
+  std::vector<ScoredCandidate> candidates;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < active_ids_.size(); ++read) {
+    int id = active_ids_[read];
+    FlatEi& flat = eis_[static_cast<std::size_t>(id)];
+    if (!IsLive(flat)) continue;
+    active_ids_[write++] = id;
+    const TIntervalRuntime& parent =
+        runtimes_[static_cast<std::size_t>(flat.t_id)];
+    ScoredCandidate cand;
+    cand.flat_id = id;
+    cand.np_class = (mode_ == ExecutionMode::kNonPreemptive &&
+                     !parent.selected)
+                        ? 1
+                        : 0;
+    cand.score = policy_->Score(flat.ei, parent, flat.ei_index, now_);
+    cand.deadline = flat.ei.finish;
+    candidates.push_back(cand);
+  }
+  active_ids_.resize(write);
+
+  // 3. Select resources within budget, best first.
+  int budget = budget_.at(now_);
+  if (budget > 0 && !candidates.empty()) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                if (a.np_class != b.np_class) return a.np_class < b.np_class;
+                if (a.score != b.score) return a.score < b.score;
+                if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                return a.flat_id < b.flat_id;
+              });
+    std::vector<int> capture_buffer;
+    for (const auto& cand : candidates) {
+      if (static_cast<int>(step.probed.size()) >= budget) break;
+      const FlatEi& flat = eis_[static_cast<std::size_t>(cand.flat_id)];
+      if (flat.captured) continue;
+      ResourceId r = flat.ei.resource;
+      if (probed_stamp_[static_cast<std::size_t>(r)] == now_) continue;
+      probed_stamp_[static_cast<std::size_t>(r)] = now_;
+      step.probed.push_back(r);
+      PULLMON_CHECK_OK(schedule_.AddProbe(r, now_));
+
+      // 4. Capture every live candidate on this resource.
+      capture_buffer.clear();
+      capture_buffer.swap(
+          active_by_resource_[static_cast<std::size_t>(r)]);
+      for (int id : capture_buffer) {
+        FlatEi& hit = eis_[static_cast<std::size_t>(id)];
+        if (!IsLive(hit)) continue;
+        hit.captured = true;
+        TIntervalRuntime& parent =
+            runtimes_[static_cast<std::size_t>(hit.t_id)];
+        parent.ei_captured[static_cast<std::size_t>(hit.ei_index)] = 1;
+        ++parent.num_captured;
+        parent.selected = true;
+        if (parent.num_captured >= parent.required) {
+          parent.completed = true;
+          ++completed_;
+          step.captured.emplace_back(
+              parent.profile,
+              submission_id_[static_cast<std::size_t>(hit.t_id)]);
+        }
+      }
+    }
+  }
+
+  // 5. Expiry.
+  for (int id : ending_at_[static_cast<std::size_t>(now_)]) {
+    const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
+    if (flat.captured) continue;
+    TIntervalRuntime& parent =
+        runtimes_[static_cast<std::size_t>(flat.t_id)];
+    if (parent.failed || parent.completed) continue;
+    ++parent.num_expired;
+    if (parent.num_captured + parent.NumAlive() < parent.required) {
+      parent.failed = true;
+      ++failed_;
+      step.failed.emplace_back(
+          parent.profile,
+          submission_id_[static_cast<std::size_t>(flat.t_id)]);
+    }
+  }
+
+  ++now_;
+  return step;
+}
+
+Result<CompletenessReport> DynamicMonitor::RunToEnd() {
+  while (now_ < epoch_length_) {
+    PULLMON_ASSIGN_OR_RETURN(StepResult step, Step());
+    (void)step;
+  }
+  return Completeness();
+}
+
+CompletenessReport DynamicMonitor::Completeness() const {
+  CompletenessReport report;
+  report.per_profile.resize(profile_names_.size());
+  for (std::size_t t = 0; t < runtimes_.size(); ++t) {
+    const TIntervalRuntime& rt = runtimes_[t];
+    auto& pc = report.per_profile[static_cast<std::size_t>(rt.profile)];
+    ++pc.total;
+    ++report.total_t_intervals;
+    report.total_weight += rt.weight;
+    if (IsCaptured(*rt.source, schedule_)) {
+      ++pc.captured;
+      ++report.captured_t_intervals;
+      report.captured_weight += rt.weight;
+    }
+  }
+  return report;
+}
+
+}  // namespace pullmon

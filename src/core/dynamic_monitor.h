@@ -1,0 +1,113 @@
+#ifndef PULLMON_CORE_DYNAMIC_MONITOR_H_
+#define PULLMON_CORE_DYNAMIC_MONITOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/completeness.h"
+#include "core/policy.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Outcome of one DynamicMonitor::Step() (one chronon).
+struct StepResult {
+  Chronon chronon = 0;
+  /// Resources probed this chronon (<= budget).
+  std::vector<ResourceId> probed;
+  /// t-intervals fully captured this chronon: (profile, submission id).
+  std::vector<std::pair<ProfileId, int>> captured;
+  /// t-intervals that became impossible this chronon.
+  std::vector<std::pair<ProfileId, int>> failed;
+};
+
+/// The truly online face of the library: clients subscribe and submit
+/// t-intervals *while the epoch runs*, exactly the setting of
+/// Section 4.2.1 ("at every chronon T_j, the proxy may receive a set of
+/// new t-intervals"). OnlineExecutor requires the whole workload up
+/// front and replays it; DynamicMonitor accepts submissions between
+/// steps and is what a deployed proxy embeds.
+///
+/// Semantics are identical to OnlineExecutor (same candidate rules,
+/// probe sharing, preemption classes, deterministic tie-breaks) — a
+/// differential test asserts schedule-for-schedule equality when all
+/// t-intervals are submitted up front.
+class DynamicMonitor {
+ public:
+  /// `policy` must outlive the monitor; it is Reset() on construction.
+  DynamicMonitor(int num_resources, Chronon epoch_length,
+                 BudgetVector budget, Policy* policy, ExecutionMode mode);
+
+  /// Registers a client profile; its rank grows as t-intervals are
+  /// submitted (rank-level policies see the current rank).
+  ProfileId RegisterProfile(std::string name);
+
+  /// Submits a t-interval for a registered profile. The t-interval must
+  /// be valid, lie within the epoch, and must not start before the
+  /// current chronon (no retroactive arrivals). Returns a submission id
+  /// unique within the profile, echoed in StepResult.
+  Result<int> Submit(ProfileId profile, TInterval t_interval);
+
+  /// Executes the current chronon (probe selection, captures, expiry)
+  /// and advances time. FailedPrecondition once the epoch is over.
+  Result<StepResult> Step();
+
+  /// Runs the remaining chronons; returns the final completeness.
+  Result<CompletenessReport> RunToEnd();
+
+  /// The next chronon Step() will execute (== number of steps so far).
+  Chronon now() const { return now_; }
+  Chronon epoch_length() const { return epoch_length_; }
+
+  /// Probes issued so far.
+  const Schedule& schedule() const { return schedule_; }
+
+  std::size_t t_intervals_submitted() const { return runtimes_.size(); }
+  std::size_t t_intervals_completed() const { return completed_; }
+  std::size_t t_intervals_failed() const { return failed_; }
+
+  /// Completeness of the schedule so far against everything submitted.
+  CompletenessReport Completeness() const;
+
+ private:
+  struct FlatEi {
+    ExecutionInterval ei;
+    int t_id = 0;
+    int ei_index = 0;
+    bool captured = false;
+  };
+
+  bool IsLive(const FlatEi& flat) const;
+
+  int num_resources_;
+  Chronon epoch_length_;
+  BudgetVector budget_;
+  Policy* policy_;
+  ExecutionMode mode_;
+
+  Chronon now_ = 0;
+  Schedule schedule_;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+
+  /// Stable storage: TIntervalRuntime::source points into this deque.
+  std::deque<TInterval> submitted_;
+  std::vector<TIntervalRuntime> runtimes_;
+  std::vector<int> submission_id_;   // per runtime, unique in profile
+  std::vector<int> rank_of_profile_;  // current rank per profile
+  std::vector<std::vector<int>> runtimes_of_profile_;
+  std::vector<std::string> profile_names_;
+
+  std::vector<FlatEi> eis_;
+  std::vector<std::vector<int>> starting_at_;  // by chronon -> flat ids
+  std::vector<std::vector<int>> ending_at_;
+  std::vector<int> active_ids_;  // lazy-removal candidate list
+  std::vector<std::vector<int>> active_by_resource_;
+  std::vector<Chronon> probed_stamp_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_DYNAMIC_MONITOR_H_

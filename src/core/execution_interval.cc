@@ -1,0 +1,24 @@
+#include "core/execution_interval.h"
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+Status ExecutionInterval::Validate(const Epoch& epoch) const {
+  if (resource < 0) {
+    return Status::InvalidArgument("negative resource id in EI");
+  }
+  if (start < 0 || finish < start) {
+    return Status::InvalidArgument("malformed EI bounds: " + ToString());
+  }
+  if (finish >= epoch.length) {
+    return Status::OutOfRange("EI extends past the epoch: " + ToString());
+  }
+  return Status::OK();
+}
+
+std::string ExecutionInterval::ToString() const {
+  return StringFormat("r%d:[%d,%d]", resource, start, finish);
+}
+
+}  // namespace pullmon

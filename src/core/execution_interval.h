@@ -1,0 +1,52 @@
+#ifndef PULLMON_CORE_EXECUTION_INTERVAL_H_
+#define PULLMON_CORE_EXECUTION_INTERVAL_H_
+
+#include <string>
+
+#include "core/chronon.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// An execution interval (EI) I = [T_s, T_f] over a resource r: the period
+/// during which the proxy must probe r at least once for I to be captured
+/// (Section 3.1). Both endpoints are inclusive; a unit-width EI (the P^[1]
+/// case) has start == finish.
+struct ExecutionInterval {
+  ResourceId resource = 0;
+  Chronon start = 0;
+  Chronon finish = 0;
+
+  ExecutionInterval() = default;
+  ExecutionInterval(ResourceId r, Chronon s, Chronon f)
+      : resource(r), start(s), finish(f) {}
+
+  /// Number of chronons in the interval (>= 1 for a valid EI).
+  Chronon width() const { return finish - start + 1; }
+
+  bool Contains(Chronon t) const { return t >= start && t <= finish; }
+
+  /// True if the two EIs share at least one chronon (regardless of
+  /// resource).
+  bool OverlapsInTime(const ExecutionInterval& other) const {
+    return start <= other.finish && other.start <= finish;
+  }
+
+  /// Intra-resource overlap: same resource and overlapping in time. Such
+  /// pairs can share a single probe (Section 3.1).
+  bool SharesProbeWith(const ExecutionInterval& other) const {
+    return resource == other.resource && OverlapsInTime(other);
+  }
+
+  /// Validates resource >= 0, 0 <= start <= finish, finish < epoch.
+  Status Validate(const Epoch& epoch) const;
+
+  /// "r3:[5,9]" style rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const ExecutionInterval& other) const = default;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_EXECUTION_INTERVAL_H_

@@ -1,0 +1,82 @@
+#ifndef PULLMON_CORE_ONLINE_EXECUTOR_H_
+#define PULLMON_CORE_ONLINE_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/completeness.h"
+#include "core/policy.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Outcome of one online run.
+struct OnlineRunResult {
+  Schedule schedule{0};
+  CompletenessReport completeness;
+  /// Wall-clock seconds spent in the online loop (candidate maintenance,
+  /// policy scoring, selection) — the quantity plotted in Figure 5.
+  double elapsed_seconds = 0.0;
+  std::size_t probes_used = 0;
+  std::size_t t_intervals_completed = 0;
+  std::size_t t_intervals_failed = 0;
+  /// Sum over chronons of candidate EIs scored (work measure).
+  std::size_t candidates_scored = 0;
+  /// Largest per-chronon candidate set encountered.
+  std::size_t max_concurrent_candidates = 0;
+};
+
+/// Runs an online policy over a monitoring problem, chronon by chronon.
+///
+/// Online semantics (Section 4.2.1):
+///  * A t-interval is revealed when its earliest EI starts; an EI becomes
+///    a candidate while active (start <= now <= finish) and uncaptured.
+///  * Each chronon the policy scores all candidates; the executor probes
+///    the resources of the best-scored EIs, at most C_j distinct
+///    resources. A probe of resource r captures *every* active candidate
+///    EI on r — this is how intra-resource overlap is exploited.
+///  * A t-interval whose EI expires uncaptured fails permanently and its
+///    remaining EIs stop competing.
+///  * Ties are broken deterministically by (score, EI deadline,
+///    t-interval arrival order, EI index).
+class OnlineExecutor {
+ public:
+  /// Invoked when a t-interval is fully captured: (profile, index of the
+  /// t-interval within the profile, capture chronon). Used by the proxy
+  /// push layer to deliver notifications.
+  using CaptureCallback =
+      std::function<void(ProfileId, std::size_t, Chronon)>;
+
+  /// Invoked for every probe the executor issues: (resource, chronon).
+  /// The proxy layer uses this to perform the physical pull (feed fetch).
+  using ProbeCallback = std::function<void(ResourceId, Chronon)>;
+
+  /// `problem` and `policy` must outlive the executor; the executor does
+  /// not take ownership.
+  OnlineExecutor(const MonitoringProblem* problem, Policy* policy,
+                 ExecutionMode mode);
+
+  void set_capture_callback(CaptureCallback callback) {
+    capture_callback_ = std::move(callback);
+  }
+
+  void set_probe_callback(ProbeCallback callback) {
+    probe_callback_ = std::move(callback);
+  }
+
+  /// Validates the problem and executes the full epoch. Can be called
+  /// repeatedly; each call is an independent run (the policy is Reset()).
+  Result<OnlineRunResult> Run();
+
+ private:
+  const MonitoringProblem* problem_;
+  Policy* policy_;
+  ExecutionMode mode_;
+  CaptureCallback capture_callback_;
+  ProbeCallback probe_callback_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_ONLINE_EXECUTOR_H_

@@ -1,0 +1,107 @@
+#include "core/overlap_analysis.h"
+
+#include <algorithm>
+
+namespace pullmon {
+
+OverlapReport AnalyzeOverlap(const std::vector<Profile>& profiles,
+                             int num_resources, Chronon epoch_length) {
+  OverlapReport report;
+  if (num_resources <= 0 || epoch_length <= 0) return report;
+
+  std::vector<std::vector<ExecutionInterval>> by_resource(
+      static_cast<std::size_t>(num_resources));
+  for (const auto& p : profiles) {
+    for (const auto& eta : p.t_intervals()) {
+      for (const auto& ei : eta.eis()) {
+        if (ei.resource < 0 || ei.resource >= num_resources) continue;
+        if (ei.start < 0 || ei.finish >= epoch_length) continue;
+        by_resource[static_cast<std::size_t>(ei.resource)].push_back(ei);
+        ++report.total_eis;
+      }
+    }
+  }
+
+  // Per-chronon concurrency: +1 at the first open window of a resource,
+  // -1 once all its windows are closed. Build resource presence as
+  // difference counts over merged per-resource coverage.
+  std::vector<int> concurrency_delta(
+      static_cast<std::size_t>(epoch_length) + 1, 0);
+
+  for (auto& eis : by_resource) {
+    if (eis.empty()) continue;
+    ++report.resources_touched;
+
+    // Sort by finish for the stabbing greedy; count overlapping pairs
+    // with a start-sorted sweep first.
+    std::sort(eis.begin(), eis.end(),
+              [](const ExecutionInterval& a, const ExecutionInterval& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.finish < b.finish;
+              });
+    // Overlapping pairs via sweep over active finishes.
+    std::vector<Chronon> active_finishes;
+    for (const auto& ei : eis) {
+      active_finishes.erase(
+          std::remove_if(active_finishes.begin(), active_finishes.end(),
+                         [&](Chronon f) { return f < ei.start; }),
+          active_finishes.end());
+      report.intra_resource_overlapping_pairs += active_finishes.size();
+      active_finishes.push_back(ei.finish);
+    }
+
+    // Resource presence intervals: merge the windows.
+    Chronon open = eis.front().start;
+    Chronon close = eis.front().finish;
+    auto flush = [&]() {
+      ++concurrency_delta[static_cast<std::size_t>(open)];
+      --concurrency_delta[static_cast<std::size_t>(close) + 1];
+    };
+    for (std::size_t i = 1; i < eis.size(); ++i) {
+      if (eis[i].start <= close) {
+        close = std::max(close, eis[i].finish);
+      } else {
+        flush();
+        open = eis[i].start;
+        close = eis[i].finish;
+      }
+    }
+    flush();
+
+    // Minimum piercing set (earliest-finish stabbing greedy, exact for
+    // interval piercing).
+    std::sort(eis.begin(), eis.end(),
+              [](const ExecutionInterval& a, const ExecutionInterval& b) {
+                if (a.finish != b.finish) return a.finish < b.finish;
+                return a.start < b.start;
+              });
+    Chronon last_pierce = -1;
+    for (const auto& ei : eis) {
+      if (ei.start > last_pierce) {
+        last_pierce = ei.finish;
+        ++report.min_probes_ignoring_budget;
+      }
+    }
+  }
+
+  if (report.total_eis > 0) {
+    report.sharing_potential =
+        1.0 - static_cast<double>(report.min_probes_ignoring_budget) /
+                  static_cast<double>(report.total_eis);
+  }
+
+  long long running = 0, total_concurrency = 0;
+  std::size_t peak = 0;
+  for (Chronon t = 0; t < epoch_length; ++t) {
+    running += concurrency_delta[static_cast<std::size_t>(t)];
+    peak = std::max(peak, static_cast<std::size_t>(running));
+    total_concurrency += running;
+  }
+  report.peak_concurrent_resources = peak;
+  report.mean_concurrent_resources =
+      static_cast<double>(total_concurrency) /
+      static_cast<double>(epoch_length);
+  return report;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,51 @@
+#ifndef PULLMON_CORE_OVERLAP_ANALYSIS_H_
+#define PULLMON_CORE_OVERLAP_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/profile.h"
+
+namespace pullmon {
+
+/// Structural statistics of a workload's execution intervals, measuring
+/// the two phenomena Section 3.1 singles out: intra-resource overlap
+/// (shared probes — opportunity) and inter-resource concurrency
+/// (congestion under the budget). Explains *why* popularity skew (the
+/// alpha of Figure 7) lifts completeness: it concentrates EIs on few
+/// resources, raising the sharing potential.
+struct OverlapReport {
+  std::size_t total_eis = 0;
+  std::size_t resources_touched = 0;
+
+  /// Same-resource, time-overlapping EI pairs (shareable probes).
+  std::size_t intra_resource_overlapping_pairs = 0;
+
+  /// Minimum probes that capture every EI, ignoring the budget: the sum
+  /// over resources of a minimum piercing set of that resource's
+  /// windows (computed exactly by the classic earliest-finish stabbing
+  /// greedy). total_eis of them would be needed without sharing.
+  std::size_t min_probes_ignoring_budget = 0;
+
+  /// 1 - min_probes / total_eis: the fraction of probe work that
+  /// sharing can save. 0 when no windows overlap on any resource.
+  double sharing_potential = 0.0;
+
+  /// Peak number of distinct resources with at least one open window at
+  /// a single chronon — the instantaneous congestion the budget must
+  /// ride out.
+  std::size_t peak_concurrent_resources = 0;
+
+  /// Mean of the same quantity over the epoch's chronons.
+  double mean_concurrent_resources = 0.0;
+};
+
+/// Computes the report over every EI of every profile. `num_resources`
+/// and `epoch_length` bound the instance as in MonitoringProblem; EIs
+/// outside the bounds are ignored.
+OverlapReport AnalyzeOverlap(const std::vector<Profile>& profiles,
+                             int num_resources, Chronon epoch_length);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_OVERLAP_ANALYSIS_H_

@@ -1,0 +1,29 @@
+#include "core/policy.h"
+
+namespace pullmon {
+
+const char* ExecutionModeToString(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kPreemptive:
+      return "P";
+    case ExecutionMode::kNonPreemptive:
+      return "NP";
+  }
+  return "?";
+}
+
+const char* PolicyLevelToString(PolicyLevel level) {
+  switch (level) {
+    case PolicyLevel::kSingleEi:
+      return "single-EI";
+    case PolicyLevel::kRank:
+      return "rank";
+    case PolicyLevel::kMultiEi:
+      return "multi-EIs";
+    case PolicyLevel::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace pullmon

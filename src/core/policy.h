@@ -1,0 +1,114 @@
+#ifndef PULLMON_CORE_POLICY_H_
+#define PULLMON_CORE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/t_interval.h"
+
+namespace pullmon {
+
+/// Live state of one t-interval during an online run, shared between the
+/// executor and the policies (policies read, the executor writes).
+struct TIntervalRuntime {
+  /// Owning profile (index into the problem's profile vector).
+  ProfileId profile = 0;
+  /// rank(p) of the owning profile, used by rank-level policies.
+  int profile_rank = 0;
+  /// The static definition (owned by the problem; outlives the run).
+  const TInterval* source = nullptr;
+  /// Per-EI capture flags, parallel to source->eis().
+  std::vector<uint8_t> ei_captured;
+  int num_captured = 0;
+  /// EIs that expired uncaptured.
+  int num_expired = 0;
+  /// Client utility of the t-interval (TInterval::weight()).
+  double weight = 1.0;
+  /// Captures needed for completion (TInterval::required()).
+  int required = 0;
+  /// Too few EIs remain alive: the t-interval can no longer be captured.
+  bool failed = false;
+  /// required captures achieved.
+  bool completed = false;
+  /// At least one EI was probed; non-preemptive execution prioritizes the
+  /// remaining EIs of selected t-intervals over newly arrived ones.
+  bool selected = false;
+
+  int NumEis() const { return static_cast<int>(source->eis().size()); }
+  /// EIs still to capture under the all-required default.
+  int NumResidual() const { return NumEis() - num_captured; }
+  /// Captures still needed for completion (>= 0).
+  int RequiredResidual() const {
+    int residual = required - num_captured;
+    return residual > 0 ? residual : 0;
+  }
+  /// EIs that are neither captured nor expired.
+  int NumAlive() const { return NumEis() - num_captured - num_expired; }
+};
+
+/// Whether newly arrived t-intervals may displace previously selected
+/// ones in the per-chronon probe choice (Section 4.2.1). Non-preemptive
+/// execution first serves EIs of t-intervals that already received a
+/// probe, then spends leftover budget on new t-intervals.
+enum class ExecutionMode {
+  kPreemptive,
+  kNonPreemptive,
+};
+
+/// "P" / "NP" — the paper's labeling suffixes.
+const char* ExecutionModeToString(ExecutionMode mode);
+
+/// The three information levels of Section 4.2.2's policy classification,
+/// plus a bucket for baselines that use no t-interval information.
+enum class PolicyLevel {
+  /// Uses only the candidate EI itself (e.g. S-EDF).
+  kSingleEi,
+  /// Additionally uses the parent t-interval's rank / residual count
+  /// (e.g. MRSF).
+  kRank,
+  /// Uses full sibling information of the parent t-interval (e.g. M-EDF).
+  kMultiEi,
+  /// Control baselines (Random, FCFS) outside the paper's classification.
+  kBaseline,
+};
+
+const char* PolicyLevelToString(PolicyLevel level);
+
+/// An online policy Phi (Section 4.2.1): at each chronon it values the
+/// candidate EIs; the executor probes the resources of the best-valued
+/// EIs within budget. Smaller scores are preferred. Policies may keep
+/// internal state (e.g. a PRNG); Reset() is invoked before each run.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Display name, e.g. "MRSF".
+  virtual std::string name() const = 0;
+
+  virtual PolicyLevel level() const = 0;
+
+  /// Value of probing candidate EI `ei` (the `ei_index`-th EI of `parent`)
+  /// at chronon `now`. The EI is guaranteed active (start <= now <=
+  /// finish) and uncaptured, with a live (non-failed, non-completed)
+  /// parent. Lower is better.
+  virtual double Score(const ExecutionInterval& ei,
+                       const TIntervalRuntime& parent, int ei_index,
+                       Chronon now) = 0;
+
+  /// Called by the executor before a run begins.
+  virtual void Reset() {}
+};
+
+/// S-EDF value of a single EI at chronon `now`: the number of remaining
+/// chronons, I.T_f - now; when the EI is not yet active the paper
+/// evaluates it "with T = 0", i.e. simply I.T_f (Section 4.2.2). Shared
+/// by the S-EDF and M-EDF policies. Exposed here for reuse and testing.
+inline double SingleEdfValue(const ExecutionInterval& ei, Chronon now) {
+  if (now < ei.start) return static_cast<double>(ei.finish);
+  return static_cast<double>(ei.finish - now);
+}
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_POLICY_H_

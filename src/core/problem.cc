@@ -1,0 +1,49 @@
+#include "core/problem.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+Status MonitoringProblem::Validate() const {
+  if (num_resources <= 0) {
+    return Status::InvalidArgument("num_resources must be positive");
+  }
+  if (epoch.length <= 0) {
+    return Status::InvalidArgument("epoch length must be positive");
+  }
+  if (budget.epoch_length() != epoch.length) {
+    return Status::InvalidArgument(StringFormat(
+        "budget vector covers %d chronons but epoch has %d",
+        budget.epoch_length(), epoch.length));
+  }
+  for (const auto& p : profiles) {
+    PULLMON_RETURN_NOT_OK(p.Validate(epoch));
+    for (const auto& eta : p.t_intervals()) {
+      for (const auto& ei : eta.eis()) {
+        if (ei.resource >= num_resources) {
+          return Status::OutOfRange(StringFormat(
+              "EI references resource %d but problem has only %d resources",
+              ei.resource, num_resources));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t MonitoringProblem::TotalEiCount() const {
+  std::size_t total = 0;
+  for (const auto& p : profiles) {
+    for (const auto& eta : p.t_intervals()) total += eta.size();
+  }
+  return total;
+}
+
+bool MonitoringProblem::IsUnitWidth() const {
+  return std::all_of(profiles.begin(), profiles.end(),
+                     [](const Profile& p) { return p.IsUnitWidth(); });
+}
+
+}  // namespace pullmon

@@ -1,0 +1,49 @@
+#ifndef PULLMON_CORE_PROBLEM_H_
+#define PULLMON_CORE_PROBLEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/schedule.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Problem 1 (Complex Monitoring, Section 3.3): given profiles P over
+/// resources R, an epoch of K chronons and a probe budget vector C,
+/// find a schedule maximizing gained completeness subject to
+/// sum_i s_{i,j} <= C_j for every chronon j.
+struct MonitoringProblem {
+  int num_resources = 0;
+  Epoch epoch;
+  std::vector<Profile> profiles;
+  BudgetVector budget = BudgetVector::Uniform(0, 0);
+
+  MonitoringProblem() = default;
+  MonitoringProblem(int n, Chronon k, std::vector<Profile> p, int uniform_c)
+      : num_resources(n),
+        epoch{k},
+        profiles(std::move(p)),
+        budget(BudgetVector::Uniform(uniform_c, k)) {}
+
+  /// Structural validation: positive sizes, budget covering the epoch,
+  /// every profile valid, every EI's resource within [0, num_resources).
+  Status Validate() const;
+
+  /// rank(P).
+  std::size_t rank() const { return RankOf(profiles); }
+
+  /// Number of t-intervals over all profiles (the GC denominator).
+  std::size_t TotalTIntervalCount() const { return TotalTIntervals(profiles); }
+
+  /// Number of execution intervals over all t-intervals.
+  std::size_t TotalEiCount() const;
+
+  /// True if the instance is in P^[1] (every EI one chronon wide).
+  bool IsUnitWidth() const;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_PROBLEM_H_

@@ -1,0 +1,87 @@
+#include "core/profile.h"
+
+#include <algorithm>
+
+namespace pullmon {
+
+std::size_t Profile::rank() const {
+  std::size_t max_size = 0;
+  for (const auto& eta : t_intervals_) {
+    max_size = std::max(max_size, eta.size());
+  }
+  return max_size;
+}
+
+bool Profile::IsUnitWidth() const {
+  return std::all_of(t_intervals_.begin(), t_intervals_.end(),
+                     [](const TInterval& eta) { return eta.IsUnitWidth(); });
+}
+
+bool Profile::HasIntraResourceOverlap() const {
+  // Within each t-interval.
+  for (const auto& eta : t_intervals_) {
+    if (eta.HasIntraResourceOverlap()) return true;
+  }
+  // Across sibling t-intervals of this profile.
+  for (std::size_t a = 0; a < t_intervals_.size(); ++a) {
+    for (std::size_t b = a + 1; b < t_intervals_.size(); ++b) {
+      for (const auto& ei_a : t_intervals_[a].eis()) {
+        for (const auto& ei_b : t_intervals_[b].eis()) {
+          if (ei_a.SharesProbeWith(ei_b)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Status Profile::Validate(const Epoch& epoch) const {
+  if (t_intervals_.empty()) {
+    return Status::InvalidArgument("profile with no t-intervals");
+  }
+  for (const auto& eta : t_intervals_) {
+    PULLMON_RETURN_NOT_OK(eta.Validate(epoch));
+  }
+  return Status::OK();
+}
+
+std::size_t RankOf(const std::vector<Profile>& profiles) {
+  std::size_t max_rank = 0;
+  for (const auto& p : profiles) max_rank = std::max(max_rank, p.rank());
+  return max_rank;
+}
+
+std::size_t TotalTIntervals(const std::vector<Profile>& profiles) {
+  std::size_t total = 0;
+  for (const auto& p : profiles) total += p.size();
+  return total;
+}
+
+bool HasIntraResourceOverlap(const std::vector<Profile>& profiles,
+                             bool across_profiles) {
+  for (const auto& p : profiles) {
+    if (p.HasIntraResourceOverlap()) return true;
+  }
+  if (!across_profiles) return false;
+  // Cross-profile check: collect EIs per resource and sweep for overlap.
+  std::vector<ExecutionInterval> all;
+  for (const auto& p : profiles) {
+    for (const auto& eta : p.t_intervals()) {
+      for (const auto& ei : eta.eis()) all.push_back(ei);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ExecutionInterval& a, const ExecutionInterval& b) {
+              if (a.resource != b.resource) return a.resource < b.resource;
+              return a.start < b.start;
+            });
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].resource == all[i - 1].resource &&
+        all[i].start <= all[i - 1].finish) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,70 @@
+#ifndef PULLMON_CORE_PROFILE_H_
+#define PULLMON_CORE_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/t_interval.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A client profile p = {eta_1, ..., eta_q}: the collection of t-intervals
+/// a client needs captured (Section 3.1). Profiles, t-intervals and EIs
+/// form a hierarchy; two t-intervals in the same profile are siblings.
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(std::vector<TInterval> t_intervals)
+      : t_intervals_(std::move(t_intervals)) {}
+  Profile(std::string name, std::vector<TInterval> t_intervals)
+      : name_(std::move(name)), t_intervals_(std::move(t_intervals)) {}
+
+  const std::vector<TInterval>& t_intervals() const { return t_intervals_; }
+
+  /// |p|: number of t-intervals (the GC denominator contribution).
+  std::size_t size() const { return t_intervals_.size(); }
+  bool empty() const { return t_intervals_.empty(); }
+
+  void AddTInterval(TInterval t_interval) {
+    t_intervals_.push_back(std::move(t_interval));
+  }
+
+  /// rank(p) = max_eta |eta|: the profile's complexity (Section 3.1).
+  /// Returns 0 for an empty profile.
+  std::size_t rank() const;
+
+  /// True if every EI of every t-interval has width one (P^[1] member).
+  bool IsUnitWidth() const;
+
+  /// True if any pair of EIs anywhere in the profile shares a resource
+  /// with overlapping windows.
+  bool HasIntraResourceOverlap() const;
+
+  /// Optional human-readable label (e.g. "AuctionWatch(3)#17").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Status Validate(const Epoch& epoch) const;
+
+ private:
+  std::string name_;
+  std::vector<TInterval> t_intervals_;
+};
+
+/// rank(P) = max_p rank(p) over a set of profiles; 0 if empty.
+std::size_t RankOf(const std::vector<Profile>& profiles);
+
+/// Total number of t-intervals over all profiles (the GC denominator).
+std::size_t TotalTIntervals(const std::vector<Profile>& profiles);
+
+/// True if any profile (or any pair of EIs across profiles, when
+/// `across_profiles` is set) exhibits intra-resource overlap. The paper's
+/// theoretical bounds for MRSF assume none (Proposition 4).
+bool HasIntraResourceOverlap(const std::vector<Profile>& profiles,
+                             bool across_profiles = true);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_PROFILE_H_

@@ -1,0 +1,63 @@
+#include "core/schedule_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+std::string ScheduleToCsv(const Schedule& schedule) {
+  std::string out = "chronon,resource\n";
+  for (Chronon t = 0; t < schedule.epoch_length(); ++t) {
+    for (ResourceId r : schedule.ProbesAt(t)) {
+      out += StringFormat("%d,%d\n", t, r);
+    }
+  }
+  return out;
+}
+
+Result<Schedule> ScheduleFromCsv(const std::string& csv,
+                                 Chronon epoch_length) {
+  PULLMON_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv, /*has_header=*/true));
+  PULLMON_ASSIGN_OR_RETURN(std::size_t chronon_col,
+                           doc.ColumnIndex("chronon"));
+  PULLMON_ASSIGN_OR_RETURN(std::size_t resource_col,
+                           doc.ColumnIndex("resource"));
+  Schedule schedule(epoch_length);
+  for (const auto& row : doc.rows) {
+    if (row.size() <= std::max(chronon_col, resource_col)) {
+      return Status::ParseError("short row in schedule CSV");
+    }
+    PULLMON_ASSIGN_OR_RETURN(int64_t chronon,
+                             ParseInt64(row[chronon_col]));
+    PULLMON_ASSIGN_OR_RETURN(int64_t resource,
+                             ParseInt64(row[resource_col]));
+    PULLMON_RETURN_NOT_OK(schedule.AddProbe(
+        static_cast<ResourceId>(resource), static_cast<Chronon>(chronon)));
+  }
+  return schedule;
+}
+
+Status WriteScheduleFile(const Schedule& schedule,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ScheduleToCsv(schedule);
+  if (!out) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+Result<Schedule> ReadScheduleFile(const std::string& path,
+                                  Chronon epoch_length) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure: " + path);
+  return ScheduleFromCsv(buffer.str(), epoch_length);
+}
+
+}  // namespace pullmon

@@ -1,0 +1,27 @@
+#ifndef PULLMON_CORE_SCHEDULE_IO_H_
+#define PULLMON_CORE_SCHEDULE_IO_H_
+
+#include <string>
+
+#include "core/schedule.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Serializes a schedule as CSV with header "chronon,resource", one row
+/// per probe in (chronon, resource) order — the interchange format for
+/// feeding schedules to external probing agents or analysis scripts.
+std::string ScheduleToCsv(const Schedule& schedule);
+
+/// Parses the ScheduleToCsv format into a schedule over an epoch of
+/// `epoch_length` chronons. Probes outside the epoch fail the parse.
+Result<Schedule> ScheduleFromCsv(const std::string& csv,
+                                 Chronon epoch_length);
+
+Status WriteScheduleFile(const Schedule& schedule, const std::string& path);
+Result<Schedule> ReadScheduleFile(const std::string& path,
+                                  Chronon epoch_length);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_SCHEDULE_IO_H_

@@ -1,0 +1,66 @@
+#include "core/t_interval.h"
+
+#include <algorithm>
+
+namespace pullmon {
+
+Chronon TInterval::EarliestStart() const {
+  Chronon earliest = 0;
+  bool first = true;
+  for (const auto& ei : eis_) {
+    if (first || ei.start < earliest) earliest = ei.start;
+    first = false;
+  }
+  return earliest;
+}
+
+Chronon TInterval::LatestFinish() const {
+  Chronon latest = 0;
+  bool first = true;
+  for (const auto& ei : eis_) {
+    if (first || ei.finish > latest) latest = ei.finish;
+    first = false;
+  }
+  return latest;
+}
+
+bool TInterval::IsUnitWidth() const {
+  return std::all_of(eis_.begin(), eis_.end(),
+                     [](const ExecutionInterval& ei) {
+                       return ei.width() == 1;
+                     });
+}
+
+bool TInterval::HasIntraResourceOverlap() const {
+  for (std::size_t i = 0; i < eis_.size(); ++i) {
+    for (std::size_t j = i + 1; j < eis_.size(); ++j) {
+      if (eis_[i].SharesProbeWith(eis_[j])) return true;
+    }
+  }
+  return false;
+}
+
+Status TInterval::Validate(const Epoch& epoch) const {
+  if (eis_.empty()) {
+    return Status::InvalidArgument("t-interval with no execution intervals");
+  }
+  if (!(weight_ > 0.0)) {
+    return Status::InvalidArgument("t-interval weight must be positive");
+  }
+  for (const auto& ei : eis_) {
+    PULLMON_RETURN_NOT_OK(ei.Validate(epoch));
+  }
+  return Status::OK();
+}
+
+std::string TInterval::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < eis_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += eis_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,90 @@
+#ifndef PULLMON_CORE_T_INTERVAL_H_
+#define PULLMON_CORE_T_INTERVAL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/execution_interval.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A t-interval eta = {I_1, ..., I_k}: a set of execution intervals,
+/// possibly over different resources. A t-interval is captured by a
+/// schedule iff every one of its EIs is probed inside its window
+/// (Section 3.1-3.2). t-intervals model the "all parts must be observed
+/// together" semantics of complex profiles, e.g. overlapping price
+/// observations from two markets in the arbitrage scenario.
+///
+/// Two extensions from the paper's future-work section (Section 6) are
+/// supported:
+///  * a client *utility* weight() (default 1) — weighted completeness
+///    counts utilities instead of t-intervals, and utility-aware
+///    policies/offline solvers prioritize by it;
+///  * *alternatives*: required() < size() relaxes capture to "any
+///    required() of the EIs" (default: all of them).
+class TInterval {
+ public:
+  TInterval() = default;
+  explicit TInterval(std::vector<ExecutionInterval> eis)
+      : eis_(std::move(eis)) {}
+
+  const std::vector<ExecutionInterval>& eis() const { return eis_; }
+
+  /// Number of EIs, |eta|. Contributes to the parent profile's rank.
+  std::size_t size() const { return eis_.size(); }
+  bool empty() const { return eis_.empty(); }
+
+  void AddEi(ExecutionInterval ei) { eis_.push_back(ei); }
+
+  /// First chronon at which any EI becomes active; in the online setting
+  /// this is when the t-interval is revealed to the proxy. Undefined for
+  /// an empty t-interval (returns 0).
+  Chronon EarliestStart() const;
+
+  /// Last chronon at which any EI is active; after this the t-interval's
+  /// fate is decided.
+  Chronon LatestFinish() const;
+
+  /// True if every EI has width one chronon (the P^[1] property).
+  bool IsUnitWidth() const;
+
+  /// True if some pair of EIs references the same resource with
+  /// overlapping windows (intra-resource overlap within this t-interval).
+  bool HasIntraResourceOverlap() const;
+
+  /// Client utility of capturing this t-interval (> 0; default 1).
+  double weight() const { return weight_; }
+  void set_weight(double weight) { weight_ = weight; }
+
+  /// Number of EIs that must be captured; defaults to all of them.
+  std::size_t required() const {
+    return required_ == 0 ? eis_.size()
+                          : std::min(required_, eis_.size());
+  }
+  /// 0 restores the default (all EIs). Values above size() are clamped
+  /// at query time.
+  void set_required(std::size_t required) { required_ = required; }
+
+  /// True if capture demands every EI (no alternatives).
+  bool RequiresAll() const { return required() == eis_.size(); }
+
+  /// Non-empty, positive weight, and every EI valid within the epoch.
+  Status Validate(const Epoch& epoch) const;
+
+  /// "{r0:[1,4], r2:[2,5]}" rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const TInterval& other) const = default;
+
+ private:
+  std::vector<ExecutionInterval> eis_;
+  double weight_ = 1.0;
+  std::size_t required_ = 0;  // 0 = all
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_T_INTERVAL_H_

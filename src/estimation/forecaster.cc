@@ -1,0 +1,69 @@
+#include "estimation/forecaster.h"
+
+#include <cmath>
+
+namespace pullmon {
+
+Result<UpdateTrace> UpdateForecaster::Forecast(const UpdateTrace& history,
+                                               Chronon horizon,
+                                               Rng* rng) const {
+  if (horizon <= 0) {
+    return Status::InvalidArgument("forecast horizon must be positive");
+  }
+  const Chronon start = history.epoch_length();
+  const Chronon end = start + horizon;  // exclusive
+  UpdateTrace forecast(history.num_resources(), end);
+
+  PoissonRateEstimator rate_estimator(options_.rate_smoothing);
+  for (ResourceId r = 0; r < history.num_resources(); ++r) {
+    const auto& events = history.EventsFor(r);
+    auto pattern = DetectPeriodicPattern(events, options_.periodic);
+    if (pattern.has_value()) {
+      // Continue the detected grid into the horizon.
+      long long k =
+          (static_cast<long long>(start) - pattern->phase +
+           pattern->period - 1) /
+          pattern->period;
+      for (long long t = k * pattern->period + pattern->phase; t < end;
+           t += pattern->period) {
+        if (t < start) continue;
+        PULLMON_RETURN_NOT_OK(
+            forecast.AddEvent(r, static_cast<Chronon>(t)));
+      }
+      continue;
+    }
+    PULLMON_ASSIGN_OR_RETURN(
+        double rate,
+        rate_estimator.EstimateRate(
+            history, r, 0,
+            history.epoch_length() > 0 ? history.epoch_length() - 1 : 0));
+    if (rate < options_.min_rate) continue;  // predicted silent
+    // Homogeneous Poisson draw over the horizon.
+    int64_t count =
+        rng->NextPoisson(rate * static_cast<double>(horizon));
+    for (int64_t i = 0; i < count; ++i) {
+      Chronon t = start + static_cast<Chronon>(rng->NextBounded(
+                              static_cast<uint64_t>(horizon)));
+      PULLMON_RETURN_NOT_OK(forecast.AddEvent(r, t));
+    }
+  }
+  return forecast;
+}
+
+Result<UpdateTrace> UpdateForecaster::ForecastWindowed(
+    const UpdateTrace& history, Chronon horizon, Rng* rng) const {
+  PULLMON_ASSIGN_OR_RETURN(UpdateTrace full,
+                           Forecast(history, horizon, rng));
+  const Chronon start = history.epoch_length();
+  UpdateTrace shifted(history.num_resources(), horizon);
+  for (ResourceId r = 0; r < full.num_resources(); ++r) {
+    for (Chronon t : full.EventsFor(r)) {
+      if (t >= start) {
+        PULLMON_RETURN_NOT_OK(shifted.AddEvent(r, t - start));
+      }
+    }
+  }
+  return shifted;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,57 @@
+#ifndef PULLMON_ESTIMATION_FORECASTER_H_
+#define PULLMON_ESTIMATION_FORECASTER_H_
+
+#include "estimation/periodic_detector.h"
+#include "estimation/rate_estimator.h"
+#include "trace/update_model.h"
+#include "trace/update_trace.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Knobs of the update forecaster.
+struct ForecasterOptions {
+  PeriodicDetectorOptions periodic;
+  /// Smoothing for the Poisson fallback rate.
+  double rate_smoothing = 0.5;
+  /// A resource whose estimated rate falls below this is predicted
+  /// silent (no EIs generated).
+  double min_rate = 1e-4;
+};
+
+/// Predicts future update chronons from observed history — the
+/// stochastic-modeling route to execution-interval generation ([9],
+/// [14]) that replaces the evaluation's FPN(1) hindsight:
+///   * resources with a detected near-periodic pattern are forecast on
+///     the pattern's grid;
+///   * aperiodic resources fall back to a homogeneous Poisson draw at
+///     the MLE rate of their history.
+/// The output is an *estimated* update trace over the forecast horizon,
+/// which plugs into the standard EI-derivation / profile-generation
+/// pipeline.
+class UpdateForecaster {
+ public:
+  explicit UpdateForecaster(ForecasterOptions options = {})
+      : options_(options) {}
+
+  /// Forecasts updates for chronons [history.epoch_length(),
+  /// history.epoch_length() + horizon) given the full observed history.
+  /// The returned trace's epoch covers history + horizon; historical
+  /// chronons are left empty (only predictions are emitted). The RNG
+  /// drives the Poisson fallback draws.
+  Result<UpdateTrace> Forecast(const UpdateTrace& history, Chronon horizon,
+                               Rng* rng) const;
+
+  /// Convenience: forecast + EI derivation over the horizon, shifted so
+  /// chronon 0 of the result is the first forecast chronon.
+  Result<UpdateTrace> ForecastWindowed(const UpdateTrace& history,
+                                       Chronon horizon, Rng* rng) const;
+
+ private:
+  ForecasterOptions options_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_ESTIMATION_FORECASTER_H_

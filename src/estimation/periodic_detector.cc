@@ -1,0 +1,111 @@
+#include "estimation/periodic_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace pullmon {
+
+namespace {
+
+/// Distance from `value` to the nearest event (events ascending).
+double NearestDistance(const std::vector<Chronon>& events, double value) {
+  auto it = std::lower_bound(events.begin(), events.end(),
+                             static_cast<Chronon>(std::ceil(value)));
+  double best = std::numeric_limits<double>::infinity();
+  if (it != events.end()) {
+    best = std::min(best, std::abs(static_cast<double>(*it) - value));
+  }
+  if (it != events.begin()) {
+    best = std::min(
+        best, std::abs(static_cast<double>(*std::prev(it)) - value));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<PeriodicPattern> DetectPeriodicPattern(
+    const std::vector<Chronon>& events,
+    const PeriodicDetectorOptions& options) {
+  if (events.size() < 3) return std::nullopt;
+  const Chronon span = events.back() - events.front();
+  if (span < 2) return std::nullopt;
+  Chronon max_period =
+      options.max_period > 0 ? options.max_period : span / 2;
+  if (max_period < options.min_period) return std::nullopt;
+
+  // Candidate periods: the observed inter-arrival gaps +/- 1.
+  std::set<Chronon> candidates;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    Chronon gap = events[i] - events[i - 1];
+    for (Chronon p : {gap - 1, gap, gap + 1}) {
+      if (p >= options.min_period && p <= max_period) {
+        candidates.insert(p);
+      }
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Density of events over the span, for the chance-support screen.
+  const double density = static_cast<double>(events.size()) /
+                         static_cast<double>(span + 1);
+
+  std::optional<PeriodicPattern> best;
+  for (Chronon period : candidates) {
+    double tolerance = std::max(
+        1.0, options.tolerance_fraction * static_cast<double>(period));
+    double phase = static_cast<double>(events.front());
+    // Walk the grid across the observed span.
+    std::size_t grid_points = 0, matched = 0;
+    double jitter_sum = 0.0;
+    for (double g = phase; g <= static_cast<double>(events.back()) + 0.5;
+         g += static_cast<double>(period)) {
+      ++grid_points;
+      double distance = NearestDistance(events, g);
+      if (distance <= tolerance) {
+        ++matched;
+        jitter_sum += distance;
+      }
+    }
+    if (grid_points < options.min_grid_points) continue;
+    double support =
+        static_cast<double>(matched) / static_cast<double>(grid_points);
+    if (support < options.min_support) continue;
+    // Significance: random events of this density would match a grid
+    // point with probability ~ 1 - exp(-density * window).
+    double chance =
+        1.0 - std::exp(-density * (2.0 * tolerance + 1.0));
+    if (support < chance + options.chance_margin) continue;
+    // Both-way coverage: the grid must also explain most events.
+    std::size_t explained = 0;
+    for (Chronon e : events) {
+      double offset = std::fmod(
+          static_cast<double>(e) - phase, static_cast<double>(period));
+      if (offset < 0) offset += static_cast<double>(period);
+      double distance =
+          std::min(offset, static_cast<double>(period) - offset);
+      if (distance <= tolerance) ++explained;
+    }
+    double event_coverage = static_cast<double>(explained) /
+                            static_cast<double>(events.size());
+    if (event_coverage < options.min_support) continue;
+    PeriodicPattern pattern;
+    pattern.period = period;
+    pattern.phase = static_cast<Chronon>(
+        static_cast<long long>(events.front()) % period);
+    pattern.jitter = matched > 0
+                         ? jitter_sum / static_cast<double>(matched)
+                         : 0.0;
+    pattern.support = support;
+    if (!best || pattern.support > best->support ||
+        (pattern.support == best->support &&
+         pattern.jitter < best->jitter)) {
+      best = pattern;
+    }
+  }
+  return best;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,72 @@
+#include "estimation/rate_estimator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+Result<double> PoissonRateEstimator::EstimateRate(const UpdateTrace& history,
+                                                  ResourceId resource,
+                                                  Chronon from,
+                                                  Chronon to) const {
+  if (from > to) {
+    return Status::InvalidArgument(
+        StringFormat("malformed estimation window [%d,%d]", from, to));
+  }
+  if (resource < 0 || resource >= history.num_resources()) {
+    return Status::InvalidArgument(
+        StringFormat("resource %d outside history", resource));
+  }
+  const auto& events = history.EventsFor(resource);
+  std::size_t count = 0;
+  for (Chronon t : events) {
+    if (t >= from && t <= to) ++count;
+  }
+  double window = static_cast<double>(to - from + 1);
+  return (static_cast<double>(count) + smoothing_) / window;
+}
+
+Result<std::vector<double>> PoissonRateEstimator::EstimateAllRates(
+    const UpdateTrace& history) const {
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(history.num_resources()));
+  for (ResourceId r = 0; r < history.num_resources(); ++r) {
+    PULLMON_ASSIGN_OR_RETURN(
+        double rate,
+        EstimateRate(history, r, 0, history.epoch_length() - 1));
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+DecayingRateTracker::DecayingRateTracker(double half_life)
+    : half_life_(half_life) {
+  assert(half_life > 0.0);
+}
+
+double DecayingRateTracker::Decay(Chronon from, Chronon to) const {
+  if (to <= from) return 1.0;
+  return std::exp2(-static_cast<double>(to - from) / half_life_);
+}
+
+void DecayingRateTracker::Observe(Chronon t) {
+  if (any_) {
+    mass_ = mass_ * Decay(last_event_, t) + 1.0;
+  } else {
+    mass_ = 1.0;
+    any_ = true;
+  }
+  last_event_ = t;
+}
+
+double DecayingRateTracker::RateAt(Chronon now) const {
+  if (!any_) return 0.0;
+  // With decay rate lambda = ln2 / half_life, a steady process of rate r
+  // accumulates mass ~ r / lambda; invert to read the rate back.
+  double lambda = std::log(2.0) / half_life_;
+  return mass_ * Decay(last_event_, now) * lambda;
+}
+
+}  // namespace pullmon

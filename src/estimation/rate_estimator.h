@@ -1,0 +1,65 @@
+#ifndef PULLMON_ESTIMATION_RATE_ESTIMATOR_H_
+#define PULLMON_ESTIMATION_RATE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/chronon.h"
+#include "trace/update_trace.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Maximum-likelihood estimate of a homogeneous Poisson update rate from
+/// the events observed in a history window: count / window length, with
+/// additive (Laplace-style) smoothing so silent resources keep a small
+/// non-zero rate. Rates are per chronon.
+class PoissonRateEstimator {
+ public:
+  /// `smoothing` pseudo-events are spread over the observed window.
+  explicit PoissonRateEstimator(double smoothing = 0.5)
+      : smoothing_(smoothing) {}
+
+  /// Rate from the events of `resource` within [from, to] (inclusive).
+  /// Returns 0 smoothing-rate on an empty window; InvalidArgument on a
+  /// malformed window.
+  Result<double> EstimateRate(const UpdateTrace& history,
+                              ResourceId resource, Chronon from,
+                              Chronon to) const;
+
+  /// Rates for every resource over the full history epoch.
+  Result<std::vector<double>> EstimateAllRates(
+      const UpdateTrace& history) const;
+
+ private:
+  double smoothing_;
+};
+
+/// An exponentially-decayed online rate tracker: feed it update events
+/// in chronological order and query the current rate estimate at any
+/// chronon. Recency weighting adapts to non-stationary sources (e.g.
+/// auction sniping ramps) that a flat MLE smears out.
+class DecayingRateTracker {
+ public:
+  /// `half_life` (chronons) controls the decay; must be positive.
+  explicit DecayingRateTracker(double half_life);
+
+  /// Observes an update at chronon t (non-decreasing across calls).
+  void Observe(Chronon t);
+
+  /// Current events-per-chronon estimate as of chronon `now`.
+  double RateAt(Chronon now) const;
+
+  double half_life() const { return half_life_; }
+
+ private:
+  double Decay(Chronon from, Chronon to) const;
+
+  double half_life_;
+  double mass_ = 0.0;       // decayed event count
+  Chronon last_event_ = 0;  // chronon mass_ is anchored at
+  bool any_ = false;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_ESTIMATION_RATE_ESTIMATOR_H_

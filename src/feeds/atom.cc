@@ -1,0 +1,102 @@
+#include "feeds/atom.h"
+
+#include "feeds/rss.h"
+#include "feeds/xml.h"
+#include "util/datetime.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+Result<FeedDocument> ParseAtom(std::string_view xml) {
+  PULLMON_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  if (root.name != "feed") {
+    return Status::ParseError("expected <feed> root, got <" + root.name +
+                              ">");
+  }
+  FeedDocument feed;
+  feed.title = root.ChildText("title");
+  feed.description = root.ChildText("subtitle");
+  if (const XmlNode* link = root.FirstChild("link")) {
+    if (const std::string* href = link->Attribute("href")) {
+      feed.link = *href;
+    }
+  }
+  for (const XmlNode* entry : root.Children("entry")) {
+    FeedItem item;
+    item.guid = entry->ChildText("id");
+    item.title = entry->ChildText("title");
+    item.description = entry->ChildText("summary");
+    if (item.description.empty()) {
+      item.description = entry->ChildText("content");
+    }
+    if (const XmlNode* link = entry->FirstChild("link")) {
+      if (const std::string* href = link->Attribute("href")) {
+        item.link = *href;
+      }
+    }
+    std::string updated = entry->ChildText("updated");
+    if (updated.empty()) updated = entry->ChildText("published");
+    if (!updated.empty()) {
+      auto parsed = ParseRfc3339(updated);
+      if (parsed.ok()) item.published = *parsed;
+    }
+    feed.items.push_back(std::move(item));
+  }
+  return feed;
+}
+
+std::string WriteAtom(const FeedDocument& feed) {
+  XmlWriter writer;
+  writer.Open("feed", {{"xmlns", "http://www.w3.org/2005/Atom"}});
+  writer.Leaf("title", feed.title);
+  writer.Leaf("subtitle", feed.description);
+  writer.Open("link", {{"href", feed.link}});
+  writer.Close();
+  for (const auto& item : feed.items) {
+    writer.Open("entry");
+    writer.Leaf("id", item.guid);
+    writer.Leaf("title", item.title);
+    writer.Leaf("summary", item.description);
+    writer.Open("link", {{"href", item.link}});
+    writer.Close();
+    writer.Leaf("updated", FormatRfc3339(item.published));
+    writer.Close();
+  }
+  writer.Close();
+  return writer.str();
+}
+
+Result<FeedDocument> ParseFeed(std::string_view xml) {
+  // Cheap root sniffing to avoid parsing twice: find the first element
+  // that is not a declaration/comment.
+  std::size_t pos = 0;
+  while (pos < xml.size()) {
+    pos = xml.find('<', pos);
+    if (pos == std::string_view::npos) break;
+    if (StartsWith(xml.substr(pos), "<?") ||
+        StartsWith(xml.substr(pos), "<!--") ||
+        StartsWith(xml.substr(pos), "<!")) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (pos == std::string_view::npos || pos >= xml.size()) {
+    return Status::ParseError("no root element in feed document");
+  }
+  if (StartsWith(xml.substr(pos), "<rss")) return ParseRss(xml);
+  if (StartsWith(xml.substr(pos), "<feed")) return ParseAtom(xml);
+  return Status::ParseError("unrecognized feed root element");
+}
+
+std::string WriteFeed(const FeedDocument& feed, FeedFormat format) {
+  switch (format) {
+    case FeedFormat::kRss2:
+      return WriteRss(feed);
+    case FeedFormat::kAtom1:
+      return WriteAtom(feed);
+  }
+  return std::string();
+}
+
+}  // namespace pullmon

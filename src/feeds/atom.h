@@ -1,0 +1,28 @@
+#ifndef PULLMON_FEEDS_ATOM_H_
+#define PULLMON_FEEDS_ATOM_H_
+
+#include <string>
+#include <string_view>
+
+#include "feeds/feed_item.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Parses an Atom 1.0 document (root <feed>). Entry <id> maps to guid,
+/// <summary>/<content> to description, <updated> (RFC 3339) to
+/// published. ParseError on structural problems.
+Result<FeedDocument> ParseAtom(std::string_view xml);
+
+/// Serializes a feed as Atom 1.0.
+std::string WriteAtom(const FeedDocument& feed);
+
+/// Auto-detects RSS vs Atom by root element and dispatches.
+Result<FeedDocument> ParseFeed(std::string_view xml);
+
+/// Serializes in the requested format.
+std::string WriteFeed(const FeedDocument& feed, FeedFormat format);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_ATOM_H_

@@ -1,0 +1,72 @@
+#include "feeds/ebay_feed.h"
+
+#include "feeds/atom.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+FeedDocument AuctionToFeed(const AuctionTrace& trace, int auction,
+                           ChrononClock clock) {
+  FeedDocument doc;
+  const AuctionInfo* info = nullptr;
+  for (const auto& candidate : trace.auctions) {
+    if (candidate.id == auction) {
+      info = &candidate;
+      break;
+    }
+  }
+  doc.title = info != nullptr
+                  ? StringFormat("Bids: %s (auction #%d)",
+                                 info->item.c_str(), auction)
+                  : StringFormat("Bids: auction #%d", auction);
+  doc.link = StringFormat("http://auctions.example.com/listing/%d", auction);
+  doc.description = info != nullptr
+                        ? StringFormat("Live bid feed; opened %d closes %d",
+                                       info->open, info->close)
+                        : "Live bid feed";
+  int bid_index = 0;
+  for (const auto& bid : trace.bids) {
+    if (bid.auction != auction) continue;
+    FeedItem item;
+    item.guid = StringFormat("auction-%d-bid-%d", auction, bid_index);
+    item.title = StringFormat("New bid: $%.2f by %s", bid.amount,
+                              bid.bidder.c_str());
+    item.link = StringFormat("http://auctions.example.com/listing/%d#bid%d",
+                             auction, bid_index);
+    item.description = StringFormat(
+        "Bid of $%.2f placed at chronon %d", bid.amount, bid.chronon);
+    item.published = clock.ToUnix(bid.chronon);
+    // Newest first, as feeds conventionally publish.
+    doc.items.insert(doc.items.begin(), std::move(item));
+    ++bid_index;
+  }
+  return doc;
+}
+
+std::vector<std::string> AuctionTraceToFeeds(const AuctionTrace& trace,
+                                             FeedFormat format,
+                                             ChrononClock clock) {
+  std::vector<std::string> out;
+  out.reserve(trace.auctions.size());
+  for (const auto& info : trace.auctions) {
+    out.push_back(WriteFeed(AuctionToFeed(trace, info.id, clock), format));
+  }
+  return out;
+}
+
+Result<UpdateTrace> TraceFromFeeds(const std::vector<std::string>& feeds,
+                                   Chronon epoch_length,
+                                   ChrononClock clock) {
+  UpdateTrace trace(static_cast<int>(feeds.size()), epoch_length);
+  for (std::size_t r = 0; r < feeds.size(); ++r) {
+    PULLMON_ASSIGN_OR_RETURN(FeedDocument doc, ParseFeed(feeds[r]));
+    for (const auto& item : doc.items) {
+      Chronon when = clock.FromUnix(item.published);
+      PULLMON_RETURN_NOT_OK(
+          trace.AddEvent(static_cast<ResourceId>(r), when));
+    }
+  }
+  return trace;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,35 @@
+#ifndef PULLMON_FEEDS_EBAY_FEED_H_
+#define PULLMON_FEEDS_EBAY_FEED_H_
+
+#include <string>
+#include <vector>
+
+#include "feeds/feed_item.h"
+#include "trace/auction_generator.h"
+#include "util/datetime.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Renders one auction's bid history as a feed document, newest bid
+/// first — the shape of the eBay Web feeds the paper's real trace was
+/// extracted from. Guids follow "auction-<id>-bid-<n>".
+FeedDocument AuctionToFeed(const AuctionTrace& trace, int auction,
+                           ChrononClock clock = ChrononClock{});
+
+/// Serializes every auction of a trace to its own feed document.
+std::vector<std::string> AuctionTraceToFeeds(
+    const AuctionTrace& trace, FeedFormat format = FeedFormat::kRss2,
+    ChrononClock clock = ChrononClock{});
+
+/// Reconstructs the update-event trace by parsing serialized feeds (the
+/// i-th document belongs to resource i): the "extract bid information
+/// from Web feeds" step of Section 5.1. Item timestamps are mapped back
+/// to chronons via `clock`; out-of-epoch items fail with OutOfRange.
+Result<UpdateTrace> TraceFromFeeds(const std::vector<std::string>& feeds,
+                                   Chronon epoch_length,
+                                   ChrononClock clock = ChrononClock{});
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_EBAY_FEED_H_

@@ -1,0 +1,39 @@
+#ifndef PULLMON_FEEDS_FEED_ITEM_H_
+#define PULLMON_FEEDS_FEED_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pullmon {
+
+/// One entry of a Web feed (an RSS <item> or Atom <entry>). Items are
+/// identified by guid; `published` is a Unix timestamp (UTC).
+struct FeedItem {
+  std::string guid;
+  std::string title;
+  std::string link;
+  std::string description;
+  int64_t published = 0;
+
+  bool operator==(const FeedItem& other) const = default;
+};
+
+/// A whole feed document (RSS <channel> or Atom <feed>) with items in
+/// document order (feeds conventionally list newest first).
+struct FeedDocument {
+  std::string title;
+  std::string link;
+  std::string description;
+  std::vector<FeedItem> items;
+};
+
+/// The wire formats the library reads and writes.
+enum class FeedFormat {
+  kRss2,
+  kAtom1,
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_FEED_ITEM_H_

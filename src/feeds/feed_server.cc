@@ -1,0 +1,136 @@
+#include "feeds/feed_server.h"
+
+#include "feeds/atom.h"
+#include "feeds/rss.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+FeedServer::FeedServer(ResourceId id, std::string title,
+                       std::size_t capacity, FeedFormat format,
+                       ChrononClock clock)
+    : id_(id),
+      title_(std::move(title)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      format_(format),
+      clock_(clock) {}
+
+void FeedServer::Publish(FeedItem item) {
+  items_.push_front(std::move(item));
+  ++publish_count_;
+  while (items_.size() > capacity_) {
+    items_.pop_back();
+    ++evicted_count_;
+  }
+}
+
+std::string FeedServer::CurrentETag() const {
+  // A content-derived validator: publish count plus the newest guid is
+  // enough to distinguish every buffer state of this server.
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(StringFormat("%zu", publish_count_));
+  if (!items_.empty()) mix(items_.front().guid);
+  return StringFormat("\"%016llx\"", static_cast<unsigned long long>(h));
+}
+
+FeedServer::ConditionalFetch FeedServer::FetchConditional(
+    const std::string& if_none_match) {
+  ConditionalFetch result;
+  result.etag = CurrentETag();
+  if (!if_none_match.empty() && if_none_match == result.etag) {
+    result.not_modified = true;
+    ++not_modified_count_;
+    ++fetch_count_;
+    return result;
+  }
+  result.body = Fetch();
+  return result;
+}
+
+std::string FeedServer::Fetch() {
+  ++fetch_count_;
+  FeedDocument doc;
+  doc.title = title_;
+  doc.link = StringFormat("http://feeds.example.com/resource/%d", id_);
+  doc.description =
+      StringFormat("Volatile feed of resource %d (capacity %zu)", id_,
+                   capacity_);
+  doc.items.assign(items_.begin(), items_.end());
+  return WriteFeed(doc, format_);
+}
+
+FeedNetwork::FeedNetwork(const UpdateTrace* trace,
+                         std::size_t buffer_capacity, FeedFormat format,
+                         ChrononClock clock)
+    : trace_(trace), clock_(clock) {
+  servers_.reserve(static_cast<std::size_t>(trace->num_resources()));
+  next_event_.assign(static_cast<std::size_t>(trace->num_resources()), 0);
+  for (ResourceId r = 0; r < trace->num_resources(); ++r) {
+    servers_.emplace_back(r, StringFormat("Resource %d updates", r),
+                          buffer_capacity, format, clock);
+  }
+}
+
+void FeedNetwork::AdvanceTo(Chronon t) {
+  if (t <= published_through_) return;
+  for (ResourceId r = 0; r < trace_->num_resources(); ++r) {
+    const auto& events = trace_->EventsFor(r);
+    std::size_t& next = next_event_[static_cast<std::size_t>(r)];
+    while (next < events.size() && events[next] <= t) {
+      Chronon when = events[next];
+      FeedItem item;
+      item.guid = StringFormat("resource-%d-update-%zu", r, next);
+      item.title = StringFormat("Update %zu of resource %d", next, r);
+      item.link =
+          StringFormat("http://feeds.example.com/resource/%d/%zu", r, next);
+      item.description =
+          StringFormat("State change observed at chronon %d", when);
+      item.published = clock_.ToUnix(when);
+      servers_[static_cast<std::size_t>(r)].Publish(std::move(item));
+      ++next;
+    }
+  }
+  published_through_ = t;
+}
+
+Result<std::string> FeedNetwork::Probe(ResourceId resource) {
+  if (resource < 0 ||
+      resource >= static_cast<ResourceId>(servers_.size())) {
+    return Status::NotFound(
+        StringFormat("no feed server for resource %d", resource));
+  }
+  return servers_[static_cast<std::size_t>(resource)].Fetch();
+}
+
+Result<FeedServer::ConditionalFetch> FeedNetwork::ProbeConditional(
+    ResourceId resource, const std::string& if_none_match) {
+  if (resource < 0 ||
+      resource >= static_cast<ResourceId>(servers_.size())) {
+    return Status::NotFound(
+        StringFormat("no feed server for resource %d", resource));
+  }
+  return servers_[static_cast<std::size_t>(resource)].FetchConditional(
+      if_none_match);
+}
+
+FeedServer* FeedNetwork::server(ResourceId resource) {
+  if (resource < 0 ||
+      resource >= static_cast<ResourceId>(servers_.size())) {
+    return nullptr;
+  }
+  return &servers_[static_cast<std::size_t>(resource)];
+}
+
+std::size_t FeedNetwork::TotalEvicted() const {
+  std::size_t total = 0;
+  for (const auto& server : servers_) total += server.evicted_count();
+  return total;
+}
+
+}  // namespace pullmon

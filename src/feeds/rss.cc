@@ -1,0 +1,59 @@
+#include "feeds/rss.h"
+
+#include "feeds/xml.h"
+#include "util/datetime.h"
+
+namespace pullmon {
+
+Result<FeedDocument> ParseRss(std::string_view xml) {
+  PULLMON_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  if (root.name != "rss") {
+    return Status::ParseError("expected <rss> root, got <" + root.name +
+                              ">");
+  }
+  const XmlNode* channel = root.FirstChild("channel");
+  if (channel == nullptr) {
+    return Status::ParseError("<rss> document without <channel>");
+  }
+  FeedDocument feed;
+  feed.title = channel->ChildText("title");
+  feed.link = channel->ChildText("link");
+  feed.description = channel->ChildText("description");
+  for (const XmlNode* item_node : channel->Children("item")) {
+    FeedItem item;
+    item.guid = item_node->ChildText("guid");
+    item.title = item_node->ChildText("title");
+    item.link = item_node->ChildText("link");
+    item.description = item_node->ChildText("description");
+    std::string pub_date = item_node->ChildText("pubDate");
+    if (!pub_date.empty()) {
+      auto parsed = ParseRfc822(pub_date);
+      if (parsed.ok()) item.published = *parsed;
+    }
+    feed.items.push_back(std::move(item));
+  }
+  return feed;
+}
+
+std::string WriteRss(const FeedDocument& feed) {
+  XmlWriter writer;
+  writer.Open("rss", {{"version", "2.0"}});
+  writer.Open("channel");
+  writer.Leaf("title", feed.title);
+  writer.Leaf("link", feed.link);
+  writer.Leaf("description", feed.description);
+  for (const auto& item : feed.items) {
+    writer.Open("item");
+    writer.Leaf("guid", item.guid);
+    writer.Leaf("title", item.title);
+    writer.Leaf("link", item.link);
+    writer.Leaf("description", item.description);
+    writer.Leaf("pubDate", FormatRfc822(item.published));
+    writer.Close();
+  }
+  writer.Close();
+  writer.Close();
+  return writer.str();
+}
+
+}  // namespace pullmon

@@ -1,0 +1,22 @@
+#ifndef PULLMON_FEEDS_RSS_H_
+#define PULLMON_FEEDS_RSS_H_
+
+#include <string>
+#include <string_view>
+
+#include "feeds/feed_item.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Parses an RSS 2.0 document (root <rss> with one <channel>).
+/// Unknown elements are ignored; a missing or unparsable <pubDate>
+/// yields published == 0. ParseError on structural problems.
+Result<FeedDocument> ParseRss(std::string_view xml);
+
+/// Serializes a feed as RSS 2.0. Item pubDates are RFC 822.
+std::string WriteRss(const FeedDocument& feed);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_RSS_H_

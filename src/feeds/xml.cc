@@ -1,0 +1,376 @@
+#include "feeds/xml.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+
+/// Cursor-based recursive-descent XML parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlNode> ParseDocument() {
+    SkipMisc();
+    if (AtEnd()) return Status::ParseError("XML document has no root element");
+    XmlNode root;
+    PULLMON_RETURN_NOT_OK(ParseElement(&root));
+    SkipMisc();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing content after XML root element");
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+  void Advance(std::size_t count = 1) { pos_ += count; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skips whitespace, comments, processing instructions and the XML
+  /// declaration — everything allowed outside the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        std::size_t end = input_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+        continue;
+      }
+      if (Match("<?")) {
+        std::size_t end = input_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+        continue;
+      }
+      if (Match("<!DOCTYPE")) {
+        std::size_t end = input_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 1;
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Status::ParseError(
+          StringFormat("expected XML name at offset %zu", pos_));
+    }
+    std::size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decodes one entity reference starting at '&'; appends to *out.
+  Status DecodeEntity(std::string* out) {
+    std::size_t end = input_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 12) {
+      return Status::ParseError(
+          StringFormat("unterminated entity at offset %zu", pos_));
+    }
+    std::string_view entity = input_.substr(pos_ + 1, end - pos_ - 1);
+    if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      uint32_t code = 0;
+      std::size_t i = hex ? 2 : 1;
+      if (i >= entity.size()) {
+        return Status::ParseError("empty numeric character reference");
+      }
+      for (; i < entity.size(); ++i) {
+        char c = entity[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Status::ParseError("bad numeric character reference: " +
+                                    std::string(entity));
+        }
+        code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      AppendUtf8(code, out);
+    } else {
+      return Status::ParseError("unknown entity: &" + std::string(entity) +
+                                ";");
+    }
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError(
+          StringFormat("expected quoted attribute value at offset %zu",
+                       pos_));
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        PULLMON_RETURN_NOT_OK(DecodeEntity(&value));
+      } else if (Peek() == '<') {
+        return Status::ParseError("raw '<' in attribute value");
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Status::ParseError("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  Status ParseElement(XmlNode* node) {
+    if (AtEnd() || Peek() != '<') {
+      return Status::ParseError(
+          StringFormat("expected '<' at offset %zu", pos_));
+    }
+    Advance();
+    PULLMON_ASSIGN_OR_RETURN(node->name, ParseName());
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("truncated element tag");
+      if (Peek() == '>' || Match("/>")) break;
+      PULLMON_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') {
+        return Status::ParseError("expected '=' after attribute " +
+                                  attr_name);
+      }
+      Advance();
+      SkipWhitespace();
+      PULLMON_ASSIGN_OR_RETURN(std::string attr_value,
+                               ParseAttributeValue());
+      node->attributes.emplace_back(std::move(attr_name),
+                                    std::move(attr_value));
+    }
+    if (Match("/>")) {
+      Advance(2);
+      return Status::OK();
+    }
+    Advance();  // '>'
+
+    // Content: text, children, comments, CDATA.
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unexpected end inside element <" +
+                                  node->name + ">");
+      }
+      if (Match("</")) {
+        Advance(2);
+        PULLMON_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        if (close_name != node->name) {
+          return Status::ParseError("mismatched closing tag </" +
+                                    close_name + "> for <" + node->name +
+                                    ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') {
+          return Status::ParseError("malformed closing tag </" +
+                                    close_name + ">");
+        }
+        Advance();
+        return Status::OK();
+      }
+      if (Match("<!--")) {
+        std::size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<![CDATA[")) {
+        std::size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA section");
+        }
+        node->text.append(input_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<?")) {
+        std::size_t end = input_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        XmlNode child;
+        PULLMON_RETURN_NOT_OK(ParseElement(&child));
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        PULLMON_RETURN_NOT_OK(DecodeEntity(&node->text));
+        continue;
+      }
+      node->text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlNode* XmlNode::FirstChild(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(
+    std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children) {
+    if (child.name == child_name) out.push_back(&child);
+  }
+  return out;
+}
+
+const std::string* XmlNode::Attribute(std::string_view attr_name) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == attr_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::ChildText(std::string_view child_name) const {
+  const XmlNode* child = FirstChild(child_name);
+  return child == nullptr ? std::string()
+                          : std::string(Trim(child->text));
+}
+
+Result<XmlNode> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+void XmlWriter::Indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ += "  ";
+}
+
+void XmlWriter::Open(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  Indent();
+  out_ += "<";
+  out_.append(name);
+  for (const auto& [attr, value] : attributes) {
+    out_ += " " + attr + "=\"" + XmlEscape(value) + "\"";
+  }
+  out_ += ">\n";
+  stack_.emplace_back(name);
+}
+
+void XmlWriter::Leaf(std::string_view name, std::string_view text) {
+  Indent();
+  out_ += "<";
+  out_.append(name);
+  out_ += ">";
+  out_ += XmlEscape(text);
+  out_ += "</";
+  out_.append(name);
+  out_ += ">\n";
+}
+
+void XmlWriter::Close() {
+  if (stack_.empty()) return;
+  std::string name = stack_.back();
+  stack_.pop_back();
+  Indent();
+  out_ += "</" + name + ">\n";
+}
+
+}  // namespace pullmon

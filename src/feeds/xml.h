@@ -1,0 +1,77 @@
+#ifndef PULLMON_FEEDS_XML_H_
+#define PULLMON_FEEDS_XML_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// One element of a parsed XML document. The parser covers the subset of
+/// XML 1.0 needed for Web feeds: elements, attributes, character data,
+/// the five predefined entities plus numeric character references,
+/// comments, CDATA sections, processing instructions and an XML
+/// declaration. Namespaces are not resolved; prefixed names are kept
+/// verbatim (sufficient for RSS 2.0 / Atom 1.0 documents).
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  /// Concatenated character data (text + CDATA) directly under this
+  /// element, entity-decoded, in document order.
+  std::string text;
+
+  /// First direct child with the given element name, or nullptr.
+  const XmlNode* FirstChild(std::string_view child_name) const;
+
+  /// All direct children with the given element name, in order.
+  std::vector<const XmlNode*> Children(std::string_view child_name) const;
+
+  /// Attribute value by name, or nullptr.
+  const std::string* Attribute(std::string_view attr_name) const;
+
+  /// Text of the first child with the given name, or "" when absent —
+  /// the dominant access pattern for feed fields.
+  std::string ChildText(std::string_view child_name) const;
+};
+
+/// Parses a complete document and returns its root element. ParseError
+/// on malformed input (mismatched tags, bad entities, truncation, ...).
+Result<XmlNode> ParseXml(std::string_view input);
+
+/// Escapes &, <, >, " and ' for use in text content or attribute values.
+std::string XmlEscape(std::string_view text);
+
+/// Incremental writer producing indented XML, used by the feed
+/// serializers.
+class XmlWriter {
+ public:
+  XmlWriter() { out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"; }
+
+  /// Opens <name attr1="v1" ...>; attributes are escaped.
+  void Open(std::string_view name,
+            const std::vector<std::pair<std::string, std::string>>&
+                attributes = {});
+
+  /// Writes <name>text</name> as a leaf (escaped).
+  void Leaf(std::string_view name, std::string_view text);
+
+  /// Closes the most recently opened element.
+  void Close();
+
+  /// The document so far; valid once all elements are closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void Indent();
+
+  std::string out_;
+  std::vector<std::string> stack_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_XML_H_

@@ -1,0 +1,316 @@
+#include "offline/exact_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+#include "core/completeness.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+
+struct FlatEi {
+  ExecutionInterval ei;
+  int t_id;
+};
+
+struct FlatT {
+  std::vector<int> ei_ids;
+  double weight = 1.0;
+  int required = 0;
+};
+
+using Mask = uint32_t;
+
+class Search {
+ public:
+  Search(const MonitoringProblem* problem, const ExactSolverOptions& options)
+      : problem_(problem), options_(options) {}
+
+  Result<OfflineSolution> Run() {
+    PULLMON_RETURN_NOT_OK(problem_->Validate());
+    Flatten();
+    if (eis_.size() > options_.max_eis) {
+      return Status::InvalidArgument(StringFormat(
+          "instance has %zu EIs; exact solver accepts at most %zu",
+          eis_.size(), options_.max_eis));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    PULLMON_ASSIGN_OR_RETURN(double best, Dfs(0, 0));
+
+    OfflineSolution solution;
+    solution.schedule = Schedule(problem_->epoch.length);
+    PULLMON_RETURN_NOT_OK(Reconstruct(best, &solution.schedule));
+    const auto end = std::chrono::steady_clock::now();
+    solution.captured_weight = best;
+    CompletenessReport report =
+        EvaluateCompleteness(problem_->profiles, solution.schedule);
+    solution.captured = report.captured_t_intervals;
+    solution.gained_completeness = report.GainedCompleteness();
+    solution.optimal = true;
+    solution.elapsed_seconds =
+        std::chrono::duration<double>(end - start).count();
+    solution.work = nodes_;
+    return solution;
+  }
+
+ private:
+  void Flatten() {
+    for (const auto& p : problem_->profiles) {
+      for (const auto& eta : p.t_intervals()) {
+        FlatT flat_t;
+        flat_t.weight = eta.weight();
+        flat_t.required = static_cast<int>(eta.required());
+        for (const auto& ei : eta.eis()) {
+          flat_t.ei_ids.push_back(static_cast<int>(eis_.size()));
+          eis_.push_back(FlatEi{ei, static_cast<int>(ts_.size())});
+        }
+        ts_.push_back(std::move(flat_t));
+      }
+    }
+    active_at_.assign(static_cast<std::size_t>(problem_->epoch.length), {});
+    for (int id = 0; id < static_cast<int>(eis_.size()); ++id) {
+      const auto& ei = eis_[static_cast<std::size_t>(id)].ei;
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        active_at_[static_cast<std::size_t>(t)].push_back(id);
+      }
+    }
+  }
+
+  bool IsCapturedT(int t_id, Mask mask) const {
+    const FlatT& flat = ts_[static_cast<std::size_t>(t_id)];
+    int captured = 0;
+    for (int id : flat.ei_ids) {
+      if ((mask & (Mask{1} << id)) && ++captured >= flat.required) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if too few EIs remain alive before chronon `now` to reach the
+  /// t-interval's required capture count.
+  bool IsFailedT(int t_id, Mask mask, Chronon now) const {
+    const FlatT& flat = ts_[static_cast<std::size_t>(t_id)];
+    int dead = 0;
+    for (int id : flat.ei_ids) {
+      if (!(mask & (Mask{1} << id)) &&
+          eis_[static_cast<std::size_t>(id)].ei.finish < now) {
+        ++dead;
+      }
+    }
+    return static_cast<int>(flat.ei_ids.size()) - dead < flat.required;
+  }
+
+  /// Total utility of captured t-intervals (counts when weights are 1).
+  double CountCaptured(Mask mask) const {
+    double total = 0.0;
+    for (int t_id = 0; t_id < static_cast<int>(ts_.size()); ++t_id) {
+      if (IsCapturedT(t_id, mask)) {
+        total += ts_[static_cast<std::size_t>(t_id)].weight;
+      }
+    }
+    return total;
+  }
+
+  /// Optimistic completion value: captured plus still-capturable.
+  double UpperBound(Mask mask, Chronon now) const {
+    double total = 0.0;
+    for (int t_id = 0; t_id < static_cast<int>(ts_.size()); ++t_id) {
+      if (IsCapturedT(t_id, mask) || !IsFailedT(t_id, mask, now)) {
+        total += ts_[static_cast<std::size_t>(t_id)].weight;
+      }
+    }
+    return total;
+  }
+
+  std::size_t CountCapturedTIntervals(Mask mask) const {
+    std::size_t count = 0;
+    for (int t_id = 0; t_id < static_cast<int>(ts_.size()); ++t_id) {
+      if (IsCapturedT(t_id, mask)) ++count;
+    }
+    return count;
+  }
+
+  /// Resources that carry at least one live candidate EI at `now`.
+  std::vector<ResourceId> RelevantResources(Mask mask, Chronon now) const {
+    std::vector<ResourceId> out;
+    for (int id : active_at_[static_cast<std::size_t>(now)]) {
+      const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (mask & (Mask{1} << id)) continue;
+      if (IsFailedT(flat.t_id, mask, now) ||
+          IsCapturedT(flat.t_id, mask)) {
+        continue;
+      }
+      if (std::find(out.begin(), out.end(), flat.ei.resource) == out.end()) {
+        out.push_back(flat.ei.resource);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Mask ApplyProbes(Mask mask, Chronon now,
+                   const std::vector<ResourceId>& probes) const {
+    for (int id : active_at_[static_cast<std::size_t>(now)]) {
+      const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (mask & (Mask{1} << id)) continue;
+      if (!std::binary_search(probes.begin(), probes.end(),
+                              flat.ei.resource)) {
+        continue;
+      }
+      if (IsFailedT(flat.t_id, mask, now)) continue;
+      mask |= Mask{1} << id;
+    }
+    return mask;
+  }
+
+  /// Enumerates size-`choose` subsets of `relevant`, invoking `fn`.
+  template <typename Fn>
+  void ForEachSubset(const std::vector<ResourceId>& relevant, int choose,
+                     Fn&& fn) const {
+    std::vector<ResourceId> current;
+    EnumerateSubsets(relevant, choose, 0, &current, fn);
+  }
+
+  template <typename Fn>
+  void EnumerateSubsets(const std::vector<ResourceId>& relevant, int choose,
+                        std::size_t from, std::vector<ResourceId>* current,
+                        Fn&& fn) const {
+    if (static_cast<int>(current->size()) == choose) {
+      fn(*current);
+      return;
+    }
+    std::size_t needed =
+        static_cast<std::size_t>(choose) - current->size();
+    for (std::size_t i = from; i + needed <= relevant.size(); ++i) {
+      current->push_back(relevant[i]);
+      EnumerateSubsets(relevant, choose, i + 1, current, fn);
+      current->pop_back();
+    }
+  }
+
+  Result<double> Dfs(Chronon now, Mask mask) {
+    if (now >= problem_->epoch.length) return CountCaptured(mask);
+    uint64_t key = (static_cast<uint64_t>(now) << 32) | mask;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    if (++nodes_ > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "exact solver node budget exceeded");
+    }
+    // No further gain possible from this state: short-circuit.
+    double captured_now = CountCaptured(mask);
+    if (UpperBound(mask, now) <= captured_now + kValueEps) {
+      memo_[key] = captured_now;
+      return captured_now;
+    }
+
+    std::vector<ResourceId> relevant = RelevantResources(mask, now);
+    int budget = problem_->budget.at(now);
+    double best = -1.0;
+    Status failure = Status::OK();
+    if (relevant.empty() || budget <= 0) {
+      PULLMON_ASSIGN_OR_RETURN(best, Dfs(now + 1, mask));
+    } else {
+      int choose = std::min<int>(budget, static_cast<int>(relevant.size()));
+      ForEachSubset(relevant, choose,
+                    [&](const std::vector<ResourceId>& subset) {
+        if (!failure.ok()) return;
+        Mask next = ApplyProbes(mask, now, subset);
+        auto sub = Dfs(now + 1, next);
+        if (!sub.ok()) {
+          failure = sub.status();
+          return;
+        }
+        best = std::max(best, *sub);
+      });
+      if (!failure.ok()) return failure;
+    }
+    memo_[key] = best;
+    return best;
+  }
+
+  /// Replays the DP forward, picking any probe set whose successor
+  /// achieves the optimal value.
+  Status Reconstruct(double target, Schedule* schedule) {
+    Mask mask = 0;
+    for (Chronon now = 0; now < problem_->epoch.length; ++now) {
+      // Once the target is already realized no further probes are needed
+      // (matches the DFS short-circuit, whose states have no memoized
+      // children).
+      if (CountCaptured(mask) >= target - kValueEps) break;
+      std::vector<ResourceId> relevant = RelevantResources(mask, now);
+      int budget = problem_->budget.at(now);
+      if (relevant.empty() || budget <= 0) continue;
+      int choose = std::min<int>(budget, static_cast<int>(relevant.size()));
+      std::vector<ResourceId> chosen;
+      bool found = false;
+      ForEachSubset(relevant, choose,
+                    [&](const std::vector<ResourceId>& subset) {
+        if (found) return;
+        Mask next = ApplyProbes(mask, now, subset);
+        uint64_t key = (static_cast<uint64_t>(now + 1) << 32) | next;
+        double value;
+        if (now + 1 >= problem_->epoch.length) {
+          value = CountCaptured(next);
+        } else {
+          auto it = memo_.find(key);
+          if (it == memo_.end()) return;
+          value = it->second;
+        }
+        if (value >= target - kValueEps) {
+          chosen = subset;
+          found = true;
+        }
+      });
+      if (!found) {
+        // The optimum is achieved without probing at this chronon (the
+        // short-circuit path); continue.
+        uint64_t key = (static_cast<uint64_t>(now + 1) << 32) | mask;
+        auto it = memo_.find(key);
+        double value = now + 1 >= problem_->epoch.length
+                           ? CountCaptured(mask)
+                           : (it != memo_.end() ? it->second : -1.0);
+        if (value >= target - kValueEps) continue;
+        return Status::Internal("exact solver reconstruction failed");
+      }
+      for (ResourceId r : chosen) {
+        PULLMON_RETURN_NOT_OK(schedule->AddProbe(r, now));
+      }
+      mask = ApplyProbes(mask, now, chosen);
+    }
+    if (CountCaptured(mask) < target - kValueEps) {
+      return Status::Internal(
+          "exact solver reconstruction mismatches optimum");
+    }
+    return Status::OK();
+  }
+
+  const MonitoringProblem* problem_;
+  ExactSolverOptions options_;
+  std::vector<FlatEi> eis_;
+  std::vector<FlatT> ts_;
+  std::vector<std::vector<int>> active_at_;
+  static constexpr double kValueEps = 1e-9;
+
+  std::unordered_map<uint64_t, double> memo_;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExactSolver::ExactSolver(const MonitoringProblem* problem,
+                         ExactSolverOptions options)
+    : problem_(problem), options_(options) {}
+
+Result<OfflineSolution> ExactSolver::Solve() {
+  Search search(problem_, options_);
+  return search.Run();
+}
+
+}  // namespace pullmon

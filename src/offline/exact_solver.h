@@ -1,0 +1,41 @@
+#ifndef PULLMON_OFFLINE_EXACT_SOLVER_H_
+#define PULLMON_OFFLINE_EXACT_SOLVER_H_
+
+#include <cstdint>
+
+#include "core/problem.h"
+#include "offline/offline_solution.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+struct ExactSolverOptions {
+  /// Instances with more execution intervals are rejected — the capture
+  /// state is a bitmask and the state space is exponential (Lemma 1:
+  /// full enumeration costs O(n^(K*C_max))).
+  std::size_t max_eis = 28;
+  /// Search budget; ResourceExhausted when exceeded.
+  uint64_t max_nodes = 50000000;
+};
+
+/// Optimal offline solver for Problem 1 by memoized search over
+/// (chronon, captured-EI bitmask) states, enumerating per chronon the
+/// maximal probe sets over resources that currently carry live candidate
+/// EIs. Exact but exponential — usable only on small instances; it
+/// anchors the property tests (online GC <= OPT, Local-Ratio within its
+/// proven factor) and the approximation-quality experiments.
+class ExactSolver {
+ public:
+  explicit ExactSolver(const MonitoringProblem* problem,
+                       ExactSolverOptions options = {});
+
+  Result<OfflineSolution> Solve();
+
+ private:
+  const MonitoringProblem* problem_;
+  ExactSolverOptions options_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_EXACT_SOLVER_H_

@@ -1,0 +1,60 @@
+#include "offline/greedy_offline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/completeness.h"
+#include "offline/probe_assignment.h"
+#include "util/logging.h"
+
+namespace pullmon {
+
+Result<OfflineSolution> GreedyOfflineScheduler::Solve() {
+  PULLMON_RETURN_NOT_OK(problem_->Validate());
+  const auto start = std::chrono::steady_clock::now();
+  const Chronon epoch_len = problem_->epoch.length;
+
+  struct Item {
+    const TInterval* eta;
+    Chronon latest;
+    double utility;
+  };
+  std::vector<Item> items;
+  for (const auto& p : problem_->profiles) {
+    for (const auto& eta : p.t_intervals()) {
+      items.push_back(Item{&eta, eta.LatestFinish(), eta.weight()});
+    }
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.latest != b.latest) return a.latest < b.latest;
+    return a.utility > b.utility;
+  });
+
+  OfflineSolution solution;
+  solution.schedule = Schedule(epoch_len);
+  std::vector<ExecutionInterval> selected_eis;
+  for (const auto& item : items) {
+    std::size_t before = selected_eis.size();
+    selected_eis.insert(selected_eis.end(), item.eta->eis().begin(),
+                        item.eta->eis().end());
+    if (!AssignProbesEdf(selected_eis, problem_->budget, epoch_len,
+                         nullptr)) {
+      selected_eis.resize(before);
+    }
+    ++solution.work;
+  }
+  PULLMON_CHECK(AssignProbesEdf(selected_eis, problem_->budget, epoch_len,
+                                &solution.schedule));
+
+  const auto end = std::chrono::steady_clock::now();
+  solution.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  CompletenessReport report =
+      EvaluateCompleteness(problem_->profiles, solution.schedule);
+  solution.captured = report.captured_t_intervals;
+  solution.gained_completeness = report.GainedCompleteness();
+  solution.captured_weight = report.captured_weight;
+  return solution;
+}
+
+}  // namespace pullmon

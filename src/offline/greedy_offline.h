@@ -1,0 +1,34 @@
+#ifndef PULLMON_OFFLINE_GREEDY_OFFLINE_H_
+#define PULLMON_OFFLINE_GREEDY_OFFLINE_H_
+
+#include "core/problem.h"
+#include "offline/offline_solution.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Myopic greedy offline scheduler for split-interval selection (in the
+/// spirit of Erlebach & Spieksma's simple algorithms for weighted job
+/// interval selection): t-intervals are processed by earliest
+/// latest-finish (heavier utility first on ties) and kept whenever they
+/// remain jointly schedulable with the current selection under the
+/// budget (EDF probe assignment with intra-resource sharing).
+///
+/// Runs in low-polynomial time with no LP, so it scales where the
+/// Local-Ratio approximation does not — the pragmatic offline baseline a
+/// production deployment would actually use, and the natural foil for
+/// Figure 5's scalability story.
+class GreedyOfflineScheduler {
+ public:
+  explicit GreedyOfflineScheduler(const MonitoringProblem* problem)
+      : problem_(problem) {}
+
+  Result<OfflineSolution> Solve();
+
+ private:
+  const MonitoringProblem* problem_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_GREEDY_OFFLINE_H_

@@ -1,0 +1,30 @@
+#ifndef PULLMON_OFFLINE_OFFLINE_SOLUTION_H_
+#define PULLMON_OFFLINE_OFFLINE_SOLUTION_H_
+
+#include <cstddef>
+
+#include "core/schedule.h"
+
+namespace pullmon {
+
+/// Result of an offline scheduler (exact or approximate).
+struct OfflineSolution {
+  Schedule schedule{0};
+  /// t-intervals captured by `schedule`.
+  std::size_t captured = 0;
+  /// captured / total t-intervals.
+  double gained_completeness = 0.0;
+  /// Total utility of captured t-intervals (== captured when all
+  /// weights are 1).
+  double captured_weight = 0.0;
+  /// True when the value is provably optimal (exact solver only).
+  bool optimal = false;
+  /// Wall-clock seconds spent solving (the Figure 5 quantity).
+  double elapsed_seconds = 0.0;
+  /// Search nodes (exact) or LP iterations + recursion steps (approx).
+  std::size_t work = 0;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_OFFLINE_SOLUTION_H_

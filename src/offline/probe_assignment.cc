@@ -1,0 +1,58 @@
+#include "offline/probe_assignment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pullmon {
+
+bool AssignProbesEdf(const std::vector<ExecutionInterval>& eis,
+                     const BudgetVector& budget, Chronon epoch_length,
+                     Schedule* out_schedule) {
+  struct Slot {
+    ResourceId resource;
+    Chronon chronon;
+    bool operator<(const Slot& other) const {
+      if (chronon != other.chronon) return chronon < other.chronon;
+      return resource < other.resource;
+    }
+  };
+  std::vector<ExecutionInterval> sorted = eis;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExecutionInterval& a, const ExecutionInterval& b) {
+              if (a.finish != b.finish) return a.finish < b.finish;
+              return a.start < b.start;
+            });
+  std::vector<int> used(static_cast<std::size_t>(epoch_length), 0);
+  std::vector<Slot> placed;  // sorted
+  auto has_probe = [&](ResourceId r, Chronon j) {
+    return std::binary_search(placed.begin(), placed.end(), Slot{r, j});
+  };
+  for (const auto& ei : sorted) {
+    bool satisfied = false;
+    for (Chronon j = ei.start; j <= ei.finish && !satisfied; ++j) {
+      if (has_probe(ei.resource, j)) satisfied = true;
+    }
+    if (satisfied) continue;
+    Chronon placed_at = -1;
+    for (Chronon j = ei.start; j <= ei.finish; ++j) {
+      if (used[static_cast<std::size_t>(j)] < budget.at(j)) {
+        placed_at = j;
+        break;
+      }
+    }
+    if (placed_at < 0) return false;
+    ++used[static_cast<std::size_t>(placed_at)];
+    Slot slot{ei.resource, placed_at};
+    placed.insert(std::upper_bound(placed.begin(), placed.end(), slot),
+                  slot);
+  }
+  if (out_schedule != nullptr) {
+    for (const auto& slot : placed) {
+      PULLMON_CHECK_OK(out_schedule->AddProbe(slot.resource, slot.chronon));
+    }
+  }
+  return true;
+}
+
+}  // namespace pullmon

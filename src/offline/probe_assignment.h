@@ -1,0 +1,25 @@
+#ifndef PULLMON_OFFLINE_PROBE_ASSIGNMENT_H_
+#define PULLMON_OFFLINE_PROBE_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "core/execution_interval.h"
+#include "core/schedule.h"
+
+namespace pullmon {
+
+/// Earliest-deadline-first probe assignment: tries to place one probe
+/// inside every given EI, respecting the per-chronon budget;
+/// intra-resource sharing (an already-placed probe inside the window)
+/// satisfies an EI for free. Returns false when some EI cannot be
+/// placed. On success and when `out_schedule` is non-null, the probes
+/// are added to it. Used by the offline schedulers to turn a selected
+/// t-interval set into a concrete schedule (and as their feasibility
+/// oracle).
+bool AssignProbesEdf(const std::vector<ExecutionInterval>& eis,
+                     const BudgetVector& budget, Chronon epoch_length,
+                     Schedule* out_schedule);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_PROBE_ASSIGNMENT_H_

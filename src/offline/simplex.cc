@@ -1,0 +1,150 @@
+#include "offline/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+LinearProgram::LinearProgram(int num_vars)
+    : num_vars_(num_vars < 0 ? 0 : num_vars),
+      objective_(static_cast<std::size_t>(num_vars_), 0.0) {}
+
+Status LinearProgram::SetObjective(int var, double coeff) {
+  if (var < 0 || var >= num_vars_) {
+    return Status::InvalidArgument(
+        StringFormat("objective var %d outside [0,%d)", var, num_vars_));
+  }
+  objective_[static_cast<std::size_t>(var)] = coeff;
+  return Status::OK();
+}
+
+Result<int> LinearProgram::AddConstraint(
+    const std::vector<std::pair<int, double>>& terms, double rhs) {
+  if (rhs < 0.0) {
+    return Status::InvalidArgument(
+        "canonical-form constraint requires rhs >= 0");
+  }
+  for (const auto& [var, coeff] : terms) {
+    (void)coeff;
+    if (var < 0 || var >= num_vars_) {
+      return Status::InvalidArgument(
+          StringFormat("constraint var %d outside [0,%d)", var, num_vars_));
+    }
+  }
+  rows_.push_back(terms);
+  rhs_.push_back(rhs);
+  return static_cast<int>(rhs_.size()) - 1;
+}
+
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options) {
+  const int n = lp.num_vars();
+  const int m = lp.num_constraints();
+  const double eps = options.epsilon;
+
+  // Dense tableau: m constraint rows + 1 objective row; columns are the
+  // n structural variables, m slacks, then the RHS.
+  const std::size_t cols = static_cast<std::size_t>(n + m + 1);
+  std::vector<std::vector<double>> tableau(
+      static_cast<std::size_t>(m + 1), std::vector<double>(cols, 0.0));
+  std::vector<int> basis(static_cast<std::size_t>(m));
+
+  for (int i = 0; i < m; ++i) {
+    auto& row = tableau[static_cast<std::size_t>(i)];
+    for (const auto& [var, coeff] : lp.rows()[static_cast<std::size_t>(i)]) {
+      row[static_cast<std::size_t>(var)] += coeff;
+    }
+    row[static_cast<std::size_t>(n + i)] = 1.0;  // slack
+    row[cols - 1] = lp.rhs()[static_cast<std::size_t>(i)];
+    basis[static_cast<std::size_t>(i)] = n + i;
+  }
+  // Objective row holds -c so that a positive entry signals optimality
+  // violation in the usual max-tableau convention (we look for negative
+  // reduced costs in row m).
+  auto& obj_row = tableau[static_cast<std::size_t>(m)];
+  for (int j = 0; j < n; ++j) {
+    obj_row[static_cast<std::size_t>(j)] =
+        -lp.objective()[static_cast<std::size_t>(j)];
+  }
+
+  LpSolution solution;
+  std::size_t iteration = 0;
+  while (iteration < options.max_iterations) {
+    const bool bland = iteration >= options.bland_after;
+    // Pricing: pick the entering column.
+    int entering = -1;
+    double best = -eps;
+    for (int j = 0; j < n + m; ++j) {
+      double reduced = obj_row[static_cast<std::size_t>(j)];
+      if (reduced < -eps) {
+        if (bland) {
+          entering = j;
+          break;
+        }
+        if (reduced < best) {
+          best = reduced;
+          entering = j;
+        }
+      }
+    }
+    if (entering < 0) break;  // optimal
+
+    // Ratio test: pick the leaving row.
+    int leaving = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      double a = tableau[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(entering)];
+      if (a > eps) {
+        double ratio = tableau[static_cast<std::size_t>(i)][cols - 1] / a;
+        if (ratio < best_ratio - eps ||
+            (bland && std::fabs(ratio - best_ratio) <= eps && leaving >= 0 &&
+             basis[static_cast<std::size_t>(i)] <
+                 basis[static_cast<std::size_t>(leaving)])) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving < 0) {
+      return Status::FailedPrecondition("LP is unbounded");
+    }
+
+    // Pivot.
+    auto& pivot_row = tableau[static_cast<std::size_t>(leaving)];
+    double pivot = pivot_row[static_cast<std::size_t>(entering)];
+    for (auto& cell : pivot_row) cell /= pivot;
+    for (int i = 0; i <= m; ++i) {
+      if (i == leaving) continue;
+      auto& row = tableau[static_cast<std::size_t>(i)];
+      double factor = row[static_cast<std::size_t>(entering)];
+      if (std::fabs(factor) <= eps) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        row[j] -= factor * pivot_row[j];
+      }
+    }
+    basis[static_cast<std::size_t>(leaving)] = entering;
+    ++iteration;
+  }
+
+  solution.iterations = iteration;
+  solution.converged = iteration < options.max_iterations;
+  solution.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    int var = basis[static_cast<std::size_t>(i)];
+    if (var < n) {
+      solution.values[static_cast<std::size_t>(var)] =
+          tableau[static_cast<std::size_t>(i)][cols - 1];
+    }
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < n; ++j) {
+    solution.objective += lp.objective()[static_cast<std::size_t>(j)] *
+                          solution.values[static_cast<std::size_t>(j)];
+  }
+  return solution;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,69 @@
+#ifndef PULLMON_OFFLINE_SIMPLEX_H_
+#define PULLMON_OFFLINE_SIMPLEX_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A linear program in canonical form:
+///   maximize    c^T x
+///   subject to  A x <= b,   x >= 0,
+/// with b >= 0 so the all-slack basis is feasible (every LP built by the
+/// offline approximation satisfies this). Constraints are stored sparsely.
+class LinearProgram {
+ public:
+  explicit LinearProgram(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+
+  /// Sets the objective coefficient of `var` (default 0).
+  Status SetObjective(int var, double coeff);
+
+  /// Adds a constraint sum(terms) <= rhs; rhs must be >= 0. Returns the
+  /// constraint index.
+  Result<int> AddConstraint(
+      const std::vector<std::pair<int, double>>& terms, double rhs);
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<std::vector<std::pair<int, double>>>& rows() const {
+    return rows_;
+  }
+  const std::vector<double>& rhs() const { return rhs_; }
+
+ private:
+  int num_vars_;
+  std::vector<double> objective_;
+  std::vector<std::vector<std::pair<int, double>>> rows_;
+  std::vector<double> rhs_;
+};
+
+struct SimplexOptions {
+  /// Hard cap on pivots; the solver returns its current (feasible) point
+  /// with converged=false when exhausted.
+  std::size_t max_iterations = 200000;
+  /// Pivots of plain Dantzig pricing before switching to Bland's rule
+  /// (cycle protection).
+  std::size_t bland_after = 20000;
+  double epsilon = 1e-9;
+};
+
+struct LpSolution {
+  std::vector<double> values;
+  double objective = 0.0;
+  bool converged = true;
+  std::size_t iterations = 0;
+};
+
+/// Primal simplex on the dense tableau. Errors: InvalidArgument for
+/// malformed programs, FailedPrecondition for unbounded ones.
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options = {});
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_SIMPLEX_H_

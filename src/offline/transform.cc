@@ -1,0 +1,42 @@
+#include "offline/transform.h"
+
+namespace pullmon {
+
+Result<MonitoringProblem> ContractToUnitWidth(
+    const MonitoringProblem& problem, ContractionRule rule) {
+  PULLMON_RETURN_NOT_OK(problem.Validate());
+  MonitoringProblem out;
+  out.num_resources = problem.num_resources;
+  out.epoch = problem.epoch;
+  out.budget = problem.budget;
+  out.profiles.reserve(problem.profiles.size());
+  for (const auto& p : problem.profiles) {
+    Profile contracted(p.name(), {});
+    for (const auto& eta : p.t_intervals()) {
+      TInterval new_eta;
+      for (const auto& ei : eta.eis()) {
+        Chronon at;
+        switch (rule) {
+          case ContractionRule::kStart:
+            at = ei.start;
+            break;
+          case ContractionRule::kMiddle:
+            at = ei.start + (ei.finish - ei.start) / 2;
+            break;
+          case ContractionRule::kFinish:
+            at = ei.finish;
+            break;
+          default:
+            at = ei.start;
+            break;
+        }
+        new_eta.AddEi(ExecutionInterval(ei.resource, at, at));
+      }
+      contracted.AddTInterval(std::move(new_eta));
+    }
+    out.profiles.push_back(std::move(contracted));
+  }
+  return out;
+}
+
+}  // namespace pullmon

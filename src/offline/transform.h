@@ -1,0 +1,31 @@
+#ifndef PULLMON_OFFLINE_TRANSFORM_H_
+#define PULLMON_OFFLINE_TRANSFORM_H_
+
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Where a general-width EI is contracted to one chronon by
+/// ContractToUnitWidth.
+enum class ContractionRule {
+  kStart,   // [s, f] -> [s, s]
+  kMiddle,  // [s, f] -> [(s+f)/2, (s+f)/2]
+  kFinish,  // [s, f] -> [f, f]
+};
+
+/// The deterministic instantiation of the Proposition-2 transformation:
+/// contracts every EI to a single chronon, producing a P^[1] instance.
+/// Any schedule feasible for the contracted instance is feasible for the
+/// original and captures at least the same t-intervals (a probe inside
+/// the contracted chronon lies inside the original window), so an
+/// algorithm for P^[1] instances yields a feasible solution of the
+/// general instance — at the cost of one extra rank unit in the
+/// approximation guarantee (Proposition 2).
+Result<MonitoringProblem> ContractToUnitWidth(
+    const MonitoringProblem& problem,
+    ContractionRule rule = ContractionRule::kStart);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_OFFLINE_TRANSFORM_H_

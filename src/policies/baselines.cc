@@ -1,0 +1,37 @@
+#include "policies/baselines.h"
+
+namespace pullmon {
+
+double RandomPolicy::Score(const ExecutionInterval& ei,
+                           const TIntervalRuntime& parent, int ei_index,
+                           Chronon now) {
+  (void)ei;
+  (void)parent;
+  (void)ei_index;
+  (void)now;
+  return rng_.NextDouble();
+}
+
+double FcfsPolicy::Score(const ExecutionInterval& ei,
+                         const TIntervalRuntime& parent, int ei_index,
+                         Chronon now) {
+  (void)parent;
+  (void)ei_index;
+  (void)now;
+  return static_cast<double>(ei.start);
+}
+
+double RoundRobinPolicy::Score(const ExecutionInterval& ei,
+                               const TIntervalRuntime& parent, int ei_index,
+                               Chronon now) {
+  (void)parent;
+  (void)ei_index;
+  // Distance of the EI's resource ahead of the rotating cursor
+  // (now mod n); resources are served cyclically across chronons.
+  int cursor = num_resources_ > 0 ? static_cast<int>(now) % num_resources_ : 0;
+  int delta = ei.resource - cursor;
+  if (delta < 0) delta += num_resources_;
+  return static_cast<double>(delta);
+}
+
+}  // namespace pullmon

@@ -1,0 +1,23 @@
+#include "policies/m_edf.h"
+
+namespace pullmon {
+
+double MEdfPolicy::Value(const TIntervalRuntime& parent, Chronon now) {
+  double total = 0.0;
+  const auto& eis = parent.source->eis();
+  for (std::size_t i = 0; i < eis.size(); ++i) {
+    if (parent.ei_captured[i]) continue;
+    total += SingleEdfValue(eis[i], now);
+  }
+  return total;
+}
+
+double MEdfPolicy::Score(const ExecutionInterval& ei,
+                         const TIntervalRuntime& parent, int ei_index,
+                         Chronon now) {
+  (void)ei;
+  (void)ei_index;
+  return Value(parent, now);
+}
+
+}  // namespace pullmon

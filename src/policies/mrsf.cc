@@ -1,0 +1,18 @@
+#include "policies/mrsf.h"
+
+namespace pullmon {
+
+double MrsfPolicy::Value(const TIntervalRuntime& parent) {
+  return static_cast<double>(parent.profile_rank - parent.num_captured);
+}
+
+double MrsfPolicy::Score(const ExecutionInterval& ei,
+                         const TIntervalRuntime& parent, int ei_index,
+                         Chronon now) {
+  (void)ei;
+  (void)ei_index;
+  (void)now;
+  return Value(parent);
+}
+
+}  // namespace pullmon

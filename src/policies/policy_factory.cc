@@ -1,0 +1,56 @@
+#include "policies/policy_factory.h"
+
+#include "policies/baselines.h"
+#include "policies/m_edf.h"
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+#include "policies/weighted.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+std::vector<std::string> KnownPolicyNames() {
+  return {"s-edf", "m-edf",  "mrsf", "u-mrsf",    "u-edf",
+          "lrsf",  "random", "fcfs", "roundrobin"};
+}
+
+Result<std::unique_ptr<Policy>> MakePolicy(const std::string& name,
+                                           const PolicyOptions& options) {
+  std::string key = ToLower(name);
+  // Accept both "s-edf" and "sedf" spellings.
+  std::string compact;
+  for (char c : key) {
+    if (c != '-' && c != '_') compact.push_back(c);
+  }
+  if (compact == "sedf") {
+    return std::unique_ptr<Policy>(new SEdfPolicy());
+  }
+  if (compact == "medf") {
+    return std::unique_ptr<Policy>(new MEdfPolicy());
+  }
+  if (compact == "mrsf") {
+    return std::unique_ptr<Policy>(new MrsfPolicy());
+  }
+  if (compact == "umrsf") {
+    return std::unique_ptr<Policy>(new UtilityMrsfPolicy());
+  }
+  if (compact == "uedf") {
+    return std::unique_ptr<Policy>(new UtilityEdfPolicy());
+  }
+  if (compact == "lrsf") {
+    return std::unique_ptr<Policy>(new LrsfPolicy());
+  }
+  if (compact == "random") {
+    return std::unique_ptr<Policy>(new RandomPolicy(options.random_seed));
+  }
+  if (compact == "fcfs") {
+    return std::unique_ptr<Policy>(new FcfsPolicy());
+  }
+  if (compact == "roundrobin") {
+    return std::unique_ptr<Policy>(
+        new RoundRobinPolicy(options.num_resources));
+  }
+  return Status::NotFound("unknown policy: " + name);
+}
+
+}  // namespace pullmon

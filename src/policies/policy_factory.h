@@ -1,0 +1,29 @@
+#ifndef PULLMON_POLICIES_POLICY_FACTORY_H_
+#define PULLMON_POLICIES_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Extra knobs some policies need at construction time.
+struct PolicyOptions {
+  uint64_t random_seed = 42;
+  int num_resources = 0;  // required by "roundrobin"
+};
+
+/// Names accepted by MakePolicy (lowercase, hyphens optional):
+/// "s-edf", "m-edf", "mrsf", "random", "fcfs", "roundrobin".
+std::vector<std::string> KnownPolicyNames();
+
+/// Instantiates a policy by name; NotFound for unknown names.
+Result<std::unique_ptr<Policy>> MakePolicy(const std::string& name,
+                                           const PolicyOptions& options = {});
+
+}  // namespace pullmon
+
+#endif  // PULLMON_POLICIES_POLICY_FACTORY_H_

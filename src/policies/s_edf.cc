@@ -1,0 +1,13 @@
+#include "policies/s_edf.h"
+
+namespace pullmon {
+
+double SEdfPolicy::Score(const ExecutionInterval& ei,
+                         const TIntervalRuntime& parent, int ei_index,
+                         Chronon now) {
+  (void)parent;
+  (void)ei_index;
+  return SingleEdfValue(ei, now);
+}
+
+}  // namespace pullmon

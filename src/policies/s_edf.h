@@ -1,0 +1,26 @@
+#ifndef PULLMON_POLICIES_S_EDF_H_
+#define PULLMON_POLICIES_S_EDF_H_
+
+#include <string>
+
+#include "core/policy.h"
+
+namespace pullmon {
+
+/// Single-interval Earliest Deadline First (Section 4.2.2, single-EI
+/// level): prefers the candidate EI with the fewest remaining chronons,
+/// S-EDF(I, T) = I.T_f - T. EDF is the classical baseline; it is optimal
+/// for rank-1 instances (individual execution intervals) and serves as
+/// the evaluation baseline in the paper.
+class SEdfPolicy : public Policy {
+ public:
+  std::string name() const override { return "S-EDF"; }
+  PolicyLevel level() const override { return PolicyLevel::kSingleEi; }
+
+  double Score(const ExecutionInterval& ei, const TIntervalRuntime& parent,
+               int ei_index, Chronon now) override;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_POLICIES_S_EDF_H_

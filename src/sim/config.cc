@@ -1,0 +1,44 @@
+#include "sim/config.h"
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+const char* DatasetKindToString(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kPoisson:
+      return "poisson";
+    case DatasetKind::kAuction:
+      return "auction";
+    case DatasetKind::kFeedWorkload:
+      return "feed-workload";
+  }
+  return "?";
+}
+
+SimulationConfig BaselineConfig() { return SimulationConfig{}; }
+
+std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
+    const {
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("dataset", DatasetKindToString(dataset));
+  rows.emplace_back("n (resources)", StringFormat("%d", num_resources));
+  rows.emplace_back("K (chronons)", StringFormat("%d", epoch_length));
+  rows.emplace_back("m (profiles)", StringFormat("%d", num_profiles));
+  rows.emplace_back("k = rank(P)", StringFormat("%d", max_rank));
+  if (dataset == DatasetKind::kPoisson) {
+    rows.emplace_back("lambda (updates/resource)",
+                      StringFormat("%.1f", lambda));
+  }
+  rows.emplace_back("alpha (inter-user)", StringFormat("%.2f", alpha));
+  rows.emplace_back("beta (intra-user)", StringFormat("%.2f", beta));
+  rows.emplace_back("restriction",
+                    LengthRestrictionToString(restriction));
+  if (restriction == LengthRestriction::kWindow) {
+    rows.emplace_back("W (window)", StringFormat("%d", window));
+  }
+  rows.emplace_back("C (budget/chronon)", StringFormat("%d", budget));
+  return rows;
+}
+
+}  // namespace pullmon

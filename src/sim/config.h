@@ -1,0 +1,73 @@
+#ifndef PULLMON_SIM_CONFIG_H_
+#define PULLMON_SIM_CONFIG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/chronon.h"
+#include "trace/auction_generator.h"
+#include "trace/feed_workload.h"
+#include "trace/update_model.h"
+
+namespace pullmon {
+
+/// Which update-event dataset drives an experiment (Section 5.1).
+enum class DatasetKind {
+  /// Synthetic Poisson(lambda) update model.
+  kPoisson,
+  /// Synthetic eBay-style auction trace (stand-in for the paper's
+  /// real-world trace; see DESIGN.md).
+  kAuction,
+  /// Web-feed workload per the measurement study the paper cites as
+  /// [10]: 55% near-hourly periodic feeds, Zipf-skewed activity.
+  kFeedWorkload,
+};
+
+const char* DatasetKindToString(DatasetKind kind);
+
+/// The controlled parameters of Table 1 with their baseline settings.
+/// Every benchmark harness starts from BaselineConfig() and overrides
+/// the independent variables of its figure.
+struct SimulationConfig {
+  DatasetKind dataset = DatasetKind::kPoisson;
+  /// n: number of monitored resources.
+  int num_resources = 400;
+  /// K: epoch length in chronons.
+  Chronon epoch_length = 1000;
+  /// m: number of client profiles.
+  int num_profiles = 500;
+  /// k: rank(P) — maximal t-interval complexity (AuctionWatch(k)).
+  int max_rank = 3;
+  /// lambda: average updates per resource over the epoch (Poisson data).
+  double lambda = 20.0;
+  /// alpha: inter-user resource-popularity skew (0 = uniform;
+  /// 1.37 matches Web-feed popularity per [10]).
+  double alpha = 0.0;
+  /// beta: intra-user preference toward low-rank profiles (0 = uniform).
+  double beta = 0.0;
+  /// EI length restriction: overwrite or window(W).
+  LengthRestriction restriction = LengthRestriction::kWindow;
+  /// W for the window restriction; W = 0 produces P^[1] instances.
+  Chronon window = 20;
+  /// C: uniform per-chronon probe budget.
+  int budget = 1;
+  /// Caps t-intervals per profile (0 = derive all update rounds).
+  int max_t_intervals_per_profile = 0;
+  /// Auction-process knobs, used when dataset == kAuction (its
+  /// num_auctions / epoch_length fields are overridden from the above).
+  AuctionTraceOptions auction;
+  /// Feed-workload knobs, used when dataset == kFeedWorkload (its
+  /// num_feeds / epoch_length fields are overridden from the above).
+  FeedWorkloadOptions feed_workload;
+
+  /// Human-readable (parameter, value) rows — the Table 1 rendering.
+  std::vector<std::pair<std::string, std::string>> ToRows() const;
+};
+
+/// The paper's baseline parameter settings (Table 1).
+SimulationConfig BaselineConfig();
+
+}  // namespace pullmon
+
+#endif  // PULLMON_SIM_CONFIG_H_

@@ -1,0 +1,186 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "policies/policy_factory.h"
+#include "profilegen/profile_generator.h"
+#include "trace/poisson_generator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+std::string PolicySpec::Label() const {
+  return StringFormat("%s(%s)", policy.c_str(),
+                      ExecutionModeToString(mode));
+}
+
+std::vector<PolicySpec> StandardPolicySpecs() {
+  return {
+      {"S-EDF", ExecutionMode::kNonPreemptive},
+      {"S-EDF", ExecutionMode::kPreemptive},
+      {"M-EDF", ExecutionMode::kPreemptive},
+      {"MRSF", ExecutionMode::kPreemptive},
+  };
+}
+
+Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
+                                       uint64_t seed) {
+  Rng rng(seed);
+
+  UpdateTrace trace(0, 0);
+  switch (config.dataset) {
+    case DatasetKind::kPoisson: {
+      PoissonTraceOptions options;
+      options.num_resources = config.num_resources;
+      options.epoch_length = config.epoch_length;
+      options.lambda = config.lambda;
+      PULLMON_ASSIGN_OR_RETURN(trace, GeneratePoissonTrace(options, &rng));
+      break;
+    }
+    case DatasetKind::kAuction: {
+      AuctionTraceOptions options = config.auction;
+      options.num_auctions = config.num_resources;
+      options.epoch_length = config.epoch_length;
+      PULLMON_ASSIGN_OR_RETURN(AuctionTrace auctions,
+                               GenerateAuctionTrace(options, &rng));
+      PULLMON_ASSIGN_OR_RETURN(trace, auctions.ToUpdateTrace());
+      break;
+    }
+    case DatasetKind::kFeedWorkload: {
+      FeedWorkloadOptions options = config.feed_workload;
+      options.num_feeds = config.num_resources;
+      options.epoch_length = config.epoch_length;
+      PULLMON_ASSIGN_OR_RETURN(trace,
+                               GenerateFeedWorkload(options, &rng));
+      break;
+    }
+  }
+
+  ProfileGeneratorOptions pg;
+  pg.num_profiles = config.num_profiles;
+  pg.max_rank = config.max_rank;
+  pg.alpha = config.alpha;
+  pg.beta = config.beta;
+  pg.ei_options.restriction = config.restriction;
+  pg.ei_options.window = config.window;
+  pg.max_t_intervals_per_profile = config.max_t_intervals_per_profile;
+  PULLMON_ASSIGN_OR_RETURN(std::vector<Profile> profiles,
+                           GenerateProfiles(trace, pg, &rng));
+
+  MonitoringProblem problem;
+  problem.num_resources = config.num_resources;
+  problem.epoch.length = config.epoch_length;
+  problem.profiles = std::move(profiles);
+  problem.budget = BudgetVector::Uniform(config.budget,
+                                         config.epoch_length);
+  return problem;
+}
+
+Status ExperimentRunner::RunRepetition(
+    const SimulationConfig& config, const std::vector<PolicySpec>& specs,
+    bool include_offline, const LocalRatioOptions& offline_options,
+    int rep, ComparisonResult* out) {
+  uint64_t seed = base_seed_ + static_cast<uint64_t>(rep) * 7919;
+  PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
+                           BuildProblem(config, seed));
+  out->t_intervals.Add(
+      static_cast<double>(problem.TotalTIntervalCount()));
+  out->eis.Add(static_cast<double>(problem.TotalEiCount()));
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    PolicyOptions po;
+    po.random_seed = seed ^ 0x5bf03635ULL;
+    po.num_resources = problem.num_resources;
+    PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                             MakePolicy(specs[s].policy, po));
+    OnlineExecutor executor(&problem, policy.get(), specs[s].mode);
+    PULLMON_ASSIGN_OR_RETURN(OnlineRunResult run, executor.Run());
+    out->policies[s].gc.Add(run.completeness.GainedCompleteness());
+    out->policies[s].runtime_seconds.Add(run.elapsed_seconds);
+    out->policies[s].probes_used.Add(
+        static_cast<double>(run.probes_used));
+  }
+
+  if (include_offline) {
+    LocalRatioScheduler scheduler(&problem, offline_options);
+    PULLMON_ASSIGN_OR_RETURN(OfflineSolution offline, scheduler.Solve());
+    out->offline->gc.Add(offline.gained_completeness);
+    out->offline->runtime_seconds.Add(offline.elapsed_seconds);
+    out->offline->guaranteed_factor = scheduler.GuaranteedFactor();
+  }
+  return Status::OK();
+}
+
+Result<ComparisonResult> ExperimentRunner::Run(
+    const SimulationConfig& config, const std::vector<PolicySpec>& specs,
+    bool include_offline, const LocalRatioOptions& offline_options) {
+  auto make_empty = [&] {
+    ComparisonResult result;
+    result.policies.resize(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      result.policies[s].spec = specs[s];
+    }
+    if (include_offline) result.offline = OfflineOutcome{};
+    return result;
+  };
+
+  int threads = std::min(threads_, repetitions_);
+  if (threads <= 1) {
+    ComparisonResult result = make_empty();
+    for (int rep = 0; rep < repetitions_; ++rep) {
+      PULLMON_RETURN_NOT_OK(RunRepetition(
+          config, specs, include_offline, offline_options, rep, &result));
+    }
+    return result;
+  }
+
+  // Parallel path: disjoint repetition ranges into thread-local
+  // accumulators, merged afterwards (exact; see header).
+  std::vector<ComparisonResult> partial(
+      static_cast<std::size_t>(threads));
+  std::vector<Status> failures(static_cast<std::size_t>(threads));
+  for (auto& p : partial) p = make_empty();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int rep = w; rep < repetitions_; rep += threads) {
+        Status st = RunRepetition(config, specs, include_offline,
+                                  offline_options, rep,
+                                  &partial[static_cast<std::size_t>(w)]);
+        if (!st.ok()) {
+          failures[static_cast<std::size_t>(w)] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const auto& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+
+  ComparisonResult result = make_empty();
+  for (const auto& p : partial) {
+    result.t_intervals.Merge(p.t_intervals);
+    result.eis.Merge(p.eis);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      result.policies[s].gc.Merge(p.policies[s].gc);
+      result.policies[s].runtime_seconds.Merge(
+          p.policies[s].runtime_seconds);
+      result.policies[s].probes_used.Merge(p.policies[s].probes_used);
+    }
+    if (include_offline && p.offline.has_value()) {
+      result.offline->gc.Merge(p.offline->gc);
+      result.offline->runtime_seconds.Merge(p.offline->runtime_seconds);
+      if (p.offline->guaranteed_factor > 0.0) {
+        result.offline->guaranteed_factor = p.offline->guaranteed_factor;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pullmon

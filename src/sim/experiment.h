@@ -1,0 +1,94 @@
+#ifndef PULLMON_SIM_EXPERIMENT_H_
+#define PULLMON_SIM_EXPERIMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/online_executor.h"
+#include "core/problem.h"
+#include "offline/local_ratio.h"
+#include "sim/config.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A policy under evaluation: heuristic name plus execution mode.
+struct PolicySpec {
+  std::string policy;  // accepted by MakePolicy
+  ExecutionMode mode = ExecutionMode::kPreemptive;
+
+  /// "MRSF(P)" / "S-EDF(NP)" — the paper's labeling convention.
+  std::string Label() const;
+};
+
+/// The policy line-up used throughout Section 5.
+std::vector<PolicySpec> StandardPolicySpecs();
+
+/// Instantiates a problem from a configuration and seed: generates the
+/// update trace (Poisson or auction), derives profiles with the
+/// three-stage generator, and attaches the uniform budget.
+Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
+                                       uint64_t seed);
+
+/// Aggregated outcome of one policy over the experiment repetitions.
+struct PolicyOutcome {
+  PolicySpec spec;
+  RunningStats gc;
+  RunningStats runtime_seconds;
+  RunningStats probes_used;
+};
+
+/// Aggregated outcome of the offline Local-Ratio approximation.
+struct OfflineOutcome {
+  RunningStats gc;
+  RunningStats runtime_seconds;
+  double guaranteed_factor = 0.0;
+};
+
+struct ComparisonResult {
+  std::vector<PolicyOutcome> policies;
+  std::optional<OfflineOutcome> offline;
+  /// Mean counts of the generated instances (diagnostics).
+  RunningStats t_intervals;
+  RunningStats eis;
+};
+
+/// Repeats (generate instance -> run every policy [-> run offline]) and
+/// averages, following the paper's protocol of 10 repetitions per
+/// setting (Section 5.1). All policies see identical instances within a
+/// repetition. Repetitions are independent and deterministic in their
+/// seed, so they can run on several threads; results are identical
+/// regardless of the thread count (per-repetition values are merged,
+/// and RunningStats::Merge is exact).
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(int repetitions = 10, uint64_t base_seed = 1234,
+                            int threads = 1)
+      : repetitions_(repetitions),
+        base_seed_(base_seed),
+        threads_(threads < 1 ? 1 : threads) {}
+
+  Result<ComparisonResult> Run(const SimulationConfig& config,
+                               const std::vector<PolicySpec>& specs,
+                               bool include_offline = false,
+                               const LocalRatioOptions& offline_options = {});
+
+ private:
+  /// One repetition, accumulated into `out` (single-threaded use) —
+  /// factored out so threads can run disjoint repetition ranges.
+  Status RunRepetition(const SimulationConfig& config,
+                       const std::vector<PolicySpec>& specs,
+                       bool include_offline,
+                       const LocalRatioOptions& offline_options, int rep,
+                       ComparisonResult* out);
+
+  int repetitions_;
+  uint64_t base_seed_;
+  int threads_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_SIM_EXPERIMENT_H_

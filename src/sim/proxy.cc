@@ -1,0 +1,75 @@
+#include "sim/proxy.h"
+
+#include "feeds/atom.h"
+
+namespace pullmon {
+
+MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
+                                 FeedNetwork* network, Policy* policy,
+                                 ExecutionMode mode)
+    : problem_(problem), network_(network), policy_(policy), mode_(mode) {}
+
+Result<ProxyRunReport> MonitoringProxy::Run() {
+  notifications_.clear();
+  ProxyRunReport report;
+
+  OnlineExecutor executor(problem_, policy_, mode_);
+
+  // Items pulled during the current chronon, attached to notifications
+  // delivered at that chronon.
+  Chronon fetch_chronon = -1;
+  std::vector<FeedItem> current_items;
+
+  // Per-resource validators for conditional fetches: repeated probes of
+  // an unchanged feed cost no bandwidth (HTTP If-None-Match semantics).
+  std::vector<std::string> etags(
+      static_cast<std::size_t>(problem_->num_resources));
+
+  executor.set_probe_callback([&](ResourceId resource, Chronon now) {
+    // The pull leg: catch the network up to "now" and fetch the feed.
+    network_->AdvanceTo(now);
+    if (now != fetch_chronon) {
+      current_items.clear();
+      fetch_chronon = now;
+    }
+    auto fetched = network_->ProbeConditional(
+        resource, etags[static_cast<std::size_t>(resource)]);
+    if (!fetched.ok()) {
+      ++report.parse_failures;
+      return;
+    }
+    ++report.feeds_fetched;
+    etags[static_cast<std::size_t>(resource)] = fetched->etag;
+    if (fetched->not_modified) {
+      ++report.not_modified;
+      return;  // nothing new to parse or deliver
+    }
+    report.feed_bytes += fetched->body.size();
+    auto parsed = ParseFeed(fetched->body);
+    if (!parsed.ok()) {
+      ++report.parse_failures;
+      return;
+    }
+    report.items_parsed += parsed->items.size();
+    current_items.insert(current_items.end(), parsed->items.begin(),
+                         parsed->items.end());
+  });
+
+  executor.set_capture_callback([&](ProfileId profile,
+                                    std::size_t t_interval_index,
+                                    Chronon now) {
+    // The push leg: deliver the captured t-interval to its client.
+    ProxyNotification notification;
+    notification.profile = profile;
+    notification.t_interval_index = t_interval_index;
+    notification.chronon = now;
+    if (now == fetch_chronon) notification.items = current_items;
+    notifications_.push_back(std::move(notification));
+    ++report.notifications_delivered;
+  });
+
+  PULLMON_ASSIGN_OR_RETURN(report.run, executor.Run());
+  return report;
+}
+
+}  // namespace pullmon

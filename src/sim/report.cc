@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pullmon {
+
+Status SweepReport::Add(std::string value, const ComparisonResult& result) {
+  std::vector<std::string> labels;
+  for (const auto& outcome : result.policies) {
+    labels.push_back(outcome.spec.Label());
+  }
+  if (policy_labels_.empty()) {
+    policy_labels_ = labels;
+  } else if (labels != policy_labels_) {
+    return Status::InvalidArgument(
+        "sweep points carry different policy line-ups");
+  }
+  Row row;
+  row.value = std::move(value);
+  for (const auto& outcome : result.policies) {
+    Cell cell;
+    cell.gc_mean = outcome.gc.mean();
+    cell.gc_ci95 = outcome.gc.ci95_halfwidth();
+    cell.runtime_ms = outcome.runtime_seconds.mean() * 1e3;
+    row.cells.push_back(cell);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string SweepReport::ToTable() const {
+  std::vector<std::string> header{parameter_};
+  for (const auto& label : policy_labels_) header.push_back(label);
+  TablePrinter table(header);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells{row.value};
+    for (const auto& cell : row.cells) {
+      cells.push_back(StringFormat("%.3f ±%.3f", cell.gc_mean,
+                                   cell.gc_ci95));
+    }
+    table.AddRow(cells);
+  }
+  return table.ToString();
+}
+
+std::string SweepReport::ToCsv() const {
+  std::ostringstream out;
+  out << CsvEscape(parameter_);
+  for (const auto& label : policy_labels_) {
+    out << "," << label << " gc," << label << " ci95," << label
+        << " runtime_ms";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << row.value;
+    for (const auto& cell : row.cells) {
+      out << "," << StringFormat("%.6f", cell.gc_mean) << ","
+          << StringFormat("%.6f", cell.gc_ci95) << ","
+          << StringFormat("%.4f", cell.runtime_ms);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string SweepReport::ToMarkdown() const {
+  std::ostringstream out;
+  out << "| " << parameter_;
+  for (const auto& label : policy_labels_) out << " | " << label;
+  out << " |\n|";
+  for (std::size_t i = 0; i <= policy_labels_.size(); ++i) {
+    out << "---|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << "| " << row.value;
+    for (const auto& cell : row.cells) {
+      out << " | " << StringFormat("%.3f", cell.gc_mean);
+    }
+    out << " |\n";
+  }
+  return out.str();
+}
+
+Status SweepReport::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ToCsv();
+  if (!out) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+}  // namespace pullmon

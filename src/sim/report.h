@@ -1,0 +1,58 @@
+#ifndef PULLMON_SIM_REPORT_H_
+#define PULLMON_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Accumulates the rows of a one-parameter sweep (one ComparisonResult
+/// per swept value) and renders them as an aligned console table, CSV,
+/// or Markdown — the machine-readable complement of the benchmark
+/// harnesses' stdout tables.
+class SweepReport {
+ public:
+  /// `parameter` is the swept knob's name (e.g. "budget").
+  explicit SweepReport(std::string parameter)
+      : parameter_(std::move(parameter)) {}
+
+  /// Appends one sweep point. All points must carry the same policy
+  /// line-up in the same order (InvalidArgument otherwise).
+  Status Add(std::string value, const ComparisonResult& result);
+
+  std::size_t num_points() const { return rows_.size(); }
+
+  /// Aligned fixed-width text (same layout the benches print).
+  std::string ToTable() const;
+
+  /// "param,<policy> gc,<policy> ci95,..." CSV with one row per point.
+  std::string ToCsv() const;
+
+  /// GitHub-flavored Markdown table.
+  std::string ToMarkdown() const;
+
+  /// Writes ToCsv() to a file.
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  struct Cell {
+    double gc_mean = 0.0;
+    double gc_ci95 = 0.0;
+    double runtime_ms = 0.0;
+  };
+  struct Row {
+    std::string value;
+    std::vector<Cell> cells;
+  };
+
+  std::string parameter_;
+  std::vector<std::string> policy_labels_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_SIM_REPORT_H_

@@ -1,0 +1,146 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << content;
+  if (!out) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure: " + path);
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string UpdateTraceToCsv(const UpdateTrace& trace) {
+  std::string out = "resource,chronon\n";
+  for (ResourceId r = 0; r < trace.num_resources(); ++r) {
+    for (Chronon t : trace.EventsFor(r)) {
+      out += StringFormat("%d,%d\n", r, t);
+    }
+  }
+  return out;
+}
+
+Result<UpdateTrace> UpdateTraceFromCsv(const std::string& csv,
+                                       int num_resources,
+                                       Chronon epoch_length) {
+  PULLMON_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv, /*has_header=*/true));
+  PULLMON_ASSIGN_OR_RETURN(std::size_t res_col, doc.ColumnIndex("resource"));
+  PULLMON_ASSIGN_OR_RETURN(std::size_t chr_col, doc.ColumnIndex("chronon"));
+  UpdateTrace trace(num_resources, epoch_length);
+  for (const auto& row : doc.rows) {
+    if (row.size() <= std::max(res_col, chr_col)) {
+      return Status::ParseError("short row in update trace CSV");
+    }
+    PULLMON_ASSIGN_OR_RETURN(int64_t resource, ParseInt64(row[res_col]));
+    PULLMON_ASSIGN_OR_RETURN(int64_t chronon, ParseInt64(row[chr_col]));
+    PULLMON_RETURN_NOT_OK(trace.AddEvent(static_cast<ResourceId>(resource),
+                                         static_cast<Chronon>(chronon)));
+  }
+  return trace;
+}
+
+Status WriteUpdateTraceFile(const UpdateTrace& trace,
+                            const std::string& path) {
+  return WriteFile(path, UpdateTraceToCsv(trace));
+}
+
+Result<UpdateTrace> ReadUpdateTraceFile(const std::string& path,
+                                        int num_resources,
+                                        Chronon epoch_length) {
+  PULLMON_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  return UpdateTraceFromCsv(content, num_resources, epoch_length);
+}
+
+std::string AuctionTraceToCsv(const AuctionTrace& trace) {
+  std::string out =
+      "kind,id,chronon,close_or_amount,item_or_bidder,start_price\n";
+  out += StringFormat("epoch,%d,,,,\n", trace.epoch_length);
+  for (const auto& info : trace.auctions) {
+    out += StringFormat("auction,%d,%d,%d,%s,%.2f\n", info.id, info.open,
+                        info.close, CsvEscape(info.item).c_str(),
+                        info.start_price);
+  }
+  for (const auto& bid : trace.bids) {
+    out += StringFormat("bid,%d,%d,%.2f,%s,\n", bid.auction, bid.chronon,
+                        bid.amount, CsvEscape(bid.bidder).c_str());
+  }
+  return out;
+}
+
+Result<AuctionTrace> AuctionTraceFromCsv(const std::string& csv) {
+  PULLMON_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv, /*has_header=*/true));
+  AuctionTrace trace;
+  for (const auto& row : doc.rows) {
+    if (row.empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "epoch") {
+      if (row.size() < 2) return Status::ParseError("short epoch row");
+      PULLMON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(row[1]));
+      trace.epoch_length = static_cast<Chronon>(k);
+    } else if (kind == "auction") {
+      if (row.size() < 6) return Status::ParseError("short auction row");
+      AuctionInfo info;
+      PULLMON_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[1]));
+      PULLMON_ASSIGN_OR_RETURN(int64_t open, ParseInt64(row[2]));
+      PULLMON_ASSIGN_OR_RETURN(int64_t close, ParseInt64(row[3]));
+      PULLMON_ASSIGN_OR_RETURN(double price, ParseDouble(row[5]));
+      info.id = static_cast<int>(id);
+      info.open = static_cast<Chronon>(open);
+      info.close = static_cast<Chronon>(close);
+      info.item = row[4];
+      info.start_price = price;
+      trace.auctions.push_back(std::move(info));
+    } else if (kind == "bid") {
+      if (row.size() < 5) return Status::ParseError("short bid row");
+      AuctionBid bid;
+      PULLMON_ASSIGN_OR_RETURN(int64_t auction, ParseInt64(row[1]));
+      PULLMON_ASSIGN_OR_RETURN(int64_t chronon, ParseInt64(row[2]));
+      PULLMON_ASSIGN_OR_RETURN(double amount, ParseDouble(row[3]));
+      bid.auction = static_cast<int>(auction);
+      bid.chronon = static_cast<Chronon>(chronon);
+      bid.amount = amount;
+      bid.bidder = row[4];
+      trace.bids.push_back(std::move(bid));
+    } else {
+      return Status::ParseError("unknown auction CSV row kind: " + kind);
+    }
+  }
+  std::sort(trace.bids.begin(), trace.bids.end(),
+            [](const AuctionBid& x, const AuctionBid& y) {
+              if (x.auction != y.auction) return x.auction < y.auction;
+              return x.chronon < y.chronon;
+            });
+  return trace;
+}
+
+Status WriteAuctionTraceFile(const AuctionTrace& trace,
+                             const std::string& path) {
+  return WriteFile(path, AuctionTraceToCsv(trace));
+}
+
+Result<AuctionTrace> ReadAuctionTraceFile(const std::string& path) {
+  PULLMON_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  return AuctionTraceFromCsv(content);
+}
+
+}  // namespace pullmon

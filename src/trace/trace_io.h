@@ -1,0 +1,40 @@
+#ifndef PULLMON_TRACE_TRACE_IO_H_
+#define PULLMON_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "trace/auction_generator.h"
+#include "trace/update_trace.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Serializes an update trace as CSV with header "resource,chronon"
+/// (one row per event, chronological per resource).
+std::string UpdateTraceToCsv(const UpdateTrace& trace);
+
+/// Parses the UpdateTraceToCsv format. `num_resources`/`epoch_length`
+/// bound validation; events outside them fail with OutOfRange.
+Result<UpdateTrace> UpdateTraceFromCsv(const std::string& csv,
+                                       int num_resources,
+                                       Chronon epoch_length);
+
+Status WriteUpdateTraceFile(const UpdateTrace& trace,
+                            const std::string& path);
+Result<UpdateTrace> ReadUpdateTraceFile(const std::string& path,
+                                        int num_resources,
+                                        Chronon epoch_length);
+
+/// Serializes a full auction trace (listings + bids) as two-section CSV:
+/// an "auction" section and a "bid" section, distinguished by the first
+/// column. Round-trips through AuctionTraceFromCsv.
+std::string AuctionTraceToCsv(const AuctionTrace& trace);
+Result<AuctionTrace> AuctionTraceFromCsv(const std::string& csv);
+
+Status WriteAuctionTraceFile(const AuctionTrace& trace,
+                             const std::string& path);
+Result<AuctionTrace> ReadAuctionTraceFile(const std::string& path);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_TRACE_TRACE_IO_H_

@@ -1,0 +1,126 @@
+#include "util/csv.h"
+
+#include <memory>
+#include <sstream>
+
+namespace pullmon {
+
+Result<std::size_t> CsvDocument::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named '" + std::string(name) + "'");
+}
+
+Result<CsvDocument> ParseCsv(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+  };
+  auto end_record = [&]() {
+    end_field();
+    if (has_header && doc.header.empty() && doc.rows.empty()) {
+      doc.header = std::move(record);
+    } else {
+      doc.rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_started = true;
+        break;
+      case ',':
+        end_field();
+        record_started = true;
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) terminates the record.
+        break;
+      case '\n':
+        if (record_started || !field.empty() || !record.empty()) {
+          end_record();
+        }
+        break;
+      default:
+        field.push_back(c);
+        record_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  if (record_started || !field.empty() || !record.empty()) {
+    end_record();
+  }
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure: " + path);
+  return ParseCsv(buffer.str(), has_header);
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*file) return Status::IoError("cannot open for writing: " + path);
+  CsvWriter writer;
+  writer.out_ = file.get();
+  writer.owned_ = std::move(file);
+  return writer;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << CsvEscape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::Flush() { out_->flush(); }
+
+}  // namespace pullmon

@@ -1,0 +1,63 @@
+#ifndef PULLMON_UTIL_CSV_H_
+#define PULLMON_UTIL_CSV_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A parsed CSV document: an optional header row plus data rows. Fields
+/// are unescaped; RFC-4180-style quoting with embedded commas, quotes and
+/// newlines is supported.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or an error if missing.
+  Result<std::size_t> ColumnIndex(std::string_view name) const;
+};
+
+/// Parses CSV text. If `has_header` the first record populates
+/// `CsvDocument::header`. Returns ParseError on unterminated quotes.
+Result<CsvDocument> ParseCsv(std::string_view text, bool has_header);
+
+/// Reads and parses a CSV file; IoError if the file cannot be read.
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Incremental CSV writer with RFC-4180 quoting. Rows are written eagerly
+/// to the underlying stream.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (must outlive the writer).
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Opens `path` for writing; check ok() before use.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes one record; fields are quoted only when necessary.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes the underlying stream.
+  void Flush();
+
+ private:
+  CsvWriter() = default;
+
+  std::unique_ptr<std::ofstream> owned_;  // set when writing to a file
+  std::ostream* out_ = nullptr;
+};
+
+/// Quotes a single CSV field if it contains a comma, quote, CR or LF.
+std::string CsvEscape(std::string_view field);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_CSV_H_

@@ -1,0 +1,74 @@
+#ifndef PULLMON_UTIL_DATETIME_H_
+#define PULLMON_UTIL_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// A broken-down UTC timestamp. The library deals exclusively in UTC;
+/// feeds with numeric-offset timezones are normalized on parse.
+struct DateTime {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  bool operator==(const DateTime& other) const = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm);
+/// valid across the full int range of years.
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// 0 = Sunday ... 6 = Saturday for a days-since-epoch value.
+int WeekdayFromDays(int64_t days);
+
+int64_t ToUnixSeconds(const DateTime& dt);
+DateTime FromUnixSeconds(int64_t seconds);
+
+/// "Mon, 01 Jan 2007 00:00:00 GMT" — the RFC 822/1123 format RSS 2.0
+/// uses for <pubDate>.
+std::string FormatRfc822(int64_t unix_seconds);
+
+/// Parses RFC 822 dates with "GMT"/"UT"/"Z" or numeric +HHMM offsets;
+/// the optional leading weekday is ignored (not validated).
+Result<int64_t> ParseRfc822(std::string_view text);
+
+/// "2007-01-01T00:00:00Z" — the RFC 3339 format Atom uses for <updated>.
+std::string FormatRfc3339(int64_t unix_seconds);
+
+/// Parses RFC 3339 with 'Z' or numeric +HH:MM offsets; fractional
+/// seconds are accepted and truncated.
+Result<int64_t> ParseRfc3339(std::string_view text);
+
+/// Conversion between model chronons and wall-clock time for feed
+/// serialization: chronon 0 maps to `base_unix_seconds` and each chronon
+/// lasts `seconds_per_chronon`.
+struct ChrononClock {
+  /// Default base: 2007-01-01 00:00:00 UTC, one-minute chronons —
+  /// roughly the paper's data-collection period.
+  int64_t base_unix_seconds = 1167609600;
+  int seconds_per_chronon = 60;
+
+  int64_t ToUnix(int32_t chronon) const {
+    return base_unix_seconds +
+           static_cast<int64_t>(chronon) * seconds_per_chronon;
+  }
+  int32_t FromUnix(int64_t unix_seconds) const {
+    return static_cast<int32_t>((unix_seconds - base_unix_seconds) /
+                                seconds_per_chronon);
+  }
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_DATETIME_H_

@@ -1,0 +1,202 @@
+#include "util/flags.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagParser::Register(Flag flag) {
+  assert(index_.find(flag.name) == index_.end() && "duplicate flag");
+  index_[flag.name] = flags_.size();
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name,
+                           std::string default_value, std::string help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  Register(std::move(flag));
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          std::string help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kInt64;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  Register(std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  Register(std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  Register(std::move(flag));
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &flags_[it->second];
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &flags_[it->second];
+}
+
+Status FlagParser::Assign(Flag* flag, const std::string& value) {
+  switch (flag->type) {
+    case Type::kString:
+      flag->string_value = value;
+      break;
+    case Type::kInt64: {
+      PULLMON_ASSIGN_OR_RETURN(flag->int_value, ParseInt64(value));
+      break;
+    }
+    case Type::kDouble: {
+      PULLMON_ASSIGN_OR_RETURN(flag->double_value, ParseDouble(value));
+      break;
+    }
+    case Type::kBool: {
+      std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        flag->bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad boolean for --" + flag->name +
+                                       ": " + value);
+      }
+      break;
+    }
+  }
+  flag->set = true;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Status FlagParser::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     Usage());
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        flag->bool_value = true;
+        flag->set = true;
+        continue;
+      }
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a value");
+      }
+      value = args[++i];
+    }
+    PULLMON_RETURN_NOT_OK(Assign(flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  const Flag* flag = Find(name);
+  assert(flag != nullptr && flag->type == Type::kString);
+  return flag->string_value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  const Flag* flag = Find(name);
+  assert(flag != nullptr && flag->type == Type::kInt64);
+  return flag->int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  const Flag* flag = Find(name);
+  assert(flag != nullptr && flag->type == Type::kDouble);
+  return flag->double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const Flag* flag = Find(name);
+  assert(flag != nullptr && flag->type == Type::kBool);
+  return flag->bool_value;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  const Flag* flag = Find(name);
+  return flag != nullptr && flag->set;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    std::string default_text;
+    switch (flag.type) {
+      case Type::kString:
+        default_text = "\"" + flag.string_value + "\"";
+        break;
+      case Type::kInt64:
+        default_text = StringFormat("%lld",
+                                    static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        default_text = StringFormat("%g", flag.double_value);
+        break;
+      case Type::kBool:
+        default_text = flag.bool_value ? "true" : "false";
+        break;
+    }
+    out += StringFormat("  --%-18s %s (default %s)\n", flag.name.c_str(),
+                        flag.help.c_str(), default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace pullmon

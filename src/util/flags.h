@@ -1,0 +1,82 @@
+#ifndef PULLMON_UTIL_FLAGS_H_
+#define PULLMON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Minimal command-line flag parser for the library's tools.
+/// Flags are registered with defaults, then Parse() consumes
+/// "--name=value" / "--name value" tokens ("--name" alone sets a bool
+/// flag to true); everything else becomes a positional argument.
+/// "--help" is always accepted and sets help_requested().
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description);
+
+  /// Registration (call before Parse). Duplicate names are a bug and
+  /// abort in debug builds.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt64(const std::string& name, int64_t default_value,
+                std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value,
+               std::string help);
+
+  /// Parses the given arguments (argv[0] is skipped by the argc/argv
+  /// overload). InvalidArgument on unknown flags or unparsable values.
+  Status Parse(int argc, const char* const* argv);
+  Status Parse(const std::vector<std::string>& args);
+
+  /// Typed access; aborts (debug) on unknown names or type mismatches.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Formatted usage text listing all flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+
+  struct Flag {
+    std::string name;
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    bool set = false;
+  };
+
+  void Register(Flag flag);
+  Flag* Find(const std::string& name);
+  const Flag* Find(const std::string& name) const;
+  Status Assign(Flag* flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;  // registration order, for Usage()
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_FLAGS_H_

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+namespace pullmon {
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+Logger& Logger::Global() {
+  // Function-local static reference; never destroyed (see style guide on
+  // static storage duration objects).
+  static Logger& logger = *new Logger();
+  return logger;
+}
+
+void Logger::Emit(LogLevel level, const std::string& file, int line,
+                  const std::string& message) {
+  if (!ShouldLog(level) && level != LogLevel::kFatal) return;
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  // Trim the path to the basename for readability.
+  std::size_t slash = file.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? file : file.substr(slash + 1);
+  out << "[" << LogLevelToString(level) << " " << base << ":" << line << "] "
+      << message << "\n";
+  out.flush();
+}
+
+}  // namespace pullmon

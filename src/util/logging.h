@@ -1,0 +1,116 @@
+#ifndef PULLMON_UTIL_LOGGING_H_
+#define PULLMON_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Severity levels for the library logger, ordered by importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelToString(LogLevel level);
+
+/// Process-wide logger configuration. Messages below the threshold are
+/// discarded; kFatal messages abort the process after being emitted.
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  /// Sets the minimum level that is emitted (default: kWarning so library
+  /// consumers are not spammed).
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  /// Redirects output (default: std::cerr). The stream must outlive the
+  /// logger's use; pass nullptr to restore std::cerr.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(threshold_);
+  }
+
+  void Emit(LogLevel level, const std::string& file, int line,
+            const std::string& message);
+
+ private:
+  Logger() = default;
+
+  LogLevel threshold_ = LogLevel::kWarning;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace internal_logging {
+
+/// Collects one log statement's stream insertions and emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    Logger::Global().Emit(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: turns a streamed expression into void so the
+/// conditional log macro type-checks. operator& binds looser than <<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define PULLMON_LOG_INTERNAL(level)                                        \
+  ::pullmon::internal_logging::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Usage: PULLMON_LOG(kInfo) << "message " << value;
+#define PULLMON_LOG(severity)                                              \
+  (!::pullmon::Logger::Global().ShouldLog(::pullmon::LogLevel::severity) && \
+   ::pullmon::LogLevel::severity != ::pullmon::LogLevel::kFatal)           \
+      ? (void)0                                                            \
+      : ::pullmon::internal_logging::Voidify() &                           \
+            PULLMON_LOG_INTERNAL(::pullmon::LogLevel::severity)
+
+/// Aborts with a message when `cond` is false, in all build modes. Used for
+/// internal invariants whose violation indicates a library bug.
+#define PULLMON_CHECK(cond)                                               \
+  (cond) ? (void)0                                                        \
+         : (void)(PULLMON_LOG_INTERNAL(::pullmon::LogLevel::kFatal)       \
+                  << "Check failed: " #cond " ")
+
+#define PULLMON_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    ::pullmon::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                     \
+      PULLMON_LOG_INTERNAL(::pullmon::LogLevel::kFatal)                  \
+          << "Status not OK: " << _st.ToString();                        \
+    }                                                                    \
+  } while (false)
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_LOGGING_H_

@@ -1,0 +1,127 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pullmon {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256** by Blackman & Vigna (public domain reference code).
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits scaled into [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0.0);
+  double u = NextDouble();
+  // Guard the log against u == 0 (cannot happen given 53-bit mantissa
+  // construction, but keep it robust).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Inversion by sequential search (Knuth).
+    double l = std::exp(-mean);
+    double p = 1.0;
+    int64_t k = 0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // PTRS transformed rejection (Hormann 1993).
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  while (true) {
+    double u = NextDouble() - 0.5;
+    double v = NextDouble();
+    double us = 0.5 - std::fabs(u);
+    double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<int64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    double log_mean = std::log(mean);
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * log_mean - mean - std::lgamma(k + 1.0)) {
+      return static_cast<int64_t>(k);
+    }
+  }
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace pullmon

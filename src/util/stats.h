@@ -1,0 +1,56 @@
+#ifndef PULLMON_UTIL_STATS_H_
+#define PULLMON_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pullmon {
+
+/// Streaming univariate statistics (Welford's algorithm) used by the
+/// experiment runner to aggregate repeated simulation runs.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel aggregation).
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const;
+  double max() const;
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean; 0 for fewer than two samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample by linear interpolation between closest
+/// ranks. `q` in [0, 100]. Returns 0 for an empty sample. The input is
+/// copied and sorted.
+double Percentile(std::vector<double> values, double q);
+
+/// Least-squares slope of y over x; 0 if fewer than two points or
+/// degenerate x. Used by scalability analyses to verify linear trends.
+double LinearSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation of x and y; 0 on degenerate input.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_STATS_H_

@@ -1,0 +1,42 @@
+#ifndef PULLMON_UTIL_STRING_UTIL_H_
+#define PULLMON_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Splits `input` on every occurrence of `delim`. Empty fields are kept
+/// ("a,,b" -> {"a", "", "b"}); an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+/// True if `input` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// ASCII lowercasing (locale-independent).
+std::string ToLower(std::string_view input);
+
+/// Strict integer / double parsing: the whole (trimmed) string must be
+/// consumed, otherwise a ParseError is returned.
+Result<int64_t> ParseInt64(std::string_view input);
+Result<double> ParseDouble(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_STRING_UTIL_H_

@@ -1,0 +1,42 @@
+#ifndef PULLMON_UTIL_TABLE_PRINTER_H_
+#define PULLMON_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pullmon {
+
+/// Renders aligned fixed-width text tables, used by the benchmark
+/// harnesses to print the rows/series of each paper table and figure.
+///
+///   TablePrinter t({"policy", "GC"});
+///   t.AddRow({"MRSF(P)", "0.82"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the table width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Writes the table with a header underline and column gutters.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string (mainly for tests).
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pullmon {
+
+ZipfDistribution::ZipfDistribution(double theta, uint64_t n)
+    : theta_(theta), n_(n) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[i - 1] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_;
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  assert(i >= 1 && i <= n_);
+  double prev = i == 1 ? 0.0 : cdf_[i - 2];
+  return cdf_[i - 1] - prev;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,42 @@
+#ifndef PULLMON_UTIL_ZIPF_H_
+#define PULLMON_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pullmon {
+
+/// Samples from a Zipf(theta, n) distribution over ranks {1, ..., n}:
+/// P(X = i) proportional to 1 / i^theta. theta == 0 degenerates to the
+/// uniform distribution U[1, n], matching the generator semantics in
+/// Section 5.1 of the paper (alpha for inter-user resource popularity,
+/// beta for intra-user rank preference).
+///
+/// Sampling is by inverse transform over the precomputed CDF (O(log n)
+/// per draw after O(n) setup), which is exact for the modest n used in
+/// profile generation.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `theta` must be >= 0.
+  ZipfDistribution(double theta, uint64_t n);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank i (1-based).
+  double Pmf(uint64_t i) const;
+
+  double theta() const { return theta_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  double theta_;
+  uint64_t n_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1)
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_ZIPF_H_

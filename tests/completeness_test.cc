@@ -1,0 +1,80 @@
+#include "core/completeness.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(IsCapturedEiTest, ProbeInsideWindowCaptures) {
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(0, 4).ok());
+  EXPECT_TRUE(IsCaptured(ExecutionInterval(0, 2, 6), s));
+  EXPECT_FALSE(IsCaptured(ExecutionInterval(0, 5, 6), s));
+  EXPECT_FALSE(IsCaptured(ExecutionInterval(1, 2, 6), s));
+}
+
+TEST(IsCapturedEiTest, BoundaryChronons) {
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(0, 2).ok());
+  ASSERT_TRUE(s.AddProbe(1, 6).ok());
+  EXPECT_TRUE(IsCaptured(ExecutionInterval(0, 2, 6), s));  // at start
+  EXPECT_TRUE(IsCaptured(ExecutionInterval(1, 2, 6), s));  // at finish
+}
+
+TEST(IsCapturedTIntervalTest, AllEisRequired) {
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(0, 3).ok());
+  TInterval eta({{0, 2, 5}, {1, 2, 5}});
+  EXPECT_FALSE(IsCaptured(eta, s));
+  ASSERT_TRUE(s.AddProbe(1, 5).ok());
+  EXPECT_TRUE(IsCaptured(eta, s));
+}
+
+TEST(IsCapturedTIntervalTest, EmptyTIntervalIsNotCaptured) {
+  Schedule s(10);
+  EXPECT_FALSE(IsCaptured(TInterval(), s));
+}
+
+TEST(IsCapturedTIntervalTest, SharedProbeSatisfiesSiblings) {
+  // Two EIs of the same resource with overlapping windows: one probe in
+  // the intersection captures both (intra-resource overlap).
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(0, 4).ok());
+  TInterval eta({{0, 1, 5}, {0, 3, 8}});
+  EXPECT_TRUE(IsCaptured(eta, s));
+}
+
+TEST(GainedCompletenessTest, CountsCapturedFraction) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 0, 2}}), TInterval({{0, 5, 7}})}),
+      Profile("b", {TInterval({{1, 1, 3}, {2, 1, 3}})}),
+  };
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());   // captures a's first
+  ASSERT_TRUE(s.AddProbe(1, 2).ok());   // half of b's pair
+  CompletenessReport report = EvaluateCompleteness(profiles, s);
+  EXPECT_EQ(report.total_t_intervals, 3u);
+  EXPECT_EQ(report.captured_t_intervals, 1u);
+  EXPECT_NEAR(report.GainedCompleteness(), 1.0 / 3.0, 1e-12);
+  ASSERT_EQ(report.per_profile.size(), 2u);
+  EXPECT_EQ(report.per_profile[0].captured, 1u);
+  EXPECT_EQ(report.per_profile[1].captured, 0u);
+  EXPECT_NEAR(report.per_profile[0].Fraction(), 0.5, 1e-12);
+}
+
+TEST(GainedCompletenessTest, EmptyProfilesYieldZero) {
+  Schedule s(5);
+  EXPECT_DOUBLE_EQ(GainedCompleteness({}, s), 0.0);
+}
+
+TEST(GainedCompletenessTest, FullCapture) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 0, 0}}), TInterval({{1, 1, 1}})})};
+  Schedule s(3);
+  ASSERT_TRUE(s.AddProbe(0, 0).ok());
+  ASSERT_TRUE(s.AddProbe(1, 1).ok());
+  EXPECT_DOUBLE_EQ(GainedCompleteness(profiles, s), 1.0);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pullmon {
+namespace {
+
+TEST(ParseCsvTest, SimpleRowsWithHeader) {
+  auto doc = ParseCsv("a,b\n1,2\n3,4\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ParseCsvTest, NoHeaderMode) {
+  auto doc = ParseCsv("1,2\n3,4\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  auto doc = ParseCsv("a\n1", true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto doc = ParseCsv("x\n\"a,b\"\n\"line1\nline2\"\n", true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "a,b");
+  EXPECT_EQ(doc->rows[1][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, EscapedQuotes) {
+  auto doc = ParseCsv("x\n\"he said \"\"hi\"\"\"\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "he said \"hi\"");
+}
+
+TEST(ParseCsvTest, CrLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n", true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsvTest, EmptyFieldsPreserved) {
+  auto doc = ParseCsv("a,b,c\n,,\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n", true).ok());
+}
+
+TEST(ParseCsvTest, ColumnIndexLookup) {
+  auto doc = ParseCsv("resource,chronon\n1,2\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->ColumnIndex("chronon"), 1u);
+  EXPECT_FALSE(doc->ColumnIndex("missing").ok());
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, RoundTripThroughParser) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"name", "note"});
+  writer.WriteRow({"x", "with,comma"});
+  writer.WriteRow({"y", "with \"quote\""});
+  auto doc = ParseCsv(out.str(), true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][1], "with,comma");
+  EXPECT_EQ(doc->rows[1][1], "with \"quote\"");
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/pullmon_csv_test.csv";
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    writer->WriteRow({"a", "b"});
+    writer->WriteRow({"1", "2"});
+    writer->Flush();
+  }
+  auto doc = ReadCsvFile(path, true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto doc = ReadCsvFile("/nonexistent/dir/file.csv", true);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pullmon

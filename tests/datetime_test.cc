@@ -1,0 +1,135 @@
+#include "util/datetime.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(CivilMathTest, EpochIsDayZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+}
+
+TEST(CivilMathTest, RoundTripAcrossYears) {
+  for (int64_t days : {-100000LL, -1LL, 0LL, 1LL, 365LL, 10957LL,
+                       13514LL, 20000LL}) {
+    int y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+TEST(CivilMathTest, LeapYearHandling) {
+  // 2000-02-29 exists; 2000 is a leap year (divisible by 400).
+  int64_t feb29 = DaysFromCivil(2000, 2, 29);
+  int64_t mar01 = DaysFromCivil(2000, 3, 1);
+  EXPECT_EQ(mar01 - feb29, 1);
+  // 1900 is not a leap year.
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+}
+
+TEST(WeekdayTest, KnownWeekdays) {
+  // 1970-01-01 was a Thursday (4).
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil(1970, 1, 1)), 4);
+  // 2007-01-01 was a Monday (1).
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil(2007, 1, 1)), 1);
+  // 2000-01-01 was a Saturday (6).
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil(2000, 1, 1)), 6);
+}
+
+TEST(UnixSecondsTest, RoundTrip) {
+  for (int64_t seconds : {0LL, 1167609600LL, 86399LL, -1LL, 1230768000LL}) {
+    DateTime dt = FromUnixSeconds(seconds);
+    EXPECT_EQ(ToUnixSeconds(dt), seconds);
+  }
+}
+
+TEST(Rfc822Test, FormatsKnownInstant) {
+  // 2007-01-01 00:00:00 UTC.
+  EXPECT_EQ(FormatRfc822(1167609600), "Mon, 01 Jan 2007 00:00:00 GMT");
+}
+
+TEST(Rfc822Test, ParseRoundTrip) {
+  for (int64_t seconds : {1167609600LL, 0LL, 1167609600LL + 3600 * 25 + 61}) {
+    auto parsed = ParseRfc822(FormatRfc822(seconds));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, seconds);
+  }
+}
+
+TEST(Rfc822Test, NumericOffsets) {
+  auto utc = ParseRfc822("Mon, 01 Jan 2007 12:00:00 GMT");
+  auto plus2 = ParseRfc822("Mon, 01 Jan 2007 14:00:00 +0200");
+  auto minus5 = ParseRfc822("Mon, 01 Jan 2007 07:00:00 -0500");
+  ASSERT_TRUE(utc.ok());
+  ASSERT_TRUE(plus2.ok());
+  ASSERT_TRUE(minus5.ok());
+  EXPECT_EQ(*utc, *plus2);
+  EXPECT_EQ(*utc, *minus5);
+}
+
+TEST(Rfc822Test, WithoutWeekday) {
+  auto parsed = ParseRfc822("01 Jan 2007 00:00:00 GMT");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 1167609600);
+}
+
+TEST(Rfc822Test, TwoDigitYears) {
+  auto y07 = ParseRfc822("01 Jan 07 00:00:00 GMT");
+  ASSERT_TRUE(y07.ok());
+  EXPECT_EQ(*y07, 1167609600);  // 2007
+}
+
+TEST(Rfc822Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseRfc822("").ok());
+  EXPECT_FALSE(ParseRfc822("not a date").ok());
+  EXPECT_FALSE(ParseRfc822("01 Foo 2007 00:00:00 GMT").ok());
+  EXPECT_FALSE(ParseRfc822("01 Jan 2007 00:00:00 XYZ").ok());
+}
+
+TEST(Rfc3339Test, FormatsKnownInstant) {
+  EXPECT_EQ(FormatRfc3339(1167609600), "2007-01-01T00:00:00Z");
+}
+
+TEST(Rfc3339Test, ParseRoundTrip) {
+  for (int64_t seconds : {1167609600LL, 0LL, 1199145599LL}) {
+    auto parsed = ParseRfc3339(FormatRfc3339(seconds));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, seconds);
+  }
+}
+
+TEST(Rfc3339Test, OffsetsAndFractions) {
+  auto utc = ParseRfc3339("2007-01-01T12:00:00Z");
+  auto plus = ParseRfc3339("2007-01-01T14:00:00+02:00");
+  auto frac = ParseRfc3339("2007-01-01T12:00:00.123Z");
+  ASSERT_TRUE(utc.ok());
+  ASSERT_TRUE(plus.ok());
+  ASSERT_TRUE(frac.ok());
+  EXPECT_EQ(*utc, *plus);
+  EXPECT_EQ(*utc, *frac);
+}
+
+TEST(Rfc3339Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseRfc3339("2007-01-01").ok());
+  EXPECT_FALSE(ParseRfc3339("2007/01/01T00:00:00Z").ok());
+  EXPECT_FALSE(ParseRfc3339("2007-01-01T00:00:00").ok());
+  EXPECT_FALSE(ParseRfc3339("2007-01-01T00:00:00Zx").ok());
+}
+
+TEST(ChrononClockTest, RoundTrip) {
+  ChrononClock clock;
+  for (int32_t chronon : {0, 1, 999, 100000}) {
+    EXPECT_EQ(clock.FromUnix(clock.ToUnix(chronon)), chronon);
+  }
+}
+
+TEST(ChrononClockTest, CustomGranularity) {
+  ChrononClock clock{0, 3600};  // hourly chronons from the Unix epoch
+  EXPECT_EQ(clock.ToUnix(24), 86400);
+  EXPECT_EQ(clock.FromUnix(86400), 24);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,194 @@
+#include "core/dynamic_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/online_executor.h"
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+#include "test_instances.h"
+#include "util/random.h"
+
+namespace pullmon {
+namespace {
+
+TEST(DynamicMonitorTest, RegisterAndSubmitValidation) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 10, BudgetVector::Uniform(1, 10), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  EXPECT_EQ(client, 0);
+
+  // Unknown profile.
+  EXPECT_FALSE(monitor.Submit(5, TInterval({{0, 1, 2}})).ok());
+  // Resource out of range.
+  EXPECT_FALSE(monitor.Submit(client, TInterval({{7, 1, 2}})).ok());
+  // Beyond the epoch.
+  EXPECT_FALSE(monitor.Submit(client, TInterval({{0, 8, 12}})).ok());
+  // Valid.
+  auto submission = monitor.Submit(client, TInterval({{0, 1, 2}}));
+  ASSERT_TRUE(submission.ok());
+  EXPECT_EQ(*submission, 0);
+  EXPECT_EQ(monitor.t_intervals_submitted(), 1u);
+}
+
+TEST(DynamicMonitorTest, RejectsRetroactiveSubmissions) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(1, 10, BudgetVector::Uniform(1, 10), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  ASSERT_TRUE(monitor.Step().ok());
+  ASSERT_TRUE(monitor.Step().ok());
+  EXPECT_EQ(monitor.now(), 2);
+  // Starts in the past.
+  EXPECT_EQ(monitor.Submit(client, TInterval({{0, 1, 5}})).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Starts right now: fine.
+  EXPECT_TRUE(monitor.Submit(client, TInterval({{0, 2, 5}})).ok());
+}
+
+TEST(DynamicMonitorTest, CapturesAndReportsPerStep) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 6, BudgetVector::Uniform(1, 6), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  ASSERT_TRUE(monitor.Submit(client, TInterval({{0, 0, 1}})).ok());
+  ASSERT_TRUE(monitor.Submit(client, TInterval({{1, 0, 0}})).ok());
+
+  auto step0 = monitor.Step();
+  ASSERT_TRUE(step0.ok());
+  // S-EDF probes r1 (deadline 0) first; the r1 t-interval captures, the
+  // r0 one survives to the next chronon.
+  EXPECT_EQ(step0->probed, (std::vector<ResourceId>{1}));
+  ASSERT_EQ(step0->captured.size(), 1u);
+  EXPECT_EQ(step0->captured[0], std::make_pair(ProfileId{0}, 1));
+  EXPECT_TRUE(step0->failed.empty());
+
+  auto step1 = monitor.Step();
+  ASSERT_TRUE(step1.ok());
+  EXPECT_EQ(step1->probed, (std::vector<ResourceId>{0}));
+  ASSERT_EQ(step1->captured.size(), 1u);
+  EXPECT_EQ(step1->captured[0], std::make_pair(ProfileId{0}, 0));
+
+  EXPECT_EQ(monitor.t_intervals_completed(), 2u);
+  EXPECT_EQ(monitor.t_intervals_failed(), 0u);
+  CompletenessReport report = monitor.Completeness();
+  EXPECT_DOUBLE_EQ(report.GainedCompleteness(), 1.0);
+}
+
+TEST(DynamicMonitorTest, FailureReportedOnExpiry) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 5, BudgetVector::Uniform(1, 5), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  // Two simultaneous unit EIs on different resources, C = 1: one fails.
+  ASSERT_TRUE(monitor.Submit(client, TInterval({{0, 2, 2}})).ok());
+  ASSERT_TRUE(monitor.Submit(client, TInterval({{1, 2, 2}})).ok());
+  ASSERT_TRUE(monitor.Step().ok());
+  ASSERT_TRUE(monitor.Step().ok());
+  auto step2 = monitor.Step();
+  ASSERT_TRUE(step2.ok());
+  EXPECT_EQ(step2->captured.size(), 1u);
+  EXPECT_EQ(step2->failed.size(), 1u);
+  EXPECT_EQ(monitor.t_intervals_failed(), 1u);
+}
+
+TEST(DynamicMonitorTest, StepBeyondEpochFails) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(1, 2, BudgetVector::Uniform(1, 2), &policy,
+                         ExecutionMode::kPreemptive);
+  ASSERT_TRUE(monitor.Step().ok());
+  ASSERT_TRUE(monitor.Step().ok());
+  EXPECT_EQ(monitor.Step().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DynamicMonitorTest, MidEpochArrivalIsServed) {
+  MrsfPolicy policy;
+  DynamicMonitor monitor(2, 10, BudgetVector::Uniform(1, 10), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId early = monitor.RegisterProfile("early");
+  ASSERT_TRUE(monitor.Submit(early, TInterval({{0, 0, 9}})).ok());
+  ASSERT_TRUE(monitor.Step().ok());  // captures the early one at t=0
+
+  ProfileId late = monitor.RegisterProfile("late");
+  ASSERT_TRUE(monitor.Submit(late, TInterval({{1, 3, 4}})).ok());
+  ASSERT_TRUE(monitor.Step().ok());  // t=1: nothing live
+  ASSERT_TRUE(monitor.Step().ok());  // t=2: nothing live
+  auto step3 = monitor.Step();
+  ASSERT_TRUE(step3.ok());
+  EXPECT_EQ(step3->probed, (std::vector<ResourceId>{1}));
+  EXPECT_EQ(monitor.t_intervals_completed(), 2u);
+}
+
+TEST(DynamicMonitorTest, RankGrowsWithSubmissions) {
+  // MRSF's score depends on rank(p); submitting a rank-3 t-interval to a
+  // profile must raise the residuals of its earlier rank-1 t-intervals.
+  MrsfPolicy policy;
+  DynamicMonitor monitor(4, 12, BudgetVector::Uniform(1, 12), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId simple = monitor.RegisterProfile("simple");
+  ProfileId complex_p = monitor.RegisterProfile("complex");
+  // Both get a rank-1 t-interval on distinct resources, same window.
+  ASSERT_TRUE(monitor.Submit(simple, TInterval({{0, 0, 5}})).ok());
+  ASSERT_TRUE(monitor.Submit(complex_p, TInterval({{1, 0, 5}})).ok());
+  // complex also holds a rank-3 t-interval, raising rank(complex) to 3:
+  // its rank-1 t-interval now scores 3 - 0 = 3 vs simple's 1.
+  ASSERT_TRUE(monitor.Submit(
+      complex_p, TInterval({{1, 6, 8}, {2, 6, 8}, {3, 6, 8}})).ok());
+  auto step0 = monitor.Step();
+  ASSERT_TRUE(step0.ok());
+  // MRSF prefers the lower residual: the `simple` profile's EI.
+  EXPECT_EQ(step0->probed, (std::vector<ResourceId>{0}));
+}
+
+class DynamicEquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicEquivalenceTest,
+                         testing::Range<uint64_t>(1, 16));
+
+TEST_P(DynamicEquivalenceTest, UpfrontSubmissionMatchesOnlineExecutor) {
+  Rng rng(GetParam() * 6151 + 3);
+  RandomInstanceOptions options;
+  options.num_resources = 5;
+  options.epoch_length = 20;
+  options.num_t_intervals = 14;
+  options.max_rank = 3;
+  options.max_width = 4;
+  options.budget = static_cast<int>(rng.NextInt(1, 2));
+  MonitoringProblem problem = MakeRandomInstance(options, &rng, 2);
+
+  for (ExecutionMode mode :
+       {ExecutionMode::kPreemptive, ExecutionMode::kNonPreemptive}) {
+    MrsfPolicy policy;
+    OnlineExecutor executor(&problem, &policy, mode);
+    auto batch = executor.Run();
+    ASSERT_TRUE(batch.ok());
+
+    MrsfPolicy dyn_policy;
+    DynamicMonitor monitor(problem.num_resources, problem.epoch.length,
+                           problem.budget, &dyn_policy, mode);
+    for (const auto& profile : problem.profiles) {
+      ProfileId pid = monitor.RegisterProfile(profile.name());
+      for (const auto& eta : profile.t_intervals()) {
+        ASSERT_TRUE(monitor.Submit(pid, eta).ok());
+      }
+    }
+    auto report = monitor.RunToEnd();
+    ASSERT_TRUE(report.ok());
+
+    // Identical schedules, probe for probe.
+    ASSERT_EQ(monitor.schedule().TotalProbes(),
+              batch->schedule.TotalProbes())
+        << ExecutionModeToString(mode);
+    for (Chronon t = 0; t < problem.epoch.length; ++t) {
+      EXPECT_EQ(monitor.schedule().ProbesAt(t),
+                batch->schedule.ProbesAt(t))
+          << "mode " << ExecutionModeToString(mode) << " t=" << t;
+    }
+    EXPECT_EQ(report->captured_t_intervals,
+              batch->completeness.captured_t_intervals);
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,98 @@
+#include "feeds/ebay_feed.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/auction_generator.h"
+
+namespace pullmon {
+namespace {
+
+AuctionTrace SmallAuctionTrace() {
+  Rng rng(77);
+  AuctionTraceOptions options;
+  options.num_auctions = 6;
+  options.epoch_length = 150;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  EXPECT_TRUE(trace.ok());
+  return *trace;
+}
+
+TEST(AuctionToFeedTest, NewestBidFirstWithMetadata) {
+  AuctionTrace trace = SmallAuctionTrace();
+  FeedDocument feed = AuctionToFeed(trace, 0);
+  auto bids = trace.BidsFor(0);
+  ASSERT_EQ(feed.items.size(), bids.size());
+  // Items are newest-first; bids are oldest-first.
+  ChrononClock clock;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    EXPECT_EQ(feed.items[i].published,
+              clock.ToUnix(bids[bids.size() - 1 - i].chronon));
+  }
+  EXPECT_NE(feed.title.find(trace.auctions[0].item), std::string::npos);
+  EXPECT_NE(feed.items[0].title.find("New bid"), std::string::npos);
+}
+
+TEST(AuctionToFeedTest, GuidConvention) {
+  AuctionTrace trace = SmallAuctionTrace();
+  FeedDocument feed = AuctionToFeed(trace, 2);
+  for (const auto& item : feed.items) {
+    EXPECT_EQ(item.guid.rfind("auction-2-bid-", 0), 0u) << item.guid;
+  }
+}
+
+TEST(AuctionTraceToFeedsTest, OneDocumentPerAuction) {
+  AuctionTrace trace = SmallAuctionTrace();
+  auto feeds = AuctionTraceToFeeds(trace);
+  EXPECT_EQ(feeds.size(), trace.auctions.size());
+  for (const auto& xml : feeds) {
+    EXPECT_NE(xml.find("<rss"), std::string::npos);
+  }
+}
+
+TEST(TraceFromFeedsTest, RoundTripRecoversUpdateTrace) {
+  // The paper's data pipeline: bids -> published Web feeds -> scraped
+  // update trace. The recovered trace must equal the direct projection.
+  AuctionTrace trace = SmallAuctionTrace();
+  auto feeds = AuctionTraceToFeeds(trace);
+  auto recovered = TraceFromFeeds(feeds, trace.epoch_length);
+  ASSERT_TRUE(recovered.ok());
+  auto direct = trace.ToUpdateTrace();
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(recovered->num_resources(), direct->num_resources());
+  for (ResourceId r = 0; r < direct->num_resources(); ++r) {
+    EXPECT_EQ(recovered->EventsFor(r), direct->EventsFor(r)) << "r" << r;
+  }
+}
+
+TEST(TraceFromFeedsTest, AtomRoundTripToo) {
+  AuctionTrace trace = SmallAuctionTrace();
+  auto feeds = AuctionTraceToFeeds(trace, FeedFormat::kAtom1);
+  auto recovered = TraceFromFeeds(feeds, trace.epoch_length);
+  ASSERT_TRUE(recovered.ok());
+  auto direct = trace.ToUpdateTrace();
+  ASSERT_TRUE(direct.ok());
+  for (ResourceId r = 0; r < direct->num_resources(); ++r) {
+    EXPECT_EQ(recovered->EventsFor(r), direct->EventsFor(r));
+  }
+}
+
+TEST(TraceFromFeedsTest, MalformedFeedRejected) {
+  EXPECT_FALSE(TraceFromFeeds({"<broken"}, 100).ok());
+}
+
+TEST(TraceFromFeedsTest, OutOfEpochItemRejected) {
+  AuctionTrace trace = SmallAuctionTrace();
+  auto feeds = AuctionTraceToFeeds(trace);
+  // An epoch shorter than the bids' span must fail validation.
+  EXPECT_FALSE(TraceFromFeeds(feeds, 1).ok());
+}
+
+TEST(AuctionToFeedTest, UnknownAuctionYieldsEmptyFeed) {
+  AuctionTrace trace = SmallAuctionTrace();
+  FeedDocument feed = AuctionToFeed(trace, 999);
+  EXPECT_TRUE(feed.items.empty());
+  EXPECT_NE(feed.title.find("#999"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,149 @@
+#include "offline/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/completeness.h"
+
+namespace pullmon {
+namespace {
+
+MonitoringProblem SmallProblem(std::vector<Profile> profiles,
+                               int num_resources, Chronon epoch, int c) {
+  MonitoringProblem p;
+  p.num_resources = num_resources;
+  p.epoch.length = epoch;
+  p.profiles = std::move(profiles);
+  p.budget = BudgetVector::Uniform(c, epoch);
+  return p;
+}
+
+TEST(ExactSolverTest, TrivialSingleEi) {
+  MonitoringProblem p =
+      SmallProblem({Profile("a", {TInterval({{0, 1, 3}})})}, 1, 5, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->optimal);
+  EXPECT_EQ(solution->captured, 1u);
+  EXPECT_DOUBLE_EQ(solution->gained_completeness, 1.0);
+  EXPECT_TRUE(solution->schedule.SatisfiesBudget(p.budget));
+}
+
+TEST(ExactSolverTest, ForcedChoiceBetweenConflictingTIntervals) {
+  // Two unit EIs at the same chronon, different resources, C = 1: only
+  // one can be captured.
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 2, 2}})}),
+       Profile("b", {TInterval({{1, 2, 2}})})},
+      2, 4, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 1u);
+}
+
+TEST(ExactSolverTest, SpreadingWindowsCapturesBoth) {
+  // Same two t-intervals but with width-2 windows: probing one per
+  // chronon captures both.
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 1, 2}})}),
+       Profile("b", {TInterval({{1, 1, 2}})})},
+      2, 4, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 2u);
+}
+
+TEST(ExactSolverTest, SharingIsExploited) {
+  // Three t-intervals on one resource, all overlapping chronon 3: one
+  // probe captures all three despite C = 1.
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 1, 3}})}),
+       Profile("b", {TInterval({{0, 3, 5}})}),
+       Profile("c", {TInterval({{0, 2, 4}})})},
+      1, 6, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 3u);
+}
+
+TEST(ExactSolverTest, Rank2RequiresBothEis) {
+  // Rank-2 t-interval with simultaneous unit EIs, C = 1: impossible.
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 2, 2}, {1, 2, 2}})})}, 2, 4, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 0u);
+  // With C = 2 it becomes feasible.
+  p.budget = BudgetVector::Uniform(2, 4);
+  ExactSolver solver2(&p);
+  auto solution2 = solver2.Solve();
+  ASSERT_TRUE(solution2.ok());
+  EXPECT_EQ(solution2->captured, 1u);
+}
+
+TEST(ExactSolverTest, ScheduleAchievesReportedValue) {
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 0, 1}, {1, 2, 3}}),
+                     TInterval({{2, 1, 2}})}),
+       Profile("b", {TInterval({{1, 0, 0}})})},
+      3, 5, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  CompletenessReport report =
+      EvaluateCompleteness(p.profiles, solution->schedule);
+  EXPECT_EQ(report.captured_t_intervals, solution->captured);
+  EXPECT_TRUE(solution->schedule.SatisfiesBudget(p.budget));
+}
+
+TEST(ExactSolverTest, RejectsOversizedInstances) {
+  std::vector<Profile> profiles;
+  for (int i = 0; i < 40; ++i) {
+    profiles.push_back(Profile({TInterval({{0, 0, 1}})}));
+  }
+  MonitoringProblem p = SmallProblem(profiles, 1, 3, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSolverTest, NodeBudgetExhaustionReported) {
+  std::vector<Profile> profiles;
+  for (int i = 0; i < 8; ++i) {
+    profiles.push_back(Profile({TInterval(
+        {{i % 4, 0, 7}, {(i + 1) % 4, 0, 7}})}));
+  }
+  MonitoringProblem p = SmallProblem(profiles, 4, 8, 2);
+  ExactSolverOptions options;
+  options.max_nodes = 3;
+  ExactSolver solver(&p, options);
+  auto solution = solver.Solve();
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactSolverTest, EmptyProfilesTriviallyOptimal) {
+  MonitoringProblem p = SmallProblem({}, 2, 4, 1);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 0u);
+  EXPECT_DOUBLE_EQ(solution->gained_completeness, 0.0);
+}
+
+TEST(ExactSolverTest, BudgetZeroCapturesNothing) {
+  MonitoringProblem p =
+      SmallProblem({Profile("a", {TInterval({{0, 0, 3}})})}, 1, 4, 0);
+  ExactSolver solver(&p);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 0u);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "feeds/atom.h"
+#include "feeds/rss.h"
+#include "util/datetime.h"
+
+namespace pullmon {
+namespace {
+
+FeedDocument SampleFeed() {
+  FeedDocument feed;
+  feed.title = "Bids: IBM ThinkPad T60";
+  feed.link = "http://auctions.example.com/listing/7";
+  feed.description = "Live bid feed";
+  for (int i = 2; i >= 0; --i) {
+    FeedItem item;
+    item.guid = "auction-7-bid-" + std::to_string(i);
+    item.title = "New bid #" + std::to_string(i);
+    item.link = "http://auctions.example.com/listing/7#bid" +
+                std::to_string(i);
+    item.description = "Bid description " + std::to_string(i);
+    item.published = 1167609600 + i * 60;
+    feed.items.push_back(item);
+  }
+  return feed;
+}
+
+TEST(RssTest, WriteParseRoundTrip) {
+  FeedDocument feed = SampleFeed();
+  std::string xml = WriteRss(feed);
+  auto parsed = ParseRss(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->title, feed.title);
+  EXPECT_EQ(parsed->link, feed.link);
+  EXPECT_EQ(parsed->description, feed.description);
+  ASSERT_EQ(parsed->items.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->items[i], feed.items[i]);
+  }
+}
+
+TEST(RssTest, ParsesHandWrittenDocument) {
+  const char* xml = R"(<?xml version="1.0"?>
+<rss version="2.0">
+  <channel>
+    <title>CNN Top Stories</title>
+    <link>http://cnn.example.com</link>
+    <description>News</description>
+    <item>
+      <guid>story-1</guid>
+      <title>Breaking &amp; entering</title>
+      <link>http://cnn.example.com/1</link>
+      <description><![CDATA[Full <b>story</b>]]></description>
+      <pubDate>Mon, 01 Jan 2007 08:30:00 GMT</pubDate>
+    </item>
+  </channel>
+</rss>)";
+  auto parsed = ParseRss(xml);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->items.size(), 1u);
+  EXPECT_EQ(parsed->items[0].title, "Breaking & entering");
+  EXPECT_EQ(parsed->items[0].description, "Full <b>story</b>");
+  EXPECT_EQ(parsed->items[0].published,
+            1167609600 + 8 * 3600 + 30 * 60);
+}
+
+TEST(RssTest, MissingPubDateYieldsZero) {
+  auto parsed = ParseRss(
+      "<rss><channel><title>t</title><item><guid>g</guid></item>"
+      "</channel></rss>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->items[0].published, 0);
+}
+
+TEST(RssTest, RejectsWrongRoot) {
+  EXPECT_FALSE(ParseRss("<feed></feed>").ok());
+  EXPECT_FALSE(ParseRss("<rss></rss>").ok());  // no channel
+}
+
+TEST(AtomTest, WriteParseRoundTrip) {
+  FeedDocument feed = SampleFeed();
+  std::string xml = WriteAtom(feed);
+  auto parsed = ParseAtom(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->title, feed.title);
+  EXPECT_EQ(parsed->link, feed.link);
+  ASSERT_EQ(parsed->items.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->items[i].guid, feed.items[i].guid);
+    EXPECT_EQ(parsed->items[i].published, feed.items[i].published);
+    EXPECT_EQ(parsed->items[i].description, feed.items[i].description);
+  }
+}
+
+TEST(AtomTest, ParsesHandWrittenEntry) {
+  const char* xml = R"(<feed xmlns="http://www.w3.org/2005/Atom">
+  <title>Market ticker</title>
+  <link href="http://market.example.com"/>
+  <entry>
+    <id>tick-99</id>
+    <title>AAPL moved</title>
+    <content>price change</content>
+    <link href="http://market.example.com/tick/99"/>
+    <published>2007-01-01T00:01:00Z</published>
+  </entry>
+</feed>)";
+  auto parsed = ParseAtom(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->link, "http://market.example.com");
+  ASSERT_EQ(parsed->items.size(), 1u);
+  // <content> used when <summary> absent; <published> when <updated>
+  // absent.
+  EXPECT_EQ(parsed->items[0].description, "price change");
+  EXPECT_EQ(parsed->items[0].published, 1167609660);
+}
+
+TEST(AtomTest, RejectsWrongRoot) {
+  EXPECT_FALSE(ParseAtom("<rss></rss>").ok());
+}
+
+TEST(ParseFeedTest, AutoDetectsFormat) {
+  FeedDocument feed = SampleFeed();
+  auto from_rss = ParseFeed(WriteRss(feed));
+  auto from_atom = ParseFeed(WriteAtom(feed));
+  ASSERT_TRUE(from_rss.ok());
+  ASSERT_TRUE(from_atom.ok());
+  EXPECT_EQ(from_rss->items.size(), 3u);
+  EXPECT_EQ(from_atom->items.size(), 3u);
+}
+
+TEST(ParseFeedTest, RejectsUnknownRoots) {
+  EXPECT_FALSE(ParseFeed("<html></html>").ok());
+  EXPECT_FALSE(ParseFeed("").ok());
+  EXPECT_FALSE(ParseFeed("<?xml version=\"1.0\"?>").ok());
+}
+
+TEST(WriteFeedTest, DispatchesOnFormat) {
+  FeedDocument feed = SampleFeed();
+  EXPECT_NE(WriteFeed(feed, FeedFormat::kRss2).find("<rss"),
+            std::string::npos);
+  EXPECT_NE(WriteFeed(feed, FeedFormat::kAtom1).find("<feed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,134 @@
+#include "feeds/feed_server.h"
+
+#include <gtest/gtest.h>
+
+#include "feeds/atom.h"
+#include "trace/poisson_generator.h"
+
+namespace pullmon {
+namespace {
+
+FeedItem MakeItem(int i) {
+  FeedItem item;
+  item.guid = "g" + std::to_string(i);
+  item.title = "item " + std::to_string(i);
+  item.published = 1167609600 + i;
+  return item;
+}
+
+TEST(FeedServerTest, PublishKeepsNewestFirst) {
+  FeedServer server(0, "test", 10);
+  server.Publish(MakeItem(1));
+  server.Publish(MakeItem(2));
+  ASSERT_EQ(server.items().size(), 2u);
+  EXPECT_EQ(server.items()[0].guid, "g2");
+  EXPECT_EQ(server.items()[1].guid, "g1");
+}
+
+TEST(FeedServerTest, BoundedBufferEvictsOldest) {
+  FeedServer server(0, "test", 3);
+  for (int i = 0; i < 5; ++i) server.Publish(MakeItem(i));
+  EXPECT_EQ(server.items().size(), 3u);
+  EXPECT_EQ(server.items().front().guid, "g4");
+  EXPECT_EQ(server.items().back().guid, "g2");
+  EXPECT_EQ(server.evicted_count(), 2u);
+  EXPECT_EQ(server.publish_count(), 5u);
+}
+
+TEST(FeedServerTest, ZeroCapacityClampedToOne) {
+  FeedServer server(0, "test", 0);
+  server.Publish(MakeItem(1));
+  server.Publish(MakeItem(2));
+  EXPECT_EQ(server.items().size(), 1u);
+}
+
+TEST(FeedServerTest, FetchServesParsableRss) {
+  FeedServer server(7, "resource seven", 10);
+  server.Publish(MakeItem(1));
+  std::string xml = server.Fetch();
+  EXPECT_EQ(server.fetch_count(), 1u);
+  auto parsed = ParseFeed(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->title, "resource seven");
+  ASSERT_EQ(parsed->items.size(), 1u);
+  EXPECT_EQ(parsed->items[0].guid, "g1");
+}
+
+TEST(FeedServerTest, AtomFormatSupported) {
+  FeedServer server(1, "atom server", 5, FeedFormat::kAtom1);
+  server.Publish(MakeItem(3));
+  auto parsed = ParseFeed(server.Fetch());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->items[0].guid, "g3");
+}
+
+UpdateTrace SmallTrace() {
+  UpdateTrace trace(2, 10);
+  EXPECT_TRUE(trace.AddEvent(0, 1).ok());
+  EXPECT_TRUE(trace.AddEvent(0, 3).ok());
+  EXPECT_TRUE(trace.AddEvent(1, 2).ok());
+  return trace;
+}
+
+TEST(FeedNetworkTest, AdvancePublishesDueEvents) {
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 10);
+  network.AdvanceTo(1);
+  EXPECT_EQ(network.server(0)->items().size(), 1u);
+  EXPECT_EQ(network.server(1)->items().size(), 0u);
+  network.AdvanceTo(3);
+  EXPECT_EQ(network.server(0)->items().size(), 2u);
+  EXPECT_EQ(network.server(1)->items().size(), 1u);
+}
+
+TEST(FeedNetworkTest, AdvanceIsIdempotentAndMonotone) {
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 10);
+  network.AdvanceTo(5);
+  std::size_t count = network.server(0)->publish_count();
+  network.AdvanceTo(5);
+  network.AdvanceTo(3);  // going backwards is a no-op
+  EXPECT_EQ(network.server(0)->publish_count(), count);
+}
+
+TEST(FeedNetworkTest, ProbeReturnsCurrentFeed) {
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 10);
+  network.AdvanceTo(2);
+  auto xml = network.Probe(1);
+  ASSERT_TRUE(xml.ok());
+  auto parsed = ParseFeed(*xml);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->items.size(), 1u);
+  // Item timestamp maps back to the update chronon.
+  ChrononClock clock;
+  EXPECT_EQ(clock.FromUnix(parsed->items[0].published), 2);
+}
+
+TEST(FeedNetworkTest, ProbeUnknownResourceFails) {
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 10);
+  EXPECT_FALSE(network.Probe(9).ok());
+  EXPECT_FALSE(network.Probe(-1).ok());
+  EXPECT_EQ(network.server(9), nullptr);
+}
+
+TEST(FeedNetworkTest, TightBufferLosesLateData) {
+  // A capacity-1 buffer: by the time the second update has been
+  // published, the first is gone — the volatility that motivates
+  // scheduled pulling.
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 1);
+  network.AdvanceTo(9);
+  EXPECT_EQ(network.server(0)->items().size(), 1u);
+  EXPECT_EQ(network.TotalEvicted(), 1u);
+  auto xml = network.Probe(0);
+  ASSERT_TRUE(xml.ok());
+  auto parsed = ParseFeed(*xml);
+  ASSERT_TRUE(parsed.ok());
+  ChrononClock clock;
+  EXPECT_EQ(clock.FromUnix(parsed->items[0].published), 3);
+}
+
+}  // namespace
+}  // namespace pullmon

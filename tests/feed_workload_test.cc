@@ -1,0 +1,100 @@
+#include "trace/feed_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "estimation/periodic_detector.h"
+
+namespace pullmon {
+namespace {
+
+TEST(FeedWorkloadTest, RejectsBadOptions) {
+  Rng rng(1);
+  FeedWorkloadOptions options;
+  options.num_feeds = 0;
+  EXPECT_FALSE(GenerateFeedWorkload(options, &rng).ok());
+  options = {};
+  options.epoch_length = 0;
+  EXPECT_FALSE(GenerateFeedWorkload(options, &rng).ok());
+  options = {};
+  options.chronons_per_hour = 0;
+  EXPECT_FALSE(GenerateFeedWorkload(options, &rng).ok());
+  options = {};
+  options.periodic_fraction = 1.5;
+  EXPECT_FALSE(GenerateFeedWorkload(options, &rng).ok());
+}
+
+TEST(FeedWorkloadTest, EventsWithinEpoch) {
+  Rng rng(3);
+  FeedWorkloadOptions options;
+  options.num_feeds = 50;
+  options.epoch_length = 500;
+  auto trace = GenerateFeedWorkload(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->TotalEvents(), 0u);
+  for (ResourceId r = 0; r < 50; ++r) {
+    for (Chronon t : trace->EventsFor(r)) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 500);
+    }
+  }
+}
+
+TEST(FeedWorkloadTest, MajorityOfActiveFeedsArePeriodic) {
+  Rng rng(5);
+  FeedWorkloadOptions options;
+  options.num_feeds = 200;
+  options.epoch_length = 2000;
+  options.chronons_per_hour = 60;
+  options.period_jitter = 1.0;
+  auto trace = GenerateFeedWorkload(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  int periodic_detected = 0, considered = 0;
+  for (ResourceId r = 0; r < 200; ++r) {
+    const auto& events = trace->EventsFor(r);
+    if (events.size() < 8) continue;
+    ++considered;
+    PeriodicDetectorOptions detector;
+    detector.min_support = 0.6;
+    if (DetectPeriodicPattern(events, detector).has_value()) {
+      ++periodic_detected;
+    }
+  }
+  ASSERT_GT(considered, 50);
+  // ~55% of feeds are periodic and detection should find most of them.
+  EXPECT_GT(periodic_detected, considered / 3);
+}
+
+TEST(FeedWorkloadTest, PopularitySkewsActivity) {
+  Rng rng(7);
+  FeedWorkloadOptions options;
+  options.num_feeds = 300;
+  options.epoch_length = 1000;
+  options.periodic_fraction = 0.0;  // isolate the aperiodic skew
+  options.popularity_alpha = 1.37;
+  options.aperiodic_lambda = 20.0;
+  auto trace = GenerateFeedWorkload(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  std::size_t head = 0, tail = 0;
+  for (ResourceId r = 0; r < 30; ++r) head += trace->EventsFor(r).size();
+  for (ResourceId r = 270; r < 300; ++r) {
+    tail += trace->EventsFor(r).size();
+  }
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(FeedWorkloadTest, DeterministicGivenSeed) {
+  FeedWorkloadOptions options;
+  options.num_feeds = 40;
+  options.epoch_length = 400;
+  Rng a(11), b(11);
+  auto t1 = GenerateFeedWorkload(options, &a);
+  auto t2 = GenerateFeedWorkload(options, &b);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (ResourceId r = 0; r < 40; ++r) {
+    EXPECT_EQ(t1->EventsFor(r), t2->EventsFor(r));
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,115 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags("tool", "test tool");
+  flags.AddString("name", "default", "a string");
+  flags.AddInt64("count", 7, "an integer");
+  flags.AddDouble("ratio", 0.5, "a double");
+  flags.AddBool("verbose", false, "a boolean");
+  return flags;
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArguments) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt64("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.WasSet("name"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--name=x", "--count=42", "--ratio=1.25",
+                           "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(flags.GetString("name"), "x");
+  EXPECT_EQ(flags.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 1.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_TRUE(flags.WasSet("count"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--name", "spaced", "--count", "3"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "spaced");
+  EXPECT_EQ(flags.GetInt64("count"), 3);
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BooleanSpellings) {
+  for (const char* value : {"true", "1", "yes"}) {
+    FlagParser flags = MakeParser();
+    ASSERT_TRUE(flags.Parse({std::string("--verbose=") + value}).ok());
+    EXPECT_TRUE(flags.GetBool("verbose")) << value;
+  }
+  for (const char* value : {"false", "0", "no"}) {
+    FlagParser flags = MakeParser();
+    ASSERT_TRUE(flags.Parse({std::string("--verbose=") + value}).ok());
+    EXPECT_FALSE(flags.GetBool("verbose")) << value;
+  }
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(flags.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"input.csv", "--count=1", "extra"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "extra"}));
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser flags = MakeParser();
+  Status st = flags.Parse({"--bogus=1"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The error carries usage text.
+  EXPECT_NE(st.message().find("--count"), std::string::npos);
+}
+
+TEST(FlagParserTest, BadValuesAreErrors) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(flags.Parse({"--count=abc"}).ok());
+  FlagParser flags2 = MakeParser();
+  EXPECT_FALSE(flags2.Parse({"--ratio=1.2.3"}).ok());
+  FlagParser flags3 = MakeParser();
+  EXPECT_FALSE(flags3.Parse({"--name"}).ok());  // missing value
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--help"}).ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagParserTest, ArgcArgvOverloadSkipsProgramName) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"tool", "--count=9"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetInt64("count"), 9);
+}
+
+TEST(FlagParserTest, UsageListsAllFlags) {
+  FlagParser flags = MakeParser();
+  std::string usage = flags.Usage();
+  for (const char* name : {"name", "count", "ratio", "verbose"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "trace/auction_generator.h"
+#include "trace/poisson_generator.h"
+
+namespace pullmon {
+namespace {
+
+TEST(PoissonGeneratorTest, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      GeneratePoissonTrace({0, 10, 1.0, 0.0}, &rng).ok());
+  EXPECT_FALSE(
+      GeneratePoissonTrace({5, 0, 1.0, 0.0}, &rng).ok());
+  EXPECT_FALSE(
+      GeneratePoissonTrace({5, 10, -1.0, 0.0}, &rng).ok());
+}
+
+TEST(PoissonGeneratorTest, RealizedIntensityNearLambda) {
+  Rng rng(42);
+  PoissonTraceOptions options;
+  options.num_resources = 300;
+  options.epoch_length = 1000;
+  options.lambda = 20.0;
+  auto trace = GeneratePoissonTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  // Chronon-collapsing shaves a little off; allow 5%.
+  EXPECT_NEAR(trace->MeanIntensity(), 20.0, 1.0);
+}
+
+TEST(PoissonGeneratorTest, ZeroLambdaYieldsEmptyTrace) {
+  Rng rng(1);
+  auto trace = GeneratePoissonTrace({10, 100, 0.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->TotalEvents(), 0u);
+}
+
+TEST(PoissonGeneratorTest, DeterministicGivenSeed) {
+  PoissonTraceOptions options{20, 50, 5.0, 0.0};
+  Rng a(7), b(7);
+  auto t1 = GeneratePoissonTrace(options, &a);
+  auto t2 = GeneratePoissonTrace(options, &b);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (ResourceId r = 0; r < 20; ++r) {
+    EXPECT_EQ(t1->EventsFor(r), t2->EventsFor(r));
+  }
+}
+
+TEST(PoissonGeneratorTest, HeterogeneityPreservesMeanRoughly) {
+  Rng rng(11);
+  PoissonTraceOptions options;
+  options.num_resources = 400;
+  options.epoch_length = 2000;
+  options.lambda = 15.0;
+  options.heterogeneity = 0.5;
+  auto trace = GeneratePoissonTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NEAR(trace->MeanIntensity(), 15.0, 2.0);
+}
+
+TEST(AuctionGeneratorTest, RejectsBadParameters) {
+  Rng rng(1);
+  AuctionTraceOptions options;
+  options.num_auctions = 0;
+  EXPECT_FALSE(GenerateAuctionTrace(options, &rng).ok());
+  options = AuctionTraceOptions{};
+  options.epoch_length = 1;
+  EXPECT_FALSE(GenerateAuctionTrace(options, &rng).ok());
+  options = AuctionTraceOptions{};
+  options.base_bid_rate = -1.0;
+  EXPECT_FALSE(GenerateAuctionTrace(options, &rng).ok());
+}
+
+TEST(AuctionGeneratorTest, StructuralInvariants) {
+  Rng rng(5);
+  AuctionTraceOptions options;
+  options.num_auctions = 50;
+  options.epoch_length = 500;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->auctions.size(), 50u);
+  for (const auto& info : trace->auctions) {
+    EXPECT_GE(info.open, 0);
+    EXPECT_LT(info.close, 500);
+    EXPECT_LT(info.open, info.close);
+    EXPECT_FALSE(info.item.empty());
+    EXPECT_GE(info.start_price, options.start_price_min);
+    EXPECT_LE(info.start_price, options.start_price_max);
+  }
+  for (const auto& bid : trace->bids) {
+    const auto& info =
+        trace->auctions[static_cast<std::size_t>(bid.auction)];
+    EXPECT_GE(bid.chronon, info.open);
+    EXPECT_LE(bid.chronon, info.close);
+    EXPECT_GT(bid.amount, info.start_price);
+    EXPECT_FALSE(bid.bidder.empty());
+  }
+}
+
+TEST(AuctionGeneratorTest, BidsIncreaseWithinAuction) {
+  Rng rng(9);
+  AuctionTraceOptions options;
+  options.num_auctions = 20;
+  options.epoch_length = 400;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& info : trace->auctions) {
+    auto bids = trace->BidsFor(info.id);
+    for (std::size_t i = 1; i < bids.size(); ++i) {
+      EXPECT_GT(bids[i].amount, bids[i - 1].amount);
+      EXPECT_GE(bids[i].chronon, bids[i - 1].chronon);
+    }
+  }
+}
+
+TEST(AuctionGeneratorTest, SeedOpeningBidGuaranteesActivity) {
+  Rng rng(13);
+  AuctionTraceOptions options;
+  options.num_auctions = 30;
+  options.epoch_length = 300;
+  options.seed_opening_bid = true;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& info : trace->auctions) {
+    EXPECT_FALSE(trace->BidsFor(info.id).empty());
+  }
+}
+
+TEST(AuctionGeneratorTest, SnipingRampSkewsBidsTowardClose) {
+  Rng rng(17);
+  AuctionTraceOptions options;
+  options.num_auctions = 120;
+  options.epoch_length = 600;
+  options.base_bid_rate = 0.02;
+  options.snipe_intensity = 8.0;
+  options.seed_opening_bid = false;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  // Compare bid counts in the last vs first decile of each auction.
+  std::size_t early = 0, late = 0;
+  for (const auto& bid : trace->bids) {
+    const auto& info =
+        trace->auctions[static_cast<std::size_t>(bid.auction)];
+    double pos = static_cast<double>(bid.chronon - info.open) /
+                 static_cast<double>(info.close - info.open);
+    if (pos <= 0.1) ++early;
+    if (pos >= 0.9) ++late;
+  }
+  EXPECT_GT(late, early * 2);
+}
+
+TEST(AuctionGeneratorTest, ToUpdateTraceProjectsBidTimes) {
+  Rng rng(21);
+  AuctionTraceOptions options;
+  options.num_auctions = 10;
+  options.epoch_length = 200;
+  auto auctions = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(auctions.ok());
+  auto trace = auctions->ToUpdateTrace();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_resources(), 10);
+  // Every bid chronon appears as an update.
+  for (const auto& bid : auctions->bids) {
+    const auto& events = trace->EventsFor(bid.auction);
+    EXPECT_TRUE(std::binary_search(events.begin(), events.end(),
+                                   bid.chronon));
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

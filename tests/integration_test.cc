@@ -1,0 +1,139 @@
+// End-to-end integration: the full data pipeline of the paper's
+// evaluation on a small instance — simulated auction season, published
+// as RSS, scraped back, profiles generated, proxy run with real feed
+// fetching, offline baselines compared — asserting the qualitative
+// relationships everything else in the repo depends on.
+
+#include <gtest/gtest.h>
+
+#include "feeds/ebay_feed.h"
+#include "offline/greedy_offline.h"
+#include "policies/policy_factory.h"
+#include "profilegen/profile_generator.h"
+#include "sim/proxy.h"
+#include "trace/auction_generator.h"
+
+namespace pullmon {
+namespace {
+
+TEST(IntegrationTest, AuctionSeasonEndToEnd) {
+  Rng rng(424242);
+
+  // 1. Bidding season.
+  AuctionTraceOptions auction_options;
+  auction_options.num_auctions = 40;
+  auction_options.epoch_length = 300;
+  auction_options.base_bid_rate = 0.05;
+  auto auctions = GenerateAuctionTrace(auction_options, &rng);
+  ASSERT_TRUE(auctions.ok());
+
+  // 2/3. Publish as RSS, scrape back; the scraped trace must equal the
+  // direct projection.
+  auto feeds = AuctionTraceToFeeds(*auctions);
+  auto scraped = TraceFromFeeds(feeds, auction_options.epoch_length);
+  ASSERT_TRUE(scraped.ok());
+  auto direct = auctions->ToUpdateTrace();
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(scraped->TotalEvents(), direct->TotalEvents());
+
+  // 4. AuctionWatch profiles over the scraped trace.
+  ProfileGeneratorOptions pg;
+  pg.num_profiles = 60;
+  pg.max_rank = 3;
+  pg.alpha = 0.5;
+  pg.ei_options.restriction = LengthRestriction::kWindow;
+  pg.ei_options.window = 10;
+  auto profiles = GenerateProfiles(*scraped, pg, &rng);
+  ASSERT_TRUE(profiles.ok());
+  ASSERT_GT(profiles->size(), 30u);
+
+  MonitoringProblem problem;
+  problem.num_resources = scraped->num_resources();
+  problem.epoch.length = auction_options.epoch_length;
+  problem.profiles = std::move(*profiles);
+  problem.budget = BudgetVector::Uniform(1, auction_options.epoch_length);
+  ASSERT_TRUE(problem.Validate().ok());
+
+  // 5. Proxy runs with real feed fetching for each policy.
+  struct Outcome {
+    std::string label;
+    double gc;
+  };
+  std::vector<Outcome> outcomes;
+  for (const std::string name :
+       {"MRSF", "M-EDF", "S-EDF", "Random", "LRSF"}) {
+    FeedNetwork network(&*scraped, /*buffer_capacity=*/6);
+    PolicyOptions po;
+    po.num_resources = problem.num_resources;
+    auto policy = MakePolicy(name, po);
+    ASSERT_TRUE(policy.ok());
+    MonitoringProxy proxy(&problem, &network, policy->get(),
+                          ExecutionMode::kPreemptive);
+    auto report = proxy.Run();
+    ASSERT_TRUE(report.ok()) << name;
+    // Physical-path invariants.
+    EXPECT_EQ(report->feeds_fetched, report->run.probes_used);
+    EXPECT_EQ(report->parse_failures, 0u);
+    EXPECT_EQ(report->notifications_delivered,
+              report->run.t_intervals_completed);
+    EXPECT_TRUE(report->run.schedule.SatisfiesBudget(problem.budget));
+    outcomes.push_back(
+        {name, report->run.completeness.GainedCompleteness()});
+  }
+
+  auto gc_of = [&](const std::string& label) {
+    for (const auto& outcome : outcomes) {
+      if (outcome.label == label) return outcome.gc;
+    }
+    return -1.0;
+  };
+  // Headline qualitative relationships.
+  EXPECT_GT(gc_of("MRSF"), gc_of("Random"));
+  EXPECT_GT(gc_of("M-EDF"), gc_of("Random"));
+  EXPECT_GE(gc_of("MRSF"), gc_of("LRSF"));
+  EXPECT_GT(gc_of("MRSF"), 0.1);
+
+  // 6. The scalable offline baseline beats nothing less than feasibility:
+  // it must be budget-feasible and in the same league as online MRSF.
+  GreedyOfflineScheduler greedy(&problem);
+  auto offline = greedy.Solve();
+  ASSERT_TRUE(offline.ok());
+  EXPECT_TRUE(offline->schedule.SatisfiesBudget(problem.budget));
+  EXPECT_GT(offline->gained_completeness, gc_of("MRSF") * 0.5);
+}
+
+TEST(IntegrationTest, PerChrononBudgetVectorsFlowThroughExecutor) {
+  // A bursty budget: nothing on even chronons, two probes on odd ones.
+  const Chronon epoch = 10;
+  std::vector<int> budgets(static_cast<std::size_t>(epoch), 0);
+  for (Chronon t = 1; t < epoch; t += 2) {
+    budgets[static_cast<std::size_t>(t)] = 2;
+  }
+  MonitoringProblem problem;
+  problem.num_resources = 3;
+  problem.epoch.length = epoch;
+  problem.budget = BudgetVector::FromVector(budgets);
+  problem.profiles = {
+      Profile("a", {TInterval({{0, 0, 1}})}),   // capturable at t=1
+      Profile("b", {TInterval({{1, 0, 0}})}),   // t=0 only: impossible
+      Profile("c", {TInterval({{2, 2, 3}, {0, 3, 5}})}),
+  };
+  auto policy = MakePolicy("s-edf");
+  ASSERT_TRUE(policy.ok());
+  OnlineExecutor executor(&problem, policy->get(),
+                          ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schedule.SatisfiesBudget(problem.budget));
+  // No probes on even chronons.
+  for (Chronon t = 0; t < epoch; t += 2) {
+    EXPECT_TRUE(result->schedule.ProbesAt(t).empty()) << t;
+  }
+  // "b" is unservable (its only chronon has budget 0); the others are
+  // captured on odd chronons.
+  EXPECT_EQ(result->t_intervals_completed, 2u);
+  EXPECT_EQ(result->t_intervals_failed, 1u);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,100 @@
+#include "core/execution_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/t_interval.h"
+
+namespace pullmon {
+namespace {
+
+TEST(ExecutionIntervalTest, WidthAndContains) {
+  ExecutionInterval ei(2, 3, 7);
+  EXPECT_EQ(ei.width(), 5);
+  EXPECT_FALSE(ei.Contains(2));
+  EXPECT_TRUE(ei.Contains(3));
+  EXPECT_TRUE(ei.Contains(7));
+  EXPECT_FALSE(ei.Contains(8));
+}
+
+TEST(ExecutionIntervalTest, UnitWidth) {
+  ExecutionInterval ei(0, 5, 5);
+  EXPECT_EQ(ei.width(), 1);
+  EXPECT_TRUE(ei.Contains(5));
+}
+
+TEST(ExecutionIntervalTest, OverlapsInTime) {
+  ExecutionInterval a(0, 2, 5);
+  EXPECT_TRUE(a.OverlapsInTime({1, 5, 9}));   // touch at 5
+  EXPECT_TRUE(a.OverlapsInTime({1, 0, 2}));   // touch at 2
+  EXPECT_FALSE(a.OverlapsInTime({1, 6, 9}));
+  EXPECT_FALSE(a.OverlapsInTime({1, 0, 1}));
+  EXPECT_TRUE(a.OverlapsInTime({1, 0, 10}));  // containment
+}
+
+TEST(ExecutionIntervalTest, SharesProbeWithNeedsSameResource) {
+  ExecutionInterval a(3, 2, 5);
+  EXPECT_TRUE(a.SharesProbeWith({3, 4, 8}));
+  EXPECT_FALSE(a.SharesProbeWith({4, 4, 8}));  // other resource
+  EXPECT_FALSE(a.SharesProbeWith({3, 6, 8}));  // no time overlap
+}
+
+TEST(ExecutionIntervalTest, ValidateChecksBoundsAndEpoch) {
+  Epoch epoch{10};
+  EXPECT_TRUE(ExecutionInterval(0, 0, 9).Validate(epoch).ok());
+  EXPECT_FALSE(ExecutionInterval(-1, 0, 5).Validate(epoch).ok());
+  EXPECT_FALSE(ExecutionInterval(0, -1, 5).Validate(epoch).ok());
+  EXPECT_FALSE(ExecutionInterval(0, 5, 4).Validate(epoch).ok());
+  EXPECT_FALSE(ExecutionInterval(0, 5, 10).Validate(epoch).ok());
+}
+
+TEST(ExecutionIntervalTest, ToStringRendering) {
+  EXPECT_EQ(ExecutionInterval(3, 5, 9).ToString(), "r3:[5,9]");
+}
+
+TEST(TIntervalTest, SpanQueries) {
+  TInterval eta({{0, 3, 6}, {1, 1, 9}, {2, 5, 7}});
+  EXPECT_EQ(eta.size(), 3u);
+  EXPECT_EQ(eta.EarliestStart(), 1);
+  EXPECT_EQ(eta.LatestFinish(), 9);
+}
+
+TEST(TIntervalTest, UnitWidthDetection) {
+  EXPECT_TRUE(TInterval({{0, 3, 3}, {1, 5, 5}}).IsUnitWidth());
+  EXPECT_FALSE(TInterval({{0, 3, 4}, {1, 5, 5}}).IsUnitWidth());
+}
+
+TEST(TIntervalTest, IntraResourceOverlapDetection) {
+  EXPECT_TRUE(
+      TInterval({{0, 1, 5}, {0, 4, 8}}).HasIntraResourceOverlap());
+  EXPECT_FALSE(
+      TInterval({{0, 1, 5}, {0, 6, 8}}).HasIntraResourceOverlap());
+  EXPECT_FALSE(
+      TInterval({{0, 1, 5}, {1, 4, 8}}).HasIntraResourceOverlap());
+}
+
+TEST(TIntervalTest, ValidateRejectsEmpty) {
+  Epoch epoch{10};
+  EXPECT_FALSE(TInterval().Validate(epoch).ok());
+  EXPECT_TRUE(TInterval({{0, 0, 1}}).Validate(epoch).ok());
+}
+
+TEST(TIntervalTest, ValidatePropagatesEiErrors) {
+  Epoch epoch{10};
+  EXPECT_FALSE(TInterval({{0, 0, 11}}).Validate(epoch).ok());
+}
+
+TEST(TIntervalTest, AddEiGrows) {
+  TInterval eta;
+  EXPECT_TRUE(eta.empty());
+  eta.AddEi({0, 1, 2});
+  eta.AddEi({1, 3, 4});
+  EXPECT_EQ(eta.size(), 2u);
+}
+
+TEST(TIntervalTest, ToStringListsEis) {
+  TInterval eta({{0, 1, 4}, {2, 2, 5}});
+  EXPECT_EQ(eta.ToString(), "{r0:[1,4], r2:[2,5]}");
+}
+
+}  // namespace
+}  // namespace pullmon

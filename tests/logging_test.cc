@@ -1,0 +1,67 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pullmon {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Global().set_sink(&sink_);
+    saved_threshold_ = Logger::Global().threshold();
+  }
+  void TearDown() override {
+    Logger::Global().set_sink(nullptr);
+    Logger::Global().set_threshold(saved_threshold_);
+  }
+
+  std::ostringstream sink_;
+  LogLevel saved_threshold_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, BelowThresholdIsDiscarded) {
+  Logger::Global().set_threshold(LogLevel::kWarning);
+  PULLMON_LOG(kInfo) << "quiet";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, AtThresholdIsEmitted) {
+  Logger::Global().set_threshold(LogLevel::kInfo);
+  PULLMON_LOG(kInfo) << "hello " << 42;
+  std::string out = sink_.str();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ThresholdOrdering) {
+  Logger::Global().set_threshold(LogLevel::kError);
+  EXPECT_FALSE(Logger::Global().ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Global().ShouldLog(LogLevel::kWarning));
+  EXPECT_TRUE(Logger::Global().ShouldLog(LogLevel::kError));
+  EXPECT_TRUE(Logger::Global().ShouldLog(LogLevel::kFatal));
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelToString(LogLevel::kFatal), "FATAL");
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  PULLMON_CHECK(1 + 1 == 2);
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PULLMON_CHECK(false); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ PULLMON_CHECK_OK(Status::Internal("boom")); }, "boom");
+}
+
+}  // namespace
+}  // namespace pullmon

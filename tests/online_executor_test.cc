@@ -1,0 +1,252 @@
+#include "core/online_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/baselines.h"
+#include "policies/m_edf.h"
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+
+namespace pullmon {
+namespace {
+
+MonitoringProblem SimpleProblem(std::vector<Profile> profiles,
+                                int num_resources, Chronon epoch, int c) {
+  MonitoringProblem p;
+  p.num_resources = num_resources;
+  p.epoch.length = epoch;
+  p.profiles = std::move(profiles);
+  p.budget = BudgetVector::Uniform(c, epoch);
+  return p;
+}
+
+TEST(OnlineExecutorTest, CapturesSingleEi) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 2, 5}})})}, 1, 10, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->completeness.GainedCompleteness(), 1.0);
+  EXPECT_EQ(result->t_intervals_completed, 1u);
+  EXPECT_EQ(result->t_intervals_failed, 0u);
+  // Probed at the earliest active chronon.
+  EXPECT_TRUE(result->schedule.HasProbe(0, 2));
+}
+
+TEST(OnlineExecutorTest, RespectsBudget) {
+  // Three unit EIs at the same chronon on distinct resources, C = 1:
+  // only one can be captured.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 3, 3}}), TInterval({{1, 3, 3}}),
+                     TInterval({{2, 3, 3}})})},
+      3, 5, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 1u);
+  EXPECT_EQ(result->t_intervals_failed, 2u);
+  EXPECT_TRUE(result->schedule.SatisfiesBudget(p.budget));
+  EXPECT_EQ(result->probes_used, 1u);
+}
+
+TEST(OnlineExecutorTest, ProbeSharesAcrossOverlappingEis) {
+  // Two t-intervals on the same resource with overlapping windows: one
+  // probe captures both (intra-resource overlap exploitation).
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 1, 5}})}),
+       Profile("b", {TInterval({{0, 3, 8}})})},
+      1, 10, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 2u);
+  // A single probe can serve both if placed in the intersection [3,5],
+  // but S-EDF probes r0 at chronon 1 (only EI active), then again for the
+  // second. Either way both are captured.
+  EXPECT_DOUBLE_EQ(result->completeness.GainedCompleteness(), 1.0);
+}
+
+TEST(OnlineExecutorTest, ExpiredEiFailsWholeTInterval) {
+  // Rank-2 t-interval whose two EIs are at the same chronon on different
+  // resources with C = 1: one EI must expire, failing the t-interval.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 2, 2}, {1, 2, 2}})})}, 2, 5, 1);
+  MrsfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 0u);
+  EXPECT_EQ(result->t_intervals_failed, 1u);
+  EXPECT_DOUBLE_EQ(result->completeness.GainedCompleteness(), 0.0);
+}
+
+TEST(OnlineExecutorTest, ZeroBudgetProbesNothing) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 9}})})}, 1, 10, 0);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probes_used, 0u);
+  EXPECT_EQ(result->t_intervals_completed, 0u);
+  EXPECT_EQ(result->t_intervals_failed, 1u);
+}
+
+TEST(OnlineExecutorTest, DeadlineChrononProbeStillCounts) {
+  // An EI can be captured exactly at its finish chronon. Competing EI on
+  // another resource forces the probe of r1 to chronon 1... construct:
+  // EI_a = r0:[0,1], EI_b = r1:[0,0]. S-EDF probes r1 at 0 (deadline 0),
+  // r0 at 1 (its deadline). Both captured.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 1}})}),
+       Profile("b", {TInterval({{1, 0, 0}})})},
+      2, 3, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 2u);
+  EXPECT_TRUE(result->schedule.HasProbe(1, 0));
+  EXPECT_TRUE(result->schedule.HasProbe(0, 1));
+}
+
+TEST(OnlineExecutorTest, NonPreemptionPrioritizesSelectedTIntervals) {
+  // At t=0 only eta1's first EI (r0:[0,0]) is active; it gets probed, so
+  // eta1 is "selected". At t=1 both eta1's second EI (r1:[1,1]) and a new
+  // t-interval eta2 (r2:[1,1]) are candidates. Use a policy that scores
+  // eta2 better (FCFS scores by EI start; both start at 1 -> tie; use
+  // MRSF: eta2 has residual 1 < eta1 residual... pick values so the
+  // preemptive run chooses eta2 while the non-preemptive run sticks with
+  // eta1).
+  // MRSF: eta1 residual = rank(p1) - 1 captured. Make p1 rank 2 ->
+  // residual 1. eta2 in rank-1 profile -> residual 1. Tie broken by
+  // deadline then arrival; construct instead with S-EDF and a longer
+  // deadline for eta1's second EI.
+  Profile p1("two-step", {TInterval({{0, 0, 0}, {1, 1, 3}})});
+  Profile p2("newcomer", {TInterval({{2, 1, 1}})});
+  MonitoringProblem problem = SimpleProblem({p1, p2}, 3, 5, 1);
+
+  // Preemptive S-EDF at t=1: eta2's EI deadline 1 beats eta1's deadline 3
+  // -> probes r2; eta1's r1 EI is served at t=2. Both captured.
+  {
+    SEdfPolicy policy;
+    OnlineExecutor executor(&problem, &policy,
+                            ExecutionMode::kPreemptive);
+    auto result = executor.Run();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->t_intervals_completed, 2u);
+    EXPECT_TRUE(result->schedule.HasProbe(2, 1));
+    EXPECT_TRUE(result->schedule.HasProbe(1, 2));
+  }
+  // Non-preemptive S-EDF at t=1: eta1 was selected at t=0, so its r1 EI
+  // is served first despite the worse deadline; eta2 expires.
+  {
+    SEdfPolicy policy;
+    OnlineExecutor executor(&problem, &policy,
+                            ExecutionMode::kNonPreemptive);
+    auto result = executor.Run();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->t_intervals_completed, 1u);
+    EXPECT_EQ(result->t_intervals_failed, 1u);
+    EXPECT_TRUE(result->schedule.HasProbe(1, 1));
+  }
+}
+
+TEST(OnlineExecutorTest, CaptureCallbackReportsProfileAndIndex) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 1}})}),
+       Profile("b", {TInterval({{1, 2, 3}}), TInterval({{1, 5, 6}})})},
+      2, 10, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  std::vector<std::tuple<ProfileId, std::size_t, Chronon>> captures;
+  executor.set_capture_callback(
+      [&](ProfileId profile, std::size_t index, Chronon when) {
+        captures.emplace_back(profile, index, when);
+      });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(captures.size(), 3u);
+  EXPECT_EQ(captures[0], std::make_tuple(ProfileId{0}, std::size_t{0},
+                                         Chronon{0}));
+  EXPECT_EQ(captures[1], std::make_tuple(ProfileId{1}, std::size_t{0},
+                                         Chronon{2}));
+  EXPECT_EQ(captures[2], std::make_tuple(ProfileId{1}, std::size_t{1},
+                                         Chronon{5}));
+}
+
+TEST(OnlineExecutorTest, ProbeCallbackSeesEveryProbe) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 1}}), TInterval({{1, 3, 4}})})},
+      2, 6, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  std::size_t probes = 0;
+  executor.set_probe_callback([&](ResourceId, Chronon) { ++probes; });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(probes, result->probes_used);
+  EXPECT_EQ(probes, 2u);
+}
+
+TEST(OnlineExecutorTest, InvalidProblemRejected) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{5, 0, 1}})})}, 2, 6, 1);  // bad resource
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  EXPECT_FALSE(executor.Run().ok());
+}
+
+TEST(OnlineExecutorTest, StatsAreTracked) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 3}}), TInterval({{1, 0, 3}})})},
+      2, 6, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->max_concurrent_candidates, 2u);
+  EXPECT_GT(result->candidates_scored, 0u);
+  EXPECT_GE(result->elapsed_seconds, 0.0);
+}
+
+TEST(OnlineExecutorTest, RunIsRepeatable) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 3}}), TInterval({{1, 1, 4}})})},
+      2, 6, 1);
+  MEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  auto first = executor.Run();
+  auto second = executor.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->t_intervals_completed, second->t_intervals_completed);
+  EXPECT_EQ(first->probes_used, second->probes_used);
+}
+
+TEST(OnlineExecutorTest, LargerBudgetNeverHurts) {
+  // Property spot-check on a fixed scenario: GC is monotone in C.
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 1, 2}, {1, 1, 2}})}),
+      Profile("b", {TInterval({{2, 1, 1}})}),
+      Profile("c", {TInterval({{3, 2, 3}})}),
+  };
+  double prev = -1.0;
+  for (int c = 0; c <= 4; ++c) {
+    MonitoringProblem p = SimpleProblem(profiles, 4, 6, c);
+    MrsfPolicy policy;
+    OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+    auto result = executor.Run();
+    ASSERT_TRUE(result.ok());
+    double gc = result->completeness.GainedCompleteness();
+    EXPECT_GE(gc, prev) << "budget " << c;
+    prev = gc;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace pullmon

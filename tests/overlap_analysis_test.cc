@@ -1,0 +1,92 @@
+#include "core/overlap_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace pullmon {
+namespace {
+
+TEST(OverlapAnalysisTest, EmptyWorkload) {
+  OverlapReport report = AnalyzeOverlap({}, 4, 10);
+  EXPECT_EQ(report.total_eis, 0u);
+  EXPECT_EQ(report.min_probes_ignoring_budget, 0u);
+  EXPECT_DOUBLE_EQ(report.sharing_potential, 0.0);
+  EXPECT_EQ(report.peak_concurrent_resources, 0u);
+}
+
+TEST(OverlapAnalysisTest, DisjointWindowsHaveNoSharing) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 0, 1}}), TInterval({{0, 3, 4}}),
+                    TInterval({{1, 0, 2}})})};
+  OverlapReport report = AnalyzeOverlap(profiles, 2, 6);
+  EXPECT_EQ(report.total_eis, 3u);
+  EXPECT_EQ(report.intra_resource_overlapping_pairs, 0u);
+  EXPECT_EQ(report.min_probes_ignoring_budget, 3u);
+  EXPECT_DOUBLE_EQ(report.sharing_potential, 0.0);
+  EXPECT_EQ(report.resources_touched, 2u);
+}
+
+TEST(OverlapAnalysisTest, FullyOverlappingWindowsShareOneProbe) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 2, 6}}), TInterval({{0, 3, 5}}),
+                    TInterval({{0, 4, 8}})})};
+  OverlapReport report = AnalyzeOverlap(profiles, 1, 10);
+  EXPECT_EQ(report.total_eis, 3u);
+  EXPECT_EQ(report.intra_resource_overlapping_pairs, 3u);
+  // One probe at chronon 4 or 5 pierces all three windows.
+  EXPECT_EQ(report.min_probes_ignoring_budget, 1u);
+  EXPECT_NEAR(report.sharing_potential, 2.0 / 3.0, 1e-12);
+}
+
+TEST(OverlapAnalysisTest, PiercingGreedyIsExactOnChains) {
+  // Chain: [0,2],[1,3],[2,4] pierced by one probe at 2; [5,6] needs its
+  // own.
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 0, 2}}), TInterval({{0, 1, 3}}),
+                    TInterval({{0, 2, 4}}), TInterval({{0, 5, 6}})})};
+  OverlapReport report = AnalyzeOverlap(profiles, 1, 10);
+  EXPECT_EQ(report.min_probes_ignoring_budget, 2u);
+}
+
+TEST(OverlapAnalysisTest, ConcurrencyTracksDistinctResources) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 1, 4}, {1, 2, 5}}),
+                    TInterval({{2, 3, 3}})})};
+  OverlapReport report = AnalyzeOverlap(profiles, 3, 8);
+  // At chronon 3 all three resources have open windows.
+  EXPECT_EQ(report.peak_concurrent_resources, 3u);
+  EXPECT_GT(report.mean_concurrent_resources, 0.0);
+  EXPECT_LT(report.mean_concurrent_resources, 3.0);
+}
+
+TEST(OverlapAnalysisTest, OutOfBoundsEisIgnored) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{9, 0, 1}}), TInterval({{0, 0, 99}})})};
+  OverlapReport report = AnalyzeOverlap(profiles, 2, 10);
+  EXPECT_EQ(report.total_eis, 0u);
+}
+
+TEST(OverlapAnalysisTest, AlphaSkewRaisesSharingPotential) {
+  // The mechanism behind Figure 7(1): popularity concentration turns
+  // probe demand into shareable overlap.
+  auto potential_at = [](double alpha) {
+    SimulationConfig config = BaselineConfig();
+    config.num_resources = 100;
+    config.epoch_length = 400;
+    config.num_profiles = 150;
+    config.lambda = 10.0;
+    config.alpha = alpha;
+    auto problem = BuildProblem(config, 909);
+    EXPECT_TRUE(problem.ok());
+    OverlapReport report = AnalyzeOverlap(
+        problem->profiles, problem->num_resources, problem->epoch.length);
+    return report.sharing_potential;
+  };
+  double uniform = potential_at(0.0);
+  double skewed = potential_at(1.37);
+  EXPECT_GT(skewed, uniform + 0.05);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,107 @@
+#include "trace/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/poisson_generator.h"
+
+namespace pullmon {
+namespace {
+
+UpdateTrace MakeTruth(uint64_t seed = 5, double lambda = 10.0) {
+  Rng rng(seed);
+  auto trace = GeneratePoissonTrace({50, 500, lambda, 0.0}, &rng);
+  EXPECT_TRUE(trace.ok());
+  return *trace;
+}
+
+TEST(PerturbTest, IdentityWhenNoErrorConfigured) {
+  UpdateTrace truth = MakeTruth();
+  Rng rng(1);
+  auto estimated = PerturbTrace(truth, {}, &rng);
+  ASSERT_TRUE(estimated.ok());
+  for (ResourceId r = 0; r < truth.num_resources(); ++r) {
+    EXPECT_EQ(estimated->EventsFor(r), truth.EventsFor(r));
+  }
+}
+
+TEST(PerturbTest, RejectsBadOptions) {
+  UpdateTrace truth = MakeTruth();
+  Rng rng(1);
+  TracePerturbationOptions bad;
+  bad.jitter_stddev = -1.0;
+  EXPECT_FALSE(PerturbTrace(truth, bad, &rng).ok());
+  bad = {};
+  bad.miss_probability = 1.5;
+  EXPECT_FALSE(PerturbTrace(truth, bad, &rng).ok());
+  bad = {};
+  bad.spurious_rate = -0.1;
+  EXPECT_FALSE(PerturbTrace(truth, bad, &rng).ok());
+}
+
+TEST(PerturbTest, MissProbabilityDropsRoughlyThatFraction) {
+  UpdateTrace truth = MakeTruth(7, 40.0);
+  Rng rng(11);
+  TracePerturbationOptions options;
+  options.miss_probability = 0.3;
+  auto estimated = PerturbTrace(truth, options, &rng);
+  ASSERT_TRUE(estimated.ok());
+  double kept = static_cast<double>(estimated->TotalEvents()) /
+                static_cast<double>(truth.TotalEvents());
+  EXPECT_NEAR(kept, 0.7, 0.05);
+}
+
+TEST(PerturbTest, MissOneDropsEverything) {
+  UpdateTrace truth = MakeTruth();
+  Rng rng(13);
+  TracePerturbationOptions options;
+  options.miss_probability = 1.0;
+  auto estimated = PerturbTrace(truth, options, &rng);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_EQ(estimated->TotalEvents(), 0u);
+}
+
+TEST(PerturbTest, JitterKeepsEventsInEpochAndNearTruth) {
+  UpdateTrace truth = MakeTruth(17, 20.0);
+  Rng rng(19);
+  TracePerturbationOptions options;
+  options.jitter_stddev = 3.0;
+  auto estimated = PerturbTrace(truth, options, &rng);
+  ASSERT_TRUE(estimated.ok());
+  // Event count is preserved up to same-chronon collapse.
+  EXPECT_LE(estimated->TotalEvents(), truth.TotalEvents());
+  EXPECT_GT(estimated->TotalEvents(), truth.TotalEvents() * 9 / 10);
+  for (ResourceId r = 0; r < estimated->num_resources(); ++r) {
+    for (Chronon t : estimated->EventsFor(r)) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, truth.epoch_length());
+    }
+  }
+}
+
+TEST(PerturbTest, SpuriousEventsAdd) {
+  UpdateTrace truth = MakeTruth(23, 5.0);
+  Rng rng(29);
+  TracePerturbationOptions options;
+  options.spurious_rate = 10.0;
+  auto estimated = PerturbTrace(truth, options, &rng);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_GT(estimated->TotalEvents(), truth.TotalEvents());
+}
+
+TEST(PerturbTest, DeterministicGivenSeed) {
+  UpdateTrace truth = MakeTruth();
+  TracePerturbationOptions options;
+  options.jitter_stddev = 2.0;
+  options.miss_probability = 0.1;
+  Rng a(31), b(31);
+  auto e1 = PerturbTrace(truth, options, &a);
+  auto e2 = PerturbTrace(truth, options, &b);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  for (ResourceId r = 0; r < truth.num_resources(); ++r) {
+    EXPECT_EQ(e1->EventsFor(r), e2->EventsFor(r));
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,76 @@
+#include "core/problem.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+MonitoringProblem MakeValidProblem() {
+  MonitoringProblem p;
+  p.num_resources = 3;
+  p.epoch.length = 10;
+  p.budget = BudgetVector::Uniform(1, 10);
+  p.profiles = {
+      Profile("a", {TInterval({{0, 0, 2}, {1, 1, 3}})}),
+      Profile("b", {TInterval({{2, 4, 4}})}),
+  };
+  return p;
+}
+
+TEST(MonitoringProblemTest, ValidProblemPasses) {
+  EXPECT_TRUE(MakeValidProblem().Validate().ok());
+}
+
+TEST(MonitoringProblemTest, RejectsNonPositiveSizes) {
+  MonitoringProblem p = MakeValidProblem();
+  p.num_resources = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = MakeValidProblem();
+  p.epoch.length = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MonitoringProblemTest, RejectsBudgetEpochMismatch) {
+  MonitoringProblem p = MakeValidProblem();
+  p.budget = BudgetVector::Uniform(1, 9);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MonitoringProblemTest, RejectsResourceOutOfRange) {
+  MonitoringProblem p = MakeValidProblem();
+  p.profiles.push_back(Profile("bad", {TInterval({{3, 0, 1}})}));
+  EXPECT_EQ(p.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MonitoringProblemTest, RejectsEiBeyondEpoch) {
+  MonitoringProblem p = MakeValidProblem();
+  p.profiles.push_back(Profile("bad", {TInterval({{0, 8, 10}})}));
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MonitoringProblemTest, Counters) {
+  MonitoringProblem p = MakeValidProblem();
+  EXPECT_EQ(p.rank(), 2u);
+  EXPECT_EQ(p.TotalTIntervalCount(), 2u);
+  EXPECT_EQ(p.TotalEiCount(), 3u);
+  EXPECT_FALSE(p.IsUnitWidth());
+}
+
+TEST(MonitoringProblemTest, UnitWidthDetection) {
+  MonitoringProblem p;
+  p.num_resources = 2;
+  p.epoch.length = 5;
+  p.budget = BudgetVector::Uniform(1, 5);
+  p.profiles = {Profile("u", {TInterval({{0, 1, 1}, {1, 2, 2}})})};
+  EXPECT_TRUE(p.IsUnitWidth());
+}
+
+TEST(MonitoringProblemTest, ConvenienceConstructor) {
+  MonitoringProblem p(4, 20, {Profile("x", {TInterval({{0, 0, 1}})})}, 2);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.budget.max(), 2);
+  EXPECT_EQ(p.budget.epoch_length(), 20);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,81 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+Profile MakeRank2Profile() {
+  Profile p("test", {});
+  p.AddTInterval(TInterval({{0, 0, 3}, {1, 1, 4}}));
+  p.AddTInterval(TInterval({{0, 5, 8}}));
+  return p;
+}
+
+TEST(ProfileTest, RankIsMaxTIntervalSize) {
+  Profile p = MakeRank2Profile();
+  EXPECT_EQ(p.rank(), 2u);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(Profile().rank(), 0u);
+}
+
+TEST(ProfileTest, UnitWidthDetection) {
+  Profile unit("u", {TInterval({{0, 1, 1}, {1, 2, 2}})});
+  EXPECT_TRUE(unit.IsUnitWidth());
+  EXPECT_FALSE(MakeRank2Profile().IsUnitWidth());
+}
+
+TEST(ProfileTest, IntraResourceOverlapWithinTInterval) {
+  Profile p("x", {TInterval({{0, 1, 5}, {0, 3, 7}})});
+  EXPECT_TRUE(p.HasIntraResourceOverlap());
+}
+
+TEST(ProfileTest, IntraResourceOverlapAcrossSiblingTIntervals) {
+  Profile p("x", {TInterval({{0, 1, 5}}), TInterval({{0, 4, 8}})});
+  EXPECT_TRUE(p.HasIntraResourceOverlap());
+  Profile q("y", {TInterval({{0, 1, 3}}), TInterval({{0, 4, 8}})});
+  EXPECT_FALSE(q.HasIntraResourceOverlap());
+}
+
+TEST(ProfileTest, ValidateRejectsEmptyProfile) {
+  Epoch epoch{10};
+  EXPECT_FALSE(Profile().Validate(epoch).ok());
+  EXPECT_TRUE(MakeRank2Profile().Validate(epoch).ok());
+}
+
+TEST(ProfileSetTest, RankOfSet) {
+  std::vector<Profile> profiles{MakeRank2Profile(),
+                                Profile("z", {TInterval({{2, 0, 1}})})};
+  EXPECT_EQ(RankOf(profiles), 2u);
+  EXPECT_EQ(RankOf({}), 0u);
+}
+
+TEST(ProfileSetTest, TotalTIntervals) {
+  std::vector<Profile> profiles{MakeRank2Profile(), MakeRank2Profile()};
+  EXPECT_EQ(TotalTIntervals(profiles), 4u);
+}
+
+TEST(ProfileSetTest, CrossProfileIntraResourceOverlap) {
+  std::vector<Profile> profiles{
+      Profile("a", {TInterval({{0, 1, 5}})}),
+      Profile("b", {TInterval({{0, 3, 9}})}),
+  };
+  EXPECT_TRUE(HasIntraResourceOverlap(profiles, /*across_profiles=*/true));
+  EXPECT_FALSE(HasIntraResourceOverlap(profiles, /*across_profiles=*/false));
+
+  std::vector<Profile> disjoint{
+      Profile("a", {TInterval({{0, 1, 2}})}),
+      Profile("b", {TInterval({{0, 3, 9}})}),
+  };
+  EXPECT_FALSE(HasIntraResourceOverlap(disjoint, true));
+}
+
+TEST(ProfileTest, NameAccessors) {
+  Profile p = MakeRank2Profile();
+  EXPECT_EQ(p.name(), "test");
+  p.set_name("renamed");
+  EXPECT_EQ(p.name(), "renamed");
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,248 @@
+// Property-based tests (parameterized sweeps over random seeds) checking
+// the paper's theoretical claims against the exact offline optimum.
+
+#include <gtest/gtest.h>
+
+#include "core/online_executor.h"
+#include "offline/exact_solver.h"
+#include "offline/local_ratio.h"
+#include "policies/m_edf.h"
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+#include "test_instances.h"
+#include "util/stats.h"
+
+namespace pullmon {
+namespace {
+
+double RunPolicy(const MonitoringProblem& problem, Policy* policy,
+                 ExecutionMode mode) {
+  OnlineExecutor executor(&problem, policy, mode);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->completeness.GainedCompleteness();
+}
+
+class SeededPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         testing::Range<uint64_t>(1, 26));
+
+TEST_P(SeededPropertyTest, OnlinePoliciesNeverExceedExactOptimum) {
+  Rng rng(GetParam());
+  RandomInstanceOptions options;
+  options.num_resources = 4;
+  options.epoch_length = 7;
+  options.num_t_intervals = 5;
+  options.max_rank = 2;
+  options.max_width = 3;
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+
+  ExactSolver solver(&problem);
+  auto opt = solver.Solve();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  SEdfPolicy s_edf;
+  MEdfPolicy m_edf;
+  MrsfPolicy mrsf;
+  for (Policy* policy :
+       std::initializer_list<Policy*>{&s_edf, &m_edf, &mrsf}) {
+    for (ExecutionMode mode :
+         {ExecutionMode::kPreemptive, ExecutionMode::kNonPreemptive}) {
+      double gc = RunPolicy(problem, policy, mode);
+      EXPECT_LE(gc, opt->gained_completeness + 1e-9)
+          << policy->name() << " mode "
+          << ExecutionModeToString(mode);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, SEdfIsOptimalForRank1WithoutIntraOverlap) {
+  // The paper's baseline claim: EDF is optimal for the simple case of
+  // individual execution intervals (rank 1; no probe sharing).
+  Rng rng(GetParam() * 31 + 7);
+  RandomInstanceOptions options;
+  options.num_resources = 4;
+  options.epoch_length = 8;
+  options.num_t_intervals = 6;
+  options.max_rank = 1;
+  options.max_width = 3;
+  options.forbid_intra_resource_overlap = true;
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+
+  ExactSolver solver(&problem);
+  auto opt = solver.Solve();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  SEdfPolicy s_edf;
+  double gc = RunPolicy(problem, &s_edf, ExecutionMode::kPreemptive);
+  EXPECT_NEAR(gc, opt->gained_completeness, 1e-9);
+}
+
+TEST_P(SeededPropertyTest, MrsfIsKCompetitiveWithoutIntraOverlap) {
+  // Proposition 4: without intra-resource overlap and rank(P) = k, MRSF
+  // is k-competitive.
+  Rng rng(GetParam() * 131 + 17);
+  RandomInstanceOptions options;
+  options.num_resources = 5;
+  options.epoch_length = 7;
+  options.num_t_intervals = 5;
+  options.max_rank = 3;
+  options.max_width = 2;
+  options.forbid_intra_resource_overlap = true;
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+  double k = static_cast<double>(problem.rank());
+  if (k == 0) GTEST_SKIP();
+
+  ExactSolver solver(&problem);
+  auto opt = solver.Solve();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  MrsfPolicy mrsf;
+  double gc = RunPolicy(problem, &mrsf, ExecutionMode::kPreemptive);
+  EXPECT_GE(gc, opt->gained_completeness / k - 1e-9);
+}
+
+TEST_P(SeededPropertyTest, ExactOptimumIsMonotoneInBudget) {
+  Rng rng(GetParam() * 977 + 3);
+  RandomInstanceOptions options;
+  options.num_resources = 4;
+  options.epoch_length = 6;
+  options.num_t_intervals = 5;
+  options.max_rank = 2;
+  options.max_width = 2;
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+
+  double prev = -1.0;
+  for (int c = 1; c <= 3; ++c) {
+    problem.budget = BudgetVector::Uniform(c, problem.epoch.length);
+    ExactSolver solver(&problem);
+    auto opt = solver.Solve();
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    EXPECT_GE(opt->gained_completeness, prev - 1e-12);
+    prev = opt->gained_completeness;
+  }
+}
+
+TEST_P(SeededPropertyTest, LocalRatioWithinProvenFactorOfOptimum) {
+  Rng rng(GetParam() * 503 + 11);
+  RandomInstanceOptions options;
+  options.num_resources = 4;
+  options.epoch_length = 8;
+  options.num_t_intervals = 5;
+  options.max_rank = 2;
+  options.unit_width = true;  // P^[1]: the 2k guarantee applies
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+  if (problem.TotalTIntervalCount() == 0) GTEST_SKIP();
+
+  ExactSolver solver(&problem);
+  auto opt = solver.Solve();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  // Strong variant (sharing-aware conflicts + augmentation): checked
+  // against the true (sharing-exploiting) optimum.
+  LocalRatioOptions strong;
+  strong.sharing_aware_conflicts = true;
+  strong.greedy_augmentation = true;
+  LocalRatioScheduler scheduler(&problem, strong);
+  auto approx = scheduler.Solve();
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+
+  EXPECT_TRUE(approx->schedule.SatisfiesBudget(problem.budget));
+  EXPECT_LE(approx->gained_completeness, opt->gained_completeness + 1e-9);
+  double factor = scheduler.GuaranteedFactor();
+  ASSERT_GT(factor, 0.0);
+  EXPECT_GE(approx->gained_completeness,
+            opt->gained_completeness / factor - 1e-9);
+}
+
+TEST_P(SeededPropertyTest,
+       FaithfulLocalRatioWithinFactorWhenNoIntraOverlap) {
+  // The faithful [2] reduction ignores probe sharing; on instances with
+  // no intra-resource overlap the sharing optimum coincides with the
+  // split-interval optimum, so the proven factor applies directly.
+  Rng rng(GetParam() * 89 + 5);
+  RandomInstanceOptions options;
+  options.num_resources = 5;
+  options.epoch_length = 10;
+  options.num_t_intervals = 5;
+  options.max_rank = 2;
+  options.unit_width = true;
+  options.forbid_intra_resource_overlap = true;
+  MonitoringProblem problem = MakeRandomInstance(options, &rng);
+  if (problem.TotalTIntervalCount() == 0) GTEST_SKIP();
+
+  ExactSolver solver(&problem);
+  auto opt = solver.Solve();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  LocalRatioScheduler scheduler(&problem);  // faithful defaults
+  auto approx = scheduler.Solve();
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_TRUE(approx->schedule.SatisfiesBudget(problem.budget));
+  double factor = scheduler.GuaranteedFactor();
+  EXPECT_GE(approx->gained_completeness,
+            opt->gained_completeness / factor - 1e-9);
+}
+
+TEST_P(SeededPropertyTest, ExecutorScheduleAlwaysRespectsBudget) {
+  Rng rng(GetParam() * 7 + 1);
+  RandomInstanceOptions options;
+  options.num_resources = 6;
+  options.epoch_length = 12;
+  options.num_t_intervals = 10;
+  options.max_rank = 3;
+  options.max_width = 4;
+  options.budget = static_cast<int>(rng.NextInt(1, 3));
+  MonitoringProblem problem = MakeRandomInstance(options, &rng, 2);
+
+  MEdfPolicy policy;
+  OnlineExecutor executor(&problem, &policy, ExecutionMode::kPreemptive);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schedule.SatisfiesBudget(problem.budget));
+  // Executor accounting equals schedule-based evaluation.
+  EXPECT_EQ(result->completeness.captured_t_intervals,
+            result->t_intervals_completed);
+  EXPECT_EQ(result->t_intervals_completed + result->t_intervals_failed,
+            problem.TotalTIntervalCount());
+}
+
+TEST(Proposition5Test, MEdfAndMrsfPerformTheSameOnUnitWidthInstances) {
+  // Proposition 5: on P^[1] instances M-EDF is equivalent to MRSF. In
+  // our implementation the two value functions can order exact ties
+  // differently, so we test the claim at the level the paper uses it
+  // (Section 5.3): the two preemptive policies *perform the same* —
+  // statistically indistinguishable gained completeness over many
+  // unit-width instances.
+  RunningStats diff, medf_gc, mrsf_gc;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 53 + 29);
+    RandomInstanceOptions options;
+    options.num_resources = 6;
+    options.epoch_length = 30;
+    options.num_t_intervals = 25;
+    options.max_rank = 3;
+    options.unit_width = true;
+    MonitoringProblem problem = MakeRandomInstance(options, &rng);
+    if (problem.TotalTIntervalCount() == 0) continue;
+
+    MEdfPolicy m_edf;
+    MrsfPolicy mrsf;
+    double a = RunPolicy(problem, &m_edf, ExecutionMode::kPreemptive);
+    double b = RunPolicy(problem, &mrsf, ExecutionMode::kPreemptive);
+    diff.Add(a - b);
+    medf_gc.Add(a);
+    mrsf_gc.Add(b);
+  }
+  ASSERT_GT(diff.count(), 20u);
+  // Means within two percentage points of completeness of each other
+  // (the paper itself observes M-EDF(P) "slightly lower" than MRSF(P),
+  // Section 5.5).
+  EXPECT_NEAR(medf_gc.mean(), mrsf_gc.mean(), 0.02);
+  // Per-instance deviations are small.
+  EXPECT_LT(std::abs(diff.mean()) + diff.stddev(), 0.1);
+}
+
+}  // namespace
+}  // namespace pullmon

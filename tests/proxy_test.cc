@@ -1,0 +1,99 @@
+#include "sim/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+
+namespace pullmon {
+namespace {
+
+struct Fixture {
+  UpdateTrace trace{2, 12};
+  MonitoringProblem problem;
+
+  Fixture() {
+    EXPECT_TRUE(trace.AddEvent(0, 1).ok());
+    EXPECT_TRUE(trace.AddEvent(0, 6).ok());
+    EXPECT_TRUE(trace.AddEvent(1, 3).ok());
+    problem.num_resources = 2;
+    problem.epoch.length = 12;
+    problem.budget = BudgetVector::Uniform(1, 12);
+    // Simple overwrite-style windows derived by hand from the trace.
+    problem.profiles = {
+        Profile("watch-r0",
+                {TInterval({{0, 1, 5}}), TInterval({{0, 6, 11}})}),
+        Profile("pair", {TInterval({{0, 1, 5}, {1, 3, 8}})}),
+    };
+  }
+};
+
+TEST(MonitoringProxyTest, EndToEndPullParsePush) {
+  Fixture fx;
+  FeedNetwork network(&fx.trace, 8);
+  SEdfPolicy policy;
+  MonitoringProxy proxy(&fx.problem, &network, &policy,
+                        ExecutionMode::kPreemptive);
+  auto report = proxy.Run();
+  ASSERT_TRUE(report.ok());
+  // All three t-intervals are capturable with C=1.
+  EXPECT_EQ(report->run.t_intervals_completed, 3u);
+  EXPECT_EQ(report->notifications_delivered, 3u);
+  EXPECT_EQ(proxy.notifications().size(), 3u);
+  // Every probe fetched a feed document and parsed it.
+  EXPECT_EQ(report->feeds_fetched, report->run.probes_used);
+  EXPECT_EQ(report->parse_failures, 0u);
+  EXPECT_GT(report->feed_bytes, 0u);
+}
+
+TEST(MonitoringProxyTest, NotificationsCarryContext) {
+  Fixture fx;
+  FeedNetwork network(&fx.trace, 8);
+  MrsfPolicy policy;
+  MonitoringProxy proxy(&fx.problem, &network, &policy,
+                        ExecutionMode::kPreemptive);
+  auto report = proxy.Run();
+  ASSERT_TRUE(report.ok());
+  for (const auto& notification : proxy.notifications()) {
+    EXPECT_GE(notification.profile, 0);
+    EXPECT_LT(notification.profile, 2);
+    EXPECT_GE(notification.chronon, 0);
+    EXPECT_LT(notification.chronon, 12);
+    // The capture chronon's fetch payload is attached.
+    EXPECT_FALSE(notification.items.empty());
+  }
+}
+
+TEST(MonitoringProxyTest, FetchCountsMatchServers) {
+  Fixture fx;
+  FeedNetwork network(&fx.trace, 8);
+  SEdfPolicy policy;
+  MonitoringProxy proxy(&fx.problem, &network, &policy,
+                        ExecutionMode::kPreemptive);
+  auto report = proxy.Run();
+  ASSERT_TRUE(report.ok());
+  std::size_t total_fetches = 0;
+  for (ResourceId r = 0; r < 2; ++r) {
+    total_fetches += network.server(r)->fetch_count();
+  }
+  EXPECT_EQ(total_fetches, report->feeds_fetched);
+}
+
+TEST(MonitoringProxyTest, RunIsRepeatableAcrossProxies) {
+  Fixture fx;
+  FeedNetwork n1(&fx.trace, 8), n2(&fx.trace, 8);
+  SEdfPolicy p1, p2;
+  MonitoringProxy proxy1(&fx.problem, &n1, &p1,
+                         ExecutionMode::kPreemptive);
+  MonitoringProxy proxy2(&fx.problem, &n2, &p2,
+                         ExecutionMode::kPreemptive);
+  auto r1 = proxy1.Run();
+  auto r2 = proxy2.Run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->run.probes_used, r2->run.probes_used);
+  EXPECT_EQ(r1->notifications_delivered, r2->notifications_delivered);
+}
+
+}  // namespace
+}  // namespace pullmon

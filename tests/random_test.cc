@@ -1,0 +1,157 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pullmon {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(19);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.NextExponential(2.0);
+  double mean = total / n;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanSmallLambda) {
+  Rng rng(23);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.NextPoisson(3.5));
+  }
+  EXPECT_NEAR(total / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeLambdaUsesPtrsPath) {
+  Rng rng(29);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.NextPoisson(100.0));
+  }
+  EXPECT_NEAR(total / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,114 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/schedule_io.h"
+#include "util/csv.h"
+
+namespace pullmon {
+namespace {
+
+ComparisonResult FakeResult(double gc_a, double gc_b) {
+  ComparisonResult result;
+  PolicyOutcome a;
+  a.spec = {"MRSF", ExecutionMode::kPreemptive};
+  a.gc.Add(gc_a);
+  a.gc.Add(gc_a);
+  a.runtime_seconds.Add(0.010);
+  PolicyOutcome b;
+  b.spec = {"S-EDF", ExecutionMode::kNonPreemptive};
+  b.gc.Add(gc_b);
+  b.gc.Add(gc_b);
+  b.runtime_seconds.Add(0.005);
+  result.policies = {a, b};
+  return result;
+}
+
+TEST(SweepReportTest, AccumulatesRows) {
+  SweepReport report("budget");
+  ASSERT_TRUE(report.Add("1", FakeResult(0.2, 0.1)).ok());
+  ASSERT_TRUE(report.Add("2", FakeResult(0.4, 0.3)).ok());
+  EXPECT_EQ(report.num_points(), 2u);
+  std::string table = report.ToTable();
+  EXPECT_NE(table.find("budget"), std::string::npos);
+  EXPECT_NE(table.find("MRSF(P)"), std::string::npos);
+  EXPECT_NE(table.find("0.400"), std::string::npos);
+}
+
+TEST(SweepReportTest, RejectsMismatchedLineups) {
+  SweepReport report("lambda");
+  ASSERT_TRUE(report.Add("5", FakeResult(0.2, 0.1)).ok());
+  ComparisonResult other = FakeResult(0.3, 0.2);
+  other.policies[0].spec.policy = "Random";
+  EXPECT_FALSE(report.Add("10", other).ok());
+}
+
+TEST(SweepReportTest, CsvIsParsable) {
+  SweepReport report("budget");
+  ASSERT_TRUE(report.Add("1", FakeResult(0.25, 0.125)).ok());
+  ASSERT_TRUE(report.Add("2", FakeResult(0.5, 0.25)).ok());
+  auto doc = ParseCsv(report.ToCsv(), /*has_header=*/true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->header.front(), "budget");
+  EXPECT_EQ(*doc->ColumnIndex("MRSF(P) gc"), 1u);
+  EXPECT_EQ(doc->rows[0][0], "1");
+  EXPECT_EQ(doc->rows[0][1], "0.250000");
+  EXPECT_EQ(doc->rows[1][4], "0.250000");  // S-EDF(NP) gc at budget 2
+}
+
+TEST(SweepReportTest, MarkdownShape) {
+  SweepReport report("alpha");
+  ASSERT_TRUE(report.Add("0.00", FakeResult(0.2, 0.1)).ok());
+  std::string md = report.ToMarkdown();
+  EXPECT_NE(md.find("| alpha | MRSF(P) | S-EDF(NP) |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| 0.00 | 0.200 | 0.100 |"), std::string::npos);
+}
+
+TEST(SweepReportTest, WriteCsvFile) {
+  SweepReport report("m");
+  ASSERT_TRUE(report.Add("100", FakeResult(0.3, 0.2)).ok());
+  std::string path = testing::TempDir() + "/pullmon_sweep.csv";
+  ASSERT_TRUE(report.WriteCsvFile(path).ok());
+  auto doc = ReadCsvFile(path, true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleIoTest, CsvRoundTrip) {
+  Schedule schedule(10);
+  ASSERT_TRUE(schedule.AddProbe(3, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(7, 9).ok());
+  auto parsed = ScheduleFromCsv(ScheduleToCsv(schedule), 10);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->TotalProbes(), 3u);
+  for (Chronon t = 0; t < 10; ++t) {
+    EXPECT_EQ(parsed->ProbesAt(t), schedule.ProbesAt(t));
+  }
+}
+
+TEST(ScheduleIoTest, RejectsOutOfEpochProbes) {
+  EXPECT_FALSE(ScheduleFromCsv("chronon,resource\n12,0\n", 10).ok());
+  EXPECT_FALSE(ScheduleFromCsv("chronon,resource\n1,x\n", 10).ok());
+  EXPECT_FALSE(ScheduleFromCsv("nope\n1,2\n", 10).ok());
+}
+
+TEST(ScheduleIoTest, FileRoundTrip) {
+  Schedule schedule(5);
+  ASSERT_TRUE(schedule.AddProbe(1, 2).ok());
+  std::string path = testing::TempDir() + "/pullmon_schedule.csv";
+  ASSERT_TRUE(WriteScheduleFile(schedule, path).ok());
+  auto loaded = ReadScheduleFile(path, 5);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->HasProbe(1, 2));
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadScheduleFile("/no/such/file", 5).ok());
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,79 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(BudgetVectorTest, UniformBudget) {
+  BudgetVector b = BudgetVector::Uniform(2, 10);
+  EXPECT_EQ(b.at(0), 2);
+  EXPECT_EQ(b.at(9), 2);
+  EXPECT_EQ(b.at(10), 0);
+  EXPECT_EQ(b.at(-1), 0);
+  EXPECT_EQ(b.max(), 2);
+  EXPECT_EQ(b.Total(), 20);
+  EXPECT_EQ(b.epoch_length(), 10);
+}
+
+TEST(BudgetVectorTest, PerChrononBudget) {
+  BudgetVector b = BudgetVector::FromVector({1, 0, 3});
+  EXPECT_EQ(b.at(0), 1);
+  EXPECT_EQ(b.at(1), 0);
+  EXPECT_EQ(b.at(2), 3);
+  EXPECT_EQ(b.max(), 3);
+  EXPECT_EQ(b.Total(), 4);
+  EXPECT_EQ(b.epoch_length(), 3);
+}
+
+TEST(ScheduleTest, AddAndQueryProbes) {
+  Schedule s(10);
+  EXPECT_TRUE(s.AddProbe(3, 5).ok());
+  EXPECT_TRUE(s.HasProbe(3, 5));
+  EXPECT_FALSE(s.HasProbe(3, 4));
+  EXPECT_FALSE(s.HasProbe(2, 5));
+  EXPECT_EQ(s.TotalProbes(), 1u);
+}
+
+TEST(ScheduleTest, DuplicateProbesAreIdempotent) {
+  Schedule s(10);
+  EXPECT_TRUE(s.AddProbe(1, 1).ok());
+  EXPECT_TRUE(s.AddProbe(1, 1).ok());
+  EXPECT_EQ(s.TotalProbes(), 1u);
+}
+
+TEST(ScheduleTest, ProbesAtIsSorted) {
+  Schedule s(10);
+  ASSERT_TRUE(s.AddProbe(5, 2).ok());
+  ASSERT_TRUE(s.AddProbe(1, 2).ok());
+  ASSERT_TRUE(s.AddProbe(3, 2).ok());
+  EXPECT_EQ(s.ProbesAt(2), (std::vector<ResourceId>{1, 3, 5}));
+  EXPECT_TRUE(s.ProbesAt(0).empty());
+  EXPECT_TRUE(s.ProbesAt(99).empty());
+}
+
+TEST(ScheduleTest, RejectsOutOfEpochAndNegativeResource) {
+  Schedule s(10);
+  EXPECT_EQ(s.AddProbe(0, 10).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.AddProbe(0, -1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.AddProbe(-2, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScheduleTest, SatisfiesBudget) {
+  Schedule s(5);
+  ASSERT_TRUE(s.AddProbe(0, 0).ok());
+  ASSERT_TRUE(s.AddProbe(1, 0).ok());
+  EXPECT_TRUE(s.SatisfiesBudget(BudgetVector::Uniform(2, 5)));
+  EXPECT_FALSE(s.SatisfiesBudget(BudgetVector::Uniform(1, 5)));
+  EXPECT_TRUE(s.SatisfiesBudget(BudgetVector::FromVector({2, 0, 0, 0, 0})));
+}
+
+TEST(ScheduleTest, ToStringShowsNonEmptyChronons) {
+  Schedule s(5);
+  ASSERT_TRUE(s.AddProbe(2, 1).ok());
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  EXPECT_EQ(s.ToString(), "t=1: r0 r2\n");
+}
+
+}  // namespace
+}  // namespace pullmon

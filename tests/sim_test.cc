@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/experiment.h"
+
+namespace pullmon {
+namespace {
+
+SimulationConfig TinyConfig() {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 20;
+  config.epoch_length = 80;
+  config.num_profiles = 15;
+  config.max_rank = 2;
+  config.lambda = 6.0;
+  config.window = 4;
+  return config;
+}
+
+TEST(ConfigTest, BaselineMatchesTable1) {
+  SimulationConfig config = BaselineConfig();
+  EXPECT_EQ(config.num_resources, 400);
+  EXPECT_EQ(config.epoch_length, 1000);
+  EXPECT_EQ(config.num_profiles, 500);
+  EXPECT_EQ(config.max_rank, 3);
+  EXPECT_DOUBLE_EQ(config.lambda, 20.0);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(config.beta, 0.0);
+  EXPECT_EQ(config.budget, 1);
+  EXPECT_EQ(config.window, 20);
+  EXPECT_EQ(config.restriction, LengthRestriction::kWindow);
+  EXPECT_EQ(config.dataset, DatasetKind::kPoisson);
+}
+
+TEST(ConfigTest, ToRowsListsControlledParameters) {
+  auto rows = BaselineConfig().ToRows();
+  EXPECT_GE(rows.size(), 9u);
+  bool has_n = false;
+  for (const auto& [key, value] : rows) {
+    if (key.rfind("n (", 0) == 0) {
+      has_n = true;
+      EXPECT_EQ(value, "400");
+    }
+  }
+  EXPECT_TRUE(has_n);
+}
+
+TEST(PolicySpecTest, LabelMatchesPaperConvention) {
+  EXPECT_EQ((PolicySpec{"MRSF", ExecutionMode::kPreemptive}).Label(),
+            "MRSF(P)");
+  EXPECT_EQ((PolicySpec{"S-EDF", ExecutionMode::kNonPreemptive}).Label(),
+            "S-EDF(NP)");
+}
+
+TEST(StandardPolicySpecsTest, CoversThePaperLineup) {
+  auto specs = StandardPolicySpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].Label(), "S-EDF(NP)");
+  EXPECT_EQ(specs[1].Label(), "S-EDF(P)");
+  EXPECT_EQ(specs[2].Label(), "M-EDF(P)");
+  EXPECT_EQ(specs[3].Label(), "MRSF(P)");
+}
+
+TEST(BuildProblemTest, PoissonDatasetProducesValidProblem) {
+  auto problem = BuildProblem(TinyConfig(), 42);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(problem->Validate().ok());
+  EXPECT_EQ(problem->num_resources, 20);
+  EXPECT_EQ(problem->epoch.length, 80);
+  EXPECT_LE(problem->rank(), 2u);
+  EXPECT_GT(problem->TotalTIntervalCount(), 0u);
+}
+
+TEST(BuildProblemTest, AuctionDatasetProducesValidProblem) {
+  SimulationConfig config = TinyConfig();
+  config.dataset = DatasetKind::kAuction;
+  auto problem = BuildProblem(config, 42);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(problem->Validate().ok());
+  EXPECT_GT(problem->TotalTIntervalCount(), 0u);
+}
+
+TEST(BuildProblemTest, DeterministicGivenSeed) {
+  auto a = BuildProblem(TinyConfig(), 7);
+  auto b = BuildProblem(TinyConfig(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->TotalTIntervalCount(), b->TotalTIntervalCount());
+  EXPECT_EQ(a->TotalEiCount(), b->TotalEiCount());
+}
+
+TEST(BuildProblemTest, WindowZeroYieldsUnitWidth) {
+  SimulationConfig config = TinyConfig();
+  config.window = 0;
+  auto problem = BuildProblem(config, 11);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(problem->IsUnitWidth());
+}
+
+TEST(ExperimentRunnerTest, RunsAllSpecsAndAggregates) {
+  ExperimentRunner runner(/*repetitions=*/3, /*base_seed=*/99);
+  auto result = runner.Run(TinyConfig(), StandardPolicySpecs());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->policies.size(), 4u);
+  for (const auto& outcome : result->policies) {
+    EXPECT_EQ(outcome.gc.count(), 3u);
+    EXPECT_GE(outcome.gc.mean(), 0.0);
+    EXPECT_LE(outcome.gc.mean(), 1.0);
+    EXPECT_GE(outcome.runtime_seconds.mean(), 0.0);
+    EXPECT_GT(outcome.probes_used.mean(), 0.0);
+  }
+  EXPECT_FALSE(result->offline.has_value());
+  EXPECT_EQ(result->t_intervals.count(), 3u);
+}
+
+TEST(ExperimentRunnerTest, OfflineComparisonIncluded) {
+  SimulationConfig config = TinyConfig();
+  config.num_resources = 8;
+  config.epoch_length = 30;
+  config.num_profiles = 6;
+  config.lambda = 3.0;
+  config.window = 0;
+  ExperimentRunner runner(/*repetitions=*/2, /*base_seed=*/5);
+  auto result = runner.Run(config, {{"MRSF", ExecutionMode::kPreemptive}},
+                           /*include_offline=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->offline.has_value());
+  EXPECT_EQ(result->offline->gc.count(), 2u);
+  EXPECT_GT(result->offline->guaranteed_factor, 0.0);
+}
+
+TEST(ExperimentRunnerTest, InvalidPolicyNameFails) {
+  ExperimentRunner runner(1, 1);
+  auto result = runner.Run(TinyConfig(),
+                           {{"no-such-policy", ExecutionMode::kPreemptive}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DatasetKindTest, Names) {
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kPoisson), "poisson");
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kAuction), "auction");
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kFeedWorkload),
+               "feed-workload");
+}
+
+TEST(BuildProblemTest, FeedWorkloadDatasetProducesValidProblem) {
+  SimulationConfig config = TinyConfig();
+  config.dataset = DatasetKind::kFeedWorkload;
+  config.epoch_length = 200;
+  auto problem = BuildProblem(config, 77);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(problem->Validate().ok());
+  EXPECT_GT(problem->TotalTIntervalCount(), 0u);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,141 @@
+#include "offline/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(LinearProgramTest, ConstructionAndValidation) {
+  LinearProgram lp(2);
+  EXPECT_EQ(lp.num_vars(), 2);
+  EXPECT_TRUE(lp.SetObjective(0, 1.0).ok());
+  EXPECT_FALSE(lp.SetObjective(2, 1.0).ok());
+  EXPECT_TRUE(lp.AddConstraint({{0, 1.0}, {1, 1.0}}, 4.0).ok());
+  EXPECT_FALSE(lp.AddConstraint({{0, 1.0}}, -1.0).ok());  // negative rhs
+  EXPECT_FALSE(lp.AddConstraint({{5, 1.0}}, 1.0).ok());   // bad var
+  EXPECT_EQ(lp.num_constraints(), 1);
+}
+
+TEST(SimplexTest, SolvesTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj 36.
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 3.0).ok());
+  ASSERT_TRUE(lp.SetObjective(1, 5.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}}, 4.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1, 2.0}}, 12.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 3.0}, {1, 2.0}}, 18.0).ok());
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->converged);
+  EXPECT_NEAR(solution->objective, 36.0, 1e-9);
+  EXPECT_NEAR(solution->values[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution->values[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, BindingSingleConstraint) {
+  // max x + y s.t. x + y <= 1 -> objective 1.
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjective(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}, {1, 1.0}}, 1.0).ok());
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveIsImmediatelyOptimal) {
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}}, 5.0).ok());
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 0.0, 1e-12);
+  EXPECT_EQ(solution->iterations, 0u);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x with no constraint on x.
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1, 1.0}}, 3.0).ok());
+  auto solution = SolveLp(lp);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, FractionalOptimum) {
+  // max x + y s.t. 2x + y <= 2, x + 2y <= 2 -> x=y=2/3, obj 4/3.
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjective(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 2.0}, {1, 1.0}}, 2.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}, {1, 2.0}}, 2.0).ok());
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(solution->values[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(solution->values[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsStillTerminate) {
+  // Multiple redundant constraints (degeneracy stress).
+  LinearProgram lp(3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(lp.SetObjective(i, 1.0).ok());
+  }
+  for (int rep = 0; rep < 4; ++rep) {
+    ASSERT_TRUE(
+        lp.AddConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 2.0).ok());
+  }
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}}, 0.0).ok());  // x0 = 0
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 2.0, 1e-9);
+  EXPECT_NEAR(solution->values[0], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionIsAlwaysFeasible) {
+  // Random-ish medium LP; verify feasibility of the returned point.
+  LinearProgram lp(6);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(lp.SetObjective(i, 1.0 + (i % 3)).ok());
+  }
+  std::vector<std::vector<std::pair<int, double>>> rows;
+  std::vector<double> rhs;
+  for (int c = 0; c < 8; ++c) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < 6; ++i) {
+      if ((c + i) % 2 == 0) {
+        terms.emplace_back(i, 1.0 + ((c * i) % 4));
+      }
+    }
+    rows.push_back(terms);
+    rhs.push_back(3.0 + c);
+    ASSERT_TRUE(lp.AddConstraint(terms, 3.0 + c).ok());
+  }
+  auto solution = SolveLp(lp);
+  ASSERT_TRUE(solution.ok());
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : rows[c]) {
+      lhs += coeff * solution->values[static_cast<std::size_t>(var)];
+    }
+    EXPECT_LE(lhs, rhs[c] + 1e-7);
+  }
+  for (double v : solution->values) EXPECT_GE(v, -1e-9);
+}
+
+TEST(SimplexTest, IterationCapReportsNonConverged) {
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjective(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}}, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1, 1.0}}, 1.0).ok());
+  SimplexOptions options;
+  options.max_iterations = 1;
+  auto solution = SolveLp(lp, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->converged);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,63 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"policy", "GC"});
+  t.AddRow({"MRSF(P)", "0.82"});
+  t.AddRow({"S-EDF", "0.5"});
+  std::string out = t.ToString();
+  // Header present, separator line present, rows present.
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("MRSF(P)"), std::string::npos);
+  EXPECT_NE(out.find("-------"), std::string::npos);
+  // All lines equally indented at column starts: "GC" column aligned.
+  auto lines = [](const std::string& s) {
+    std::vector<std::string> out_lines;
+    std::size_t start = 0;
+    while (start < s.size()) {
+      std::size_t end = s.find('\n', start);
+      if (end == std::string::npos) end = s.size();
+      out_lines.push_back(s.substr(start, end - start));
+      start = end + 1;
+    }
+    return out_lines;
+  };
+  auto ls = lines(out);
+  ASSERT_GE(ls.size(), 4u);
+  EXPECT_EQ(ls[0].find("GC"), ls[2].find("0.82"));
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, LongRowsExtendTable) {
+  TablePrinter t({"a"});
+  t.AddRow({"1", "2", "3"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(TablePrinter::FormatDouble(-2.0, 0), "-2");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,97 @@
+#ifndef PULLMON_TESTS_TEST_INSTANCES_H_
+#define PULLMON_TESTS_TEST_INSTANCES_H_
+
+#include <vector>
+
+#include "core/problem.h"
+#include "util/random.h"
+
+namespace pullmon {
+
+/// Parameters for the small random instances used by property tests.
+struct RandomInstanceOptions {
+  int num_resources = 4;
+  Chronon epoch_length = 8;
+  int num_t_intervals = 5;
+  int max_rank = 2;
+  int max_width = 3;  // EI width drawn from [1, max_width]
+  int budget = 1;
+  /// When true, windows of the same resource never overlap (the
+  /// assumption of Propositions 3/4) — enforced by rejection.
+  bool forbid_intra_resource_overlap = false;
+  /// When true every EI has width 1 (a P^[1] instance).
+  bool unit_width = false;
+};
+
+/// Draws a random monitoring problem. Each t-interval gets a rank drawn
+/// from [1, max_rank] and that many EIs on distinct resources with
+/// random windows. Each t-interval is its own single-t-interval profile
+/// unless `t_intervals_per_profile` > 1.
+inline MonitoringProblem MakeRandomInstance(
+    const RandomInstanceOptions& options, Rng* rng,
+    int t_intervals_per_profile = 1) {
+  MonitoringProblem problem;
+  problem.num_resources = options.num_resources;
+  problem.epoch.length = options.epoch_length;
+  problem.budget =
+      BudgetVector::Uniform(options.budget, options.epoch_length);
+
+  // Track occupied windows per resource when intra-resource overlap is
+  // forbidden.
+  std::vector<std::vector<ExecutionInterval>> used(
+      static_cast<std::size_t>(options.num_resources));
+
+  Profile current;
+  for (int t = 0; t < options.num_t_intervals; ++t) {
+    TInterval eta;
+    int rank = static_cast<int>(rng->NextInt(1, options.max_rank));
+    // Distinct resources for this t-interval.
+    std::vector<ResourceId> resources;
+    for (ResourceId r = 0; r < options.num_resources; ++r) {
+      resources.push_back(r);
+    }
+    rng->Shuffle(&resources);
+    int placed = 0;
+    for (ResourceId r : resources) {
+      if (placed == rank) break;
+      bool ok = false;
+      ExecutionInterval ei;
+      for (int attempt = 0; attempt < 32 && !ok; ++attempt) {
+        int width = options.unit_width
+                        ? 1
+                        : static_cast<int>(
+                              rng->NextInt(1, options.max_width));
+        if (width > options.epoch_length) width = options.epoch_length;
+        Chronon start = static_cast<Chronon>(
+            rng->NextInt(0, options.epoch_length - width));
+        ei = ExecutionInterval(r, start, start + width - 1);
+        ok = true;
+        if (options.forbid_intra_resource_overlap) {
+          for (const auto& other :
+               used[static_cast<std::size_t>(r)]) {
+            if (ei.OverlapsInTime(other)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!ok) continue;
+      used[static_cast<std::size_t>(r)].push_back(ei);
+      eta.AddEi(ei);
+      ++placed;
+    }
+    if (eta.empty()) continue;
+    current.AddTInterval(std::move(eta));
+    if (static_cast<int>(current.size()) >= t_intervals_per_profile) {
+      problem.profiles.push_back(std::move(current));
+      current = Profile();
+    }
+  }
+  if (!current.empty()) problem.profiles.push_back(std::move(current));
+  return problem;
+}
+
+}  // namespace pullmon
+
+#endif  // PULLMON_TESTS_TEST_INSTANCES_H_

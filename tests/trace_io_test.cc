@@ -1,0 +1,105 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/poisson_generator.h"
+
+namespace pullmon {
+namespace {
+
+TEST(UpdateTraceCsvTest, RoundTrip) {
+  UpdateTrace trace(3, 50);
+  ASSERT_TRUE(trace.AddEvent(0, 10).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 20).ok());
+  ASSERT_TRUE(trace.AddEvent(2, 5).ok());
+  std::string csv = UpdateTraceToCsv(trace);
+  auto parsed = UpdateTraceFromCsv(csv, 3, 50);
+  ASSERT_TRUE(parsed.ok());
+  for (ResourceId r = 0; r < 3; ++r) {
+    EXPECT_EQ(parsed->EventsFor(r), trace.EventsFor(r));
+  }
+}
+
+TEST(UpdateTraceCsvTest, HeaderRequired) {
+  EXPECT_FALSE(UpdateTraceFromCsv("1,2\n", 3, 50).ok());
+}
+
+TEST(UpdateTraceCsvTest, BadValuesRejected) {
+  EXPECT_FALSE(
+      UpdateTraceFromCsv("resource,chronon\nx,2\n", 3, 50).ok());
+  EXPECT_FALSE(
+      UpdateTraceFromCsv("resource,chronon\n9,2\n", 3, 50).ok());
+  EXPECT_FALSE(
+      UpdateTraceFromCsv("resource,chronon\n0,99\n", 3, 50).ok());
+}
+
+TEST(UpdateTraceCsvTest, FileRoundTrip) {
+  Rng rng(3);
+  auto trace = GeneratePoissonTrace({5, 100, 4.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  std::string path = testing::TempDir() + "/pullmon_trace.csv";
+  ASSERT_TRUE(WriteUpdateTraceFile(*trace, path).ok());
+  auto loaded = ReadUpdateTraceFile(path, 5, 100);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalEvents(), trace->TotalEvents());
+  std::remove(path.c_str());
+}
+
+TEST(AuctionTraceCsvTest, RoundTrip) {
+  Rng rng(7);
+  AuctionTraceOptions options;
+  options.num_auctions = 8;
+  options.epoch_length = 120;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  std::string csv = AuctionTraceToCsv(*trace);
+  auto parsed = AuctionTraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->epoch_length, trace->epoch_length);
+  ASSERT_EQ(parsed->auctions.size(), trace->auctions.size());
+  ASSERT_EQ(parsed->bids.size(), trace->bids.size());
+  for (std::size_t i = 0; i < trace->auctions.size(); ++i) {
+    EXPECT_EQ(parsed->auctions[i].id, trace->auctions[i].id);
+    EXPECT_EQ(parsed->auctions[i].item, trace->auctions[i].item);
+    EXPECT_EQ(parsed->auctions[i].open, trace->auctions[i].open);
+    EXPECT_EQ(parsed->auctions[i].close, trace->auctions[i].close);
+    EXPECT_NEAR(parsed->auctions[i].start_price,
+                trace->auctions[i].start_price, 0.01);
+  }
+  for (std::size_t i = 0; i < trace->bids.size(); ++i) {
+    EXPECT_EQ(parsed->bids[i].auction, trace->bids[i].auction);
+    EXPECT_EQ(parsed->bids[i].chronon, trace->bids[i].chronon);
+    EXPECT_EQ(parsed->bids[i].bidder, trace->bids[i].bidder);
+    EXPECT_NEAR(parsed->bids[i].amount, trace->bids[i].amount, 0.01);
+  }
+}
+
+TEST(AuctionTraceCsvTest, UnknownRowKindRejected) {
+  EXPECT_FALSE(AuctionTraceFromCsv("kind,a,b,c,d,e\nweird,1,2,3,4,5\n")
+                   .ok());
+}
+
+TEST(AuctionTraceCsvTest, FileRoundTrip) {
+  Rng rng(9);
+  AuctionTraceOptions options;
+  options.num_auctions = 4;
+  options.epoch_length = 60;
+  auto trace = GenerateAuctionTrace(options, &rng);
+  ASSERT_TRUE(trace.ok());
+  std::string path = testing::TempDir() + "/pullmon_auctions.csv";
+  ASSERT_TRUE(WriteAuctionTraceFile(*trace, path).ok());
+  auto loaded = ReadAuctionTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->bids.size(), trace->bids.size());
+  std::remove(path.c_str());
+}
+
+TEST(AuctionTraceCsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadAuctionTraceFile("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pullmon

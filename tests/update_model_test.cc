@@ -1,0 +1,99 @@
+#include "trace/update_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+UpdateTrace MakeTrace() {
+  UpdateTrace trace(2, 20);
+  for (Chronon t : {2, 7, 11}) EXPECT_TRUE(trace.AddEvent(0, t).ok());
+  EXPECT_TRUE(trace.AddEvent(1, 5).ok());
+  return trace;
+}
+
+TEST(UpdateModelTest, OverwriteExtendsToNextUpdate) {
+  UpdateTrace trace = MakeTrace();
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kOverwrite;
+  auto eis = DeriveExecutionIntervals(trace, 0, options);
+  ASSERT_EQ(eis.size(), 3u);
+  EXPECT_EQ(eis[0], ExecutionInterval(0, 2, 6));
+  EXPECT_EQ(eis[1], ExecutionInterval(0, 7, 10));
+  // Last update holds until the epoch ends.
+  EXPECT_EQ(eis[2], ExecutionInterval(0, 11, 19));
+}
+
+TEST(UpdateModelTest, OverwriteSingleUpdateSpansRestOfEpoch) {
+  UpdateTrace trace = MakeTrace();
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kOverwrite;
+  auto eis = DeriveExecutionIntervals(trace, 1, options);
+  ASSERT_EQ(eis.size(), 1u);
+  EXPECT_EQ(eis[0], ExecutionInterval(1, 5, 19));
+}
+
+TEST(UpdateModelTest, OverwriteBackToBackUpdatesGiveUnitWidth) {
+  UpdateTrace trace(1, 10);
+  ASSERT_TRUE(trace.AddEvent(0, 3).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 4).ok());
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kOverwrite;
+  auto eis = DeriveExecutionIntervals(trace, 0, options);
+  ASSERT_EQ(eis.size(), 2u);
+  EXPECT_EQ(eis[0].width(), 1);
+}
+
+TEST(UpdateModelTest, WindowRestrictionClampsToEpoch) {
+  UpdateTrace trace = MakeTrace();
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kWindow;
+  options.window = 5;
+  auto eis = DeriveExecutionIntervals(trace, 0, options);
+  ASSERT_EQ(eis.size(), 3u);
+  EXPECT_EQ(eis[0], ExecutionInterval(0, 2, 7));
+  EXPECT_EQ(eis[2], ExecutionInterval(0, 11, 16));
+  // Event near the epoch end is clamped.
+  UpdateTrace tail(1, 10);
+  ASSERT_TRUE(tail.AddEvent(0, 8).ok());
+  auto clamped = DeriveExecutionIntervals(tail, 0, options);
+  ASSERT_EQ(clamped.size(), 1u);
+  EXPECT_EQ(clamped[0], ExecutionInterval(0, 8, 9));
+}
+
+TEST(UpdateModelTest, WindowZeroGivesUnitWidth) {
+  UpdateTrace trace = MakeTrace();
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kWindow;
+  options.window = 0;
+  for (const auto& ei : DeriveExecutionIntervals(trace, 0, options)) {
+    EXPECT_EQ(ei.width(), 1);
+  }
+}
+
+TEST(UpdateModelTest, DeriveAllConcatenatesByResource) {
+  UpdateTrace trace = MakeTrace();
+  EiDerivationOptions options;
+  options.restriction = LengthRestriction::kWindow;
+  options.window = 1;
+  auto all = DeriveAllExecutionIntervals(trace, options);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].resource, 0);
+  EXPECT_EQ(all[3].resource, 1);
+}
+
+TEST(UpdateModelTest, EmptyResourceYieldsNoEis) {
+  UpdateTrace trace(2, 10);
+  EiDerivationOptions options;
+  EXPECT_TRUE(DeriveExecutionIntervals(trace, 0, options).empty());
+}
+
+TEST(UpdateModelTest, RestrictionNames) {
+  EXPECT_STREQ(LengthRestrictionToString(LengthRestriction::kOverwrite),
+               "overwrite");
+  EXPECT_STREQ(LengthRestrictionToString(LengthRestriction::kWindow),
+               "window");
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,60 @@
+#include "trace/update_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace pullmon {
+namespace {
+
+TEST(UpdateTraceTest, AddAndQueryEvents) {
+  UpdateTrace trace(3, 10);
+  ASSERT_TRUE(trace.AddEvent(1, 5).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 2).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 7).ok());
+  EXPECT_EQ(trace.EventsFor(1), (std::vector<Chronon>{2, 5}));
+  EXPECT_EQ(trace.EventsFor(0), (std::vector<Chronon>{7}));
+  EXPECT_TRUE(trace.EventsFor(2).empty());
+  EXPECT_EQ(trace.TotalEvents(), 3u);
+}
+
+TEST(UpdateTraceTest, CollapsesDuplicateChronons) {
+  UpdateTrace trace(1, 10);
+  ASSERT_TRUE(trace.AddEvent(0, 4).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 4).ok());
+  EXPECT_EQ(trace.TotalEvents(), 1u);
+}
+
+TEST(UpdateTraceTest, RejectsOutOfRange) {
+  UpdateTrace trace(2, 10);
+  EXPECT_FALSE(trace.AddEvent(2, 0).ok());
+  EXPECT_FALSE(trace.AddEvent(-1, 0).ok());
+  EXPECT_FALSE(trace.AddEvent(0, 10).ok());
+  EXPECT_FALSE(trace.AddEvent(0, -1).ok());
+}
+
+TEST(UpdateTraceTest, MeanIntensity) {
+  UpdateTrace trace(4, 10);
+  ASSERT_TRUE(trace.AddEvent(0, 1).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 2).ok());
+  EXPECT_DOUBLE_EQ(trace.MeanIntensity(), 0.5);
+}
+
+TEST(UpdateTraceTest, ChronologicalOrdering) {
+  UpdateTrace trace(3, 10);
+  ASSERT_TRUE(trace.AddEvent(2, 1).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 1).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 0).ok());
+  auto events = trace.ChronologicalEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (UpdateEvent{1, 0}));
+  EXPECT_EQ(events[1], (UpdateEvent{0, 1}));
+  EXPECT_EQ(events[2], (UpdateEvent{2, 1}));
+}
+
+TEST(UpdateTraceTest, OutOfRangeQueryIsEmpty) {
+  UpdateTrace trace(2, 5);
+  EXPECT_TRUE(trace.EventsFor(-1).empty());
+  EXPECT_TRUE(trace.EventsFor(2).empty());
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -1,0 +1,73 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pullmon {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 1.37, 2.0}) {
+    ZipfDistribution zipf(theta, 50);
+    double total = 0.0;
+    for (uint64_t i = 1; i <= 50; ++i) total += zipf.Pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(0.0, 10);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PositiveThetaFavorsLowRanks) {
+  ZipfDistribution zipf(1.37, 100);
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(2));
+  EXPECT_GT(zipf.Pmf(2), zipf.Pmf(10));
+  EXPECT_GT(zipf.Pmf(10), zipf.Pmf(100));
+}
+
+TEST(ZipfTest, PmfRatiosMatchPowerLaw) {
+  ZipfDistribution zipf(2.0, 20);
+  // P(1)/P(2) should be 2^theta = 4.
+  EXPECT_NEAR(zipf.Pmf(1) / zipf.Pmf(2), 4.0, 1e-9);
+  EXPECT_NEAR(zipf.Pmf(2) / zipf.Pmf(4), 4.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfDistribution zipf(1.0, 7);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(1.0, 5);
+  Rng rng(101);
+  std::vector<int> counts(6, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  for (uint64_t i = 1; i <= 5; ++i) {
+    double freq = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(freq, zipf.Pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingletonSupport) {
+  ZipfDistribution zipf(1.5, 1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+  EXPECT_NEAR(zipf.Pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pullmon
