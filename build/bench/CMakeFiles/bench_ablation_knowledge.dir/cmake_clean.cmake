@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knowledge.dir/bench_ablation_knowledge.cc.o"
+  "CMakeFiles/bench_ablation_knowledge.dir/bench_ablation_knowledge.cc.o.d"
+  "bench_ablation_knowledge"
+  "bench_ablation_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rank_offline.dir/bench_fig4_rank_offline.cc.o"
+  "CMakeFiles/bench_fig4_rank_offline.dir/bench_fig4_rank_offline.cc.o.d"
+  "bench_fig4_rank_offline"
+  "bench_fig4_rank_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rank_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

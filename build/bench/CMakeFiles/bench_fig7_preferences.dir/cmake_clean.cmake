@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_preferences.dir/bench_fig7_preferences.cc.o"
+  "CMakeFiles/bench_fig7_preferences.dir/bench_fig7_preferences.cc.o.d"
+  "bench_fig7_preferences"
+  "bench_fig7_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_budget.dir/bench_fig8_budget.cc.o"
+  "CMakeFiles/bench_fig8_budget.dir/bench_fig8_budget.cc.o.d"
+  "bench_fig8_budget"
+  "bench_fig8_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_baseline.dir/bench_table1_baseline.cc.o"
+  "CMakeFiles/bench_table1_baseline.dir/bench_table1_baseline.cc.o.d"
+  "bench_table1_baseline"
+  "bench_table1_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrage_monitor.dir/arbitrage_monitor.cpp.o"
+  "CMakeFiles/arbitrage_monitor.dir/arbitrage_monitor.cpp.o.d"
+  "arbitrage_monitor"
+  "arbitrage_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrage_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

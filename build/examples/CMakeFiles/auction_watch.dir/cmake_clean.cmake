@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_watch.dir/auction_watch.cpp.o"
+  "CMakeFiles/auction_watch.dir/auction_watch.cpp.o.d"
+  "auction_watch"
+  "auction_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for auction_watch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_aggregator.dir/feed_aggregator.cpp.o"
+  "CMakeFiles/feed_aggregator.dir/feed_aggregator.cpp.o.d"
+  "feed_aggregator"
+  "feed_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_forecast_monitor.cpp" "examples/CMakeFiles/live_forecast_monitor.dir/live_forecast_monitor.cpp.o" "gcc" "examples/CMakeFiles/live_forecast_monitor.dir/live_forecast_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pullmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/pullmon_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/pullmon_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/profilegen/CMakeFiles/pullmon_profilegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/pullmon_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/feeds/CMakeFiles/pullmon_feeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pullmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

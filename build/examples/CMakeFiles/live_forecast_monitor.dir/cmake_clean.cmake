@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_forecast_monitor.dir/live_forecast_monitor.cpp.o"
+  "CMakeFiles/live_forecast_monitor.dir/live_forecast_monitor.cpp.o.d"
+  "live_forecast_monitor"
+  "live_forecast_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_forecast_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/completeness.cc" "src/core/CMakeFiles/pullmon_core.dir/completeness.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/completeness.cc.o.d"
+  "/root/repo/src/core/dynamic_monitor.cc" "src/core/CMakeFiles/pullmon_core.dir/dynamic_monitor.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/dynamic_monitor.cc.o.d"
+  "/root/repo/src/core/execution_interval.cc" "src/core/CMakeFiles/pullmon_core.dir/execution_interval.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/execution_interval.cc.o.d"
+  "/root/repo/src/core/online_executor.cc" "src/core/CMakeFiles/pullmon_core.dir/online_executor.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/online_executor.cc.o.d"
+  "/root/repo/src/core/overlap_analysis.cc" "src/core/CMakeFiles/pullmon_core.dir/overlap_analysis.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/overlap_analysis.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/pullmon_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/problem.cc" "src/core/CMakeFiles/pullmon_core.dir/problem.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/problem.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/pullmon_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/pullmon_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/schedule_io.cc" "src/core/CMakeFiles/pullmon_core.dir/schedule_io.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/schedule_io.cc.o.d"
+  "/root/repo/src/core/t_interval.cc" "src/core/CMakeFiles/pullmon_core.dir/t_interval.cc.o" "gcc" "src/core/CMakeFiles/pullmon_core.dir/t_interval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

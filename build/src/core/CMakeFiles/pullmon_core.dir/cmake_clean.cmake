@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_core.dir/completeness.cc.o"
+  "CMakeFiles/pullmon_core.dir/completeness.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/dynamic_monitor.cc.o"
+  "CMakeFiles/pullmon_core.dir/dynamic_monitor.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/execution_interval.cc.o"
+  "CMakeFiles/pullmon_core.dir/execution_interval.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/online_executor.cc.o"
+  "CMakeFiles/pullmon_core.dir/online_executor.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/overlap_analysis.cc.o"
+  "CMakeFiles/pullmon_core.dir/overlap_analysis.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/policy.cc.o"
+  "CMakeFiles/pullmon_core.dir/policy.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/problem.cc.o"
+  "CMakeFiles/pullmon_core.dir/problem.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/profile.cc.o"
+  "CMakeFiles/pullmon_core.dir/profile.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/schedule.cc.o"
+  "CMakeFiles/pullmon_core.dir/schedule.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/schedule_io.cc.o"
+  "CMakeFiles/pullmon_core.dir/schedule_io.cc.o.d"
+  "CMakeFiles/pullmon_core.dir/t_interval.cc.o"
+  "CMakeFiles/pullmon_core.dir/t_interval.cc.o.d"
+  "libpullmon_core.a"
+  "libpullmon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

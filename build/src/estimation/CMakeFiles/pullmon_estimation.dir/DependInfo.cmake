@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/forecaster.cc" "src/estimation/CMakeFiles/pullmon_estimation.dir/forecaster.cc.o" "gcc" "src/estimation/CMakeFiles/pullmon_estimation.dir/forecaster.cc.o.d"
+  "/root/repo/src/estimation/periodic_detector.cc" "src/estimation/CMakeFiles/pullmon_estimation.dir/periodic_detector.cc.o" "gcc" "src/estimation/CMakeFiles/pullmon_estimation.dir/periodic_detector.cc.o.d"
+  "/root/repo/src/estimation/rate_estimator.cc" "src/estimation/CMakeFiles/pullmon_estimation.dir/rate_estimator.cc.o" "gcc" "src/estimation/CMakeFiles/pullmon_estimation.dir/rate_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/pullmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

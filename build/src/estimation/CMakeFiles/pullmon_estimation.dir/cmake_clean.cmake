@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_estimation.dir/forecaster.cc.o"
+  "CMakeFiles/pullmon_estimation.dir/forecaster.cc.o.d"
+  "CMakeFiles/pullmon_estimation.dir/periodic_detector.cc.o"
+  "CMakeFiles/pullmon_estimation.dir/periodic_detector.cc.o.d"
+  "CMakeFiles/pullmon_estimation.dir/rate_estimator.cc.o"
+  "CMakeFiles/pullmon_estimation.dir/rate_estimator.cc.o.d"
+  "libpullmon_estimation.a"
+  "libpullmon_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

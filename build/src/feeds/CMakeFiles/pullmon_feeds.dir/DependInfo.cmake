@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feeds/atom.cc" "src/feeds/CMakeFiles/pullmon_feeds.dir/atom.cc.o" "gcc" "src/feeds/CMakeFiles/pullmon_feeds.dir/atom.cc.o.d"
+  "/root/repo/src/feeds/ebay_feed.cc" "src/feeds/CMakeFiles/pullmon_feeds.dir/ebay_feed.cc.o" "gcc" "src/feeds/CMakeFiles/pullmon_feeds.dir/ebay_feed.cc.o.d"
+  "/root/repo/src/feeds/feed_server.cc" "src/feeds/CMakeFiles/pullmon_feeds.dir/feed_server.cc.o" "gcc" "src/feeds/CMakeFiles/pullmon_feeds.dir/feed_server.cc.o.d"
+  "/root/repo/src/feeds/rss.cc" "src/feeds/CMakeFiles/pullmon_feeds.dir/rss.cc.o" "gcc" "src/feeds/CMakeFiles/pullmon_feeds.dir/rss.cc.o.d"
+  "/root/repo/src/feeds/xml.cc" "src/feeds/CMakeFiles/pullmon_feeds.dir/xml.cc.o" "gcc" "src/feeds/CMakeFiles/pullmon_feeds.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/pullmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_feeds.dir/atom.cc.o"
+  "CMakeFiles/pullmon_feeds.dir/atom.cc.o.d"
+  "CMakeFiles/pullmon_feeds.dir/ebay_feed.cc.o"
+  "CMakeFiles/pullmon_feeds.dir/ebay_feed.cc.o.d"
+  "CMakeFiles/pullmon_feeds.dir/feed_server.cc.o"
+  "CMakeFiles/pullmon_feeds.dir/feed_server.cc.o.d"
+  "CMakeFiles/pullmon_feeds.dir/rss.cc.o"
+  "CMakeFiles/pullmon_feeds.dir/rss.cc.o.d"
+  "CMakeFiles/pullmon_feeds.dir/xml.cc.o"
+  "CMakeFiles/pullmon_feeds.dir/xml.cc.o.d"
+  "libpullmon_feeds.a"
+  "libpullmon_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

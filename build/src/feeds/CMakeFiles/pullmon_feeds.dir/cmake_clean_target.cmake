@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpullmon_feeds.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pullmon_feeds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/exact_solver.cc" "src/offline/CMakeFiles/pullmon_offline.dir/exact_solver.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/exact_solver.cc.o.d"
+  "/root/repo/src/offline/greedy_offline.cc" "src/offline/CMakeFiles/pullmon_offline.dir/greedy_offline.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/greedy_offline.cc.o.d"
+  "/root/repo/src/offline/local_ratio.cc" "src/offline/CMakeFiles/pullmon_offline.dir/local_ratio.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/local_ratio.cc.o.d"
+  "/root/repo/src/offline/probe_assignment.cc" "src/offline/CMakeFiles/pullmon_offline.dir/probe_assignment.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/probe_assignment.cc.o.d"
+  "/root/repo/src/offline/simplex.cc" "src/offline/CMakeFiles/pullmon_offline.dir/simplex.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/simplex.cc.o.d"
+  "/root/repo/src/offline/transform.cc" "src/offline/CMakeFiles/pullmon_offline.dir/transform.cc.o" "gcc" "src/offline/CMakeFiles/pullmon_offline.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_offline.dir/exact_solver.cc.o"
+  "CMakeFiles/pullmon_offline.dir/exact_solver.cc.o.d"
+  "CMakeFiles/pullmon_offline.dir/greedy_offline.cc.o"
+  "CMakeFiles/pullmon_offline.dir/greedy_offline.cc.o.d"
+  "CMakeFiles/pullmon_offline.dir/local_ratio.cc.o"
+  "CMakeFiles/pullmon_offline.dir/local_ratio.cc.o.d"
+  "CMakeFiles/pullmon_offline.dir/probe_assignment.cc.o"
+  "CMakeFiles/pullmon_offline.dir/probe_assignment.cc.o.d"
+  "CMakeFiles/pullmon_offline.dir/simplex.cc.o"
+  "CMakeFiles/pullmon_offline.dir/simplex.cc.o.d"
+  "CMakeFiles/pullmon_offline.dir/transform.cc.o"
+  "CMakeFiles/pullmon_offline.dir/transform.cc.o.d"
+  "libpullmon_offline.a"
+  "libpullmon_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

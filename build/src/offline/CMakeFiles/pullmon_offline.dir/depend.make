@@ -1,0 +1,2 @@
+# Empty dependencies file for pullmon_offline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/baselines.cc" "src/policies/CMakeFiles/pullmon_policies.dir/baselines.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/baselines.cc.o.d"
+  "/root/repo/src/policies/m_edf.cc" "src/policies/CMakeFiles/pullmon_policies.dir/m_edf.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/m_edf.cc.o.d"
+  "/root/repo/src/policies/mrsf.cc" "src/policies/CMakeFiles/pullmon_policies.dir/mrsf.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/mrsf.cc.o.d"
+  "/root/repo/src/policies/policy_factory.cc" "src/policies/CMakeFiles/pullmon_policies.dir/policy_factory.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/policy_factory.cc.o.d"
+  "/root/repo/src/policies/s_edf.cc" "src/policies/CMakeFiles/pullmon_policies.dir/s_edf.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/s_edf.cc.o.d"
+  "/root/repo/src/policies/weighted.cc" "src/policies/CMakeFiles/pullmon_policies.dir/weighted.cc.o" "gcc" "src/policies/CMakeFiles/pullmon_policies.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_policies.dir/baselines.cc.o"
+  "CMakeFiles/pullmon_policies.dir/baselines.cc.o.d"
+  "CMakeFiles/pullmon_policies.dir/m_edf.cc.o"
+  "CMakeFiles/pullmon_policies.dir/m_edf.cc.o.d"
+  "CMakeFiles/pullmon_policies.dir/mrsf.cc.o"
+  "CMakeFiles/pullmon_policies.dir/mrsf.cc.o.d"
+  "CMakeFiles/pullmon_policies.dir/policy_factory.cc.o"
+  "CMakeFiles/pullmon_policies.dir/policy_factory.cc.o.d"
+  "CMakeFiles/pullmon_policies.dir/s_edf.cc.o"
+  "CMakeFiles/pullmon_policies.dir/s_edf.cc.o.d"
+  "CMakeFiles/pullmon_policies.dir/weighted.cc.o"
+  "CMakeFiles/pullmon_policies.dir/weighted.cc.o.d"
+  "libpullmon_policies.a"
+  "libpullmon_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profilegen/auction_watch.cc" "src/profilegen/CMakeFiles/pullmon_profilegen.dir/auction_watch.cc.o" "gcc" "src/profilegen/CMakeFiles/pullmon_profilegen.dir/auction_watch.cc.o.d"
+  "/root/repo/src/profilegen/profile_generator.cc" "src/profilegen/CMakeFiles/pullmon_profilegen.dir/profile_generator.cc.o" "gcc" "src/profilegen/CMakeFiles/pullmon_profilegen.dir/profile_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/pullmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

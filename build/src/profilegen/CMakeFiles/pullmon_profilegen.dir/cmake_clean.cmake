@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_profilegen.dir/auction_watch.cc.o"
+  "CMakeFiles/pullmon_profilegen.dir/auction_watch.cc.o.d"
+  "CMakeFiles/pullmon_profilegen.dir/profile_generator.cc.o"
+  "CMakeFiles/pullmon_profilegen.dir/profile_generator.cc.o.d"
+  "libpullmon_profilegen.a"
+  "libpullmon_profilegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_profilegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_sim.dir/config.cc.o"
+  "CMakeFiles/pullmon_sim.dir/config.cc.o.d"
+  "CMakeFiles/pullmon_sim.dir/experiment.cc.o"
+  "CMakeFiles/pullmon_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/pullmon_sim.dir/proxy.cc.o"
+  "CMakeFiles/pullmon_sim.dir/proxy.cc.o.d"
+  "CMakeFiles/pullmon_sim.dir/report.cc.o"
+  "CMakeFiles/pullmon_sim.dir/report.cc.o.d"
+  "libpullmon_sim.a"
+  "libpullmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

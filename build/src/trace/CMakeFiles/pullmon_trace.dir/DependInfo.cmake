@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/auction_generator.cc" "src/trace/CMakeFiles/pullmon_trace.dir/auction_generator.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/auction_generator.cc.o.d"
+  "/root/repo/src/trace/feed_workload.cc" "src/trace/CMakeFiles/pullmon_trace.dir/feed_workload.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/feed_workload.cc.o.d"
+  "/root/repo/src/trace/perturb.cc" "src/trace/CMakeFiles/pullmon_trace.dir/perturb.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/perturb.cc.o.d"
+  "/root/repo/src/trace/poisson_generator.cc" "src/trace/CMakeFiles/pullmon_trace.dir/poisson_generator.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/poisson_generator.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/pullmon_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/update_model.cc" "src/trace/CMakeFiles/pullmon_trace.dir/update_model.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/update_model.cc.o.d"
+  "/root/repo/src/trace/update_trace.cc" "src/trace/CMakeFiles/pullmon_trace.dir/update_trace.cc.o" "gcc" "src/trace/CMakeFiles/pullmon_trace.dir/update_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pullmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pullmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_trace.dir/auction_generator.cc.o"
+  "CMakeFiles/pullmon_trace.dir/auction_generator.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/feed_workload.cc.o"
+  "CMakeFiles/pullmon_trace.dir/feed_workload.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/perturb.cc.o"
+  "CMakeFiles/pullmon_trace.dir/perturb.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/poisson_generator.cc.o"
+  "CMakeFiles/pullmon_trace.dir/poisson_generator.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pullmon_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/update_model.cc.o"
+  "CMakeFiles/pullmon_trace.dir/update_model.cc.o.d"
+  "CMakeFiles/pullmon_trace.dir/update_trace.cc.o"
+  "CMakeFiles/pullmon_trace.dir/update_trace.cc.o.d"
+  "libpullmon_trace.a"
+  "libpullmon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_util.dir/csv.cc.o"
+  "CMakeFiles/pullmon_util.dir/csv.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/datetime.cc.o"
+  "CMakeFiles/pullmon_util.dir/datetime.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/flags.cc.o"
+  "CMakeFiles/pullmon_util.dir/flags.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/logging.cc.o"
+  "CMakeFiles/pullmon_util.dir/logging.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/random.cc.o"
+  "CMakeFiles/pullmon_util.dir/random.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/stats.cc.o"
+  "CMakeFiles/pullmon_util.dir/stats.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/status.cc.o"
+  "CMakeFiles/pullmon_util.dir/status.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/string_util.cc.o"
+  "CMakeFiles/pullmon_util.dir/string_util.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/table_printer.cc.o"
+  "CMakeFiles/pullmon_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/pullmon_util.dir/zipf.cc.o"
+  "CMakeFiles/pullmon_util.dir/zipf.cc.o.d"
+  "libpullmon_util.a"
+  "libpullmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

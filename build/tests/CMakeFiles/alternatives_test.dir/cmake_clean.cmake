@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternatives_test.dir/alternatives_test.cc.o"
+  "CMakeFiles/alternatives_test.dir/alternatives_test.cc.o.d"
+  "alternatives_test"
+  "alternatives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternatives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

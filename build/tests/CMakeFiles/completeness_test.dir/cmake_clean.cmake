@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completeness_test.dir/completeness_test.cc.o"
+  "CMakeFiles/completeness_test.dir/completeness_test.cc.o.d"
+  "completeness_test"
+  "completeness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

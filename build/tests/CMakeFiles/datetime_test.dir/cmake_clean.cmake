@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datetime_test.dir/datetime_test.cc.o"
+  "CMakeFiles/datetime_test.dir/datetime_test.cc.o.d"
+  "datetime_test"
+  "datetime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_monitor_test.dir/dynamic_monitor_test.cc.o"
+  "CMakeFiles/dynamic_monitor_test.dir/dynamic_monitor_test.cc.o.d"
+  "dynamic_monitor_test"
+  "dynamic_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebay_feed_test.dir/ebay_feed_test.cc.o"
+  "CMakeFiles/ebay_feed_test.dir/ebay_feed_test.cc.o.d"
+  "ebay_feed_test"
+  "ebay_feed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebay_feed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

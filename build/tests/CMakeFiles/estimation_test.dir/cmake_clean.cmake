@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_test.dir/estimation_test.cc.o"
+  "CMakeFiles/estimation_test.dir/estimation_test.cc.o.d"
+  "estimation_test"
+  "estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_solver_test.dir/exact_solver_test.cc.o"
+  "CMakeFiles/exact_solver_test.dir/exact_solver_test.cc.o.d"
+  "exact_solver_test"
+  "exact_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_formats_test.dir/feed_formats_test.cc.o"
+  "CMakeFiles/feed_formats_test.dir/feed_formats_test.cc.o.d"
+  "feed_formats_test"
+  "feed_formats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_roundtrip_property_test.dir/feed_roundtrip_property_test.cc.o"
+  "CMakeFiles/feed_roundtrip_property_test.dir/feed_roundtrip_property_test.cc.o.d"
+  "feed_roundtrip_property_test"
+  "feed_roundtrip_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_roundtrip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_server_test.dir/feed_server_test.cc.o"
+  "CMakeFiles/feed_server_test.dir/feed_server_test.cc.o.d"
+  "feed_server_test"
+  "feed_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

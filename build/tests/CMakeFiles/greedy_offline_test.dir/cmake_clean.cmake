@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_offline_test.dir/greedy_offline_test.cc.o"
+  "CMakeFiles/greedy_offline_test.dir/greedy_offline_test.cc.o.d"
+  "greedy_offline_test"
+  "greedy_offline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_ratio_test.dir/local_ratio_test.cc.o"
+  "CMakeFiles/local_ratio_test.dir/local_ratio_test.cc.o.d"
+  "local_ratio_test"
+  "local_ratio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_executor_test.dir/online_executor_test.cc.o"
+  "CMakeFiles/online_executor_test.dir/online_executor_test.cc.o.d"
+  "online_executor_test"
+  "online_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

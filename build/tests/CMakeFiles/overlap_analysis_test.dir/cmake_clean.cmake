@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_analysis_test.dir/overlap_analysis_test.cc.o"
+  "CMakeFiles/overlap_analysis_test.dir/overlap_analysis_test.cc.o.d"
+  "overlap_analysis_test"
+  "overlap_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

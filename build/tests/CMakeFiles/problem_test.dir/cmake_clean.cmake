@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_test.dir/problem_test.cc.o"
+  "CMakeFiles/problem_test.dir/problem_test.cc.o.d"
+  "problem_test"
+  "problem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

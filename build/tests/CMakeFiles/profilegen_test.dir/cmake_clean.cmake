@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profilegen_test.dir/profilegen_test.cc.o"
+  "CMakeFiles/profilegen_test.dir/profilegen_test.cc.o.d"
+  "profilegen_test"
+  "profilegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profilegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

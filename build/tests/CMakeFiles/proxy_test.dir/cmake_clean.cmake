@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_test.dir/proxy_test.cc.o"
+  "CMakeFiles/proxy_test.dir/proxy_test.cc.o.d"
+  "proxy_test"
+  "proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

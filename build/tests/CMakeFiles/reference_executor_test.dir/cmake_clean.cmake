@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_executor_test.dir/reference_executor_test.cc.o"
+  "CMakeFiles/reference_executor_test.dir/reference_executor_test.cc.o.d"
+  "reference_executor_test"
+  "reference_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_test.dir/simplex_test.cc.o"
+  "CMakeFiles/simplex_test.dir/simplex_test.cc.o.d"
+  "simplex_test"
+  "simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_model_test.dir/update_model_test.cc.o"
+  "CMakeFiles/update_model_test.dir/update_model_test.cc.o.d"
+  "update_model_test"
+  "update_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_trace_test.dir/update_trace_test.cc.o"
+  "CMakeFiles/update_trace_test.dir/update_trace_test.cc.o.d"
+  "update_trace_test"
+  "update_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

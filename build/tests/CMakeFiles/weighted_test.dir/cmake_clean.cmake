@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_test.dir/weighted_test.cc.o"
+  "CMakeFiles/weighted_test.dir/weighted_test.cc.o.d"
+  "weighted_test"
+  "weighted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipf_test.dir/zipf_test.cc.o"
+  "CMakeFiles/zipf_test.dir/zipf_test.cc.o.d"
+  "zipf_test"
+  "zipf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullmon_cli.dir/pullmon_cli.cc.o"
+  "CMakeFiles/pullmon_cli.dir/pullmon_cli.cc.o.d"
+  "pullmon_cli"
+  "pullmon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullmon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
