@@ -1,0 +1,98 @@
+// Monitoring over a degraded network: the same pull schedule executed
+// against a healthy feed network and against one injected with
+// timeouts, transient server errors, corrupt bodies, and ETag
+// invalidation storms — all deterministic from one seed.
+//
+// Demonstrates the robustness/completeness trade the retry budget
+// exposes: a retry immediately re-spends a probe from the same
+// chronon's budget C_j, so retries recover faulted captures only while
+// the system has probe capacity to spare.
+
+#include <cstdio>
+#include <iostream>
+
+#include "feeds/fault_injection.h"
+#include "policies/policy_factory.h"
+#include "sim/config.h"
+#include "sim/experiment.h"
+#include "sim/proxy.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pullmon;  // NOLINT: example brevity
+
+int RunExample() {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 80;
+  config.num_profiles = 120;
+  config.epoch_length = 400;
+  config.lambda = 8.0;
+  config.budget = 2;
+  config.fault_seed = 20080501;
+
+  // One composite failure profile for the "bad day" scenarios: 10% of
+  // probes time out, 5% hit transient 5xx errors, 10% of bodies arrive
+  // corrupt, and validator storms occasionally defeat If-None-Match.
+  FaultOptions bad_day;
+  bad_day.timeout_rate = 0.10;
+  bad_day.server_error_rate = 0.05;
+  bad_day.corruption_rate = 0.10;
+  bad_day.etag_storm_rate = 0.02;
+  bad_day.latency_mean = 0.15;
+
+  struct Scenario {
+    const char* name;
+    FaultOptions faults;
+    int retries;
+  };
+  const Scenario scenarios[] = {
+      {"healthy network", FaultOptions{}, 0},
+      {"bad day, no retries", bad_day, 0},
+      {"bad day, 2 retries", bad_day, 2},
+  };
+
+  std::printf("Degraded-network monitoring: %d feeds, %d profiles, "
+              "budget C=%d, MRSF(P)\n\n",
+              config.num_resources, config.num_profiles, config.budget);
+
+  TablePrinter table({"scenario", "GC", "GC lost to faults",
+                      "probes failed", "retries spent", "corrupt bodies",
+                      "notifications"});
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  for (const Scenario& scenario : scenarios) {
+    SimulationConfig point = config;
+    point.faults = scenario.faults;
+    point.retry.max_retries = scenario.retries;
+    point.retry.backoff_base = 0.1;
+    auto report = RunProxyOnce(point, spec, /*seed=*/7);
+    if (!report.ok()) {
+      std::fprintf(stderr, "proxy run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {scenario.name,
+         TablePrinter::FormatDouble(
+             report->run.completeness.GainedCompleteness(), 3),
+         TablePrinter::FormatDouble(report->gc_lost_to_faults, 3),
+         std::to_string(report->probes_failed),
+         std::to_string(report->retry_probes_spent),
+         std::to_string(report->corrupt_bodies),
+         std::to_string(report->notifications_delivered)});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading the table: faults turn captured update rounds into\n"
+         "missed ones (GC drops; the \"GC lost to faults\" column is the\n"
+         "part of the loss directly attributable to failed probes).\n"
+         "Allowing retries buys some of it back — each retry re-spends\n"
+         "one probe of the same chronon's budget, so the recovery is\n"
+         "bounded by spare capacity C_j.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RunExample(); }

@@ -28,12 +28,29 @@ struct ScoredCandidate {
 
 }  // namespace
 
+Status RetryPolicy::Validate() const {
+  if (max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (backoff_base < 0.0) {
+    return Status::InvalidArgument("backoff_base must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("backoff_multiplier must be >= 1");
+  }
+  if (backoff_budget <= 0.0) {
+    return Status::InvalidArgument("backoff_budget must be > 0");
+  }
+  return Status::OK();
+}
+
 OnlineExecutor::OnlineExecutor(const MonitoringProblem* problem,
                                Policy* policy, ExecutionMode mode)
     : problem_(problem), policy_(policy), mode_(mode) {}
 
 Result<OnlineRunResult> OnlineExecutor::Run() {
   PULLMON_RETURN_NOT_OK(problem_->Validate());
+  PULLMON_RETURN_NOT_OK(retry_.Validate());
   policy_->Reset();
 
   const Chronon epoch_len = problem_->epoch.length;
@@ -89,6 +106,10 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
 
   OnlineRunResult result;
   result.schedule = Schedule(epoch_len);
+
+  // Parents that had a live candidate EI hit by a failed probe — failure
+  // attribution for t_intervals_lost_to_faults.
+  std::vector<uint8_t> fault_touched(runtimes.size(), 0);
 
   auto is_live = [&](const FlatEi& flat, Chronon now) {
     if (flat.captured) return false;
@@ -160,8 +181,42 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
         probed_stamp[static_cast<std::size_t>(r)] = now;
         ++probes_this_chronon;
         ++result.probes_used;
+        bool success = probe_callback_ ? probe_callback_(r, now) : true;
+        if (!success) {
+          ++result.probes_failed;
+          // Same-chronon retries with exponential backoff, each charged
+          // one budget unit; abandoned when the accumulated wait would
+          // cross the chronon boundary or the budget runs dry.
+          double waited = 0.0;
+          double backoff = retry_.backoff_base;
+          for (int attempt = 0; attempt < retry_.max_retries &&
+                                probes_this_chronon < budget;
+               ++attempt) {
+            waited += backoff;
+            if (waited > retry_.backoff_budget) break;
+            backoff *= retry_.backoff_multiplier;
+            ++probes_this_chronon;
+            ++result.probes_used;
+            ++result.retries_issued;
+            ++result.retry_probes_spent;
+            success = probe_callback_(r, now);
+            if (success) break;
+            ++result.probes_failed;
+          }
+        }
+        if (!success) {
+          // The probe never delivered: nothing is captured, candidates
+          // on r stay candidates for later chronons. Record which
+          // parents the failure touched for loss attribution.
+          for (int id :
+               active_by_resource[static_cast<std::size_t>(r)]) {
+            const FlatEi& miss = eis[static_cast<std::size_t>(id)];
+            if (!is_live(miss, now)) continue;
+            fault_touched[static_cast<std::size_t>(miss.t_id)] = 1;
+          }
+          continue;
+        }
         PULLMON_CHECK_OK(result.schedule.AddProbe(r, now));
-        if (probe_callback_) probe_callback_(r, now);
 
         // 4. The probe captures every live candidate EI on resource r.
         capture_buffer.clear();
@@ -203,6 +258,9 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
       if (parent.num_captured + parent.NumAlive() < parent.required) {
         parent.failed = true;
         ++result.t_intervals_failed;
+        if (fault_touched[static_cast<std::size_t>(flat.t_id)]) {
+          ++result.t_intervals_lost_to_faults;
+        }
       }
     }
   }

@@ -11,6 +11,26 @@
 
 namespace pullmon {
 
+/// Same-chronon retry behavior of the probe path. A failed probe may be
+/// retried with exponential backoff; every retry consumes one unit of
+/// the chronon's probe budget C_j, so robustness against faults trades
+/// directly against gained completeness. Backoff waits are measured in
+/// fractional chronons: once the accumulated wait would cross the
+/// chronon boundary (backoff_budget), remaining retries are abandoned —
+/// the EI stays a candidate and can be re-scored next chronon.
+struct RetryPolicy {
+  /// Extra attempts allowed after a failed probe (0 disables retries).
+  int max_retries = 0;
+  /// Wait before the first retry, in fractional chronons.
+  double backoff_base = 0.125;
+  /// Multiplier applied to the wait before each subsequent retry.
+  double backoff_multiplier = 2.0;
+  /// Total wait allowed within one chronon (1.0 = the chronon itself).
+  double backoff_budget = 1.0;
+
+  Status Validate() const;
+};
+
 /// Outcome of one online run.
 struct OnlineRunResult {
   Schedule schedule{0};
@@ -18,6 +38,9 @@ struct OnlineRunResult {
   /// Wall-clock seconds spent in the online loop (candidate maintenance,
   /// policy scoring, selection) — the quantity plotted in Figure 5.
   double elapsed_seconds = 0.0;
+  /// Probe attempts issued, including failed attempts and retries; each
+  /// one consumed a unit of its chronon's budget. Equals the schedule's
+  /// probe count when every probe succeeds.
   std::size_t probes_used = 0;
   std::size_t t_intervals_completed = 0;
   std::size_t t_intervals_failed = 0;
@@ -25,6 +48,18 @@ struct OnlineRunResult {
   std::size_t candidates_scored = 0;
   /// Largest per-chronon candidate set encountered.
   std::size_t max_concurrent_candidates = 0;
+  /// Probe attempts (initial or retry) the probe callback failed.
+  std::size_t probes_failed = 0;
+  /// Retry attempts started after a failed probe.
+  std::size_t retries_issued = 0;
+  /// Budget units consumed by retries — slots that could otherwise have
+  /// probed other resources. Coincides with retries_issued under the
+  /// unit probe-cost model.
+  std::size_t retry_probes_spent = 0;
+  /// Failed t-intervals that suffered at least one failed probe while
+  /// holding a live candidate EI on the probed resource — an upper bound
+  /// on the completeness the faults cost this run.
+  std::size_t t_intervals_lost_to_faults = 0;
 };
 
 /// Runs an online policy over a monitoring problem, chronon by chronon.
@@ -48,9 +83,14 @@ class OnlineExecutor {
   using CaptureCallback =
       std::function<void(ProfileId, std::size_t, Chronon)>;
 
-  /// Invoked for every probe the executor issues: (resource, chronon).
-  /// The proxy layer uses this to perform the physical pull (feed fetch).
-  using ProbeCallback = std::function<void(ResourceId, Chronon)>;
+  /// Invoked for every probe attempt the executor issues: (resource,
+  /// chronon). The proxy layer uses this to perform the physical pull
+  /// (feed fetch). Returns whether the probe succeeded: a failed probe
+  /// consumes budget but captures nothing — its candidate EIs stay
+  /// candidates, eligible for same-chronon retries (see RetryPolicy) and
+  /// re-scoring at later chronons. Without a callback every probe
+  /// succeeds (the logical simulation of Section 5).
+  using ProbeCallback = std::function<bool(ResourceId, Chronon)>;
 
   /// `problem` and `policy` must outlive the executor; the executor does
   /// not take ownership.
@@ -65,6 +105,9 @@ class OnlineExecutor {
     probe_callback_ = std::move(callback);
   }
 
+  /// Same-chronon retry behavior for failed probes (default: none).
+  void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
+
   /// Validates the problem and executes the full epoch. Can be called
   /// repeatedly; each call is an independent run (the policy is Reset()).
   Result<OnlineRunResult> Run();
@@ -75,6 +118,7 @@ class OnlineExecutor {
   ExecutionMode mode_;
   CaptureCallback capture_callback_;
   ProbeCallback probe_callback_;
+  RetryPolicy retry_;
 };
 
 }  // namespace pullmon

@@ -1,0 +1,212 @@
+#include "feeds/fault_injection.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+
+Status ValidateRate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::InvalidArgument(
+        StringFormat("%s must be in [0,1], got %g", name, rate));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool FaultOptions::AllZero() const {
+  return timeout_rate == 0.0 && server_error_rate == 0.0 &&
+         truncation_rate == 0.0 && corruption_rate == 0.0 &&
+         etag_storm_rate == 0.0 && latency_mean == 0.0;
+}
+
+Status FaultOptions::Validate() const {
+  PULLMON_RETURN_NOT_OK(ValidateRate(timeout_rate, "timeout_rate"));
+  PULLMON_RETURN_NOT_OK(ValidateRate(server_error_rate, "server_error_rate"));
+  PULLMON_RETURN_NOT_OK(ValidateRate(truncation_rate, "truncation_rate"));
+  PULLMON_RETURN_NOT_OK(ValidateRate(corruption_rate, "corruption_rate"));
+  PULLMON_RETURN_NOT_OK(ValidateRate(etag_storm_rate, "etag_storm_rate"));
+  if (etag_storm_rate > 0.0 && etag_storm_length <= 0) {
+    return Status::InvalidArgument(
+        "etag_storm_length must be positive when storms are enabled");
+  }
+  if (latency_mean < 0.0) {
+    return Status::InvalidArgument("latency_mean must be >= 0");
+  }
+  if (latency_timeout <= 0.0) {
+    return Status::InvalidArgument("latency_timeout must be > 0");
+  }
+  return Status::OK();
+}
+
+std::string TruncateBody(const std::string& body, Rng* rng) {
+  // Serialized feeds end in a closing root tag of at most 8 bytes
+  // ("</feed>\n"); keeping strictly fewer than size-8 bytes guarantees
+  // the root element is left open and the parser reports an error.
+  if (body.size() <= 9) return body.substr(0, 1);
+  std::size_t keep =
+      1 + static_cast<std::size_t>(
+              rng->NextBounded(static_cast<uint64_t>(body.size() - 9)));
+  return body.substr(0, keep);
+}
+
+std::string CorruptBody(const std::string& body, Rng* rng) {
+  std::string mangled = body;
+  if (mangled.size() < 16) return "<<";
+  // Land the damage in the second half of the document — past the XML
+  // declaration, inside the root element — so the raw "<<" is a
+  // guaranteed structural error for WriteFeed output (which contains no
+  // CDATA or comment sections that could hide it).
+  std::size_t half = mangled.size() / 2;
+  std::size_t offset =
+      half + static_cast<std::size_t>(
+                 rng->NextBounded(static_cast<uint64_t>(half - 6)));
+  static constexpr char kGarbage[] = "<&#;\x01\xff";
+  mangled[offset] = '<';
+  mangled[offset + 1] = '<';
+  mangled[offset + 2] = kGarbage[rng->NextBounded(sizeof(kGarbage) - 1)];
+  mangled[offset + 3] = kGarbage[rng->NextBounded(sizeof(kGarbage) - 1)];
+  return mangled;
+}
+
+FaultPlan::FaultPlan(FeedNetwork* network, uint64_t seed,
+                     FaultOptions defaults)
+    : network_(network), seed_(seed), defaults_(defaults) {
+  std::size_t n = network_->num_servers();
+  overrides_.resize(n);
+  has_override_.assign(n, 0);
+  streams_.resize(n, Rng(0));
+  stream_ready_.assign(n, 0);
+  storm_left_.assign(n, 0);
+}
+
+void FaultPlan::SetResourceOptions(ResourceId resource,
+                                   FaultOptions options) {
+  std::size_t r = static_cast<std::size_t>(resource);
+  if (r >= overrides_.size()) return;
+  overrides_[r] = options;
+  has_override_[r] = 1;
+}
+
+const FaultOptions& FaultPlan::OptionsFor(ResourceId resource) const {
+  std::size_t r = static_cast<std::size_t>(resource);
+  if (r < has_override_.size() && has_override_[r]) return overrides_[r];
+  return defaults_;
+}
+
+void FaultPlan::Reset() {
+  std::fill(stream_ready_.begin(), stream_ready_.end(), 0);
+  std::fill(storm_left_.begin(), storm_left_.end(), 0);
+  stats_ = FaultStats{};
+}
+
+Rng& FaultPlan::StreamFor(ResourceId resource) {
+  std::size_t r = static_cast<std::size_t>(resource);
+  if (!stream_ready_[r]) {
+    // One SplitMix64 step decorrelates the per-resource seeds even for
+    // adjacent resource ids; the Rng constructor mixes further.
+    uint64_t state = seed_ + 0x9E3779B97F4A7C15ULL * (resource + 1);
+    streams_[r] = Rng(SplitMix64(&state));
+    stream_ready_[r] = 1;
+  }
+  return streams_[r];
+}
+
+Result<FaultPlan::FaultedFetch> FaultPlan::ProbeConditional(
+    ResourceId resource, const std::string& if_none_match) {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= storm_left_.size()) {
+    return Status::NotFound(
+        StringFormat("no feed server for resource %d", resource));
+  }
+  const FaultOptions& options = OptionsFor(resource);
+  ++stats_.probes_seen;
+  FaultedFetch outcome;
+  if (options.AllZero()) {
+    // Fast pass-through: no stream is touched, the wrapped network is
+    // probed verbatim — byte-identical to running without the layer.
+    PULLMON_ASSIGN_OR_RETURN(
+        outcome.fetch, network_->ProbeConditional(resource, if_none_match));
+    return outcome;
+  }
+
+  Rng& rng = StreamFor(resource);
+  if (options.latency_mean > 0.0) {
+    outcome.latency = rng.NextExponential(1.0 / options.latency_mean);
+  }
+  auto record_latency = [&] {
+    stats_.latency_total += outcome.latency;
+    stats_.latency_max = std::max(stats_.latency_max, outcome.latency);
+  };
+
+  // Hard faults first: the request dies before a response exists, so
+  // the wrapped server never sees a fetch.
+  if (options.timeout_rate > 0.0 && rng.NextBool(options.timeout_rate)) {
+    outcome.fault = FaultKind::kTimeout;
+    outcome.latency = std::max(outcome.latency, options.latency_timeout);
+    ++stats_.timeouts;
+    record_latency();
+    return outcome;
+  }
+  if (options.server_error_rate > 0.0 &&
+      rng.NextBool(options.server_error_rate)) {
+    outcome.fault = FaultKind::kServerError;
+    ++stats_.server_errors;
+    record_latency();
+    return outcome;
+  }
+  // A response slower than the chronon boundary is indistinguishable
+  // from a timeout to the prober.
+  if (outcome.latency >= options.latency_timeout) {
+    outcome.fault = FaultKind::kTimeout;
+    ++stats_.timeouts;
+    record_latency();
+    return outcome;
+  }
+
+  // ETag invalidation storms: while active, the server's validators are
+  // unstable — the client's If-None-Match can never hit, so the probe is
+  // forced to an unconditional full-body fetch and the echoed validator
+  // is salted so the *next* conditional fetch misses too.
+  std::size_t r = static_cast<std::size_t>(resource);
+  bool storm = storm_left_[r] > 0;
+  if (!storm && options.etag_storm_rate > 0.0 &&
+      rng.NextBool(options.etag_storm_rate)) {
+    storm = true;
+    storm_left_[r] = options.etag_storm_length;
+    ++stats_.storms_started;
+  }
+  if (storm) --storm_left_[r];
+
+  PULLMON_ASSIGN_OR_RETURN(
+      outcome.fetch,
+      network_->ProbeConditional(resource, storm ? std::string()
+                                                 : if_none_match));
+  if (storm) {
+    outcome.fetch.etag += StringFormat(
+        "-storm%016llx", static_cast<unsigned long long>(rng.Next()));
+    ++stats_.etag_invalidations;
+  }
+
+  if (!outcome.fetch.not_modified && !outcome.fetch.body.empty()) {
+    if (options.truncation_rate > 0.0 &&
+        rng.NextBool(options.truncation_rate)) {
+      outcome.fetch.body = TruncateBody(outcome.fetch.body, &rng);
+      outcome.truncated = true;
+      ++stats_.truncations;
+    } else if (options.corruption_rate > 0.0 &&
+               rng.NextBool(options.corruption_rate)) {
+      outcome.fetch.body = CorruptBody(outcome.fetch.body, &rng);
+      outcome.corrupted = true;
+      ++stats_.corruptions;
+    }
+  }
+  record_latency();
+  return outcome;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,148 @@
+#ifndef PULLMON_FEEDS_FAULT_INJECTION_H_
+#define PULLMON_FEEDS_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chronon.h"
+#include "feeds/feed_server.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Per-resource fault rates of the injection layer. All rates are
+/// per-probe probabilities in [0, 1]; latency is measured in fractional
+/// chronons. The default (all zero) injects nothing and is guaranteed to
+/// leave the probe path byte-identical to running without the layer.
+struct FaultOptions {
+  /// Probability that a probe times out: the request never completes
+  /// within its chronon and no response (not even headers) is seen.
+  double timeout_rate = 0.0;
+  /// Probability of a transient server-side error (an HTTP 5xx): the
+  /// request completes but carries no usable feed document.
+  double server_error_rate = 0.0;
+  /// Probability that a served body arrives truncated mid-document.
+  double truncation_rate = 0.0;
+  /// Probability that a served body arrives with garbled bytes.
+  double corruption_rate = 0.0;
+  /// Probability that a probe triggers an ETag invalidation storm: for
+  /// the next `etag_storm_length` probes of the resource the server's
+  /// validators are unstable, so every conditional fetch misses and pays
+  /// for a full body.
+  double etag_storm_rate = 0.0;
+  /// Number of subsequent probes an ETag storm lasts.
+  int etag_storm_length = 8;
+  /// Mean simulated response latency in fractional chronons,
+  /// exponentially distributed (0 disables latency simulation).
+  double latency_mean = 0.0;
+  /// A response slower than this many chronons misses its chronon
+  /// boundary and is accounted as a timeout.
+  double latency_timeout = 1.0;
+
+  /// True when every knob is off — the layer is a pass-through.
+  bool AllZero() const;
+  /// Rates within [0,1], latency/storm parameters sane.
+  Status Validate() const;
+};
+
+/// Deterministic counters of everything the fault layer did. Two runs
+/// from the same seed produce equal stats (operator==).
+struct FaultStats {
+  std::size_t probes_seen = 0;
+  std::size_t timeouts = 0;
+  std::size_t server_errors = 0;
+  std::size_t truncations = 0;
+  std::size_t corruptions = 0;
+  std::size_t storms_started = 0;
+  /// Conditional fetches forced to full-body by an active storm.
+  std::size_t etag_invalidations = 0;
+  double latency_total = 0.0;
+  double latency_max = 0.0;
+
+  bool operator==(const FaultStats& other) const = default;
+};
+
+/// Truncates a serialized feed body at a pseudo-random cut point chosen
+/// so the closing root tag is always lost — the result never parses.
+/// Deterministic given the generator state.
+std::string TruncateBody(const std::string& body, Rng* rng);
+
+/// Garbles a serialized feed body by overwriting a window in its second
+/// half with structurally invalid bytes (always containing "<<"), so the
+/// result never parses for documents produced by WriteFeed.
+/// Deterministic given the generator state.
+std::string CorruptBody(const std::string& body, Rng* rng);
+
+/// The fault-injection layer: wraps a FeedNetwork and decides, per
+/// probe, whether and how the probe degrades. Every decision is drawn
+/// from a per-resource stream derived from a single 64-bit seed, so the
+/// full fault sequence of a run is reproducible from (seed, probe order)
+/// and independent streams keep resources from perturbing each other.
+class FaultPlan {
+ public:
+  /// What a probe through the layer experienced.
+  enum class FaultKind {
+    kNone,         // response delivered (possibly mangled)
+    kTimeout,      // no response within the chronon
+    kServerError,  // transient 5xx, no usable document
+  };
+
+  struct FaultedFetch {
+    FaultKind fault = FaultKind::kNone;
+    bool truncated = false;
+    bool corrupted = false;
+    /// Simulated response latency in fractional chronons (includes the
+    /// full chronon waited on a timeout).
+    double latency = 0.0;
+    /// The (possibly mangled) response; meaningful iff fault == kNone.
+    FeedServer::ConditionalFetch fetch;
+  };
+
+  /// `network` must outlive the plan; no ownership taken.
+  FaultPlan(FeedNetwork* network, uint64_t seed,
+            FaultOptions defaults = FaultOptions{});
+
+  /// Overrides the fault rates of one resource (heterogeneous networks:
+  /// a flaky CDN edge next to healthy origins).
+  void SetResourceOptions(ResourceId resource, FaultOptions options);
+  const FaultOptions& OptionsFor(ResourceId resource) const;
+
+  /// Restarts every per-resource stream and storm state from the seed —
+  /// the next run replays the identical fault sequence. Stats reset too.
+  void Reset();
+
+  /// Delegates clock advancement to the wrapped network.
+  void AdvanceTo(Chronon t) { network_->AdvanceTo(t); }
+
+  /// The faulty pull-probe: draws this probe's fate, performs the
+  /// underlying conditional fetch unless the fault swallowed it, and
+  /// applies body/validator degradations. NotFound for unknown
+  /// resources, like the wrapped network.
+  Result<FaultedFetch> ProbeConditional(ResourceId resource,
+                                        const std::string& if_none_match);
+
+  FeedNetwork* network() { return network_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  Rng& StreamFor(ResourceId resource);
+
+  FeedNetwork* network_;
+  uint64_t seed_;
+  FaultOptions defaults_;
+  /// Sparse per-resource overrides, parallel to `has_override_`.
+  std::vector<FaultOptions> overrides_;
+  std::vector<uint8_t> has_override_;
+  /// Lazily created per-resource generators (index == ResourceId).
+  std::vector<Rng> streams_;
+  std::vector<uint8_t> stream_ready_;
+  /// Remaining probes of an active ETag storm, per resource.
+  std::vector<int> storm_left_;
+  FaultStats stats_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_FEEDS_FAULT_INJECTION_H_

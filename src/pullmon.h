@@ -55,12 +55,13 @@
 #include "trace/update_trace.h"            // IWYU pragma: export
 
 // Web feed substrate.
-#include "feeds/atom.h"         // IWYU pragma: export
-#include "feeds/ebay_feed.h"    // IWYU pragma: export
-#include "feeds/feed_item.h"    // IWYU pragma: export
-#include "feeds/feed_server.h"  // IWYU pragma: export
-#include "feeds/rss.h"          // IWYU pragma: export
-#include "feeds/xml.h"          // IWYU pragma: export
+#include "feeds/atom.h"             // IWYU pragma: export
+#include "feeds/ebay_feed.h"        // IWYU pragma: export
+#include "feeds/fault_injection.h"  // IWYU pragma: export
+#include "feeds/feed_item.h"        // IWYU pragma: export
+#include "feeds/feed_server.h"      // IWYU pragma: export
+#include "feeds/rss.h"              // IWYU pragma: export
+#include "feeds/xml.h"              // IWYU pragma: export
 
 // Profile generation and simulation harness.
 #include "profilegen/auction_watch.h"      // IWYU pragma: export

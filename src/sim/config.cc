@@ -38,6 +38,23 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
     rows.emplace_back("W (window)", StringFormat("%d", window));
   }
   rows.emplace_back("C (budget/chronon)", StringFormat("%d", budget));
+  if (!faults.AllZero()) {
+    rows.emplace_back(
+        "faults (to/err/trunc/corr/storm)",
+        StringFormat("%.2f/%.2f/%.2f/%.2f/%.2f", faults.timeout_rate,
+                     faults.server_error_rate, faults.truncation_rate,
+                     faults.corruption_rate, faults.etag_storm_rate));
+    if (faults.latency_mean > 0.0) {
+      rows.emplace_back("latency mean (chronons)",
+                        StringFormat("%.3f", faults.latency_mean));
+    }
+  }
+  if (retry.max_retries > 0) {
+    rows.emplace_back("probe retries",
+                      StringFormat("%d (backoff %.3f x%.1f)",
+                                   retry.max_retries, retry.backoff_base,
+                                   retry.backoff_multiplier));
+  }
   return rows;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/chronon.h"
+#include "core/online_executor.h"
+#include "feeds/fault_injection.h"
 #include "trace/auction_generator.h"
 #include "trace/feed_workload.h"
 #include "trace/update_model.h"
@@ -60,6 +62,17 @@ struct SimulationConfig {
   /// Feed-workload knobs, used when dataset == kFeedWorkload (its
   /// num_feeds / epoch_length fields are overridden from the above).
   FeedWorkloadOptions feed_workload;
+  /// Fault rates of the physical probe path (proxy experiments only;
+  /// the logical executor path never sees them). All-zero by default.
+  FaultOptions faults;
+  /// Base seed of the fault layer; mixed with the repetition seed so
+  /// repetitions draw independent fault sequences.
+  uint64_t fault_seed = 0x5EED;
+  /// Same-chronon retry/backoff policy of the proxy's probe path.
+  RetryPolicy retry;
+  /// Per-server feed buffer capacity of the simulated network (proxy
+  /// experiments): small buffers make feeds volatile.
+  int feed_buffer_capacity = 8;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

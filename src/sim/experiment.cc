@@ -26,7 +26,8 @@ std::vector<PolicySpec> StandardPolicySpecs() {
 }
 
 Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
-                                       uint64_t seed) {
+                                       uint64_t seed,
+                                       UpdateTrace* trace_out) {
   Rng rng(seed);
 
   UpdateTrace trace(0, 0);
@@ -75,7 +76,32 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
   problem.profiles = std::move(profiles);
   problem.budget = BudgetVector::Uniform(config.budget,
                                          config.epoch_length);
+  if (trace_out != nullptr) *trace_out = std::move(trace);
   return problem;
+}
+
+Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
+                                    const PolicySpec& spec, uint64_t seed) {
+  UpdateTrace trace(0, 0);
+  PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
+                           BuildProblem(config, seed, &trace));
+  FeedNetwork network(
+      &trace, static_cast<std::size_t>(
+                  config.feed_buffer_capacity < 1
+                      ? 1
+                      : config.feed_buffer_capacity));
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = problem.num_resources;
+  PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                           MakePolicy(spec.policy, po));
+  ProxyOptions options;
+  options.faults = config.faults;
+  options.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  options.retry = config.retry;
+  MonitoringProxy proxy(&problem, &network, policy.get(), spec.mode,
+                        options);
+  return proxy.Run();
 }
 
 Status ExperimentRunner::RunRepetition(

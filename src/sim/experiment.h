@@ -9,6 +9,7 @@
 #include "core/problem.h"
 #include "offline/local_ratio.h"
 #include "sim/config.h"
+#include "sim/proxy.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -28,9 +29,19 @@ std::vector<PolicySpec> StandardPolicySpecs();
 
 /// Instantiates a problem from a configuration and seed: generates the
 /// update trace (Poisson or auction), derives profiles with the
-/// three-stage generator, and attaches the uniform budget.
+/// three-stage generator, and attaches the uniform budget. When
+/// `trace_out` is non-null it receives the generated update trace (the
+/// proxy path replays it through a FeedNetwork).
 Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
-                                       uint64_t seed);
+                                       uint64_t seed,
+                                       UpdateTrace* trace_out = nullptr);
+
+/// Runs the *physical* proxy path once: generates the instance, replays
+/// its trace through a FeedNetwork (buffer capacity, fault rates, and
+/// the retry policy all from `config`), and drives MonitoringProxy with
+/// the given policy. Deterministic in (config, spec, seed).
+Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
+                                    const PolicySpec& spec, uint64_t seed);
 
 /// Aggregated outcome of one policy over the experiment repetitions.
 struct PolicyOutcome {

@@ -6,14 +6,29 @@ namespace pullmon {
 
 MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
                                  FeedNetwork* network, Policy* policy,
-                                 ExecutionMode mode)
-    : problem_(problem), network_(network), policy_(policy), mode_(mode) {}
+                                 ExecutionMode mode, ProxyOptions options)
+    : problem_(problem),
+      network_(network),
+      policy_(policy),
+      mode_(mode),
+      options_(options) {}
 
 Result<ProxyRunReport> MonitoringProxy::Run() {
+  PULLMON_RETURN_NOT_OK(options_.faults.Validate());
+  PULLMON_RETURN_NOT_OK(options_.retry.Validate());
   notifications_.clear();
   ProxyRunReport report;
 
   OnlineExecutor executor(problem_, policy_, mode_);
+  executor.set_retry_policy(options_.retry);
+
+  // The fault layer sits between proxy and network only when some rate
+  // is non-zero; a fresh plan per Run() makes repeated runs replay the
+  // identical fault sequence.
+  std::optional<FaultPlan> plan;
+  if (!options_.faults.AllZero()) {
+    plan.emplace(network_, options_.fault_seed, options_.faults);
+  }
 
   // Items pulled during the current chronon, attached to notifications
   // delivered at that chronon.
@@ -32,27 +47,54 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
       current_items.clear();
       fetch_chronon = now;
     }
-    auto fetched = network_->ProbeConditional(
-        resource, etags[static_cast<std::size_t>(resource)]);
-    if (!fetched.ok()) {
-      ++report.parse_failures;
-      return;
+    std::string& etag = etags[static_cast<std::size_t>(resource)];
+    FeedServer::ConditionalFetch fetched;
+    if (plan.has_value()) {
+      auto outcome = plan->ProbeConditional(resource, etag);
+      if (!outcome.ok()) {
+        ++report.parse_failures;
+        return false;
+      }
+      switch (outcome->fault) {
+        case FaultPlan::FaultKind::kTimeout:
+          ++report.timeouts;
+          return false;
+        case FaultPlan::FaultKind::kServerError:
+          ++report.server_errors;
+          return false;
+        case FaultPlan::FaultKind::kNone:
+          break;
+      }
+      if (outcome->truncated || outcome->corrupted) ++report.corrupt_bodies;
+      fetched = std::move(outcome->fetch);
+    } else {
+      auto direct = network_->ProbeConditional(resource, etag);
+      if (!direct.ok()) {
+        ++report.parse_failures;
+        return false;
+      }
+      fetched = std::move(*direct);
     }
     ++report.feeds_fetched;
-    etags[static_cast<std::size_t>(resource)] = fetched->etag;
-    if (fetched->not_modified) {
+    if (fetched.not_modified) {
       ++report.not_modified;
-      return;  // nothing new to parse or deliver
+      etag = fetched.etag;
+      return true;  // nothing new to parse or deliver
     }
-    report.feed_bytes += fetched->body.size();
-    auto parsed = ParseFeed(fetched->body);
+    report.feed_bytes += fetched.body.size();
+    auto parsed = ParseFeed(fetched.body);
     if (!parsed.ok()) {
       ++report.parse_failures;
-      return;
+      // An unparsable response proves nothing about the feed state:
+      // keep the previous validator so a retry refetches the full body,
+      // and report failure so the EI stays a candidate.
+      return false;
     }
+    etag = fetched.etag;
     report.items_parsed += parsed->items.size();
     current_items.insert(current_items.end(), parsed->items.begin(),
                          parsed->items.end());
+    return true;
   });
 
   executor.set_capture_callback([&](ProfileId profile,
@@ -69,6 +111,18 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   });
 
   PULLMON_ASSIGN_OR_RETURN(report.run, executor.Run());
+  report.probes_failed = report.run.probes_failed;
+  report.retries_issued = report.run.retries_issued;
+  report.retry_probes_spent = report.run.retry_probes_spent;
+  std::size_t total = problem_->TotalTIntervalCount();
+  report.gc_lost_to_faults =
+      total == 0 ? 0.0
+                 : static_cast<double>(report.run.t_intervals_lost_to_faults) /
+                       static_cast<double>(total);
+  if (plan.has_value()) {
+    report.fault_stats = plan->stats();
+    report.latency_chronons = report.fault_stats.latency_total;
+  }
   return report;
 }
 

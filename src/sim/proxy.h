@@ -1,10 +1,12 @@
 #ifndef PULLMON_SIM_PROXY_H_
 #define PULLMON_SIM_PROXY_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/online_executor.h"
 #include "core/problem.h"
+#include "feeds/fault_injection.h"
 #include "feeds/feed_item.h"
 #include "feeds/feed_server.h"
 #include "util/status.h"
@@ -33,20 +35,59 @@ struct ProxyRunReport {
   std::size_t items_parsed = 0;
   std::size_t parse_failures = 0;
   std::size_t notifications_delivered = 0;
+  // --- Fault-layer telemetry (all zero without injected faults). ------
+  /// Probe attempts that delivered no usable document: timeouts, server
+  /// errors, and unparsable bodies (mirrors run.probes_failed).
+  std::size_t probes_failed = 0;
+  /// Retry attempts issued after failed probes (mirrors run).
+  std::size_t retries_issued = 0;
+  /// Probe-budget units consumed by retries (mirrors run).
+  std::size_t retry_probes_spent = 0;
+  /// Bodies that arrived truncated or garbled.
+  std::size_t corrupt_bodies = 0;
+  /// Probes that timed out before any response.
+  std::size_t timeouts = 0;
+  /// Probes answered with a transient server error.
+  std::size_t server_errors = 0;
+  /// Conditional fetches forced to full bodies by ETag storms.
+  std::size_t etag_invalidations = 0;
+  /// Total simulated response latency, in fractional chronons.
+  double latency_chronons = 0.0;
+  /// Fraction of all t-intervals that failed after a fault hit one of
+  /// their live candidate EIs — GC the faults (at most) cost this run,
+  /// on the same scale as CompletenessReport::GainedCompleteness().
+  double gc_lost_to_faults = 0.0;
+  /// Counters of the fault layer itself (empty without one).
+  FaultStats fault_stats;
+};
+
+/// Behavioral knobs of the proxy's physical probe path. The defaults
+/// (no faults, no retries) reproduce the pre-fault-layer proxy exactly.
+struct ProxyOptions {
+  /// Fault rates injected between proxy and feed network. AllZero()
+  /// bypasses the layer entirely.
+  FaultOptions faults;
+  /// Seed of the fault layer's per-resource streams.
+  uint64_t fault_seed = 0x5EED;
+  /// Same-chronon retry/backoff policy for failed probes; retries are
+  /// charged against the chronon budget C_j.
+  RetryPolicy retry;
 };
 
 /// The monitoring proxy: drives the online executor over an epoch while
 /// performing the *physical* data path — every scheduled probe pulls the
-/// resource's feed document from the FeedNetwork, parses it, and
-/// captured t-intervals are pushed to clients as notifications. This is
-/// the end-to-end integration of scheduler and feed substrate used by
-/// the examples and integration tests.
+/// resource's feed document from the FeedNetwork (optionally through a
+/// deterministic fault-injection layer), parses it, and captured
+/// t-intervals are pushed to clients as notifications. This is the
+/// end-to-end integration of scheduler and feed substrate used by the
+/// examples and integration tests.
 class MonitoringProxy {
  public:
   /// All pointers must outlive the proxy; no ownership taken. The
   /// network's resources must cover the problem's.
   MonitoringProxy(const MonitoringProblem* problem, FeedNetwork* network,
-                  Policy* policy, ExecutionMode mode);
+                  Policy* policy, ExecutionMode mode,
+                  ProxyOptions options = ProxyOptions{});
 
   Result<ProxyRunReport> Run();
 
@@ -60,6 +101,7 @@ class MonitoringProxy {
   FeedNetwork* network_;
   Policy* policy_;
   ExecutionMode mode_;
+  ProxyOptions options_;
   std::vector<ProxyNotification> notifications_;
 };
 

@@ -1,0 +1,351 @@
+#include "feeds/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "feeds/atom.h"
+#include "policies/mrsf.h"
+#include "policies/s_edf.h"
+#include "sim/experiment.h"
+#include "sim/proxy.h"
+#include "trace/poisson_generator.h"
+
+namespace pullmon {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 30;
+  config.num_profiles = 40;
+  config.epoch_length = 200;
+  config.lambda = 8.0;
+  config.budget = 2;
+  return config;
+}
+
+FaultOptions HeavyFaults() {
+  FaultOptions faults;
+  faults.timeout_rate = 0.1;
+  faults.server_error_rate = 0.1;
+  faults.truncation_rate = 0.1;
+  faults.corruption_rate = 0.1;
+  faults.etag_storm_rate = 0.05;
+  faults.etag_storm_length = 4;
+  faults.latency_mean = 0.2;
+  return faults;
+}
+
+/// The deterministic fields of a report (everything but wall-clock
+/// timing), for byte-identical comparisons across runs.
+void ExpectReportsIdentical(const ProxyRunReport& a,
+                            const ProxyRunReport& b) {
+  EXPECT_EQ(a.run.probes_used, b.run.probes_used);
+  EXPECT_EQ(a.run.probes_failed, b.run.probes_failed);
+  EXPECT_EQ(a.run.retries_issued, b.run.retries_issued);
+  EXPECT_EQ(a.run.retry_probes_spent, b.run.retry_probes_spent);
+  EXPECT_EQ(a.run.t_intervals_completed, b.run.t_intervals_completed);
+  EXPECT_EQ(a.run.t_intervals_failed, b.run.t_intervals_failed);
+  EXPECT_EQ(a.run.t_intervals_lost_to_faults,
+            b.run.t_intervals_lost_to_faults);
+  EXPECT_DOUBLE_EQ(a.run.completeness.GainedCompleteness(),
+                   b.run.completeness.GainedCompleteness());
+  EXPECT_EQ(a.feeds_fetched, b.feeds_fetched);
+  EXPECT_EQ(a.not_modified, b.not_modified);
+  EXPECT_EQ(a.feed_bytes, b.feed_bytes);
+  EXPECT_EQ(a.items_parsed, b.items_parsed);
+  EXPECT_EQ(a.parse_failures, b.parse_failures);
+  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered);
+  EXPECT_EQ(a.probes_failed, b.probes_failed);
+  EXPECT_EQ(a.retries_issued, b.retries_issued);
+  EXPECT_EQ(a.retry_probes_spent, b.retry_probes_spent);
+  EXPECT_EQ(a.corrupt_bodies, b.corrupt_bodies);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.server_errors, b.server_errors);
+  EXPECT_EQ(a.etag_invalidations, b.etag_invalidations);
+  EXPECT_DOUBLE_EQ(a.latency_chronons, b.latency_chronons);
+  EXPECT_DOUBLE_EQ(a.gc_lost_to_faults, b.gc_lost_to_faults);
+  EXPECT_TRUE(a.fault_stats == b.fault_stats);
+}
+
+TEST(FaultOptionsTest, ValidationRejectsMalformedRates) {
+  FaultOptions faults;
+  EXPECT_TRUE(faults.Validate().ok());
+  EXPECT_TRUE(faults.AllZero());
+  faults.timeout_rate = 1.5;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.corruption_rate = -0.2;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.etag_storm_rate = 0.1;
+  faults.etag_storm_length = 0;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.latency_mean = -1.0;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.latency_timeout = 0.0;
+  EXPECT_FALSE(faults.Validate().ok());
+}
+
+TEST(FaultPlanTest, SameSeedSameFaultSequence) {
+  // Probing the plan directly (no scheduler in the loop) must replay a
+  // bit-identical fault and body sequence for equal seeds.
+  Rng rng(3);
+  auto trace = GeneratePoissonTrace({5, 100, 10.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  auto run_sequence = [&](uint64_t seed) {
+    FeedNetwork network(&*trace, 6);
+    FaultPlan plan(&network, seed, HeavyFaults());
+    std::vector<std::string> bodies;
+    std::vector<int> kinds;
+    for (Chronon t = 0; t < 100; ++t) {
+      plan.AdvanceTo(t);
+      for (ResourceId r = 0; r < 5; ++r) {
+        auto outcome = plan.ProbeConditional(r, "");
+        EXPECT_TRUE(outcome.ok());
+        kinds.push_back(static_cast<int>(outcome->fault));
+        bodies.push_back(outcome->fetch.body);
+      }
+    }
+    return std::make_tuple(kinds, bodies, plan.stats());
+  };
+  auto [kinds1, bodies1, stats1] = run_sequence(99);
+  auto [kinds2, bodies2, stats2] = run_sequence(99);
+  EXPECT_EQ(kinds1, kinds2);
+  EXPECT_EQ(bodies1, bodies2);
+  EXPECT_TRUE(stats1 == stats2);
+  // A different seed draws a different sequence (500 probes at these
+  // rates collide with negligible probability).
+  auto [kinds3, bodies3, stats3] = run_sequence(100);
+  EXPECT_NE(kinds1, kinds3);
+}
+
+TEST(FaultPlanTest, ResetReplaysTheIdenticalSequence) {
+  Rng rng(5);
+  auto trace = GeneratePoissonTrace({3, 50, 10.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 6);
+  network.AdvanceTo(49);
+  FaultPlan plan(&network, 7, HeavyFaults());
+  std::vector<int> first, second;
+  for (int i = 0; i < 120; ++i) {
+    auto outcome = plan.ProbeConditional(i % 3, "");
+    ASSERT_TRUE(outcome.ok());
+    first.push_back(static_cast<int>(outcome->fault));
+  }
+  plan.Reset();
+  for (int i = 0; i < 120; ++i) {
+    auto outcome = plan.ProbeConditional(i % 3, "");
+    ASSERT_TRUE(outcome.ok());
+    second.push_back(static_cast<int>(outcome->fault));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultPlanTest, PerResourceOverridesIsolateFaults) {
+  Rng rng(11);
+  auto trace = GeneratePoissonTrace({2, 50, 5.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 6);
+  // Default: healthy. Resource 1: always times out.
+  FaultPlan plan(&network, 13, FaultOptions{});
+  FaultOptions broken;
+  broken.timeout_rate = 1.0;
+  plan.SetResourceOptions(1, broken);
+  for (int i = 0; i < 20; ++i) {
+    auto healthy = plan.ProbeConditional(0, "");
+    ASSERT_TRUE(healthy.ok());
+    EXPECT_EQ(healthy->fault, FaultPlan::FaultKind::kNone);
+    auto faulty = plan.ProbeConditional(1, "");
+    ASSERT_TRUE(faulty.ok());
+    EXPECT_EQ(faulty->fault, FaultPlan::FaultKind::kTimeout);
+  }
+  EXPECT_EQ(plan.stats().timeouts, 20u);
+}
+
+TEST(FaultPlanTest, UnknownResourceIsNotFound) {
+  Rng rng(17);
+  auto trace = GeneratePoissonTrace({2, 20, 5.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 6);
+  FaultPlan plan(&network, 1, HeavyFaults());
+  EXPECT_FALSE(plan.ProbeConditional(7, "").ok());
+  EXPECT_FALSE(plan.ProbeConditional(-1, "").ok());
+}
+
+TEST(FaultPlanTest, EtagStormForcesFullBodies) {
+  Rng rng(19);
+  auto trace = GeneratePoissonTrace({1, 50, 20.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 8);
+  network.AdvanceTo(49);
+  FaultOptions faults;
+  faults.etag_storm_rate = 1.0;  // every probe is inside a storm
+  faults.etag_storm_length = 1000;
+  FaultPlan plan(&network, 23, faults);
+  std::string etag;
+  for (int i = 0; i < 10; ++i) {
+    auto outcome = plan.ProbeConditional(0, etag);
+    ASSERT_TRUE(outcome.ok());
+    // The validator never stabilizes: every fetch pays for a full body.
+    EXPECT_FALSE(outcome->fetch.not_modified);
+    EXPECT_FALSE(outcome->fetch.body.empty());
+    etag = outcome->fetch.etag;
+  }
+  EXPECT_EQ(plan.stats().etag_invalidations, 10u);
+  EXPECT_EQ(plan.stats().storms_started, 1u);
+}
+
+TEST(CorruptionGeneratorTest, TruncatedBodiesNeverParse) {
+  Rng source(29);
+  auto trace = GeneratePoissonTrace({1, 50, 20.0, 0.0}, &source);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 10);
+  network.AdvanceTo(49);
+  auto body = network.Probe(0);
+  ASSERT_TRUE(body.ok());
+  ASSERT_TRUE(ParseFeed(*body).ok());
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    std::string mangled = TruncateBody(*body, &rng);
+    EXPECT_LT(mangled.size(), body->size());
+    EXPECT_FALSE(ParseFeed(mangled).ok());
+  }
+}
+
+TEST(CorruptionGeneratorTest, CorruptedBodiesNeverParse) {
+  Rng source(37);
+  auto trace = GeneratePoissonTrace({1, 50, 20.0, 0.0}, &source);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 10);
+  network.AdvanceTo(49);
+  auto body = network.Probe(0);
+  ASSERT_TRUE(body.ok());
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    std::string mangled = CorruptBody(*body, &rng);
+    EXPECT_EQ(mangled.size(), body->size());
+    EXPECT_NE(mangled, *body);
+    EXPECT_FALSE(ParseFeed(mangled).ok());
+  }
+}
+
+TEST(CorruptionGeneratorTest, DeterministicGivenGeneratorState) {
+  std::string body(400, 'x');
+  body = "<?xml version=\"1.0\"?><rss version=\"2.0\"><channel>" + body +
+         "</channel></rss>\n";
+  Rng a(43), b(43);
+  EXPECT_EQ(TruncateBody(body, &a), TruncateBody(body, &b));
+  EXPECT_EQ(CorruptBody(body, &a), CorruptBody(body, &b));
+}
+
+TEST(FaultInjectionEndToEnd, IdenticalSeedBitIdenticalReport) {
+  SimulationConfig config = SmallConfig();
+  config.faults = HeavyFaults();
+  config.retry.max_retries = 2;
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  auto r1 = RunProxyOnce(config, spec, 77);
+  auto r2 = RunProxyOnce(config, spec, 77);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // The run actually exercised the fault machinery.
+  EXPECT_GT(r1->probes_failed, 0u);
+  EXPECT_GT(r1->retries_issued, 0u);
+  EXPECT_GT(r1->corrupt_bodies, 0u);
+  ExpectReportsIdentical(*r1, *r2);
+}
+
+TEST(FaultInjectionEndToEnd, RepeatedProxyRunsReplayFaults) {
+  // The same proxy object Run() twice on fresh networks would mutate
+  // network state; instead verify that a single proxy's fault plan is
+  // rebuilt per Run() by comparing against a fresh proxy+network pair.
+  SimulationConfig config = SmallConfig();
+  UpdateTrace trace(0, 0);
+  auto problem = BuildProblem(config, 123, &trace);
+  ASSERT_TRUE(problem.ok());
+  ProxyOptions options;
+  options.faults = HeavyFaults();
+  options.fault_seed = 321;
+  options.retry.max_retries = 1;
+  auto run_fresh = [&] {
+    FeedNetwork network(&trace, 8);
+    SEdfPolicy policy;
+    MonitoringProxy proxy(&*problem, &network, &policy,
+                          ExecutionMode::kPreemptive, options);
+    auto report = proxy.Run();
+    EXPECT_TRUE(report.ok());
+    return *report;
+  };
+  ProxyRunReport a = run_fresh();
+  ProxyRunReport b = run_fresh();
+  ExpectReportsIdentical(a, b);
+}
+
+TEST(FaultInjectionEndToEnd, AllZeroRatesMatchRunWithoutFaultLayer) {
+  // Acceptance criterion: with every rate at 0 the report is identical
+  // to the pre-fault-layer code path for the same seed.
+  SimulationConfig config = SmallConfig();
+  UpdateTrace trace(0, 0);
+  auto problem = BuildProblem(config, 55, &trace);
+  ASSERT_TRUE(problem.ok());
+  for (ExecutionMode mode :
+       {ExecutionMode::kPreemptive, ExecutionMode::kNonPreemptive}) {
+    FeedNetwork plain_network(&trace, 8);
+    MrsfPolicy plain_policy;
+    MonitoringProxy plain(&*problem, &plain_network, &plain_policy, mode);
+    auto plain_report = plain.Run();
+    ASSERT_TRUE(plain_report.ok());
+
+    ProxyOptions options;
+    options.faults = FaultOptions{};  // all-zero: layer is bypassed
+    options.fault_seed = 999;
+    FeedNetwork faulty_network(&trace, 8);
+    MrsfPolicy faulty_policy;
+    MonitoringProxy faulty(&*problem, &faulty_network, &faulty_policy, mode,
+                           options);
+    auto faulty_report = faulty.Run();
+    ASSERT_TRUE(faulty_report.ok());
+
+    ExpectReportsIdentical(*plain_report, *faulty_report);
+    EXPECT_EQ(faulty_report->probes_failed, 0u);
+    EXPECT_EQ(faulty_report->corrupt_bodies, 0u);
+    EXPECT_EQ(plain.notifications().size(), faulty.notifications().size());
+  }
+}
+
+TEST(FaultInjectionEndToEnd, FaultsDegradeCompleteness) {
+  SimulationConfig config = SmallConfig();
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  auto clean = RunProxyOnce(config, spec, 7);
+  ASSERT_TRUE(clean.ok());
+  config.faults.timeout_rate = 0.5;
+  config.faults.server_error_rate = 0.2;
+  auto faulty = RunProxyOnce(config, spec, 7);
+  ASSERT_TRUE(faulty.ok());
+  EXPECT_LT(faulty->run.completeness.GainedCompleteness(),
+            clean->run.completeness.GainedCompleteness());
+  EXPECT_GT(faulty->gc_lost_to_faults, 0.0);
+  EXPECT_GT(faulty->timeouts, 0u);
+}
+
+TEST(FaultInjectionEndToEnd, RetriesRecoverCompletenessUnderFaults) {
+  // With transient faults and spare budget, allowing retries must not
+  // hurt and typically helps GC: the trade the paper's C_j budget makes
+  // measurable.
+  SimulationConfig config = SmallConfig();
+  config.budget = 3;
+  config.faults.server_error_rate = 0.3;
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  auto no_retries = RunProxyOnce(config, spec, 31);
+  ASSERT_TRUE(no_retries.ok());
+  config.retry.max_retries = 3;
+  config.retry.backoff_base = 0.05;
+  auto with_retries = RunProxyOnce(config, spec, 31);
+  ASSERT_TRUE(with_retries.ok());
+  EXPECT_GT(with_retries->retries_issued, 0u);
+  EXPECT_GE(with_retries->run.completeness.GainedCompleteness(),
+            no_retries->run.completeness.GainedCompleteness());
+}
+
+}  // namespace
+}  // namespace pullmon

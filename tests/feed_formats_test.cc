@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "feeds/atom.h"
+#include "feeds/fault_injection.h"
 #include "feeds/rss.h"
 #include "util/datetime.h"
+#include "util/random.h"
 
 namespace pullmon {
 namespace {
@@ -132,6 +134,52 @@ TEST(ParseFeedTest, RejectsUnknownRoots) {
   EXPECT_FALSE(ParseFeed("<html></html>").ok());
   EXPECT_FALSE(ParseFeed("").ok());
   EXPECT_FALSE(ParseFeed("<?xml version=\"1.0\"?>").ok());
+}
+
+TEST(ParseFeedTest, TruncatedBodiesReturnErrorNeverCrash) {
+  // Reuse the fault layer's truncation generator: every mangled body
+  // must come back as an error Status — the contract the proxy's
+  // parse_failures accounting depends on.
+  FeedDocument feed = SampleFeed();
+  for (FeedFormat format : {FeedFormat::kRss2, FeedFormat::kAtom1}) {
+    std::string xml = WriteFeed(feed, format);
+    Rng rng(7 + static_cast<uint64_t>(format));
+    for (int i = 0; i < 100; ++i) {
+      auto parsed = ParseFeed(TruncateBody(xml, &rng));
+      EXPECT_FALSE(parsed.ok());
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+TEST(ParseFeedTest, EveryPrefixTruncationIsHandled) {
+  // Exhaustive sweep: a body cut at any byte boundary either parses (a
+  // prefix that happens to be well formed) or returns an error — it
+  // never crashes or hangs.
+  FeedDocument feed = SampleFeed();
+  for (FeedFormat format : {FeedFormat::kRss2, FeedFormat::kAtom1}) {
+    std::string xml = WriteFeed(feed, format);
+    for (std::size_t cut = 0; cut < xml.size(); ++cut) {
+      auto parsed = ParseFeed(xml.substr(0, cut));
+      if (cut + 9 < xml.size()) {
+        // Losing the closing root tag is always a structural error.
+        EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+      }
+    }
+  }
+}
+
+TEST(ParseFeedTest, CorruptedBodiesReturnErrorNeverCrash) {
+  FeedDocument feed = SampleFeed();
+  for (FeedFormat format : {FeedFormat::kRss2, FeedFormat::kAtom1}) {
+    std::string xml = WriteFeed(feed, format);
+    Rng rng(13 + static_cast<uint64_t>(format));
+    for (int i = 0; i < 100; ++i) {
+      auto parsed = ParseFeed(CorruptBody(xml, &rng));
+      EXPECT_FALSE(parsed.ok());
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
 }
 
 TEST(WriteFeedTest, DispatchesOnFormat) {

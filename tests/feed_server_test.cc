@@ -62,6 +62,59 @@ TEST(FeedServerTest, AtomFormatSupported) {
   EXPECT_EQ(parsed->items[0].guid, "g3");
 }
 
+TEST(FeedServerTest, CapacityZeroAndOneConditionalFetches) {
+  // Degenerate capacities behave like capacity one: each publish fully
+  // replaces the buffer and rolls the validator.
+  for (std::size_t capacity : {std::size_t{0}, std::size_t{1}}) {
+    FeedServer server(0, "tiny", capacity);
+    std::string etag = server.CurrentETag();
+    for (int i = 0; i < 4; ++i) {
+      server.Publish(MakeItem(i));
+      auto fetch = server.FetchConditional(etag);
+      EXPECT_FALSE(fetch.not_modified);
+      ASSERT_EQ(server.items().size(), 1u);
+      EXPECT_EQ(server.items()[0].guid, MakeItem(i).guid);
+      EXPECT_NE(fetch.etag, etag);
+      etag = fetch.etag;
+    }
+    EXPECT_EQ(server.evicted_count(), 3u);
+    EXPECT_EQ(server.publish_count(), 4u);
+  }
+}
+
+TEST(FeedServerTest, ETagRollsOnEveryPublishEvenWithSameGuid) {
+  FeedServer server(0, "test", 4);
+  server.Publish(MakeItem(1));
+  std::string before = server.CurrentETag();
+  server.Publish(MakeItem(1));  // same guid, republished
+  EXPECT_NE(server.CurrentETag(), before);
+}
+
+TEST(FeedServerTest, ConditionalFetchAfterFullBufferTurnover) {
+  // Client caches a validator, then the buffer turns over completely.
+  // The stale validator must not match, and the served body contains
+  // only the surviving (new) items.
+  FeedServer server(0, "turnover", 3);
+  for (int i = 0; i < 3; ++i) server.Publish(MakeItem(i));
+  auto first = server.FetchConditional("");
+  ASSERT_FALSE(first.not_modified);
+  for (int i = 3; i < 6; ++i) server.Publish(MakeItem(i));
+  auto second = server.FetchConditional(first.etag);
+  EXPECT_FALSE(second.not_modified);
+  EXPECT_NE(second.etag, first.etag);
+  auto parsed = ParseFeed(second.body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->items.size(), 3u);
+  EXPECT_EQ(parsed->items[0].guid, "g5");
+  EXPECT_EQ(parsed->items[2].guid, "g3");
+  EXPECT_EQ(server.evicted_count(), 3u);
+  // The turned-over validator is stable until the next publish.
+  auto third = server.FetchConditional(second.etag);
+  EXPECT_TRUE(third.not_modified);
+  EXPECT_TRUE(third.body.empty());
+  EXPECT_EQ(server.not_modified_count(), 1u);
+}
+
 UpdateTrace SmallTrace() {
   UpdateTrace trace(2, 10);
   EXPECT_TRUE(trace.AddEvent(0, 1).ok());
@@ -128,6 +181,53 @@ TEST(FeedNetworkTest, TightBufferLosesLateData) {
   ASSERT_TRUE(parsed.ok());
   ChrononClock clock;
   EXPECT_EQ(clock.FromUnix(parsed->items[0].published), 3);
+}
+
+TEST(FeedNetworkTest, ETagStableAcrossNoOpAdvance) {
+  // Advancing the clock over chronons with no due events must not
+  // disturb any validator: a conditional probe still short-circuits.
+  UpdateTrace trace = SmallTrace();
+  FeedNetwork network(&trace, 10);
+  network.AdvanceTo(3);  // all events published
+  auto fetch = network.ProbeConditional(0, "");
+  ASSERT_TRUE(fetch.ok());
+  std::string etag = fetch->etag;
+  network.AdvanceTo(7);
+  network.AdvanceTo(9);
+  EXPECT_EQ(network.server(0)->CurrentETag(), etag);
+  auto again = network.ProbeConditional(0, etag);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->not_modified);
+  EXPECT_TRUE(again->body.empty());
+}
+
+TEST(FeedNetworkTest, EvictionCountWhenProbeRacesPublishBurst) {
+  // A probe taken between two halves of a publish burst sees the
+  // mid-burst state; the eviction counter reflects exactly the items
+  // that overflowed the bounded buffer, not the probe timing.
+  UpdateTrace trace(1, 10);
+  for (Chronon t = 0; t < 8; ++t) {
+    ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  }
+  FeedNetwork network(&trace, 3);
+  network.AdvanceTo(3);  // 4 published, 1 evicted
+  EXPECT_EQ(network.TotalEvicted(), 1u);
+  auto mid = network.Probe(0);
+  ASSERT_TRUE(mid.ok());
+  auto mid_parsed = ParseFeed(*mid);
+  ASSERT_TRUE(mid_parsed.ok());
+  ASSERT_EQ(mid_parsed->items.size(), 3u);
+  ChrononClock clock;
+  EXPECT_EQ(clock.FromUnix(mid_parsed->items[0].published), 3);
+  network.AdvanceTo(7);  // remaining 4 published, 4 more evicted
+  EXPECT_EQ(network.TotalEvicted(), 5u);
+  EXPECT_EQ(network.server(0)->publish_count(), 8u);
+  auto late = network.Probe(0);
+  ASSERT_TRUE(late.ok());
+  auto late_parsed = ParseFeed(*late);
+  ASSERT_TRUE(late_parsed.ok());
+  // The mid-burst snapshot's items are unreachable now.
+  EXPECT_EQ(clock.FromUnix(late_parsed->items[2].published), 5);
 }
 
 }  // namespace

@@ -185,11 +185,116 @@ TEST(OnlineExecutorTest, ProbeCallbackSeesEveryProbe) {
   SEdfPolicy policy;
   OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
   std::size_t probes = 0;
-  executor.set_probe_callback([&](ResourceId, Chronon) { ++probes; });
+  executor.set_probe_callback([&](ResourceId, Chronon) {
+    ++probes;
+    return true;
+  });
   auto result = executor.Run();
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(probes, result->probes_used);
   EXPECT_EQ(probes, 2u);
+}
+
+TEST(OnlineExecutorTest, FailedProbeKeepsCandidateForLaterChronons) {
+  // One EI on r0 active over [0, 5]; the feed is unreachable for the
+  // first two chronons. The candidate must survive the failures and be
+  // captured by the first successful probe.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 5}})})}, 1, 8, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  std::vector<Chronon> attempts;
+  executor.set_probe_callback([&](ResourceId, Chronon now) {
+    attempts.push_back(now);
+    return now >= 2;
+  });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 1u);
+  EXPECT_EQ(result->t_intervals_failed, 0u);
+  EXPECT_EQ(result->probes_failed, 2u);
+  EXPECT_EQ(result->probes_used, 3u);
+  EXPECT_EQ(attempts, (std::vector<Chronon>{0, 1, 2}));
+  // Only the successful probe enters the schedule.
+  EXPECT_FALSE(result->schedule.HasProbe(0, 0));
+  EXPECT_TRUE(result->schedule.HasProbe(0, 2));
+}
+
+TEST(OnlineExecutorTest, AllProbesFailingLosesTIntervalToFaults) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 2}})})}, 1, 5, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  executor.set_probe_callback([](ResourceId, Chronon) { return false; });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->t_intervals_completed, 0u);
+  EXPECT_EQ(result->t_intervals_failed, 1u);
+  EXPECT_EQ(result->t_intervals_lost_to_faults, 1u);
+  EXPECT_EQ(result->probes_failed, result->probes_used);
+}
+
+TEST(OnlineExecutorTest, RetriesConsumeChrononBudget) {
+  // Two unit EIs on distinct resources at chronon 0, C = 2. The probe
+  // of the first-selected resource fails once; with one retry allowed,
+  // the retry consumes the second budget slot, so the other resource is
+  // never probed and its t-interval fails.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 0}}), TInterval({{1, 0, 0}})})},
+      2, 3, 2);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  RetryPolicy retry;
+  retry.max_retries = 1;
+  retry.backoff_base = 0.25;
+  executor.set_retry_policy(retry);
+  int calls = 0;
+  executor.set_probe_callback([&](ResourceId, Chronon) {
+    return ++calls > 1;  // first attempt fails, the retry succeeds
+  });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probes_used, 2u);
+  EXPECT_EQ(result->retries_issued, 1u);
+  EXPECT_EQ(result->retry_probes_spent, 1u);
+  EXPECT_EQ(result->probes_failed, 1u);
+  EXPECT_EQ(result->t_intervals_completed, 1u);
+  EXPECT_EQ(result->t_intervals_failed, 1u);
+}
+
+TEST(OnlineExecutorTest, BackoffBudgetBoundsSameChrononRetries) {
+  // Exponential backoff 0.4, 0.8, ... exceeds the chronon after the
+  // first retry: at most one retry can fire regardless of max_retries.
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 0}})})}, 1, 3, 8);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  RetryPolicy retry;
+  retry.max_retries = 5;
+  retry.backoff_base = 0.4;
+  retry.backoff_multiplier = 2.0;
+  executor.set_retry_policy(retry);
+  executor.set_probe_callback([](ResourceId, Chronon) { return false; });
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok());
+  // Initial attempt + exactly one retry (0.4 fits, 0.4+0.8 does not).
+  EXPECT_EQ(result->retries_issued, 1u);
+  EXPECT_EQ(result->probes_used, 2u);
+}
+
+TEST(OnlineExecutorTest, RejectsMalformedRetryPolicy) {
+  MonitoringProblem p = SimpleProblem(
+      {Profile("a", {TInterval({{0, 0, 1}})})}, 1, 3, 1);
+  SEdfPolicy policy;
+  OnlineExecutor executor(&p, &policy, ExecutionMode::kPreemptive);
+  RetryPolicy retry;
+  retry.max_retries = -1;
+  executor.set_retry_policy(retry);
+  EXPECT_FALSE(executor.Run().ok());
+  retry = RetryPolicy{};
+  retry.backoff_multiplier = 0.5;
+  executor.set_retry_policy(retry);
+  EXPECT_FALSE(executor.Run().ok());
 }
 
 TEST(OnlineExecutorTest, InvalidProblemRejected) {

@@ -15,12 +15,19 @@ UpdateTrace MakeTruth(uint64_t seed = 5, double lambda = 10.0) {
 }
 
 TEST(PerturbTest, IdentityWhenNoErrorConfigured) {
+  // Default options are a true identity: same shape, same event count,
+  // and the same events per resource, whatever the rng seed.
   UpdateTrace truth = MakeTruth();
-  Rng rng(1);
-  auto estimated = PerturbTrace(truth, {}, &rng);
-  ASSERT_TRUE(estimated.ok());
-  for (ResourceId r = 0; r < truth.num_resources(); ++r) {
-    EXPECT_EQ(estimated->EventsFor(r), truth.EventsFor(r));
+  for (uint64_t seed : {1ull, 42ull, 0xFFFFull}) {
+    Rng rng(seed);
+    auto estimated = PerturbTrace(truth, {}, &rng);
+    ASSERT_TRUE(estimated.ok());
+    EXPECT_EQ(estimated->num_resources(), truth.num_resources());
+    EXPECT_EQ(estimated->epoch_length(), truth.epoch_length());
+    EXPECT_EQ(estimated->TotalEvents(), truth.TotalEvents());
+    for (ResourceId r = 0; r < truth.num_resources(); ++r) {
+      EXPECT_EQ(estimated->EventsFor(r), truth.EventsFor(r));
+    }
   }
 }
 
@@ -70,6 +77,24 @@ TEST(PerturbTest, JitterKeepsEventsInEpochAndNearTruth) {
   // Event count is preserved up to same-chronon collapse.
   EXPECT_LE(estimated->TotalEvents(), truth.TotalEvents());
   EXPECT_GT(estimated->TotalEvents(), truth.TotalEvents() * 9 / 10);
+  for (ResourceId r = 0; r < estimated->num_resources(); ++r) {
+    for (Chronon t : estimated->EventsFor(r)) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, truth.epoch_length());
+    }
+  }
+}
+
+TEST(PerturbTest, ExtremeJitterStillClampedToEpoch) {
+  // A stddev of 1000 on a 500-chronon epoch sends nearly every draw
+  // outside the epoch; clamping must pin them all to [0, length).
+  UpdateTrace truth = MakeTruth(3, 15.0);
+  Rng rng(37);
+  TracePerturbationOptions options;
+  options.jitter_stddev = 1000.0;
+  auto estimated = PerturbTrace(truth, options, &rng);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_GT(estimated->TotalEvents(), 0u);
   for (ResourceId r = 0; r < estimated->num_resources(); ++r) {
     for (Chronon t : estimated->EventsFor(r)) {
       EXPECT_GE(t, 0);

@@ -79,6 +79,78 @@ TEST(MonitoringProxyTest, FetchCountsMatchServers) {
   EXPECT_EQ(total_fetches, report->feeds_fetched);
 }
 
+TEST(MonitoringProxyTest, ZeroFaultRatesAreAnExactNoOp) {
+  // Regression guard for the fault layer: all-zero rates must leave
+  // every report field bit-identical to a proxy built without
+  // ProxyOptions at all, for every standard policy shape.
+  Fixture fx;
+  for (ExecutionMode mode :
+       {ExecutionMode::kPreemptive, ExecutionMode::kNonPreemptive}) {
+    FeedNetwork n1(&fx.trace, 8), n2(&fx.trace, 8);
+    SEdfPolicy p1, p2;
+    MonitoringProxy plain(&fx.problem, &n1, &p1, mode);
+    ProxyOptions zeroed;
+    zeroed.fault_seed = 0xDEADBEEF;  // seed is irrelevant when rates are 0
+    zeroed.retry.max_retries = 4;    // retries never trigger without faults
+    MonitoringProxy faulted(&fx.problem, &n2, &p2, mode, zeroed);
+    auto r1 = plain.Run();
+    auto r2 = faulted.Run();
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_DOUBLE_EQ(r1->run.completeness.GainedCompleteness(),
+                     r2->run.completeness.GainedCompleteness());
+    EXPECT_EQ(r1->run.probes_used, r2->run.probes_used);
+    EXPECT_EQ(r1->notifications_delivered, r2->notifications_delivered);
+    EXPECT_EQ(r1->feeds_fetched, r2->feeds_fetched);
+    EXPECT_EQ(r1->feed_bytes, r2->feed_bytes);
+    EXPECT_EQ(r1->items_parsed, r2->items_parsed);
+    EXPECT_EQ(r2->probes_failed, 0u);
+    EXPECT_EQ(r2->retries_issued, 0u);
+    EXPECT_EQ(r2->corrupt_bodies, 0u);
+    EXPECT_DOUBLE_EQ(r2->gc_lost_to_faults, 0.0);
+  }
+}
+
+TEST(MonitoringProxyTest, CertainCorruptionFailsEveryParse) {
+  Fixture fx;
+  FeedNetwork network(&fx.trace, 8);
+  SEdfPolicy policy;
+  ProxyOptions options;
+  options.faults.corruption_rate = 1.0;
+  MonitoringProxy proxy(&fx.problem, &network, &policy,
+                        ExecutionMode::kPreemptive, options);
+  auto report = proxy.Run();
+  ASSERT_TRUE(report.ok());
+  // Every fetched body is mangled, every parse fails, nothing is
+  // captured or delivered — but the proxy never crashes or errors.
+  EXPECT_GT(report->corrupt_bodies, 0u);
+  EXPECT_EQ(report->parse_failures, report->corrupt_bodies);
+  EXPECT_GT(report->probes_failed, 0u);
+  EXPECT_EQ(report->notifications_delivered, 0u);
+  EXPECT_EQ(report->run.t_intervals_completed, 0u);
+}
+
+TEST(MonitoringProxyTest, CertainTimeoutsNeverTouchTheNetwork) {
+  Fixture fx;
+  FeedNetwork network(&fx.trace, 8);
+  MrsfPolicy policy;
+  ProxyOptions options;
+  options.faults.timeout_rate = 1.0;
+  MonitoringProxy proxy(&fx.problem, &network, &policy,
+                        ExecutionMode::kPreemptive, options);
+  auto report = proxy.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->timeouts, 0u);
+  EXPECT_EQ(report->feeds_fetched, 0u);
+  EXPECT_EQ(report->feed_bytes, 0u);
+  for (ResourceId r = 0; r < 2; ++r) {
+    EXPECT_EQ(network.server(r)->fetch_count(), 0u);
+  }
+  // Every failed probe's doomed t-interval is attributed to faults.
+  EXPECT_DOUBLE_EQ(report->run.completeness.GainedCompleteness(), 0.0);
+  EXPECT_DOUBLE_EQ(report->gc_lost_to_faults, 1.0);
+}
+
 TEST(MonitoringProxyTest, RunIsRepeatableAcrossProxies) {
   Fixture fx;
   FeedNetwork n1(&fx.trace, 8), n2(&fx.trace, 8);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 suite in the default build, then the
+# whole suite again under AddressSanitizer + UBSan. Run from anywhere;
+# paths resolve relative to the repository root.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier-1: default build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "$fast" == 1 ]]; then
+  echo "== skipped sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizer pass: asan + ubsan =="
+cmake --preset asan > /dev/null
+cmake --build --preset asan -j "$jobs"
+(cd build-asan && ctest --output-on-failure -j "$jobs")
+
+echo "== all checks passed =="

@@ -21,6 +21,7 @@
 #include "trace/trace_io.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -43,6 +44,25 @@ void AddConfigFlags(FlagParser* flags) {
   flags->AddInt64("budget", 1, "C: probes per chronon");
   flags->AddInt64("reps", 10, "experiment repetitions");
   flags->AddInt64("seed", 1234, "base random seed");
+  // Fault-injection layer (proxy runs only; see --proxy under `run`).
+  flags->AddDouble("fault-timeout", 0.0, "probe timeout probability");
+  flags->AddDouble("fault-server-error", 0.0,
+                   "transient server error probability");
+  flags->AddDouble("fault-truncate", 0.0,
+                   "truncated feed body probability");
+  flags->AddDouble("fault-corrupt", 0.0,
+                   "corrupted feed body probability");
+  flags->AddDouble("fault-etag-storm", 0.0,
+                   "ETag invalidation storm start probability");
+  flags->AddDouble("fault-latency", 0.0,
+                   "mean simulated response latency (chronons)");
+  flags->AddInt64("fault-seed", 0x5EED, "fault layer random seed");
+  flags->AddInt64("retries", 0,
+                  "probe retries per failure (spend budget C)");
+  flags->AddDouble("retry-backoff", 0.125,
+                   "initial retry backoff (chronons, doubles per try)");
+  flags->AddInt64("buffer-capacity", 8,
+                  "feed server buffer size (proxy runs)");
 }
 
 SimulationConfig ConfigFromFlags(const FlagParser& flags) {
@@ -67,6 +87,17 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
                            : LengthRestriction::kWindow;
   config.window = static_cast<Chronon>(flags.GetInt64("window"));
   config.budget = static_cast<int>(flags.GetInt64("budget"));
+  config.faults.timeout_rate = flags.GetDouble("fault-timeout");
+  config.faults.server_error_rate = flags.GetDouble("fault-server-error");
+  config.faults.truncation_rate = flags.GetDouble("fault-truncate");
+  config.faults.corruption_rate = flags.GetDouble("fault-corrupt");
+  config.faults.etag_storm_rate = flags.GetDouble("fault-etag-storm");
+  config.faults.latency_mean = flags.GetDouble("fault-latency");
+  config.fault_seed = static_cast<uint64_t>(flags.GetInt64("fault-seed"));
+  config.retry.max_retries = static_cast<int>(flags.GetInt64("retries"));
+  config.retry.backoff_base = flags.GetDouble("retry-backoff");
+  config.feed_buffer_capacity =
+      static_cast<int>(flags.GetInt64("buffer-capacity"));
   return config;
 }
 
@@ -149,6 +180,67 @@ Status PrintOutcomes(const ComparisonResult& result,
   return Status::OK();
 }
 
+/// The physical (proxy) run path: full pull-parse-push over simulated
+/// feed servers, with the fault layer and retry budget active. One row
+/// per policy, aggregated over repetitions.
+int RunProxyExperiment(const SimulationConfig& config,
+                       const std::vector<PolicySpec>& specs, int reps,
+                       uint64_t base_seed, const std::string& csv_path) {
+  TablePrinter table({"policy", "GC", "GC lost to faults", "probes",
+                      "failed", "retries", "corrupt", "notifications"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const PolicySpec& spec : specs) {
+    RunningStats gc, gc_lost, probes, failed, retries, corrupt, delivered;
+    for (int rep = 0; rep < reps; ++rep) {
+      uint64_t seed = base_seed + static_cast<uint64_t>(rep) * 7919;
+      auto report = RunProxyOnce(config, spec, seed);
+      if (!report.ok()) {
+        std::cerr << "proxy run failed: " << report.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      gc.Add(report->run.completeness.GainedCompleteness());
+      gc_lost.Add(report->gc_lost_to_faults);
+      probes.Add(static_cast<double>(report->run.probes_used));
+      failed.Add(static_cast<double>(report->probes_failed));
+      retries.Add(static_cast<double>(report->retries_issued));
+      corrupt.Add(static_cast<double>(report->corrupt_bodies));
+      delivered.Add(
+          static_cast<double>(report->notifications_delivered));
+    }
+    table.AddRow({spec.Label(), TablePrinter::FormatDouble(gc.mean(), 4),
+                  TablePrinter::FormatDouble(gc_lost.mean(), 4),
+                  TablePrinter::FormatDouble(probes.mean(), 0),
+                  TablePrinter::FormatDouble(failed.mean(), 1),
+                  TablePrinter::FormatDouble(retries.mean(), 1),
+                  TablePrinter::FormatDouble(corrupt.mean(), 1),
+                  TablePrinter::FormatDouble(delivered.mean(), 0)});
+    csv_rows.push_back(
+        {spec.Label(), TablePrinter::FormatDouble(gc.mean(), 6),
+         TablePrinter::FormatDouble(gc_lost.mean(), 6),
+         TablePrinter::FormatDouble(probes.mean(), 1),
+         TablePrinter::FormatDouble(failed.mean(), 1),
+         TablePrinter::FormatDouble(retries.mean(), 1),
+         TablePrinter::FormatDouble(corrupt.mean(), 1),
+         TablePrinter::FormatDouble(delivered.mean(), 1)});
+  }
+  table.Print(std::cout);
+  if (!csv_path.empty()) {
+    auto writer = CsvWriter::Open(csv_path);
+    if (!writer.ok()) {
+      std::cerr << writer.status().ToString() << "\n";
+      return 1;
+    }
+    writer->WriteRow({"policy", "gc_mean", "gc_lost_to_faults", "probes",
+                      "probes_failed", "retries", "corrupt_bodies",
+                      "notifications"});
+    for (const auto& row : csv_rows) writer->WriteRow(row);
+    writer->Flush();
+    std::cout << "Wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
 int CommandRun(const std::vector<std::string>& args) {
   FlagParser flags("pullmon_cli run",
                    "run one monitoring experiment and print/emit results");
@@ -156,6 +248,9 @@ int CommandRun(const std::vector<std::string>& args) {
   flags.AddString("policy", "s-edf,m-edf,mrsf", "comma-separated policies");
   flags.AddString("mode", "p", "execution mode: p | np | both");
   flags.AddBool("offline", false, "also run the offline Local-Ratio");
+  flags.AddBool("proxy", false,
+                "run the physical proxy path (feed servers, parsing, "
+                "fault layer) instead of the logical executor");
   flags.AddString("csv", "", "write results to this CSV file");
   Status st = flags.Parse(args);
   if (!st.ok()) {
@@ -173,6 +268,17 @@ int CommandRun(const std::vector<std::string>& args) {
     return 2;
   }
   SimulationConfig config = ConfigFromFlags(flags);
+  if (flags.GetBool("proxy")) {
+    return RunProxyExperiment(config, *specs,
+                              static_cast<int>(flags.GetInt64("reps")),
+                              static_cast<uint64_t>(flags.GetInt64("seed")),
+                              flags.GetString("csv"));
+  }
+  if (!config.faults.AllZero() || config.retry.max_retries > 0) {
+    std::cerr << "fault/retry flags only affect --proxy runs; the "
+                 "logical executor assumes a reliable network\n";
+    return 2;
+  }
   ExperimentRunner runner(static_cast<int>(flags.GetInt64("reps")),
                           static_cast<uint64_t>(flags.GetInt64("seed")));
   // The CLI exposes the strong Local-Ratio variant: probe-sharing-aware
@@ -221,6 +327,12 @@ int CommandSweep(const std::vector<std::string>& args) {
   auto specs = SpecsFromFlags(flags);
   if (!specs.ok()) {
     std::cerr << specs.status().ToString() << "\n";
+    return 2;
+  }
+  if (!ConfigFromFlags(flags).faults.AllZero() ||
+      flags.GetInt64("retries") > 0) {
+    std::cerr << "fault/retry flags only affect `run --proxy`; sweeps "
+                 "use the logical executor\n";
     return 2;
   }
   std::string param = ToLower(flags.GetString("param"));
