@@ -8,6 +8,7 @@
 //       U-MRSF on instances with Zipf-skewed utilities, scored by
 //       weighted completeness.
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
@@ -19,11 +20,11 @@
 namespace pullmon {
 namespace {
 
-int AblationResidualDirection() {
+int AblationResidualDirection(const bench::BenchOptions& options,
+                              bench::JsonBenchWriter* json) {
   std::cout << "\n--- (a) Residual direction: MRSF vs inverted and "
                "uninformed orders ---\n";
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 5;
   std::vector<PolicySpec> specs = {
       {"MRSF", ExecutionMode::kPreemptive},
       {"LRSF", ExecutionMode::kPreemptive},
@@ -31,7 +32,7 @@ int AblationResidualDirection() {
       {"Random", ExecutionMode::kPreemptive},
       {"RoundRobin", ExecutionMode::kPreemptive},
   };
-  ExperimentRunner runner(repetitions, /*base_seed=*/11011);
+  ExperimentRunner runner(options.reps, options.seed);
   auto result = runner.Run(config, specs);
   if (!result.ok()) {
     std::cerr << "experiment failed: " << result.status().ToString()
@@ -41,13 +42,17 @@ int AblationResidualDirection() {
   TablePrinter table({"policy", "GC"});
   for (const auto& outcome : result->policies) {
     table.AddRow({outcome.spec.Label(), bench::MeanCi(outcome.gc)});
+    json->Add({"residual_direction",
+               {{"policy", outcome.spec.Label()}},
+               {{"gc", outcome.gc.mean()}}});
   }
   table.Print(std::cout);
   std::cout << "(expected: MRSF > uninformed baselines > LRSF)\n";
   return 0;
 }
 
-int AblationLocalRatioVariants() {
+int AblationLocalRatioVariants(const bench::BenchOptions& options,
+                               bench::JsonBenchWriter* json) {
   std::cout << "\n--- (b) Offline Local-Ratio variants (fig. 4 sized "
                "instance, W=0, C=1) ---\n";
   SimulationConfig config = BaselineConfig();
@@ -72,8 +77,12 @@ int AblationLocalRatioVariants() {
   TablePrinter table({"variant", "GC", "runtime(ms)"});
   for (const auto& variant : variants) {
     RunningStats gc, runtime;
-    for (int rep = 0; rep < 3; ++rep) {
-      auto problem = BuildProblem(config, 12012 + rep);
+    // Base seed 12012 = default --seed + 1001; the LP variants are slow,
+    // so this section caps itself at 3 repetitions.
+    for (int rep = 0; rep < std::min(options.reps, 3); ++rep) {
+      auto problem =
+          BuildProblem(config, options.seed + 1001 +
+                                   static_cast<uint64_t>(rep));
       if (!problem.ok()) {
         std::cerr << problem.status().ToString() << "\n";
         return 1;
@@ -92,6 +101,9 @@ int AblationLocalRatioVariants() {
     }
     table.AddRow({variant.name, bench::MeanCi(gc),
                   bench::Millis(runtime)});
+    json->Add({"local_ratio_variants",
+               {{"variant", variant.name}},
+               {{"gc", gc.mean()}, {"runtime_seconds", runtime.mean()}}});
   }
   table.Print(std::cout);
   std::cout << "(the paper's comparisons use the faithful variant; the "
@@ -99,7 +111,8 @@ int AblationLocalRatioVariants() {
   return 0;
 }
 
-int AblationUtilities() {
+int AblationUtilities(const bench::BenchOptions& options,
+                      bench::JsonBenchWriter* json) {
   std::cout << "\n--- (c) Utility-aware scheduling (Section 6 extension) "
                "---\n";
   SimulationConfig config = BaselineConfig();
@@ -108,9 +121,11 @@ int AblationUtilities() {
 
   RunningStats plain_weighted_gc, utility_weighted_gc, plain_gc,
       utility_gc;
-  const int repetitions = 5;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    auto problem = BuildProblem(config, 13013 + rep);
+  // Base seed 13013 = default --seed + 2002.
+  for (int rep = 0; rep < options.reps; ++rep) {
+    auto problem =
+        BuildProblem(config, options.seed + 2002 +
+                                 static_cast<uint64_t>(rep));
     if (!problem.ok()) {
       std::cerr << problem.status().ToString() << "\n";
       return 1;
@@ -159,19 +174,34 @@ int AblationUtilities() {
   table.Print(std::cout);
   std::cout << "(utility-awareness should buy weighted completeness, "
                "possibly at a small plain-GC cost)\n";
+  json->Add({"utilities",
+             {{"policy", "MRSF(P)"}},
+             {{"weighted_gc", plain_weighted_gc.mean()},
+              {"gc", plain_gc.mean()}}});
+  json->Add({"utilities",
+             {{"policy", "U-MRSF(P)"}},
+             {{"weighted_gc", utility_weighted_gc.mean()},
+              {"gc", utility_gc.mean()}}});
   return 0;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() {
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_ablation_design",
+      "Ablations: residual direction, Local-Ratio variants, utilities",
+      /*default_seed=*/11011, /*default_reps=*/5);
   pullmon::bench::PrintHeader(
       "Ablations: residual direction, Local-Ratio variants, utilities",
       "design-choice sensitivity beyond the paper's own figures");
-  int rc = pullmon::AblationResidualDirection();
+  pullmon::bench::JsonBenchWriter json("bench_ablation_design", options);
+  int rc = pullmon::AblationResidualDirection(options, &json);
   if (rc != 0) return rc;
-  rc = pullmon::AblationLocalRatioVariants();
+  rc = pullmon::AblationLocalRatioVariants(options, &json);
   if (rc != 0) return rc;
-  return pullmon::AblationUtilities();
+  rc = pullmon::AblationUtilities(options, &json);
+  if (rc != 0) return rc;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }

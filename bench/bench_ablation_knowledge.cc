@@ -28,7 +28,8 @@ struct Point {
   double miss;
 };
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options,
+             bench::JsonBenchWriter* json) {
   bench::PrintHeader(
       "Ablation: sensitivity to update-model error (FPN(1) assumption)",
       "how completeness decays when the proxy's update predictions err");
@@ -38,7 +39,7 @@ int RunBench() {
   const int kProfiles = 250;
   const int kRank = 3;
   const Chronon kWindow = 12;
-  const int kReps = 5;
+  const int kReps = options.reps;
 
   const Point points[] = {{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0},
                           {6.0, 0.0}, {0.0, 0.1}, {0.0, 0.3},
@@ -50,7 +51,7 @@ int RunBench() {
   for (const auto& point : points) {
     RunningStats mrsf_gc, sedf_gc;
     for (int rep = 0; rep < kReps; ++rep) {
-      Rng rng(140140 + static_cast<uint64_t>(rep));
+      Rng rng(options.seed + static_cast<uint64_t>(rep));
       PoissonTraceOptions trace_options;
       trace_options.num_resources = kResources;
       trace_options.epoch_length = kEpoch;
@@ -117,6 +118,11 @@ int RunBench() {
     if (point.jitter == 0.0 && point.miss == 0.0) {
       perfect_mrsf = mrsf_gc.mean();
     }
+    json->Add({"update_model_error",
+               {{"jitter_sd", TablePrinter::FormatDouble(point.jitter, 1)},
+                {"miss_prob", TablePrinter::FormatDouble(point.miss, 2)}},
+               {{"mrsf_true_gc", mrsf_gc.mean()},
+                {"sedf_true_gc", sedf_gc.mean()}}});
     table.AddRow(
         {TablePrinter::FormatDouble(point.jitter, 1),
          TablePrinter::FormatDouble(point.miss, 2),
@@ -138,7 +144,8 @@ int RunBench() {
   return 0;
 }
 
-int RunForecasterComparison() {
+int RunForecasterComparison(const bench::BenchOptions& options,
+                            bench::JsonBenchWriter* json) {
   std::cout << "\n--- Learned update models vs FPN(1) hindsight (feed "
                "workload) ---\n";
   // A Web-feed workload ([10] statistics): train the forecaster on the
@@ -149,11 +156,12 @@ int RunForecasterComparison() {
   const Chronon kHorizon = 800;
   const Chronon kWindow = 10;
   const int kProfiles = 200;
-  const int kReps = 5;
+  const int kReps = options.reps;
 
   RunningStats perfect_gc, forecast_gc, blind_gc;
   for (int rep = 0; rep < kReps; ++rep) {
-    Rng rng(150150 + static_cast<uint64_t>(rep));
+    // Historical base seed 150150 = default --seed + 10010.
+    Rng rng(options.seed + 10010 + static_cast<uint64_t>(rep));
     FeedWorkloadOptions workload;
     workload.num_feeds = kFeeds;
     workload.epoch_length = kHistory + kHorizon;
@@ -230,14 +238,31 @@ int RunForecasterComparison() {
   std::cout << "(the learned model should recover much of the gap "
                "between blind probing and hindsight,\nsince most feed "
                "updates are near-periodic per [10])\n";
+  json->Add({"forecaster",
+             {{"update_model", "fpn1_hindsight"}},
+             {{"true_gc", perfect_gc.mean()}}});
+  json->Add({"forecaster",
+             {{"update_model", "learned"}},
+             {{"true_gc", forecast_gc.mean()}}});
+  json->Add({"forecaster",
+             {{"update_model", "blind_roundrobin"}},
+             {{"true_gc", blind_gc.mean()}}});
   return 0;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() {
-  int rc = pullmon::RunBench();
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_ablation_knowledge",
+      "Sensitivity to update-model error (FPN(1) assumption)",
+      /*default_seed=*/140140, /*default_reps=*/5);
+  pullmon::bench::JsonBenchWriter json("bench_ablation_knowledge",
+                                       options);
+  int rc = pullmon::RunBench(options, &json);
   if (rc != 0) return rc;
-  return pullmon::RunForecasterComparison();
+  rc = pullmon::RunForecasterComparison(options, &json);
+  if (rc != 0) return rc;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }

@@ -1,0 +1,224 @@
+// Executor-backend regression bench: the incremental candidate index
+// (OnlineExecutor's default backend) against the scan-based
+// ReferenceExecutor oracle, swept over the four size axes that drive
+// per-chronon cost — resources (n), profiles (m), epoch length (K) and
+// profile rank. Every point also cross-checks that both backends
+// produce the same schedule size and gained completeness, so a speedup
+// obtained by diverging from the semantics cannot go unnoticed.
+//
+// The Figure-5 scalability point (n=400, K=1000, lambda=50, W=20, C=1,
+// m=500) is the acceptance gate: the indexed backend must sustain at
+// least 2x the reference's chronons/sec there, and the binary fails
+// (exit 1) if it does not. Results land in BENCH_pullmon.json by
+// default so CI can archive them.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/online_executor.h"
+#include "policies/policy_factory.h"
+#include "util/stats.h"
+
+namespace pullmon {
+namespace {
+
+struct PointResult {
+  bool ok = false;
+  double indexed_seconds = 0.0;
+  double reference_seconds = 0.0;
+  double speedup = 0.0;
+  double indexed_chronons_per_sec = 0.0;
+  double reference_chronons_per_sec = 0.0;
+  double probes_per_sec = 0.0;
+  double gc = 0.0;
+};
+
+PointResult MeasurePoint(const SimulationConfig& config,
+                         const bench::BenchOptions& options) {
+  PointResult out;
+  RunningStats indexed_seconds, reference_seconds, probes;
+  for (int rep = 0; rep < options.reps; ++rep) {
+    uint64_t seed = options.seed + static_cast<uint64_t>(rep) * 7919;
+    auto problem = BuildProblem(config, seed);
+    if (!problem.ok()) {
+      std::cerr << "problem generation failed: "
+                << problem.status().ToString() << "\n";
+      return out;
+    }
+    PolicyOptions po;
+    po.random_seed = seed ^ 0x5bf03635ULL;
+    po.num_resources = problem->num_resources;
+    auto policy = MakePolicy("mrsf", po);
+    if (!policy.ok()) {
+      std::cerr << policy.status().ToString() << "\n";
+      return out;
+    }
+
+    OnlineExecutor indexed(&*problem, policy->get(),
+                           ExecutionMode::kPreemptive);
+    indexed.set_backend(ExecutorBackend::kIndexed);
+    auto indexed_run = indexed.Run();
+    if (!indexed_run.ok()) {
+      std::cerr << indexed_run.status().ToString() << "\n";
+      return out;
+    }
+
+    OnlineExecutor reference(&*problem, policy->get(),
+                             ExecutionMode::kPreemptive);
+    reference.set_backend(ExecutorBackend::kReference);
+    auto reference_run = reference.Run();
+    if (!reference_run.ok()) {
+      std::cerr << reference_run.status().ToString() << "\n";
+      return out;
+    }
+
+    // Semantic cross-check at every timing point.
+    if (indexed_run->completeness.GainedCompleteness() !=
+            reference_run->completeness.GainedCompleteness() ||
+        indexed_run->schedule.TotalProbes() !=
+            reference_run->schedule.TotalProbes()) {
+      std::cerr << "BACKEND DIVERGENCE at seed " << seed
+                << ": indexed GC="
+                << indexed_run->completeness.GainedCompleteness()
+                << " probes=" << indexed_run->schedule.TotalProbes()
+                << " vs reference GC="
+                << reference_run->completeness.GainedCompleteness()
+                << " probes=" << reference_run->schedule.TotalProbes()
+                << "\n";
+      return out;
+    }
+
+    indexed_seconds.Add(indexed_run->elapsed_seconds);
+    reference_seconds.Add(reference_run->elapsed_seconds);
+    probes.Add(static_cast<double>(indexed_run->schedule.TotalProbes()));
+    out.gc = indexed_run->completeness.GainedCompleteness();
+  }
+  out.indexed_seconds = indexed_seconds.mean();
+  out.reference_seconds = reference_seconds.mean();
+  out.speedup = out.indexed_seconds > 0.0
+                    ? out.reference_seconds / out.indexed_seconds
+                    : 0.0;
+  double chronons = static_cast<double>(config.epoch_length);
+  out.indexed_chronons_per_sec =
+      out.indexed_seconds > 0.0 ? chronons / out.indexed_seconds : 0.0;
+  out.reference_chronons_per_sec =
+      out.reference_seconds > 0.0 ? chronons / out.reference_seconds
+                                  : 0.0;
+  out.probes_per_sec =
+      out.indexed_seconds > 0.0 ? probes.mean() / out.indexed_seconds
+                                : 0.0;
+  out.ok = true;
+  return out;
+}
+
+SimulationConfig Fig5Config() {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 400;
+  config.epoch_length = 1000;
+  config.lambda = 50.0;
+  config.max_rank = 3;
+  config.restriction = LengthRestriction::kWindow;
+  config.window = 20;
+  config.budget = 1;
+  config.num_profiles = 500;
+  return config;
+}
+
+int RunBench(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "Executor backends: incremental candidate index vs scan-based "
+      "reference",
+      "the indexed backend is decision-identical and >= 2x faster at "
+      "Figure-5 scale");
+
+  struct Point {
+    std::string name;
+    std::string axis;
+    std::string value;
+    SimulationConfig config;
+  };
+  std::vector<Point> points;
+  // The acceptance-gate point first, then one axis varied at a time.
+  points.push_back({"fig5_gate", "profiles", "500", Fig5Config()});
+  for (int m : {1000, 2500}) {
+    SimulationConfig config = Fig5Config();
+    config.num_profiles = m;
+    points.push_back(
+        {"profiles_sweep", "profiles", std::to_string(m), config});
+  }
+  for (int n : {100, 1600}) {
+    SimulationConfig config = Fig5Config();
+    config.num_resources = n;
+    points.push_back(
+        {"resources_sweep", "resources", std::to_string(n), config});
+  }
+  for (Chronon k : {500, 2000}) {
+    SimulationConfig config = Fig5Config();
+    config.epoch_length = k;
+    points.push_back(
+        {"epoch_sweep", "epoch_length", std::to_string(k), config});
+  }
+  for (int rank : {1, 5}) {
+    SimulationConfig config = Fig5Config();
+    config.max_rank = rank;
+    points.push_back({"rank_sweep", "rank", std::to_string(rank), config});
+  }
+
+  bench::JsonBenchWriter json("bench_executor_index", options);
+  TablePrinter table({"point", "axis", "value", "indexed ms",
+                      "reference ms", "speedup", "idx chronons/s", "GC"});
+  double gate_speedup = 0.0;
+  for (const Point& point : points) {
+    PointResult result = MeasurePoint(point.config, options);
+    if (!result.ok) return 1;
+    table.AddRow({point.name, point.axis, point.value,
+                  TablePrinter::FormatDouble(
+                      result.indexed_seconds * 1e3, 2),
+                  TablePrinter::FormatDouble(
+                      result.reference_seconds * 1e3, 2),
+                  TablePrinter::FormatDouble(result.speedup, 2),
+                  TablePrinter::FormatDouble(
+                      result.indexed_chronons_per_sec, 0),
+                  TablePrinter::FormatDouble(result.gc, 4)});
+    json.Add({point.name,
+              {{"axis", point.axis}, {"value", point.value}},
+              {{"indexed_seconds", result.indexed_seconds},
+               {"reference_seconds", result.reference_seconds},
+               {"speedup", result.speedup},
+               {"indexed_chronons_per_sec",
+                result.indexed_chronons_per_sec},
+               {"reference_chronons_per_sec",
+                result.reference_chronons_per_sec},
+               {"probes_per_sec", result.probes_per_sec},
+               {"gc", result.gc}}});
+    if (point.name == "fig5_gate") gate_speedup = result.speedup;
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nAcceptance gate (Figure-5 scalability point, n=400 "
+               "K=1000 lambda=50 W=20 C=1 m=500):\n  indexed vs "
+               "reference speedup = "
+            << TablePrinter::FormatDouble(gate_speedup, 2)
+            << "x (required: >= 2x)\n";
+  if (!json.WriteIfRequested(options)) return 1;
+  if (gate_speedup < 2.0) {
+    std::cerr << "FAIL: indexed backend below the 2x bar at the "
+                 "Figure-5 point\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pullmon
+
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_executor_index",
+      "Indexed vs reference executor backend regression bench",
+      /*default_seed=*/9090, /*default_reps=*/3,
+      /*default_json=*/"BENCH_pullmon.json");
+  return pullmon::RunBench(options);
+}

@@ -30,7 +30,7 @@ struct SweepPoint {
   RunningStats gc_lost;
 };
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options) {
   bench::PrintHeader(
       "Fault tolerance: GC under probe failures and corrupt feeds",
       "completeness degrades gracefully and monotonically with the "
@@ -44,7 +44,7 @@ int RunBench() {
   config.budget = 2;
   config.retry.max_retries = 2;
   config.retry.backoff_base = 0.1;
-  const int repetitions = 5;
+  const int repetitions = options.reps;
   const std::vector<double> rates = {0.0, 0.05, 0.1, 0.2};
   bench::PrintConfig(config, repetitions);
   std::vector<PolicySpec> specs = StandardPolicySpecs();
@@ -65,7 +65,7 @@ int RunBench() {
       SweepPoint stats;
       stats.rate = rate;
       for (int rep = 0; rep < repetitions; ++rep) {
-        uint64_t seed = 4242 + static_cast<uint64_t>(rep) * 7919;
+        uint64_t seed = options.seed + static_cast<uint64_t>(rep) * 7919;
         auto report = RunProxyOnce(point, spec, seed);
         if (!report.ok()) {
           std::cerr << "proxy run failed: "
@@ -128,10 +128,30 @@ int RunBench() {
               << (monotone ? "yes" : "NO") << "\n";
     all_monotone = all_monotone && monotone;
   }
+
+  bench::JsonBenchWriter json("bench_fault_tolerance", options);
+  for (const PolicySpec& spec : specs) {
+    for (const SweepPoint& point : sweep[spec.Label()]) {
+      json.Add({"fault_sweep",
+                {{"policy", spec.Label()},
+                 {"fault_rate", TablePrinter::FormatDouble(point.rate, 2)}},
+                {{"gc", point.gc.mean()},
+                 {"probes_failed", point.probes_failed.mean()},
+                 {"retries", point.retries.mean()},
+                 {"gc_lost_to_faults", point.gc_lost.mean()}}});
+    }
+  }
+  if (!json.WriteIfRequested(options)) return 1;
   return all_monotone ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() { return pullmon::RunBench(); }
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fault_tolerance",
+      "GC degradation under probe faults and retries",
+      /*default_seed=*/4242, /*default_reps=*/5);
+  return pullmon::RunBench(options);
+}

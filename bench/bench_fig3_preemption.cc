@@ -15,7 +15,7 @@
 namespace pullmon {
 namespace {
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options) {
   bench::PrintHeader(
       "Figure 3: policy comparison on the auction trace (with/without "
       "preemption)",
@@ -36,8 +36,7 @@ int RunBench() {
   config.auction.base_bid_rate = 0.06;
   config.auction.snipe_intensity = 8.0;
 
-  const int repetitions = 10;
-  bench::PrintConfig(config, repetitions);
+  bench::PrintConfig(config, options.reps);
 
   std::vector<PolicySpec> specs = {
       {"S-EDF", ExecutionMode::kNonPreemptive},
@@ -47,7 +46,7 @@ int RunBench() {
       {"MRSF", ExecutionMode::kNonPreemptive},
       {"MRSF", ExecutionMode::kPreemptive},
   };
-  ExperimentRunner runner(repetitions, /*base_seed=*/3003);
+  ExperimentRunner runner(options.reps, options.seed);
   auto result = runner.Run(config, specs);
   if (!result.ok()) {
     std::cerr << "experiment failed: " << result.status().ToString()
@@ -56,9 +55,15 @@ int RunBench() {
   }
 
   TablePrinter table({"policy", "GC", "runtime(ms)"});
+  bench::JsonBenchWriter json("bench_fig3_preemption", options);
   for (const auto& outcome : result->policies) {
     table.AddRow({outcome.spec.Label(), bench::MeanCi(outcome.gc),
                   bench::Millis(outcome.runtime_seconds)});
+    json.Add({"auction_trace",
+              {{"policy", outcome.spec.Label()}},
+              {{"gc", outcome.gc.mean()},
+               {"gc_ci95", outcome.gc.ci95_halfwidth()},
+               {"runtime_seconds", outcome.runtime_seconds.mean()}}});
   }
   table.Print(std::cout);
 
@@ -81,10 +86,16 @@ int RunBench() {
   std::cout << "  S-EDF(P) > S-EDF(NP) (C=2): "
             << (gc_of("S-EDF(P)") > gc_of("S-EDF(NP)") ? "yes" : "NO")
             << "\n";
-  return 0;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() { return pullmon::RunBench(); }
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig3_preemption",
+      "Figure 3: policy comparison on the auction trace",
+      /*default_seed=*/3003, /*default_reps=*/10);
+  return pullmon::RunBench(options);
+}

@@ -21,7 +21,7 @@
 namespace pullmon {
 namespace {
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options) {
   bench::PrintHeader(
       "Figure 4: gained completeness vs rank(P), online vs offline approx",
       "MRSF(P) dominates the offline 2k-approximation; S-EDF(NP) does not");
@@ -35,8 +35,7 @@ int RunBench() {
   config.window = 0;  // P^[1]
   config.budget = 1;
 
-  const int repetitions = 3;
-  bench::PrintConfig(config, repetitions);
+  bench::PrintConfig(config, options.reps);
 
   std::vector<PolicySpec> specs = {
       {"S-EDF", ExecutionMode::kNonPreemptive},
@@ -45,11 +44,13 @@ int RunBench() {
 
   TablePrinter table({"rank(P)", "S-EDF(NP)", "MRSF(P)", "offline LR",
                       "MRSF(P)/LR", "LR factor"});
+  bench::JsonBenchWriter json("bench_fig4_rank_offline", options);
   double min_ratio = 1e9, max_ratio = 0.0;
   for (int rank = 1; rank <= 5; ++rank) {
     SimulationConfig point = config;
     point.max_rank = rank;
-    ExperimentRunner runner(repetitions, /*base_seed=*/4004 + rank);
+    ExperimentRunner runner(options.reps,
+                            options.seed + static_cast<uint64_t>(rank));
     auto result = runner.Run(point, specs, /*include_offline=*/true);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -62,6 +63,12 @@ int RunBench() {
     double ratio = lr > 0 ? mrsf / lr : 0.0;
     min_ratio = std::min(min_ratio, ratio);
     max_ratio = std::max(max_ratio, ratio);
+    json.Add({"rank_sweep",
+              {{"rank", std::to_string(rank)}},
+              {{"sedf_np_gc", sedf},
+               {"mrsf_p_gc", mrsf},
+               {"offline_lr_gc", lr},
+               {"mrsf_over_lr", ratio}}});
     table.AddRow({std::to_string(rank),
                   TablePrinter::FormatDouble(sedf, 3),
                   TablePrinter::FormatDouble(mrsf, 3),
@@ -75,10 +82,16 @@ int RunBench() {
             << TablePrinter::FormatDouble(min_ratio, 3) << " – "
             << TablePrinter::FormatDouble(max_ratio, 3)
             << "  (paper reports gains of 11%–23%)\n";
-  return 0;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() { return pullmon::RunBench(); }
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig4_rank_offline",
+      "Figure 4: online vs offline approximation across rank(P)",
+      /*default_seed=*/4004, /*default_reps=*/3);
+  return pullmon::RunBench(options);
+}

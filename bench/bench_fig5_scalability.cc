@@ -18,7 +18,8 @@
 namespace pullmon {
 namespace {
 
-int RunPart1() {
+int RunPart1(const bench::BenchOptions& options,
+             bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 5(1): offline approximation vs online "
                "policies ---\n";
   SimulationConfig config = BaselineConfig();
@@ -29,7 +30,7 @@ int RunPart1() {
   config.window = 0;
   config.budget = 1;
 
-  const int repetitions = 2;
+  const int repetitions = options.reps;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
 
   TablePrinter table({"profiles", "t-intervals", "S-EDF(NP) ms",
@@ -39,7 +40,8 @@ int RunPart1() {
   for (int m : {10, 20, 30, 40, 50}) {
     SimulationConfig point = config;
     point.num_profiles = m;
-    ExperimentRunner runner(repetitions, /*base_seed=*/5005 + m);
+    ExperimentRunner runner(repetitions,
+                            options.seed + static_cast<uint64_t>(m));
     auto result = runner.Run(point, specs, /*include_offline=*/true);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -51,7 +53,7 @@ int RunPart1() {
     RunningStats greedy_runtime;
     for (int rep = 0; rep < repetitions; ++rep) {
       auto problem =
-          BuildProblem(point, 5005 + static_cast<uint64_t>(m) +
+          BuildProblem(point, options.seed + static_cast<uint64_t>(m) +
                                   static_cast<uint64_t>(rep) * 7919);
       if (!problem.ok()) return 1;
       GreedyOfflineScheduler greedy(&*problem);
@@ -72,6 +74,13 @@ int RunPart1() {
     offline_ms.push_back(result->offline->runtime_seconds.mean() * 1e3);
     online_ms.push_back(
         result->policies[3].runtime_seconds.mean() * 1e3);
+    json->Add({"offline_vs_online",
+               {{"profiles", std::to_string(m)}},
+               {{"mrsf_p_seconds",
+                 result->policies[3].runtime_seconds.mean()},
+                {"offline_lr_seconds",
+                 result->offline->runtime_seconds.mean()},
+                {"offline_greedy_seconds", greedy_runtime.mean()}}});
   }
   table.Print(std::cout);
   double slowdown = online_ms.back() > 0
@@ -83,7 +92,8 @@ int RunPart1() {
   return 0;
 }
 
-int RunPart2() {
+int RunPart2(const bench::BenchOptions& options,
+             bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 5(2): online policies on large workloads "
                "(offline omitted) ---\n";
   SimulationConfig config = BaselineConfig();
@@ -94,7 +104,7 @@ int RunPart2() {
   config.window = 20;
   config.budget = 1;
 
-  const int repetitions = 2;
+  const int repetitions = options.reps;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
 
   TablePrinter table({"profiles", "t-intervals", "S-EDF(NP) ms",
@@ -104,7 +114,9 @@ int RunPart2() {
   for (int m : {500, 1000, 1500, 2000, 2500}) {
     SimulationConfig point = config;
     point.num_profiles = m;
-    ExperimentRunner runner(repetitions, /*base_seed=*/5050 + m);
+    // Historical base seed 5050 + m = default --seed + 45 + m.
+    ExperimentRunner runner(
+        repetitions, options.seed + 45 + static_cast<uint64_t>(m));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -118,6 +130,11 @@ int RunPart2() {
       row.push_back(bench::Millis(result->policies[s].runtime_seconds));
       runtimes[s].push_back(
           result->policies[s].runtime_seconds.mean() * 1e3);
+      json->Add({"online_large",
+                 {{"profiles", std::to_string(m)},
+                  {"policy", specs[s].Label()}},
+                 {{"runtime_seconds",
+                   result->policies[s].runtime_seconds.mean()}}});
     }
     table.AddRow(row);
     sizes.push_back(static_cast<double>(m));
@@ -140,12 +157,19 @@ int RunPart2() {
 }  // namespace
 }  // namespace pullmon
 
-int main() {
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig5_scalability",
+      "Figure 5: runtime scalability, offline vs online",
+      /*default_seed=*/5005, /*default_reps=*/2);
   pullmon::bench::PrintHeader(
       "Figure 5: runtime scalability, offline approximation vs online "
       "policies",
       "offline does not scale; online policies scale linearly");
-  int rc = pullmon::RunPart1();
+  pullmon::bench::JsonBenchWriter json("bench_fig5_scalability", options);
+  int rc = pullmon::RunPart1(options, &json);
   if (rc != 0) return rc;
-  return pullmon::RunPart2();
+  rc = pullmon::RunPart2(options, &json);
+  if (rc != 0) return rc;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }

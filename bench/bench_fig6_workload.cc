@@ -15,20 +15,19 @@
 namespace pullmon {
 namespace {
 
-int SweepLambda() {
+int SweepLambda(const bench::BenchOptions& options,
+                bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 6(1): GC vs average update intensity "
                "(lambda) ---\n";
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 5;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
   TablePrinter table({"lambda", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
                       "MRSF(P)"});
   for (double lambda : {5.0, 10.0, 20.0, 30.0, 40.0}) {
     SimulationConfig point = config;
     point.lambda = lambda;
-    ExperimentRunner runner(repetitions,
-                            /*base_seed=*/6006 +
-                                static_cast<uint64_t>(lambda));
+    ExperimentRunner runner(options.reps,
+                            options.seed + static_cast<uint64_t>(lambda));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -40,22 +39,31 @@ int SweepLambda() {
                   bench::MeanCi(result->policies[1].gc),
                   bench::MeanCi(result->policies[2].gc),
                   bench::MeanCi(result->policies[3].gc)});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      json->Add({"lambda_sweep",
+                 {{"lambda", TablePrinter::FormatDouble(lambda, 0)},
+                  {"policy", specs[s].Label()}},
+                 {{"gc", result->policies[s].gc.mean()},
+                  {"gc_ci95", result->policies[s].gc.ci95_halfwidth()}}});
+    }
   }
   table.Print(std::cout);
   return 0;
 }
 
-int SweepProfiles() {
+int SweepProfiles(const bench::BenchOptions& options,
+                  bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 6(2): GC vs number of profiles (m) ---\n";
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 5;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
   TablePrinter table({"profiles", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
                       "MRSF(P)"});
   for (int m : {100, 250, 500, 1000, 2000}) {
     SimulationConfig point = config;
     point.num_profiles = m;
-    ExperimentRunner runner(repetitions, /*base_seed=*/6060 + m);
+    // Historical base seed 6060 + m = default --seed + 54 + m.
+    ExperimentRunner runner(options.reps,
+                            options.seed + 54 + static_cast<uint64_t>(m));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -67,6 +75,13 @@ int SweepProfiles() {
                   bench::MeanCi(result->policies[1].gc),
                   bench::MeanCi(result->policies[2].gc),
                   bench::MeanCi(result->policies[3].gc)});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      json->Add({"profiles_sweep",
+                 {{"profiles", std::to_string(m)},
+                  {"policy", specs[s].Label()}},
+                 {{"gc", result->policies[s].gc.mean()},
+                  {"gc_ci95", result->policies[s].gc.ci95_halfwidth()}}});
+    }
   }
   table.Print(std::cout);
   return 0;
@@ -75,15 +90,22 @@ int SweepProfiles() {
 }  // namespace
 }  // namespace pullmon
 
-int main() {
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig6_workload",
+      "Figure 6: workload analysis (lambda; profiles)",
+      /*default_seed=*/6006, /*default_reps=*/5);
   pullmon::bench::PrintHeader(
       "Figure 6: workload analysis (update intensity; number of profiles)",
       "GC decreases with workload; MRSF(P)/M-EDF(P) dominate S-EDF");
   {
     pullmon::SimulationConfig config = pullmon::BaselineConfig();
-    pullmon::bench::PrintConfig(config, 5);
+    pullmon::bench::PrintConfig(config, options.reps);
   }
-  int rc = pullmon::SweepLambda();
+  pullmon::bench::JsonBenchWriter json("bench_fig6_workload", options);
+  int rc = pullmon::SweepLambda(options, &json);
   if (rc != 0) return rc;
-  return pullmon::SweepProfiles();
+  rc = pullmon::SweepProfiles(options, &json);
+  if (rc != 0) return rc;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }

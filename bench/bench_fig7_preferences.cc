@@ -16,10 +16,10 @@
 namespace pullmon {
 namespace {
 
-int SweepAlpha() {
+int SweepAlpha(const bench::BenchOptions& options,
+               bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 7(1): GC vs inter-user preference alpha ---\n";
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 5;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
   TablePrinter table({"alpha", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
                       "MRSF(P)", "sharing potential"});
@@ -27,8 +27,8 @@ int SweepAlpha() {
     SimulationConfig point = config;
     point.alpha = alpha;
     ExperimentRunner runner(
-        repetitions,
-        /*base_seed=*/7007 + static_cast<uint64_t>(alpha * 100));
+        options.reps,
+        options.seed + static_cast<uint64_t>(alpha * 100));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -37,7 +37,7 @@ int SweepAlpha() {
     }
     // The structural driver: how much probe work intra-resource overlap
     // can save at this skew.
-    auto probe_instance = BuildProblem(point, 7007);
+    auto probe_instance = BuildProblem(point, options.seed);
     double sharing = 0.0;
     if (probe_instance.ok()) {
       sharing = AnalyzeOverlap(probe_instance->profiles,
@@ -51,6 +51,13 @@ int SweepAlpha() {
                   bench::MeanCi(result->policies[2].gc),
                   bench::MeanCi(result->policies[3].gc),
                   TablePrinter::FormatDouble(sharing, 3)});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      json->Add({"alpha_sweep",
+                 {{"alpha", TablePrinter::FormatDouble(alpha, 2)},
+                  {"policy", specs[s].Label()}},
+                 {{"gc", result->policies[s].gc.mean()},
+                  {"sharing_potential", sharing}}});
+    }
   }
   table.Print(std::cout);
   std::cout << "(paper: GC increases with alpha via intra-resource "
@@ -61,19 +68,20 @@ int SweepAlpha() {
   return 0;
 }
 
-int SweepBeta() {
+int SweepBeta(const bench::BenchOptions& options,
+              bench::JsonBenchWriter* json) {
   std::cout << "\n--- Figure 7(2): GC vs intra-user preference beta ---\n";
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 5;
   std::vector<PolicySpec> specs = StandardPolicySpecs();
   TablePrinter table({"beta", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
                       "MRSF(P)"});
   for (double beta : {0.0, 0.5, 1.0, 1.5, 2.0}) {
     SimulationConfig point = config;
     point.beta = beta;
+    // Historical base seed 7070 + 100*beta = default --seed + 63 + ...
     ExperimentRunner runner(
-        repetitions,
-        /*base_seed=*/7070 + static_cast<uint64_t>(beta * 100));
+        options.reps,
+        options.seed + 63 + static_cast<uint64_t>(beta * 100));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -85,6 +93,12 @@ int SweepBeta() {
                   bench::MeanCi(result->policies[1].gc),
                   bench::MeanCi(result->policies[2].gc),
                   bench::MeanCi(result->policies[3].gc)});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      json->Add({"beta_sweep",
+                 {{"beta", TablePrinter::FormatDouble(beta, 2)},
+                  {"policy", specs[s].Label()}},
+                 {{"gc", result->policies[s].gc.mean()}}});
+    }
   }
   table.Print(std::cout);
   std::cout << "(paper: GC increases as users prefer simpler profiles; "
@@ -95,12 +109,19 @@ int SweepBeta() {
 }  // namespace
 }  // namespace pullmon
 
-int main() {
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig7_preferences",
+      "Figure 7: impact of user preferences (alpha, beta)",
+      /*default_seed=*/7007, /*default_reps=*/5);
   pullmon::bench::PrintHeader(
       "Figure 7: impact of user preferences (alpha inter-user, beta "
       "intra-user)",
       "popularity skew and simpler profiles both raise completeness");
-  int rc = pullmon::SweepAlpha();
+  pullmon::bench::JsonBenchWriter json("bench_fig7_preferences", options);
+  int rc = pullmon::SweepAlpha(options, &json);
   if (rc != 0) return rc;
-  return pullmon::SweepBeta();
+  rc = pullmon::SweepBeta(options, &json);
+  if (rc != 0) return rc;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }

@@ -15,7 +15,7 @@
 namespace pullmon {
 namespace {
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options) {
   bench::PrintHeader(
       "Figure 8: effect of budgetary limitations",
       "extra probes are best exploited by the aggregated-view policies");
@@ -27,18 +27,19 @@ int RunBench() {
   // comparison degenerates.
   config.num_profiles = 1000;
   config.lambda = 30.0;
-  const int repetitions = 5;
-  bench::PrintConfig(config, repetitions);
+  bench::PrintConfig(config, options.reps);
   std::vector<PolicySpec> specs = StandardPolicySpecs();
 
   TablePrinter table({"C", "S-EDF(NP)", "S-EDF(P)", "M-EDF(P)",
                       "MRSF(P)"});
+  bench::JsonBenchWriter json("bench_fig8_budget", options);
   std::vector<double> budgets;
   std::vector<double> sedf_np, sedf_p, mrsf_p;
   for (int c : {1, 2, 3, 4, 5}) {
     SimulationConfig point = config;
     point.budget = c;
-    ExperimentRunner runner(repetitions, /*base_seed=*/8008 + c);
+    ExperimentRunner runner(options.reps,
+                            options.seed + static_cast<uint64_t>(c));
     auto result = runner.Run(point, specs);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status().ToString()
@@ -50,6 +51,13 @@ int RunBench() {
                   bench::MeanCi(result->policies[1].gc),
                   bench::MeanCi(result->policies[2].gc),
                   bench::MeanCi(result->policies[3].gc)});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      json.Add({"budget_sweep",
+                {{"budget", std::to_string(c)},
+                 {"policy", specs[s].Label()}},
+                {{"gc", result->policies[s].gc.mean()},
+                 {"gc_ci95", result->policies[s].gc.ci95_halfwidth()}}});
+    }
     budgets.push_back(static_cast<double>(c));
     sedf_np.push_back(result->policies[0].gc.mean());
     sedf_p.push_back(result->policies[1].gc.mean());
@@ -74,10 +82,16 @@ int RunBench() {
   std::cout << "  S-EDF(P)  early gain vs late gain (closer to linear): "
             << TablePrinter::FormatDouble(gain(sedf_p, 0, 2), 3) << " vs "
             << TablePrinter::FormatDouble(gain(sedf_p, 2, 4), 3) << "\n";
-  return 0;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() { return pullmon::RunBench(); }
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_fig8_budget",
+      "Figure 8: effect of the probe budget C",
+      /*default_seed=*/8008, /*default_reps=*/5);
+  return pullmon::RunBench(options);
+}

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/dynamic_monitor.h"
 #include "core/online_executor.h"
 #include "feeds/atom.h"
@@ -168,7 +169,45 @@ void BM_RssRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RssRoundTrip);
 
+/// Console reporter that additionally records every run into the
+/// uniform BENCH_pullmon.json document.
+class JsonForwardReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardReporter(bench::JsonBenchWriter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json_->Add({run.benchmark_name(),
+                  {},
+                  {{"real_time_ns", run.GetAdjustedRealTime()},
+                   {"cpu_time_ns", run.GetAdjustedCPUTime()},
+                   {"iterations", static_cast<double>(run.iterations)}}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonBenchWriter* json_;
+};
+
 }  // namespace
 }  // namespace pullmon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark consumes its own --benchmark_* flags first; the
+  // uniform bench flags are parsed from what remains. --seed/--reps are
+  // accepted for interface uniformity but have no effect on the
+  // micro-benchmarks (google-benchmark chooses iteration counts).
+  benchmark::Initialize(&argc, argv);
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_micro_policies",
+      "Micro-benchmarks of per-decision costs (google-benchmark)",
+      /*default_seed=*/0, /*default_reps=*/1);
+  pullmon::bench::JsonBenchWriter json("bench_micro_policies", options);
+  pullmon::JsonForwardReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.WriteIfRequested(options) ? 0 : 1;
+}

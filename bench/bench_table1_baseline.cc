@@ -8,16 +8,15 @@
 namespace pullmon {
 namespace {
 
-int RunBench() {
+int RunBench(const bench::BenchOptions& options) {
   bench::PrintHeader(
       "Table 1: controlled parameters and baseline settings",
       "the baseline parameter grid of Section 5.1, exercised end-to-end");
 
   SimulationConfig config = BaselineConfig();
-  const int repetitions = 10;
-  bench::PrintConfig(config, repetitions);
+  bench::PrintConfig(config, options.reps);
 
-  ExperimentRunner runner(repetitions, /*base_seed=*/20080407);
+  ExperimentRunner runner(options.reps, options.seed);
   auto result = runner.Run(config, StandardPolicySpecs());
   if (!result.ok()) {
     std::cerr << "experiment failed: " << result.status().ToString()
@@ -25,23 +24,36 @@ int RunBench() {
     return 1;
   }
 
-  std::cout << "Baseline gained completeness (mean over " << repetitions
+  std::cout << "Baseline gained completeness (mean over " << options.reps
             << " repetitions):\n";
   TablePrinter table(
       {"policy", "GC", "probes used", "runtime(ms)"});
+  bench::JsonBenchWriter json("bench_table1_baseline", options);
   for (const auto& outcome : result->policies) {
     table.AddRow({outcome.spec.Label(), bench::MeanCi(outcome.gc),
                   TablePrinter::FormatDouble(outcome.probes_used.mean(), 0),
                   bench::Millis(outcome.runtime_seconds)});
+    json.Add({"baseline",
+              {{"policy", outcome.spec.Label()}},
+              {{"gc", outcome.gc.mean()},
+               {"gc_ci95", outcome.gc.ci95_halfwidth()},
+               {"probes_used", outcome.probes_used.mean()},
+               {"runtime_seconds", outcome.runtime_seconds.mean()}}});
   }
   table.Print(std::cout);
   std::cout << "\nInstance size: " << result->t_intervals.mean()
             << " t-intervals / " << result->eis.mean()
             << " EIs on average per repetition.\n";
-  return 0;
+  return json.WriteIfRequested(options) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pullmon
 
-int main() { return pullmon::RunBench(); }
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_table1_baseline",
+      "Table 1 baseline parameter grid, end-to-end",
+      /*default_seed=*/20080407, /*default_reps=*/10);
+  return pullmon::RunBench(options);
+}

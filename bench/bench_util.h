@@ -2,15 +2,174 @@
 #define PULLMON_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
 namespace pullmon {
 namespace bench {
+
+/// The uniform command line every bench_* binary accepts. Each binary
+/// keeps its historical defaults; --seed / --reps / --json override them
+/// the same way everywhere (no per-binary ad-hoc parsing).
+struct BenchOptions {
+  uint64_t seed = 0;
+  int reps = 0;
+  /// Destination of the machine-readable result file (empty = none).
+  std::string json_path;
+};
+
+/// Parses --seed, --reps and --json. Prints usage and exits(0) on
+/// --help; prints the error and exits(2) on unknown flags or bad
+/// values. `default_json` lets a binary emit JSON by default (the
+/// regression harness bench_executor_index does; the figure harnesses
+/// default to table output only).
+inline BenchOptions ParseBenchFlags(int argc, const char* const* argv,
+                                    const std::string& binary,
+                                    const std::string& description,
+                                    uint64_t default_seed, int default_reps,
+                                    const std::string& default_json = "") {
+  FlagParser flags(binary, description);
+  flags.AddInt64("seed", static_cast<int64_t>(default_seed),
+                 "base random seed of the experiment repetitions");
+  flags.AddInt64("reps", default_reps, "repetitions per sweep point");
+  flags.AddString("json", default_json,
+                  "write machine-readable results (BENCH_pullmon.json "
+                  "schema; empty = disabled)");
+  Status status = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.Usage();
+    std::exit(0);
+  }
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage();
+    std::exit(2);
+  }
+  BenchOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options.reps = static_cast<int>(flags.GetInt64("reps"));
+  if (options.reps < 1) {
+    std::cerr << "--reps must be >= 1\n";
+    std::exit(2);
+  }
+  options.json_path = flags.GetString("json");
+  return options;
+}
+
+/// One benchmark measurement: a name, string-valued parameters (the
+/// sweep coordinates) and double-valued metrics. Serialized into the
+/// BENCH_pullmon.json schema documented in EXPERIMENTS.md.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Collects BenchRecords and writes the BENCH_pullmon.json document:
+///   {"schema_version": 1, "binary": ..., "seed": ..., "reps": ...,
+///    "benchmarks": [{"name": ..., "params": {...}, "metrics": {...}}]}
+/// Metrics are free-form; the conventional keys are wall_time_seconds,
+/// chronons_per_sec, probes_per_sec and gc.
+class JsonBenchWriter {
+ public:
+  JsonBenchWriter(std::string binary, const BenchOptions& options)
+      : binary_(std::move(binary)), seed_(options.seed),
+        reps_(options.reps) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Writes the document when the options carried a --json path; no-op
+  /// (returning true) otherwise. Returns false on I/O failure.
+  bool WriteIfRequested(const BenchOptions& options) const {
+    if (options.json_path.empty()) return true;
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return false;
+    }
+    out << ToJson();
+    out.close();
+    if (!out) {
+      std::cerr << "failed writing " << options.json_path << "\n";
+      return false;
+    }
+    std::cout << "Wrote " << options.json_path << " (" << records_.size()
+              << " benchmark records)\n";
+    return true;
+  }
+
+  std::string ToJson() const {
+    std::string json;
+    json += "{\n";
+    json += "  \"schema_version\": 1,\n";
+    json += "  \"binary\": " + Quote(binary_) + ",\n";
+    json += "  \"seed\": " + StringFormat("%llu", static_cast<unsigned long long>(seed_)) + ",\n";
+    json += "  \"reps\": " + StringFormat("%d", reps_) + ",\n";
+    json += "  \"benchmarks\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& record = records_[i];
+      json += i == 0 ? "\n" : ",\n";
+      json += "    {\"name\": " + Quote(record.name) + ", \"params\": {";
+      for (std::size_t p = 0; p < record.params.size(); ++p) {
+        if (p > 0) json += ", ";
+        json += Quote(record.params[p].first) + ": " +
+                Quote(record.params[p].second);
+      }
+      json += "}, \"metrics\": {";
+      for (std::size_t m = 0; m < record.metrics.size(); ++m) {
+        if (m > 0) json += ", ";
+        json += Quote(record.metrics[m].first) + ": " +
+                StringFormat("%.9g", record.metrics[m].second);
+      }
+      json += "}}";
+    }
+    json += records_.empty() ? "]\n" : "\n  ]\n";
+    json += "}\n";
+    return json;
+  }
+
+ private:
+  static std::string Quote(const std::string& text) {
+    std::string quoted = "\"";
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          quoted += "\\\"";
+          break;
+        case '\\':
+          quoted += "\\\\";
+          break;
+        case '\n':
+          quoted += "\\n";
+          break;
+        case '\t':
+          quoted += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            quoted += StringFormat("\\u%04x", c);
+          } else {
+            quoted += c;
+          }
+      }
+    }
+    quoted += "\"";
+    return quoted;
+  }
+
+  std::string binary_;
+  uint64_t seed_;
+  int reps_;
+  std::vector<BenchRecord> records_;
+};
 
 /// Prints the standard banner of a reproduction harness.
 inline void PrintHeader(const std::string& figure,

@@ -1,0 +1,91 @@
+#include "core/candidate_index.h"
+
+namespace pullmon {
+
+CandidateIndex::CandidateIndex(int num_resources, Chronon epoch_length)
+    : num_resources_(num_resources < 0 ? 0 : num_resources),
+      epoch_length_(epoch_length < 0 ? 0 : epoch_length),
+      starting_at_(static_cast<std::size_t>(epoch_length_)),
+      ending_at_(static_cast<std::size_t>(epoch_length_)),
+      live_on_resource_(static_cast<std::size_t>(num_resources_)),
+      live_count_(static_cast<std::size_t>(num_resources_), 0),
+      in_play_(static_cast<std::size_t>(num_resources_), false),
+      deadline_heap_(static_cast<std::size_t>(num_resources_)) {}
+
+int CandidateIndex::AddEi(const ExecutionInterval& ei, int t_id,
+                          int ei_index) {
+  PULLMON_CHECK(ei.resource >= 0 && ei.resource < num_resources_);
+  PULLMON_CHECK(ei.start >= 0 && ei.finish < epoch_length_);
+  int flat_id = static_cast<int>(eis_.size());
+  eis_.push_back(IndexedEi{ei, t_id, ei_index, false, false, false});
+  starting_at_[static_cast<std::size_t>(ei.start)].push_back(flat_id);
+  ending_at_[static_cast<std::size_t>(ei.finish)].push_back(flat_id);
+  return flat_id;
+}
+
+void CandidateIndex::Activate(int flat_id) {
+  IndexedEi& flat = eis_[static_cast<std::size_t>(flat_id)];
+  flat.active = true;
+  ResourceId r = flat.ei.resource;
+  live_on_resource_[static_cast<std::size_t>(r)].push_back(flat_id);
+  ++live_count_[static_cast<std::size_t>(r)];
+  auto& heap = deadline_heap_[static_cast<std::size_t>(r)];
+  heap.emplace_back(flat.ei.finish, flat_id);
+  std::push_heap(heap.begin(), heap.end(),
+                 std::greater<std::pair<Chronon, int>>());
+  if (!in_play_[static_cast<std::size_t>(r)]) {
+    in_play_[static_cast<std::size_t>(r)] = true;
+    active_resources_.push_back(r);
+  }
+}
+
+void CandidateIndex::RemoveFromPlay(IndexedEi* flat) {
+  flat->dead = true;
+  if (!flat->active) return;
+  // The entry stays in its resource list until the next lazy compaction;
+  // only the exact counter is settled here.
+  --live_count_[static_cast<std::size_t>(flat->ei.resource)];
+}
+
+void CandidateIndex::Deactivate(int flat_id) {
+  IndexedEi& flat = eis_[static_cast<std::size_t>(flat_id)];
+  if (flat.dead) return;
+  RemoveFromPlay(&flat);
+}
+
+Chronon CandidateIndex::EarliestDeadline(ResourceId resource) const {
+  auto& heap = deadline_heap_[static_cast<std::size_t>(resource)];
+  auto greater = std::greater<std::pair<Chronon, int>>();
+  while (!heap.empty()) {
+    const IndexedEi& top =
+        eis_[static_cast<std::size_t>(heap.front().second)];
+    if (!top.dead) return heap.front().first;
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    heap.pop_back();
+  }
+  return -1;
+}
+
+std::size_t CandidateIndex::SelectTopResources(
+    std::vector<ResourceCandidate>* entries, int budget) {
+  auto key_less = [](const ResourceCandidate& a,
+                     const ResourceCandidate& b) {
+    if (a.np_class != b.np_class) return a.np_class < b.np_class;
+    if (a.score != b.score) return a.score < b.score;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.flat_id < b.flat_id;
+  };
+  if (budget <= 0) return 0;
+  std::size_t take = std::min(entries->size(),
+                              static_cast<std::size_t>(budget));
+  if (take < entries->size()) {
+    std::nth_element(entries->begin(),
+                     entries->begin() + static_cast<std::ptrdiff_t>(take),
+                     entries->end(), key_less);
+  }
+  std::sort(entries->begin(),
+            entries->begin() + static_cast<std::ptrdiff_t>(take), key_less);
+  return take;
+}
+
+}  // namespace pullmon

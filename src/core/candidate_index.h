@@ -1,0 +1,271 @@
+#ifndef PULLMON_CORE_CANDIDATE_INDEX_H_
+#define PULLMON_CORE_CANDIDATE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/chronon.h"
+#include "core/execution_interval.h"
+#include "util/logging.h"
+
+namespace pullmon {
+
+/// Runtime state of one execution interval registered with the index.
+/// `t_id` and `ei_index` are opaque caller handles (the executor's parent
+/// t-interval bookkeeping); the index only manages EI lifecycle.
+struct IndexedEi {
+  ExecutionInterval ei;
+  int t_id = 0;
+  int ei_index = 0;
+  /// Captured by a successful probe of its resource.
+  bool captured = false;
+  /// Permanently out of play (captured, expired, or parent dead).
+  bool dead = false;
+  /// Currently a member of its resource's live-candidate list.
+  bool active = false;
+};
+
+/// The per-resource reduction of one chronon's candidates: the minimal
+/// selection key among the resource's live EIs. Probing the resource
+/// serves this candidate (and, by probe sharing, every other live
+/// candidate on the resource).
+struct ResourceCandidate {
+  ResourceId resource = 0;
+  int flat_id = 0;
+  int np_class = 0;
+  double score = 0.0;
+  Chronon deadline = 0;
+};
+
+/// Incremental candidate index of the online execution semantics
+/// (DESIGN.md section 9). Replaces the per-chronon rebuild-and-sort of
+/// the scan-based executor with structures that are *maintained* as EIs
+/// arrive, get captured, and expire:
+///
+///  * start/expiry event lists bucketed by chronon (built once);
+///  * per-resource live-candidate lists with lazy compaction;
+///  * per-resource running counters — live-candidate count (the
+///    sharable-probe gain of one probe) and an earliest-deadline heap
+///    (urgency) — updated on activation, capture, deactivation and
+///    expiry instead of recomputed;
+///  * a compact list of resources that currently hold candidates, so a
+///    chronon's selection touches O(active resources), not O(n).
+///
+/// Selection contract: ordering candidates by (np_class, score,
+/// deadline, flat_id) and probing best-first with per-chronon resource
+/// dedup is equivalent to ordering *resources* by their minimal
+/// candidate key — the form this index serves. SelectTopResources()
+/// partially selects the best C_j of those keys instead of sorting all
+/// candidates, which is what makes the indexed executor decision-
+/// identical to ReferenceExecutor (a differential test enforces this).
+///
+/// Per-chronon cost: O(A) scoring for A live candidates (scores depend
+/// on `now`, so they cannot be cached across chronons for a black-box
+/// policy), plus O(R_active + C_j log C_j) selection, plus O(1)
+/// amortized per EI lifecycle event — against the reference path's
+/// O(total EIs + A log A) rebuild, re-sort and rescan.
+class CandidateIndex {
+ public:
+  CandidateIndex(int num_resources, Chronon epoch_length);
+
+  /// Registers an EI; returns its flat id (dense, in registration
+  /// order). Must be called before the chronon `ei.start` is activated;
+  /// the executor front-loads the whole problem, DynamicMonitor calls
+  /// this from Submit() (which forbids retroactive arrivals).
+  int AddEi(const ExecutionInterval& ei, int t_id, int ei_index);
+
+  std::size_t size() const { return eis_.size(); }
+  const IndexedEi& at(int flat_id) const {
+    return eis_[static_cast<std::size_t>(flat_id)];
+  }
+
+  /// Activates the EIs whose window opens at `now`, skipping those whose
+  /// parent is already dead. `parent_alive` is a callable int(t_id) ->
+  /// bool.
+  template <typename ParentAlive>
+  void ActivateArrivals(Chronon now, ParentAlive&& parent_alive) {
+    for (int id : starting_at_[static_cast<std::size_t>(now)]) {
+      IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (flat.dead) continue;
+      if (!parent_alive(flat.t_id)) {
+        flat.dead = true;
+        continue;
+      }
+      Activate(id);
+    }
+  }
+
+  /// Scores every live candidate at `now` and reduces to one
+  /// ResourceCandidate per resource holding the minimal key. `scorer` is
+  /// a callable (const IndexedEi&) -> std::pair<int, double> returning
+  /// (np_class, score). Also lazily compacts the per-resource lists and
+  /// the active-resource list. Returns the number of candidates scored
+  /// (the executor's work measure).
+  template <typename Scorer>
+  std::size_t CollectResourceCandidates(Chronon now, Scorer&& scorer,
+                                        std::vector<ResourceCandidate>* out) {
+    out->clear();
+    std::size_t scored = 0;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active_resources_.size(); ++i) {
+      ResourceId r = active_resources_[i];
+      auto& bucket = live_on_resource_[static_cast<std::size_t>(r)];
+      std::size_t write = 0;
+      ResourceCandidate best;
+      bool have_best = false;
+      for (std::size_t read = 0; read < bucket.size(); ++read) {
+        int id = bucket[read];
+        IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+        if (flat.dead) {
+          flat.active = false;
+          continue;
+        }
+        bucket[write++] = id;
+        const auto [np_class, score] = scorer(flat);
+        ++scored;
+        if (!have_best ||
+            Better(np_class, score, flat.ei.finish, id, best)) {
+          best.resource = r;
+          best.flat_id = id;
+          best.np_class = np_class;
+          best.score = score;
+          best.deadline = flat.ei.finish;
+          have_best = true;
+        }
+      }
+      bucket.resize(write);
+      live_count_[static_cast<std::size_t>(r)] =
+          static_cast<int>(write);
+      if (write == 0) {
+        in_play_[static_cast<std::size_t>(r)] = false;
+        continue;  // drop r from the active-resource list
+      }
+      active_resources_[keep++] = r;
+      if (have_best) out->push_back(best);
+    }
+    active_resources_.resize(keep);
+    (void)now;
+    return scored;
+  }
+
+  /// Partially orders `entries` so that its first min(budget, size)
+  /// elements are the best resources in ascending key order; elements
+  /// beyond that prefix are unspecified. Returns the usable prefix
+  /// length. O(R_active + C log C) versus sorting everything.
+  static std::size_t SelectTopResources(
+      std::vector<ResourceCandidate>* entries, int budget);
+
+  /// Marks every live candidate on `resource` captured (a successful
+  /// probe: intra-resource probe sharing) and empties the resource's
+  /// list. `on_capture` is a callable (int flat_id, const IndexedEi&)
+  /// invoked per captured EI — parent accounting lives in the caller,
+  /// which may Deactivate() sibling EIs reentrantly (other resources
+  /// only; `resource`'s own list is detached during the sweep).
+  template <typename OnCapture>
+  void CaptureResource(ResourceId resource, OnCapture&& on_capture) {
+    auto& bucket = live_on_resource_[static_cast<std::size_t>(resource)];
+    capture_scratch_.clear();
+    capture_scratch_.swap(bucket);
+    live_count_[static_cast<std::size_t>(resource)] = 0;
+    // Detach first: a reentrant Deactivate() of an entry still in the
+    // scratch list (a sibling on this same resource) must not touch the
+    // already-zeroed counter.
+    for (int id : capture_scratch_) {
+      eis_[static_cast<std::size_t>(id)].active = false;
+    }
+    for (int id : capture_scratch_) {
+      IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (flat.dead) continue;
+      flat.captured = true;
+      flat.dead = true;
+      on_capture(id, const_cast<const IndexedEi&>(flat));
+    }
+  }
+
+  /// Visits every live candidate on `resource` without mutating it —
+  /// the failed-probe path (fault attribution).
+  template <typename Visitor>
+  void ForEachLiveOnResource(ResourceId resource, Visitor&& visit) const {
+    for (int id : live_on_resource_[static_cast<std::size_t>(resource)]) {
+      const IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (flat.dead) continue;
+      visit(id, flat);
+    }
+  }
+
+  /// Removes an EI from play because its parent died (completed or
+  /// failed) — the "interval departs" event of dynamic interval
+  /// scheduling. Safe on any state: captured/expired/unstarted EIs are
+  /// left as they are (their counters were already settled).
+  void Deactivate(int flat_id);
+
+  /// Expires the EIs whose window closes at `now`: each still-live one
+  /// is removed from the index and reported to `on_expire` (a callable
+  /// (int flat_id, const IndexedEi&)) for parent accounting, which may
+  /// reentrantly Deactivate() siblings (including ones expiring at this
+  /// same chronon — they are skipped as dead, matching the reference
+  /// semantics where a dead parent's later expiries are ignored).
+  template <typename OnExpire>
+  void ExpireEnding(Chronon now, OnExpire&& on_expire) {
+    for (int id : ending_at_[static_cast<std::size_t>(now)]) {
+      IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (flat.dead) continue;
+      RemoveFromPlay(&flat);
+      on_expire(id, const_cast<const IndexedEi&>(flat));
+    }
+  }
+
+  // --- Running per-resource counters (maintained, not recomputed). ----
+
+  /// Live candidates on `resource` — how many EIs one probe would
+  /// capture (the sharable-probe gain). Exact at chronon boundaries;
+  /// during a chronon it reflects all mutations so far.
+  int LiveCount(ResourceId resource) const {
+    return live_count_[static_cast<std::size_t>(resource)];
+  }
+
+  /// Earliest deadline among live candidates on `resource`, or -1 when
+  /// none — the resource's urgency. Amortized O(log) via a lazily
+  /// cleaned min-heap.
+  Chronon EarliestDeadline(ResourceId resource) const;
+
+  /// Resources currently holding at least one live candidate (may
+  /// include a few stale entries between compactions; LiveCount is
+  /// authoritative).
+  const std::vector<ResourceId>& ActiveResources() const {
+    return active_resources_;
+  }
+
+ private:
+  static bool Better(int np_class, double score, Chronon deadline, int id,
+                     const ResourceCandidate& best) {
+    if (np_class != best.np_class) return np_class < best.np_class;
+    if (score != best.score) return score < best.score;
+    if (deadline != best.deadline) return deadline < best.deadline;
+    return id < best.flat_id;
+  }
+
+  void Activate(int flat_id);
+  /// Settles counters for an EI leaving play (expiry / deactivation).
+  void RemoveFromPlay(IndexedEi* flat);
+
+  int num_resources_;
+  Chronon epoch_length_;
+  std::vector<IndexedEi> eis_;
+  std::vector<std::vector<int>> starting_at_;  // chronon -> flat ids
+  std::vector<std::vector<int>> ending_at_;
+  std::vector<std::vector<int>> live_on_resource_;
+  std::vector<int> live_count_;
+  std::vector<bool> in_play_;  // resource present in active_resources_
+  std::vector<ResourceId> active_resources_;
+  /// Per-resource min-heaps of (deadline, flat id), cleaned lazily.
+  mutable std::vector<std::vector<std::pair<Chronon, int>>> deadline_heap_;
+  std::vector<int> capture_scratch_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_CANDIDATE_INDEX_H_

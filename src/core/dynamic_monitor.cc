@@ -16,15 +16,7 @@ DynamicMonitor::DynamicMonitor(int num_resources, Chronon epoch_length,
       policy_(policy),
       mode_(mode),
       schedule_(epoch_length),
-      starting_at_(static_cast<std::size_t>(
-          epoch_length < 0 ? 0 : epoch_length)),
-      ending_at_(static_cast<std::size_t>(
-          epoch_length < 0 ? 0 : epoch_length)),
-      active_by_resource_(static_cast<std::size_t>(
-          num_resources < 0 ? 0 : num_resources)),
-      probed_stamp_(static_cast<std::size_t>(
-                        num_resources < 0 ? 0 : num_resources),
-                    -1) {
+      index_(num_resources, epoch_length) {
   policy_->Reset();
 }
 
@@ -82,22 +74,19 @@ Result<int> DynamicMonitor::Submit(ProfileId profile,
       1;
   submission_id_.push_back(submission);
 
+  first_flat_.push_back(static_cast<int>(index_.size()));
   for (std::size_t i = 0; i < stored.eis().size(); ++i) {
-    const auto& ei = stored.eis()[i];
-    int flat_id = static_cast<int>(eis_.size());
-    eis_.push_back(FlatEi{ei, t_id, static_cast<int>(i), false});
-    starting_at_[static_cast<std::size_t>(ei.start)].push_back(flat_id);
-    ending_at_[static_cast<std::size_t>(ei.finish)].push_back(flat_id);
+    index_.AddEi(stored.eis()[i], t_id, static_cast<int>(i));
   }
   return submission;
 }
 
-bool DynamicMonitor::IsLive(const FlatEi& flat) const {
-  if (flat.captured) return false;
+void DynamicMonitor::RetireParent(int t_id) {
   const TIntervalRuntime& parent =
-      runtimes_[static_cast<std::size_t>(flat.t_id)];
-  if (parent.failed || parent.completed) return false;
-  return flat.ei.finish >= now_;
+      runtimes_[static_cast<std::size_t>(t_id)];
+  int begin = first_flat_[static_cast<std::size_t>(t_id)];
+  int end = begin + parent.NumEis();
+  for (int fid = begin; fid < end; ++fid) index_.Deactivate(fid);
 }
 
 Result<StepResult> DynamicMonitor::Step() {
@@ -107,74 +96,37 @@ Result<StepResult> DynamicMonitor::Step() {
   StepResult step;
   step.chronon = now_;
 
-  // 1. Reveal EIs starting now.
-  for (int id : starting_at_[static_cast<std::size_t>(now_)]) {
-    const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
-    const TIntervalRuntime& parent =
-        runtimes_[static_cast<std::size_t>(flat.t_id)];
-    if (parent.failed || parent.completed) continue;
-    active_ids_.push_back(id);
-    active_by_resource_[static_cast<std::size_t>(flat.ei.resource)]
-        .push_back(id);
-  }
+  // 1. Reveal EIs starting now (dead parents were retired eagerly).
+  index_.ActivateArrivals(now_, [](int) { return true; });
 
-  // 2. Compact and score candidates.
-  struct ScoredCandidate {
-    int flat_id;
-    int np_class;
-    double score;
-    Chronon deadline;
-  };
-  std::vector<ScoredCandidate> candidates;
-  std::size_t write = 0;
-  for (std::size_t read = 0; read < active_ids_.size(); ++read) {
-    int id = active_ids_[read];
-    FlatEi& flat = eis_[static_cast<std::size_t>(id)];
-    if (!IsLive(flat)) continue;
-    active_ids_[write++] = id;
-    const TIntervalRuntime& parent =
-        runtimes_[static_cast<std::size_t>(flat.t_id)];
-    ScoredCandidate cand;
-    cand.flat_id = id;
-    cand.np_class = (mode_ == ExecutionMode::kNonPreemptive &&
-                     !parent.selected)
-                        ? 1
-                        : 0;
-    cand.score = policy_->Score(flat.ei, parent, flat.ei_index, now_);
-    cand.deadline = flat.ei.finish;
-    candidates.push_back(cand);
-  }
-  active_ids_.resize(write);
+  // 2. Score the live candidates, one minimal key per resource.
+  index_.CollectResourceCandidates(
+      now_,
+      [&](const IndexedEi& flat) {
+        const TIntervalRuntime& parent =
+            runtimes_[static_cast<std::size_t>(flat.t_id)];
+        int np_class = (mode_ == ExecutionMode::kNonPreemptive &&
+                        !parent.selected)
+                           ? 1
+                           : 0;
+        return std::make_pair(
+            np_class, policy_->Score(flat.ei, parent, flat.ei_index, now_));
+      },
+      &entries_);
 
-  // 3. Select resources within budget, best first.
+  // 3. Partial top-C_now selection over resources, best first.
   int budget = budget_.at(now_);
-  if (budget > 0 && !candidates.empty()) {
-    std::sort(candidates.begin(), candidates.end(),
-              [](const ScoredCandidate& a, const ScoredCandidate& b) {
-                if (a.np_class != b.np_class) return a.np_class < b.np_class;
-                if (a.score != b.score) return a.score < b.score;
-                if (a.deadline != b.deadline) return a.deadline < b.deadline;
-                return a.flat_id < b.flat_id;
-              });
-    std::vector<int> capture_buffer;
-    for (const auto& cand : candidates) {
-      if (static_cast<int>(step.probed.size()) >= budget) break;
-      const FlatEi& flat = eis_[static_cast<std::size_t>(cand.flat_id)];
-      if (flat.captured) continue;
-      ResourceId r = flat.ei.resource;
-      if (probed_stamp_[static_cast<std::size_t>(r)] == now_) continue;
-      probed_stamp_[static_cast<std::size_t>(r)] = now_;
+  if (budget > 0 && !entries_.empty()) {
+    std::size_t take =
+        CandidateIndex::SelectTopResources(&entries_, budget);
+    for (std::size_t e = 0;
+         e < take && static_cast<int>(step.probed.size()) < budget; ++e) {
+      ResourceId r = entries_[e].resource;
       step.probed.push_back(r);
       PULLMON_CHECK_OK(schedule_.AddProbe(r, now_));
 
       // 4. Capture every live candidate on this resource.
-      capture_buffer.clear();
-      capture_buffer.swap(
-          active_by_resource_[static_cast<std::size_t>(r)]);
-      for (int id : capture_buffer) {
-        FlatEi& hit = eis_[static_cast<std::size_t>(id)];
-        if (!IsLive(hit)) continue;
-        hit.captured = true;
+      index_.CaptureResource(r, [&](int, const IndexedEi& hit) {
         TIntervalRuntime& parent =
             runtimes_[static_cast<std::size_t>(hit.t_id)];
         parent.ei_captured[static_cast<std::size_t>(hit.ei_index)] = 1;
@@ -183,30 +135,30 @@ Result<StepResult> DynamicMonitor::Step() {
         if (parent.num_captured >= parent.required) {
           parent.completed = true;
           ++completed_;
+          RetireParent(hit.t_id);
           step.captured.emplace_back(
               parent.profile,
               submission_id_[static_cast<std::size_t>(hit.t_id)]);
         }
-      }
+      });
     }
   }
 
   // 5. Expiry.
-  for (int id : ending_at_[static_cast<std::size_t>(now_)]) {
-    const FlatEi& flat = eis_[static_cast<std::size_t>(id)];
-    if (flat.captured) continue;
+  index_.ExpireEnding(now_, [&](int, const IndexedEi& flat) {
     TIntervalRuntime& parent =
         runtimes_[static_cast<std::size_t>(flat.t_id)];
-    if (parent.failed || parent.completed) continue;
+    if (parent.failed || parent.completed) return;
     ++parent.num_expired;
     if (parent.num_captured + parent.NumAlive() < parent.required) {
       parent.failed = true;
       ++failed_;
+      RetireParent(flat.t_id);
       step.failed.emplace_back(
           parent.profile,
           submission_id_[static_cast<std::size_t>(flat.t_id)]);
     }
-  }
+  });
 
   ++now_;
   return step;

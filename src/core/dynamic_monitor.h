@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/candidate_index.h"
 #include "core/completeness.h"
 #include "core/policy.h"
 #include "core/problem.h"
@@ -72,14 +73,9 @@ class DynamicMonitor {
   CompletenessReport Completeness() const;
 
  private:
-  struct FlatEi {
-    ExecutionInterval ei;
-    int t_id = 0;
-    int ei_index = 0;
-    bool captured = false;
-  };
-
-  bool IsLive(const FlatEi& flat) const;
+  /// Removes a dead (completed/failed) parent's remaining EIs from the
+  /// candidate index.
+  void RetireParent(int t_id);
 
   int num_resources_;
   Chronon epoch_length_;
@@ -100,12 +96,12 @@ class DynamicMonitor {
   std::vector<std::vector<int>> runtimes_of_profile_;
   std::vector<std::string> profile_names_;
 
-  std::vector<FlatEi> eis_;
-  std::vector<std::vector<int>> starting_at_;  // by chronon -> flat ids
-  std::vector<std::vector<int>> ending_at_;
-  std::vector<int> active_ids_;  // lazy-removal candidate list
-  std::vector<std::vector<int>> active_by_resource_;
-  std::vector<Chronon> probed_stamp_;
+  /// Incremental candidate structures shared with the indexed
+  /// OnlineExecutor (same selection contract, so the executor/monitor
+  /// differential test keeps holding).
+  CandidateIndex index_;
+  std::vector<int> first_flat_;  // first flat EI id per runtime
+  std::vector<ResourceCandidate> entries_;  // per-chronon scratch
 };
 
 }  // namespace pullmon

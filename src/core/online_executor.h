@@ -62,6 +62,21 @@ struct OnlineRunResult {
   std::size_t t_intervals_lost_to_faults = 0;
 };
 
+/// Which implementation of the online semantics executes a run. Both are
+/// decision-identical (a differential test enforces it); they differ
+/// only in per-chronon cost.
+enum class ExecutorBackend {
+  /// Incremental candidate index with partial top-C_j selection
+  /// (core/candidate_index.h) — the default production path.
+  kIndexed,
+  /// Rebuild-and-fully-sort every chronon (core/reference_executor.h) —
+  /// the easy-to-audit oracle.
+  kReference,
+};
+
+/// "indexed" / "reference".
+const char* ExecutorBackendToString(ExecutorBackend backend);
+
 /// Runs an online policy over a monitoring problem, chronon by chronon.
 ///
 /// Online semantics (Section 4.2.1):
@@ -75,6 +90,12 @@ struct OnlineRunResult {
 ///    remaining EIs stop competing.
 ///  * Ties are broken deterministically by (score, EI deadline,
 ///    t-interval arrival order, EI index).
+///
+/// The hot path maintains the candidate set incrementally (bucketed
+/// arrival/expiry lists, per-resource live lists and counters) and
+/// selects the top-C_j resources by partial selection instead of
+/// sorting all candidates; set_backend(ExecutorBackend::kReference)
+/// switches to the scan-based oracle implementation.
 class OnlineExecutor {
  public:
   /// Invoked when a t-interval is fully captured: (profile, index of the
@@ -108,14 +129,21 @@ class OnlineExecutor {
   /// Same-chronon retry behavior for failed probes (default: none).
   void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
 
+  /// Selects the implementation (default: the incremental index).
+  void set_backend(ExecutorBackend backend) { backend_ = backend; }
+  ExecutorBackend backend() const { return backend_; }
+
   /// Validates the problem and executes the full epoch. Can be called
   /// repeatedly; each call is an independent run (the policy is Reset()).
   Result<OnlineRunResult> Run();
 
  private:
+  Result<OnlineRunResult> RunIndexed();
+
   const MonitoringProblem* problem_;
   Policy* policy_;
   ExecutionMode mode_;
+  ExecutorBackend backend_ = ExecutorBackend::kIndexed;
   CaptureCallback capture_callback_;
   ProbeCallback probe_callback_;
   RetryPolicy retry_;

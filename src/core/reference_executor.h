@@ -1,0 +1,44 @@
+#ifndef PULLMON_CORE_REFERENCE_EXECUTOR_H_
+#define PULLMON_CORE_REFERENCE_EXECUTOR_H_
+
+#include "core/online_executor.h"
+
+namespace pullmon {
+
+/// The scan-based online executor: at every chronon it rebuilds the
+/// candidate list, scores it, and fully sorts it before selecting
+/// probes. This was the production path before the incremental
+/// candidate index (DESIGN.md section 9) and is kept, unoptimized and
+/// easy to audit, as the semantic oracle: the indexed OnlineExecutor
+/// must be decision-identical to it on every instance, policy, mode and
+/// fault pattern (tests/executor_differential_test.cc enforces this).
+///
+/// Public surface mirrors OnlineExecutor so either can drive the proxy
+/// and experiment layers; select it with ExecutorBackend::kReference.
+class ReferenceExecutor {
+ public:
+  ReferenceExecutor(const MonitoringProblem* problem, Policy* policy,
+                    ExecutionMode mode);
+
+  void set_capture_callback(OnlineExecutor::CaptureCallback callback) {
+    capture_callback_ = std::move(callback);
+  }
+  void set_probe_callback(OnlineExecutor::ProbeCallback callback) {
+    probe_callback_ = std::move(callback);
+  }
+  void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
+
+  Result<OnlineRunResult> Run();
+
+ private:
+  const MonitoringProblem* problem_;
+  Policy* policy_;
+  ExecutionMode mode_;
+  OnlineExecutor::CaptureCallback capture_callback_;
+  OnlineExecutor::ProbeCallback probe_callback_;
+  RetryPolicy retry_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_REFERENCE_EXECUTOR_H_

@@ -5,11 +5,20 @@ namespace pullmon {
 double RandomPolicy::Score(const ExecutionInterval& ei,
                            const TIntervalRuntime& parent, int ei_index,
                            Chronon now) {
-  (void)ei;
-  (void)parent;
-  (void)ei_index;
-  (void)now;
-  return rng_.NextDouble();
+  // Stateless keyed hash (SplitMix64 over the candidate identity): the
+  // same candidate at the same chronon always draws the same value,
+  // regardless of scoring order — see the class comment.
+  uint64_t key = seed_;
+  key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(ei.resource);
+  key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(ei.start);
+  key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(ei.finish);
+  key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(now);
+  key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(ei_index);
+  key = key * 0x9E3779B97F4A7C15ULL +
+        static_cast<uint64_t>(parent.profile);
+  uint64_t state = key;
+  uint64_t bits = SplitMix64(&state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
 double FcfsPolicy::Score(const ExecutionInterval& ei,

@@ -11,9 +11,17 @@ namespace pullmon {
 /// Values every candidate by an independent uniform draw: a pure control
 /// baseline (not in the paper's classification) that quantifies how much
 /// of the heuristics' completeness is informed rather than incidental.
+///
+/// The draw is a stateless keyed hash of (seed, candidate identity,
+/// chronon) rather than a shared stream: the score of a candidate
+/// depends only on the Score() arguments, never on how many candidates
+/// were scored before it. This keeps the policy a pure function — the
+/// requirement every policy must meet for the indexed and reference
+/// executors to be decision-identical (they enumerate candidates in
+/// different orders).
 class RandomPolicy : public Policy {
  public:
-  explicit RandomPolicy(uint64_t seed = 42) : seed_(seed), rng_(seed) {}
+  explicit RandomPolicy(uint64_t seed = 42) : seed_(seed) {}
 
   std::string name() const override { return "Random"; }
   PolicyLevel level() const override { return PolicyLevel::kBaseline; }
@@ -21,11 +29,8 @@ class RandomPolicy : public Policy {
   double Score(const ExecutionInterval& ei, const TIntervalRuntime& parent,
                int ei_index, Chronon now) override;
 
-  void Reset() override { rng_ = Rng(seed_); }
-
  private:
   uint64_t seed_;
-  Rng rng_;
 };
 
 /// First-Come-First-Served: prefers the EI that became active earliest

@@ -55,6 +55,10 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
                                    retry.max_retries, retry.backoff_base,
                                    retry.backoff_multiplier));
   }
+  if (executor_backend != ExecutorBackend::kIndexed) {
+    rows.emplace_back("executor",
+                      ExecutorBackendToString(executor_backend));
+  }
   return rows;
 }
 

@@ -70,6 +70,11 @@ struct SimulationConfig {
   uint64_t fault_seed = 0x5EED;
   /// Same-chronon retry/backoff policy of the proxy's probe path.
   RetryPolicy retry;
+  /// Which online-executor implementation runs (core/online_executor.h):
+  /// the incremental candidate index (default) or the scan-based
+  /// reference oracle. Both are decision-identical; the switch exists
+  /// for differential testing and perf regression baselines.
+  ExecutorBackend executor_backend = ExecutorBackend::kIndexed;
   /// Per-server feed buffer capacity of the simulated network (proxy
   /// experiments): small buffers make feeds volatile.
   int feed_buffer_capacity = 8;

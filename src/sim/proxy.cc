@@ -21,6 +21,7 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
 
   OnlineExecutor executor(problem_, policy_, mode_);
   executor.set_retry_policy(options_.retry);
+  executor.set_backend(options_.backend);
 
   // The fault layer sits between proxy and network only when some rate
   // is non-zero; a fresh plan per Run() makes repeated runs replay the

@@ -72,6 +72,10 @@ struct ProxyOptions {
   /// Same-chronon retry/backoff policy for failed probes; retries are
   /// charged against the chronon budget C_j.
   RetryPolicy retry;
+  /// Scheduling implementation driving the probe path; both backends
+  /// issue identical probe sequences (differentially tested), so this
+  /// only affects scheduling cost.
+  ExecutorBackend backend = ExecutorBackend::kIndexed;
 };
 
 /// The monitoring proxy: drives the online executor over an epoch while

@@ -1,0 +1,120 @@
+// Determinism regression for the indexed executor path: two proxy runs
+// from the same seed — including the fault-injection layer and
+// same-chronon retries — must agree on every field of ProxyRunReport,
+// every probe of the schedule, and all fault telemetry. The candidate
+// index uses lazy compaction and heap maintenance internally; none of
+// that may leak into observable ordering.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/online_executor.h"
+#include "sim/config.h"
+#include "sim/experiment.h"
+
+namespace pullmon {
+namespace {
+
+void ExpectReportsIdentical(const ProxyRunReport& a,
+                            const ProxyRunReport& b, Chronon epoch_length,
+                            const std::string& label) {
+  // The scheduling outcome, probe by probe.
+  for (Chronon t = 0; t < epoch_length; ++t) {
+    EXPECT_EQ(a.run.schedule.ProbesAt(t), b.run.schedule.ProbesAt(t))
+        << label << " chronon " << t;
+  }
+  EXPECT_EQ(a.run.schedule.TotalProbes(), b.run.schedule.TotalProbes())
+      << label;
+  EXPECT_EQ(a.run.completeness.GainedCompleteness(),
+            b.run.completeness.GainedCompleteness())
+      << label;
+  EXPECT_EQ(a.run.probes_used, b.run.probes_used) << label;
+  EXPECT_EQ(a.run.t_intervals_completed, b.run.t_intervals_completed)
+      << label;
+  EXPECT_EQ(a.run.t_intervals_failed, b.run.t_intervals_failed) << label;
+  EXPECT_EQ(a.run.candidates_scored, b.run.candidates_scored) << label;
+  EXPECT_EQ(a.run.max_concurrent_candidates,
+            b.run.max_concurrent_candidates)
+      << label;
+  EXPECT_EQ(a.run.probes_failed, b.run.probes_failed) << label;
+  EXPECT_EQ(a.run.retries_issued, b.run.retries_issued) << label;
+  EXPECT_EQ(a.run.retry_probes_spent, b.run.retry_probes_spent) << label;
+  EXPECT_EQ(a.run.t_intervals_lost_to_faults,
+            b.run.t_intervals_lost_to_faults)
+      << label;
+
+  // The physical feed path.
+  EXPECT_EQ(a.feeds_fetched, b.feeds_fetched) << label;
+  EXPECT_EQ(a.not_modified, b.not_modified) << label;
+  EXPECT_EQ(a.feed_bytes, b.feed_bytes) << label;
+  EXPECT_EQ(a.items_parsed, b.items_parsed) << label;
+  EXPECT_EQ(a.parse_failures, b.parse_failures) << label;
+  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered)
+      << label;
+
+  // The fault telemetry, field by field.
+  EXPECT_EQ(a.probes_failed, b.probes_failed) << label;
+  EXPECT_EQ(a.retries_issued, b.retries_issued) << label;
+  EXPECT_EQ(a.retry_probes_spent, b.retry_probes_spent) << label;
+  EXPECT_EQ(a.corrupt_bodies, b.corrupt_bodies) << label;
+  EXPECT_EQ(a.timeouts, b.timeouts) << label;
+  EXPECT_EQ(a.server_errors, b.server_errors) << label;
+  EXPECT_EQ(a.etag_invalidations, b.etag_invalidations) << label;
+  EXPECT_EQ(a.latency_chronons, b.latency_chronons) << label;
+  EXPECT_EQ(a.gc_lost_to_faults, b.gc_lost_to_faults) << label;
+  EXPECT_EQ(a.fault_stats, b.fault_stats) << label;
+}
+
+TEST(ExecutorDeterminismTest, IndexedProxyRunsAreReproducible) {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 30;
+  config.epoch_length = 80;
+  config.num_profiles = 50;
+  config.lambda = 8.0;
+  config.budget = 2;
+  config.executor_backend = ExecutorBackend::kIndexed;
+  config.faults.timeout_rate = 0.08;
+  config.faults.server_error_rate = 0.05;
+  config.faults.truncation_rate = 0.05;
+  config.faults.corruption_rate = 0.05;
+  config.faults.etag_storm_rate = 0.03;
+  config.faults.latency_mean = 0.2;
+  config.retry.max_retries = 2;
+  config.retry.backoff_base = 0.1;
+
+  for (const PolicySpec& spec : StandardPolicySpecs()) {
+    for (uint64_t seed : {11u, 137u}) {
+      auto first = RunProxyOnce(config, spec, seed);
+      auto second = RunProxyOnce(config, spec, seed);
+      ASSERT_TRUE(first.ok()) << first.status().ToString();
+      ASSERT_TRUE(second.ok()) << second.status().ToString();
+      ExpectReportsIdentical(
+          *first, *second, config.epoch_length,
+          spec.Label() + " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ExecutorDeterminismTest, DifferentSeedsDiverge) {
+  // Sanity guard that the reproducibility above is not vacuous: under
+  // faults, different seeds should almost surely change the fault
+  // pattern.
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 30;
+  config.epoch_length = 80;
+  config.num_profiles = 50;
+  config.lambda = 8.0;
+  config.faults.timeout_rate = 0.2;
+  config.executor_backend = ExecutorBackend::kIndexed;
+
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  auto a = RunProxyOnce(config, spec, 1);
+  auto b = RunProxyOnce(config, spec, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->fault_stats, b->fault_stats);
+}
+
+}  // namespace
+}  // namespace pullmon

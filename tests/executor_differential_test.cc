@@ -1,0 +1,275 @@
+// Differential property test of the two executor backends: the indexed
+// production path (core/candidate_index.h) must produce the exact probe
+// schedule and telemetry of the scan-based ReferenceExecutor oracle on
+// every instance, under every policy, in both execution modes, with and
+// without probe faults and same-chronon retries. ~200 randomized
+// instances x 9 policies x 2 modes; any divergence is a scheduling bug,
+// not a tolerance issue, so all comparisons are exact.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online_executor.h"
+#include "policies/policy_factory.h"
+#include "sim/config.h"
+#include "sim/experiment.h"
+#include "test_instances.h"
+#include "util/random.h"
+
+namespace pullmon {
+namespace {
+
+struct RunOutcome {
+  std::vector<std::vector<ResourceId>> probes_by_chronon;
+  double gained_completeness = 0.0;
+  std::size_t probes_used = 0;
+  std::size_t probes_failed = 0;
+  std::size_t retries_issued = 0;
+  std::size_t candidates_scored = 0;
+  std::size_t t_intervals_completed = 0;
+  std::size_t t_intervals_failed = 0;
+  std::size_t t_intervals_lost_to_faults = 0;
+};
+
+/// Deterministic flaky probe callback: ~25% of attempts fail, but a
+/// retry of the same (resource, chronon) may succeed because the
+/// attempt ordinal enters the hash. Both backends issue identical
+/// attempt sequences, so the stateful ordinal map stays in lockstep.
+class FlakyProbes {
+ public:
+  explicit FlakyProbes(uint64_t seed) : seed_(seed) {}
+
+  bool operator()(ResourceId r, Chronon t) {
+    uint64_t attempt = attempts_[{r, t}]++;
+    uint64_t key = seed_;
+    key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(r);
+    key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(t);
+    key = key * 0x9E3779B97F4A7C15ULL + attempt;
+    uint64_t state = key;
+    return (SplitMix64(&state) & 3) != 0;
+  }
+
+ private:
+  uint64_t seed_;
+  std::map<std::pair<ResourceId, Chronon>, uint64_t> attempts_;
+};
+
+RunOutcome RunBackend(const MonitoringProblem& problem,
+                      const std::string& policy_name, ExecutionMode mode,
+                      ExecutorBackend backend, bool with_faults,
+                      uint64_t fault_seed) {
+  PolicyOptions po;
+  po.random_seed = 4242;
+  po.num_resources = problem.num_resources;
+  auto policy = MakePolicy(policy_name, po);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+
+  OnlineExecutor executor(&problem, policy->get(), mode);
+  executor.set_backend(backend);
+  if (with_faults) {
+    executor.set_probe_callback(FlakyProbes(fault_seed));
+    RetryPolicy retry;
+    retry.max_retries = 2;
+    retry.backoff_base = 0.125;
+    executor.set_retry_policy(retry);
+  }
+  auto run = executor.Run();
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+
+  RunOutcome outcome;
+  for (Chronon t = 0; t < problem.epoch.length; ++t) {
+    outcome.probes_by_chronon.push_back(run->schedule.ProbesAt(t));
+  }
+  outcome.gained_completeness = run->completeness.GainedCompleteness();
+  outcome.probes_used = run->probes_used;
+  outcome.probes_failed = run->probes_failed;
+  outcome.retries_issued = run->retries_issued;
+  outcome.candidates_scored = run->candidates_scored;
+  outcome.t_intervals_completed = run->t_intervals_completed;
+  outcome.t_intervals_failed = run->t_intervals_failed;
+  outcome.t_intervals_lost_to_faults = run->t_intervals_lost_to_faults;
+  return outcome;
+}
+
+void ExpectIdentical(const RunOutcome& indexed,
+                     const RunOutcome& reference,
+                     const std::string& label) {
+  EXPECT_EQ(indexed.probes_by_chronon, reference.probes_by_chronon)
+      << label;
+  EXPECT_EQ(indexed.gained_completeness, reference.gained_completeness)
+      << label;
+  EXPECT_EQ(indexed.probes_used, reference.probes_used) << label;
+  EXPECT_EQ(indexed.probes_failed, reference.probes_failed) << label;
+  EXPECT_EQ(indexed.retries_issued, reference.retries_issued) << label;
+  EXPECT_EQ(indexed.candidates_scored, reference.candidates_scored)
+      << label;
+  EXPECT_EQ(indexed.t_intervals_completed,
+            reference.t_intervals_completed)
+      << label;
+  EXPECT_EQ(indexed.t_intervals_failed, reference.t_intervals_failed)
+      << label;
+  EXPECT_EQ(indexed.t_intervals_lost_to_faults,
+            reference.t_intervals_lost_to_faults)
+      << label;
+}
+
+/// The four instance shapes the seeds cycle through: small/dense,
+/// wider epoch with multi-t-interval profiles, higher rank and budget,
+/// and a P^[1] instance with per-chronon budgets including zeros.
+MonitoringProblem MakeVariantInstance(int variant, Rng* rng) {
+  RandomInstanceOptions options;
+  int t_intervals_per_profile = 1;
+  switch (variant) {
+    case 0:
+      options.num_resources = 4;
+      options.epoch_length = 8;
+      options.num_t_intervals = 6;
+      options.max_rank = 2;
+      options.max_width = 3;
+      options.budget = 1;
+      break;
+    case 1:
+      options.num_resources = 8;
+      options.epoch_length = 16;
+      options.num_t_intervals = 12;
+      options.max_rank = 3;
+      options.max_width = 5;
+      options.budget = 2;
+      t_intervals_per_profile = 3;
+      break;
+    case 2:
+      options.num_resources = 6;
+      options.epoch_length = 12;
+      options.num_t_intervals = 10;
+      options.max_rank = 4;
+      options.max_width = 4;
+      options.budget = 3;
+      break;
+    default:
+      options.num_resources = 5;
+      options.epoch_length = 10;
+      options.num_t_intervals = 8;
+      options.max_rank = 2;
+      options.unit_width = true;
+      options.budget = 1;
+      break;
+  }
+  MonitoringProblem problem =
+      MakeRandomInstance(options, rng, t_intervals_per_profile);
+  if (variant == 3) {
+    // Non-uniform per-chronon budgets with starvation chronons.
+    std::vector<int> budgets;
+    for (Chronon t = 0; t < options.epoch_length; ++t) {
+      budgets.push_back(static_cast<int>(t % 3));  // 0, 1, 2, 0, ...
+    }
+    problem.budget = BudgetVector::FromVector(std::move(budgets));
+  }
+  return problem;
+}
+
+TEST(ExecutorDifferentialTest, IndexedMatchesReferenceEverywhere) {
+  const std::vector<std::string> policies = KnownPolicyNames();
+  ASSERT_FALSE(policies.empty());
+  const ExecutionMode modes[] = {ExecutionMode::kPreemptive,
+                                 ExecutionMode::kNonPreemptive};
+
+  int instances = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (int variant = 0; variant < 4; ++variant) {
+      Rng rng(seed * 1000 + static_cast<uint64_t>(variant));
+      MonitoringProblem problem = MakeVariantInstance(variant, &rng);
+      if (problem.profiles.empty()) continue;
+      ++instances;
+      // Fault injection on a quarter of the instances keeps the test
+      // fast while covering the retry path in both backends.
+      bool with_faults = seed % 4 == 0;
+      for (const std::string& policy : policies) {
+        for (ExecutionMode mode : modes) {
+          std::string label =
+              "seed=" + std::to_string(seed) +
+              " variant=" + std::to_string(variant) +
+              " policy=" + policy +
+              " mode=" + std::string(ExecutionModeToString(mode)) +
+              (with_faults ? " faults" : "");
+          RunOutcome indexed =
+              RunBackend(problem, policy, mode,
+                         ExecutorBackend::kIndexed, with_faults, seed);
+          RunOutcome reference =
+              RunBackend(problem, policy, mode,
+                         ExecutorBackend::kReference, with_faults, seed);
+          ExpectIdentical(indexed, reference, label);
+          if (::testing::Test::HasFailure()) {
+            FAIL() << "stopping at first divergence: " << label;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(instances, 190);
+}
+
+// The full physical path — FeedNetwork, FaultPlan, RetryPolicy, proxy
+// notifications — must also be backend-independent: the backend choice
+// may only change scheduling cost, never a probe or a byte fetched.
+TEST(ExecutorDifferentialTest, ProxyPathMatchesThroughFaultLayer) {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 20;
+  config.epoch_length = 60;
+  config.num_profiles = 30;
+  config.lambda = 6.0;
+  config.budget = 2;
+  config.faults.timeout_rate = 0.1;
+  config.faults.server_error_rate = 0.05;
+  config.faults.corruption_rate = 0.1;
+  config.faults.etag_storm_rate = 0.02;
+  config.retry.max_retries = 2;
+  config.retry.backoff_base = 0.1;
+
+  for (const PolicySpec& spec : StandardPolicySpecs()) {
+    for (uint64_t seed : {7u, 21u, 99u}) {
+      SimulationConfig indexed_config = config;
+      indexed_config.executor_backend = ExecutorBackend::kIndexed;
+      SimulationConfig reference_config = config;
+      reference_config.executor_backend = ExecutorBackend::kReference;
+
+      auto indexed = RunProxyOnce(indexed_config, spec, seed);
+      auto reference = RunProxyOnce(reference_config, spec, seed);
+      ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      std::string label = spec.Label() + " seed=" + std::to_string(seed);
+      EXPECT_EQ(indexed->run.completeness.GainedCompleteness(),
+                reference->run.completeness.GainedCompleteness())
+          << label;
+      for (Chronon t = 0; t < config.epoch_length; ++t) {
+        EXPECT_EQ(indexed->run.schedule.ProbesAt(t),
+                  reference->run.schedule.ProbesAt(t))
+            << label << " chronon " << t;
+      }
+      EXPECT_EQ(indexed->run.probes_used, reference->run.probes_used)
+          << label;
+      EXPECT_EQ(indexed->probes_failed, reference->probes_failed)
+          << label;
+      EXPECT_EQ(indexed->retries_issued, reference->retries_issued)
+          << label;
+      EXPECT_EQ(indexed->feeds_fetched, reference->feeds_fetched)
+          << label;
+      EXPECT_EQ(indexed->feed_bytes, reference->feed_bytes) << label;
+      EXPECT_EQ(indexed->items_parsed, reference->items_parsed) << label;
+      EXPECT_EQ(indexed->notifications_delivered,
+                reference->notifications_delivered)
+          << label;
+      EXPECT_EQ(indexed->fault_stats, reference->fault_stats) << label;
+      EXPECT_EQ(indexed->gc_lost_to_faults, reference->gc_lost_to_faults)
+          << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

@@ -63,6 +63,17 @@ void AddConfigFlags(FlagParser* flags) {
                    "initial retry backoff (chronons, doubles per try)");
   flags->AddInt64("buffer-capacity", 8,
                   "feed server buffer size (proxy runs)");
+  flags->AddString("executor", "indexed",
+                   "scheduling backend: indexed (incremental candidate "
+                   "index) | reference (scan-based oracle)");
+}
+
+Result<ExecutorBackend> BackendFromFlags(const FlagParser& flags) {
+  std::string name = ToLower(flags.GetString("executor"));
+  if (name == "indexed") return ExecutorBackend::kIndexed;
+  if (name == "reference") return ExecutorBackend::kReference;
+  return Status::InvalidArgument("unknown --executor backend '" + name +
+                                 "' (expected: indexed | reference)");
 }
 
 SimulationConfig ConfigFromFlags(const FlagParser& flags) {
@@ -98,6 +109,11 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.retry.backoff_base = flags.GetDouble("retry-backoff");
   config.feed_buffer_capacity =
       static_cast<int>(flags.GetInt64("buffer-capacity"));
+  // Commands reject unknown names via BackendFromFlags before reaching
+  // here, so the fallback is never user-visible.
+  auto backend = BackendFromFlags(flags);
+  config.executor_backend =
+      backend.ok() ? *backend : ExecutorBackend::kIndexed;
   return config;
 }
 
@@ -261,6 +277,10 @@ int CommandRun(const std::vector<std::string>& args) {
     std::cout << flags.Usage();
     return 0;
   }
+  if (auto backend = BackendFromFlags(flags); !backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 2;
+  }
 
   auto specs = SpecsFromFlags(flags);
   if (!specs.ok()) {
@@ -323,6 +343,10 @@ int CommandSweep(const std::vector<std::string>& args) {
   if (flags.help_requested()) {
     std::cout << flags.Usage();
     return 0;
+  }
+  if (auto backend = BackendFromFlags(flags); !backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 2;
   }
   auto specs = SpecsFromFlags(flags);
   if (!specs.ok()) {
@@ -409,6 +433,10 @@ int CommandGenTrace(const std::vector<std::string>& args) {
     std::cout << flags.Usage();
     return 0;
   }
+  if (auto backend = BackendFromFlags(flags); !backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 2;
+  }
   SimulationConfig config = ConfigFromFlags(flags);
   Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
   if (config.dataset == DatasetKind::kAuction) {
@@ -455,6 +483,10 @@ int CommandGenFeeds(const std::vector<std::string>& args) {
   if (flags.help_requested()) {
     std::cout << flags.Usage();
     return 0;
+  }
+  if (auto backend = BackendFromFlags(flags); !backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 2;
   }
   SimulationConfig config = ConfigFromFlags(flags);
   Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
@@ -505,6 +537,10 @@ int CommandAnalyze(const std::vector<std::string>& args) {
   if (flags.help_requested()) {
     std::cout << flags.Usage();
     return 0;
+  }
+  if (auto backend = BackendFromFlags(flags); !backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 2;
   }
   SimulationConfig config = ConfigFromFlags(flags);
   auto problem =
