@@ -1,0 +1,216 @@
+// Graceful degradation — gained completeness under correlated source
+// outages, with and without the circuit breaker.
+//
+// The fault-tolerance harness measures i.i.d. per-probe failures; real
+// Web sources die in correlated bursts instead. Here each resource runs
+// a Gilbert-Elliott outage chain (a dark resource fails every probe
+// until it recovers), which is the failure mode that actually starves
+// the per-chronon budget C_j: a policy keeps electing the dark
+// resource's most urgent candidates, every probe fails, and healthy
+// t-intervals expire unserved. The resource-health subsystem (DESIGN.md
+// section 10) is supposed to stop exactly that — after
+// `failure_threshold` consecutive failures the breaker suppresses the
+// resource for a cool-down, and the reclaimed budget flows to the
+// next-ranked candidates.
+//
+// Measured at the Figure-5 scalability point (n=400, K=1000, lambda=50,
+// W=20, C=1, m=500), sweeping outage severity with three arms per
+// point:
+//   * breaker-off  — the PR-1 behaviour: failures waste budget;
+//   * breaker-on   — circuits open, suppressed budget is reclaimed;
+//   * health-only  — no breaker, but the health:mrsf expected-gain
+//     discount steers scores away from flaky resources.
+//
+// Expected shape (checked explicitly below):
+//   * breaker-on GC strictly above breaker-off GC at every non-zero
+//     severity;
+//   * at the most severe point the breaker recovers >= 15% of the GC
+//     the outages cost (fault-lost GC = clean GC - breaker-off GC).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/stats.h"
+
+namespace pullmon {
+namespace {
+
+struct Arm {
+  const char* label;
+  const char* policy;
+  bool breaker;
+};
+
+struct SweepPoint {
+  double enter_rate = 0.0;
+  RunningStats gc;
+  RunningStats outage_probes;
+  RunningStats circuits_opened;
+  RunningStats probes_suppressed;
+  RunningStats budget_reclaimed;
+};
+
+int RunBench(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "Graceful degradation: GC under correlated outages, breaker on/off",
+      "the circuit breaker recovers a significant share of the GC that "
+      "correlated source outages cost an unprotected proxy");
+
+  // The Figure-5 scalability point.
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 400;
+  config.epoch_length = 1000;
+  config.num_profiles = 500;
+  config.lambda = 50.0;
+  config.window = 20;
+  config.budget = 1;
+  // Long correlated outages: mean length 1/exit = 200 chronons. Rare
+  // but long episodes are the regime the breaker is for — with short
+  // scattered outages the loss is mostly intrinsic (the data is simply
+  // unavailable) and nothing can reclaim it, while a long-dark resource
+  // keeps its urgent candidates at the top of every chronon's ranking
+  // and bleeds the C=1 budget until something suppresses it.
+  config.faults.outage_exit_rate = 0.005;
+  // Trip after two consecutive failures and back off far: at C=1 every
+  // discovery probe is a whole chronon's budget, and probing a
+  // 200-chronon outage more than a handful of times is pure waste.
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_base = 16;
+  config.breaker.max_cooldown = 256;
+
+  const int repetitions = options.reps;
+  bench::PrintConfig(config, repetitions);
+
+  const std::vector<double> severities = {0.0005, 0.002, 0.004};
+  const std::vector<Arm> arms = {
+      {"breaker-off", "mrsf", false},
+      {"breaker-on", "mrsf", true},
+      {"health-only", "health:mrsf", false},
+  };
+  const PolicySpec clean_spec{"mrsf", ExecutionMode::kPreemptive};
+
+  // Clean baseline: the same instances with no outages at all.
+  RunningStats clean_gc;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    uint64_t seed = options.seed + static_cast<uint64_t>(rep) * 7919;
+    auto report = RunProxyOnce(config, clean_spec, seed);
+    if (!report.ok()) {
+      std::cerr << "clean run failed: " << report.status().ToString()
+                << "\n";
+      return 1;
+    }
+    clean_gc.Add(report->run.completeness.GainedCompleteness());
+  }
+
+  // sweep[arm index][severity index]
+  std::vector<std::vector<SweepPoint>> sweep(arms.size());
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (double enter : severities) {
+      SimulationConfig point = config;
+      point.faults.outage_enter_rate = enter;
+      point.breaker.enabled = arms[a].breaker;
+      PolicySpec spec{arms[a].policy, ExecutionMode::kPreemptive};
+      SweepPoint stats;
+      stats.enter_rate = enter;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        uint64_t seed = options.seed + static_cast<uint64_t>(rep) * 7919;
+        auto report = RunProxyOnce(point, spec, seed);
+        if (!report.ok()) {
+          std::cerr << "proxy run failed: "
+                    << report.status().ToString() << "\n";
+          return 1;
+        }
+        stats.gc.Add(report->run.completeness.GainedCompleteness());
+        stats.outage_probes.Add(
+            static_cast<double>(report->outage_probes));
+        stats.circuits_opened.Add(
+            static_cast<double>(report->circuits_opened));
+        stats.probes_suppressed.Add(
+            static_cast<double>(report->probes_suppressed));
+        stats.budget_reclaimed.Add(
+            static_cast<double>(report->budget_reclaimed));
+      }
+      sweep[a].push_back(stats);
+    }
+  }
+
+  std::cout << "Clean baseline (no outages): GC = "
+            << bench::MeanCi(clean_gc) << "\n\n";
+  TablePrinter table({"arm", "outage enter", "GC", "outage probes",
+                      "opened", "suppressed", "reclaimed"});
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (const SweepPoint& point : sweep[a]) {
+      table.AddRow(
+          {arms[a].label, TablePrinter::FormatDouble(point.enter_rate, 4),
+           bench::MeanCi(point.gc),
+           TablePrinter::FormatDouble(point.outage_probes.mean(), 0),
+           TablePrinter::FormatDouble(point.circuits_opened.mean(), 1),
+           TablePrinter::FormatDouble(point.probes_suppressed.mean(), 0),
+           TablePrinter::FormatDouble(point.budget_reclaimed.mean(), 0)});
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  bool pass = true;
+  for (std::size_t i = 0; i < severities.size(); ++i) {
+    double off = sweep[0][i].gc.mean();
+    double on = sweep[1][i].gc.mean();
+    bool above = on > off;
+    std::cout << "  enter=" << TablePrinter::FormatDouble(severities[i], 4)
+              << ": breaker-on GC " << TablePrinter::FormatDouble(on, 4)
+              << (above ? " > " : " <= ")
+              << TablePrinter::FormatDouble(off, 4) << " breaker-off: "
+              << (above ? "yes" : "NO") << "\n";
+    pass = pass && above;
+  }
+  {
+    std::size_t last = severities.size() - 1;
+    double off = sweep[0][last].gc.mean();
+    double on = sweep[1][last].gc.mean();
+    double lost = clean_gc.mean() - off;
+    double recovered = lost > 0.0 ? (on - off) / lost : 0.0;
+    bool enough = recovered >= 0.15;
+    std::cout << "  most severe point: fault-lost GC = "
+              << TablePrinter::FormatDouble(lost, 4) << ", recovered "
+              << TablePrinter::FormatDouble(recovered * 100.0, 1)
+              << "% (target >= 15%): " << (enough ? "yes" : "NO") << "\n";
+    pass = pass && enough;
+  }
+
+  bench::JsonBenchWriter json("bench_degradation", options);
+  json.Add({"clean_baseline",
+            {{"policy", "MRSF(P)"}},
+            {{"gc", clean_gc.mean()},
+             {"gc_ci95", clean_gc.ci95_halfwidth()}}});
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (const SweepPoint& point : sweep[a]) {
+      json.Add(
+          {"outage_sweep",
+           {{"arm", arms[a].label},
+            {"policy", arms[a].policy},
+            {"outage_enter_rate",
+             TablePrinter::FormatDouble(point.enter_rate, 4)}},
+           {{"gc", point.gc.mean()},
+            {"gc_ci95", point.gc.ci95_halfwidth()},
+            {"outage_probes", point.outage_probes.mean()},
+            {"circuits_opened", point.circuits_opened.mean()},
+            {"probes_suppressed", point.probes_suppressed.mean()},
+            {"budget_reclaimed", point.budget_reclaimed.mean()}}});
+    }
+  }
+  if (!json.WriteIfRequested(options)) return 1;
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pullmon
+
+int main(int argc, char** argv) {
+  pullmon::bench::BenchOptions options = pullmon::bench::ParseBenchFlags(
+      argc, argv, "bench_degradation",
+      "GC under correlated outages with the circuit breaker on/off",
+      /*default_seed=*/20080415, /*default_reps=*/3);
+  return pullmon::RunBench(options);
+}

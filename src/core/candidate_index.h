@@ -107,12 +107,31 @@ class CandidateIndex {
   template <typename Scorer>
   std::size_t CollectResourceCandidates(Chronon now, Scorer&& scorer,
                                         std::vector<ResourceCandidate>* out) {
+    return CollectResourceCandidates(
+        now, scorer, [](ResourceId) { return false; },
+        [](ResourceId, int) {}, out);
+  }
+
+  /// Suppression-aware variant (DESIGN.md section 10): resources for
+  /// which `suppressed` (a callable ResourceId -> bool) returns true are
+  /// excluded from scoring and from `out` but stay fully indexed — their
+  /// buckets are still compacted, their live counters stay exact, and
+  /// they keep their slot in the active-resource list, so lifting the
+  /// suppression next chronon needs no rebuild. Each suppressed resource
+  /// still holding live candidates is reported to `on_suppressed` (a
+  /// callable (ResourceId, int live_count)) for telemetry.
+  template <typename Scorer, typename Suppressed, typename OnSuppressed>
+  std::size_t CollectResourceCandidates(Chronon now, Scorer&& scorer,
+                                        Suppressed&& suppressed,
+                                        OnSuppressed&& on_suppressed,
+                                        std::vector<ResourceCandidate>* out) {
     out->clear();
     std::size_t scored = 0;
     std::size_t keep = 0;
     for (std::size_t i = 0; i < active_resources_.size(); ++i) {
       ResourceId r = active_resources_[i];
       auto& bucket = live_on_resource_[static_cast<std::size_t>(r)];
+      const bool skip = suppressed(r);
       std::size_t write = 0;
       ResourceCandidate best;
       bool have_best = false;
@@ -124,6 +143,7 @@ class CandidateIndex {
           continue;
         }
         bucket[write++] = id;
+        if (skip) continue;
         const auto [np_class, score] = scorer(flat);
         ++scored;
         if (!have_best ||
@@ -144,7 +164,11 @@ class CandidateIndex {
         continue;  // drop r from the active-resource list
       }
       active_resources_[keep++] = r;
-      if (have_best) out->push_back(best);
+      if (skip) {
+        on_suppressed(r, static_cast<int>(write));
+      } else if (have_best) {
+        out->push_back(best);
+      }
     }
     active_resources_.resize(keep);
     (void)now;

@@ -46,6 +46,7 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
     if (capture_callback_) reference.set_capture_callback(capture_callback_);
     if (probe_callback_) reference.set_probe_callback(probe_callback_);
     reference.set_retry_policy(retry_);
+    reference.set_breaker_options(breaker_);
     return reference.Run();
   }
   return RunIndexed();
@@ -54,7 +55,14 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
 Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
   PULLMON_RETURN_NOT_OK(problem_->Validate());
   PULLMON_RETURN_NOT_OK(retry_.Validate());
+  PULLMON_RETURN_NOT_OK(breaker_.Validate());
   policy_->Reset();
+
+  // Health is tracked even with the breaker disabled (so health-aware
+  // policies see EWMA failure rates), but only an enabled breaker ever
+  // suppresses a resource or abandons a retry.
+  ResourceHealthTracker health(problem_->num_resources, breaker_);
+  policy_->AttachHealth(&health);
 
   const Chronon epoch_len = problem_->epoch.length;
 
@@ -112,9 +120,15 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
     //    so arrivals only need the index's own dead-flag check.
     index.ActivateArrivals(now, [](int) { return true; });
 
+    // Expired cool-downs move to probation before scoring, so a
+    // half-open resource competes in this chronon's selection.
+    health.BeginChronon(now);
+
     // 2. Score the live candidates, reduced to one minimal selection
     //    key per resource (candidate keys and resource keys select
-    //    identically; see CandidateIndex).
+    //    identically; see CandidateIndex). Open-circuit resources are
+    //    skipped, so their would-be budget flows to the next-ranked
+    //    candidates automatically.
     std::size_t scored = index.CollectResourceCandidates(
         now,
         [&](const IndexedEi& flat) {
@@ -128,6 +142,8 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
               np_class,
               policy_->Score(flat.ei, parent, flat.ei_index, now));
         },
+        [&](ResourceId r) { return health.IsSuppressed(r); },
+        [&](ResourceId r, int live) { health.NoteSuppressed(r, live); },
         &entries);
     result.candidates_scored += scored;
     result.max_concurrent_candidates =
@@ -144,15 +160,19 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
         ++probes_this_chronon;
         ++result.probes_used;
         bool success = probe_callback_ ? probe_callback_(r, now) : true;
+        health.RecordProbe(r, now, success);
         if (!success) {
           ++result.probes_failed;
           // Same-chronon retries with exponential backoff, each charged
           // one budget unit; abandoned when the accumulated wait would
-          // cross the chronon boundary or the budget runs dry.
+          // cross the chronon boundary, the budget runs dry, or the
+          // breaker opens the resource's circuit mid-loop (retrying a
+          // resource the breaker just gave up on wastes budget).
           double waited = 0.0;
           double backoff = retry_.backoff_base;
           for (int attempt = 0; attempt < retry_.max_retries &&
-                                probes_this_chronon < budget;
+                                probes_this_chronon < budget &&
+                                !health.CircuitOpen(r);
                ++attempt) {
             waited += backoff;
             if (waited > retry_.backoff_budget) break;
@@ -162,6 +182,7 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
             ++result.retries_issued;
             ++result.retry_probes_spent;
             success = probe_callback_(r, now);
+            health.RecordProbe(r, now, success);
             if (success) break;
             ++result.probes_failed;
           }
@@ -199,6 +220,12 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
           }
         });
       }
+      // Reclaim accounting: at most probes_this_chronon of the budget
+      // units a suppressed resource would have taken actually flowed to
+      // other resources this chronon (an upper bound; see HealthStats).
+      health.NoteBudgetReclaimed(
+          std::min(health.SuppressedThisChronon(),
+                   static_cast<std::size_t>(probes_this_chronon)));
     }
 
     // 5. Expire EIs whose window ends now; the parent fails once too few
@@ -223,6 +250,18 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
   const auto run_end = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(run_end - run_start).count();
+
+  const HealthStats& hs = health.stats();
+  result.circuits_opened = hs.circuits_opened;
+  result.circuits_reopened = hs.circuits_reopened;
+  result.probation_probes = hs.probation_probes;
+  result.probation_successes = hs.probation_successes;
+  result.probes_suppressed = hs.probes_suppressed;
+  result.budget_reclaimed = hs.budget_reclaimed;
+  result.open_chronons_total = hs.open_chronons_total;
+  if (breaker_.enabled) {
+    result.open_chronons_by_resource = health.OpenChrononsByResource();
+  }
 
   result.completeness =
       EvaluateCompleteness(problem_->profiles, result.schedule);

@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "core/completeness.h"
 #include "core/policy.h"
 #include "core/problem.h"
+#include "core/resource_health.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -60,6 +62,19 @@ struct OnlineRunResult {
   /// holding a live candidate EI on the probed resource — an upper bound
   /// on the completeness the faults cost this run.
   std::size_t t_intervals_lost_to_faults = 0;
+
+  // --- Resource-health telemetry (all zero when the breaker is off;
+  // --- mirrors HealthStats, see core/resource_health.h). --------------
+  std::size_t circuits_opened = 0;
+  std::size_t circuits_reopened = 0;
+  std::size_t probation_probes = 0;
+  std::size_t probation_successes = 0;
+  std::size_t probes_suppressed = 0;
+  std::size_t budget_reclaimed = 0;
+  std::size_t open_chronons_total = 0;
+  /// Chronons each resource spent circuit-open (indexed by ResourceId);
+  /// empty when the breaker is disabled.
+  std::vector<std::size_t> open_chronons_by_resource;
 };
 
 /// Which implementation of the online semantics executes a run. Both are
@@ -129,6 +144,10 @@ class OnlineExecutor {
   /// Same-chronon retry behavior for failed probes (default: none).
   void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
 
+  /// Circuit-breaker behavior for unhealthy resources (default:
+  /// disabled, which is byte-identical to running without the breaker).
+  void set_breaker_options(BreakerOptions breaker) { breaker_ = breaker; }
+
   /// Selects the implementation (default: the incremental index).
   void set_backend(ExecutorBackend backend) { backend_ = backend; }
   ExecutorBackend backend() const { return backend_; }
@@ -147,6 +166,7 @@ class OnlineExecutor {
   CaptureCallback capture_callback_;
   ProbeCallback probe_callback_;
   RetryPolicy retry_;
+  BreakerOptions breaker_;
 };
 
 }  // namespace pullmon

@@ -9,6 +9,8 @@
 
 namespace pullmon {
 
+class ResourceHealthTracker;
+
 /// Live state of one t-interval during an online run, shared between the
 /// executor and the policies (policies read, the executor writes).
 struct TIntervalRuntime {
@@ -98,6 +100,14 @@ class Policy {
 
   /// Called by the executor before a run begins.
   virtual void Reset() {}
+
+  /// Gives the policy read access to the run's per-resource health
+  /// estimates (EWMA failure rates). The executor calls this once per
+  /// run with a tracker that outlives the run; most policies ignore it —
+  /// HealthAwarePolicy forwards it into its expected-gain discount.
+  virtual void AttachHealth(const ResourceHealthTracker* health) {
+    (void)health;
+  }
 };
 
 /// S-EDF value of a single EI at chronon `now`: the number of remaining

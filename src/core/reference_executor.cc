@@ -35,7 +35,13 @@ ReferenceExecutor::ReferenceExecutor(const MonitoringProblem* problem,
 Result<OnlineRunResult> ReferenceExecutor::Run() {
   PULLMON_RETURN_NOT_OK(problem_->Validate());
   PULLMON_RETURN_NOT_OK(retry_.Validate());
+  PULLMON_RETURN_NOT_OK(breaker_.Validate());
   policy_->Reset();
+
+  // Mirrors the indexed path exactly: the tracker is a pure function of
+  // the probe-attempt sequence, which both backends issue identically.
+  ResourceHealthTracker health(problem_->num_resources, breaker_);
+  policy_->AttachHealth(&health);
 
   const Chronon epoch_len = problem_->epoch.length;
   const int num_resources = problem_->num_resources;
@@ -87,6 +93,11 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
   // Per-chronon "probed" markers without O(n) clearing.
   std::vector<Chronon> probed_stamp(static_cast<std::size_t>(num_resources),
                                     -1);
+  // Per-chronon "suppression noted" markers, same trick: NoteSuppressed
+  // fires once per (open-circuit resource, chronon) with live
+  // candidates, matching the indexed path's per-resource reduction.
+  std::vector<Chronon> suppressed_stamp(
+      static_cast<std::size_t>(num_resources), -1);
 
   OnlineRunResult result;
   result.schedule = Schedule(epoch_len);
@@ -120,7 +131,13 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
           .push_back(id);
     }
 
-    // 2. Compact the live candidate list and score it.
+    // Expired cool-downs move to probation before scoring, so a
+    // half-open resource competes in this chronon's selection.
+    health.BeginChronon(now);
+
+    // 2. Compact the live candidate list and score it. Candidates on
+    //    open-circuit resources stay live but are neither scored nor
+    //    eligible for selection this chronon.
     candidates.clear();
     std::size_t write = 0;
     for (std::size_t read = 0; read < active_ids.size(); ++read) {
@@ -128,6 +145,14 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
       FlatEi& flat = eis[static_cast<std::size_t>(id)];
       if (!is_live(flat, now)) continue;
       active_ids[write++] = id;
+      ResourceId res = flat.ei.resource;
+      if (health.IsSuppressed(res)) {
+        if (suppressed_stamp[static_cast<std::size_t>(res)] != now) {
+          suppressed_stamp[static_cast<std::size_t>(res)] = now;
+          health.NoteSuppressed(res, 1);
+        }
+        continue;
+      }
       const TIntervalRuntime& parent =
           runtimes[static_cast<std::size_t>(flat.t_id)];
       ScoredCandidate cand;
@@ -167,15 +192,19 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
         ++probes_this_chronon;
         ++result.probes_used;
         bool success = probe_callback_ ? probe_callback_(r, now) : true;
+        health.RecordProbe(r, now, success);
         if (!success) {
           ++result.probes_failed;
           // Same-chronon retries with exponential backoff, each charged
           // one budget unit; abandoned when the accumulated wait would
-          // cross the chronon boundary or the budget runs dry.
+          // cross the chronon boundary, the budget runs dry, or the
+          // breaker opens the resource's circuit mid-loop (retrying a
+          // resource the breaker just gave up on wastes budget).
           double waited = 0.0;
           double backoff = retry_.backoff_base;
           for (int attempt = 0; attempt < retry_.max_retries &&
-                                probes_this_chronon < budget;
+                                probes_this_chronon < budget &&
+                                !health.CircuitOpen(r);
                ++attempt) {
             waited += backoff;
             if (waited > retry_.backoff_budget) break;
@@ -185,6 +214,7 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
             ++result.retries_issued;
             ++result.retry_probes_spent;
             success = probe_callback_(r, now);
+            health.RecordProbe(r, now, success);
             if (success) break;
             ++result.probes_failed;
           }
@@ -228,6 +258,12 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
           }
         }
       }
+      // Reclaim accounting: at most probes_this_chronon of the budget
+      // units a suppressed resource would have taken actually flowed to
+      // other resources this chronon (an upper bound; see HealthStats).
+      health.NoteBudgetReclaimed(
+          std::min(health.SuppressedThisChronon(),
+                   static_cast<std::size_t>(probes_this_chronon)));
     }
 
     // 5. Expire EIs whose window ends now; the parent fails once too few
@@ -253,6 +289,18 @@ Result<OnlineRunResult> ReferenceExecutor::Run() {
   const auto run_end = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(run_end - run_start).count();
+
+  const HealthStats& hs = health.stats();
+  result.circuits_opened = hs.circuits_opened;
+  result.circuits_reopened = hs.circuits_reopened;
+  result.probation_probes = hs.probation_probes;
+  result.probation_successes = hs.probation_successes;
+  result.probes_suppressed = hs.probes_suppressed;
+  result.budget_reclaimed = hs.budget_reclaimed;
+  result.open_chronons_total = hs.open_chronons_total;
+  if (breaker_.enabled) {
+    result.open_chronons_by_resource = health.OpenChrononsByResource();
+  }
 
   result.completeness =
       EvaluateCompleteness(problem_->profiles, result.schedule);

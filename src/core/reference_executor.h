@@ -27,6 +27,7 @@ class ReferenceExecutor {
     probe_callback_ = std::move(callback);
   }
   void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
+  void set_breaker_options(BreakerOptions breaker) { breaker_ = breaker; }
 
   Result<OnlineRunResult> Run();
 
@@ -37,6 +38,7 @@ class ReferenceExecutor {
   OnlineExecutor::CaptureCallback capture_callback_;
   OnlineExecutor::ProbeCallback probe_callback_;
   RetryPolicy retry_;
+  BreakerOptions breaker_;
 };
 
 }  // namespace pullmon

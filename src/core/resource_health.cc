@@ -1,0 +1,139 @@
+#include "core/resource_health.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+const char* CircuitStateToString(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+Status BreakerOptions::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument(
+        StringFormat("failure_threshold must be >= 1, got %d",
+                     failure_threshold));
+  }
+  if (cooldown_base < 1) {
+    return Status::InvalidArgument(StringFormat(
+        "cooldown_base must be >= 1 chronon, got %d", cooldown_base));
+  }
+  if (cooldown_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        StringFormat("cooldown_multiplier must be >= 1, got %g",
+                     cooldown_multiplier));
+  }
+  if (max_cooldown < cooldown_base) {
+    return Status::InvalidArgument(StringFormat(
+        "max_cooldown (%d) must be >= cooldown_base (%d)", max_cooldown,
+        cooldown_base));
+  }
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    return Status::InvalidArgument(StringFormat(
+        "ewma_alpha must be in (0,1], got %g", ewma_alpha));
+  }
+  return Status::OK();
+}
+
+ResourceHealthTracker::ResourceHealthTracker(int num_resources,
+                                             BreakerOptions options)
+    : options_(options) {
+  std::size_t n =
+      num_resources < 0 ? 0 : static_cast<std::size_t>(num_resources);
+  state_.assign(n, CircuitState::kClosed);
+  consecutive_failures_.assign(n, 0);
+  ewma_failure_.assign(n, 0.0);
+  cooldown_.assign(n, options_.cooldown_base);
+  open_until_.assign(n, 0);
+  open_chronons_.assign(n, 0);
+}
+
+void ResourceHealthTracker::BeginChronon(Chronon now) {
+  suppressed_this_chronon_ = 0;
+  if (!options_.enabled) return;
+  // Every list entry is kOpen (a circuit leaves the open state only
+  // here); expired cool-downs enter probation, the rest accrue one open
+  // chronon.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < open_list_.size(); ++i) {
+    ResourceId r = open_list_[i];
+    if (now >= open_until_[static_cast<std::size_t>(r)]) {
+      state_[static_cast<std::size_t>(r)] = CircuitState::kHalfOpen;
+      continue;
+    }
+    open_list_[keep++] = r;
+    ++open_chronons_[static_cast<std::size_t>(r)];
+    ++stats_.open_chronons_total;
+  }
+  open_list_.resize(keep);
+}
+
+void ResourceHealthTracker::Open(ResourceId resource, Chronon now,
+                                 bool reopen) {
+  std::size_t r = static_cast<std::size_t>(resource);
+  if (reopen) {
+    double grown = static_cast<double>(cooldown_[r]) *
+                   options_.cooldown_multiplier;
+    Chronon next = grown >= static_cast<double>(options_.max_cooldown)
+                       ? options_.max_cooldown
+                       : static_cast<Chronon>(grown);
+    cooldown_[r] = std::max(next, cooldown_[r]);
+  }
+  state_[r] = CircuitState::kOpen;
+  // Suppressed for exactly cooldown_[r] whole chronons after the failing
+  // one; BeginChronon(open_until_) starts the probation phase.
+  open_until_[r] = now + 1 + cooldown_[r];
+  open_list_.push_back(resource);
+}
+
+void ResourceHealthTracker::RecordProbe(ResourceId resource, Chronon now,
+                                        bool success) {
+  std::size_t r = static_cast<std::size_t>(resource);
+  bool probation = IsProbation(resource);
+  if (probation) ++stats_.probation_probes;
+  ewma_failure_[r] = options_.ewma_alpha * (success ? 0.0 : 1.0) +
+                     (1.0 - options_.ewma_alpha) * ewma_failure_[r];
+  if (success) {
+    consecutive_failures_[r] = 0;
+    if (probation) {
+      state_[r] = CircuitState::kClosed;
+      cooldown_[r] = options_.cooldown_base;
+      ++stats_.probation_successes;
+    }
+    return;
+  }
+  ++consecutive_failures_[r];
+  if (!options_.enabled) return;
+  if (probation) {
+    ++stats_.circuits_reopened;
+    Open(resource, now, /*reopen=*/true);
+  } else if (state_[r] == CircuitState::kClosed &&
+             consecutive_failures_[r] >= options_.failure_threshold) {
+    ++stats_.circuits_opened;
+    Open(resource, now, /*reopen=*/false);
+  }
+}
+
+void ResourceHealthTracker::NoteSuppressed(ResourceId resource,
+                                           int live_candidates) {
+  (void)resource;
+  if (live_candidates <= 0) return;
+  ++stats_.probes_suppressed;
+  ++suppressed_this_chronon_;
+}
+
+void ResourceHealthTracker::NoteBudgetReclaimed(std::size_t reclaimed) {
+  stats_.budget_reclaimed += reclaimed;
+}
+
+}  // namespace pullmon

@@ -21,7 +21,8 @@ Status ValidateRate(double rate, const char* name) {
 bool FaultOptions::AllZero() const {
   return timeout_rate == 0.0 && server_error_rate == 0.0 &&
          truncation_rate == 0.0 && corruption_rate == 0.0 &&
-         etag_storm_rate == 0.0 && latency_mean == 0.0;
+         etag_storm_rate == 0.0 && latency_mean == 0.0 &&
+         outage_enter_rate == 0.0;
 }
 
 Status FaultOptions::Validate() const {
@@ -40,6 +41,8 @@ Status FaultOptions::Validate() const {
   if (latency_timeout <= 0.0) {
     return Status::InvalidArgument("latency_timeout must be > 0");
   }
+  PULLMON_RETURN_NOT_OK(ValidateRate(outage_enter_rate, "outage_enter_rate"));
+  PULLMON_RETURN_NOT_OK(ValidateRate(outage_exit_rate, "outage_exit_rate"));
   return Status::OK();
 }
 
@@ -82,6 +85,10 @@ FaultPlan::FaultPlan(FeedNetwork* network, uint64_t seed,
   streams_.resize(n, Rng(0));
   stream_ready_.assign(n, 0);
   storm_left_.assign(n, 0);
+  outage_streams_.resize(n, Rng(0));
+  outage_stream_ready_.assign(n, 0);
+  outage_dark_.assign(n, 0);
+  outage_eval_from_.assign(n, 0);
 }
 
 void FaultPlan::SetResourceOptions(ResourceId resource,
@@ -101,6 +108,10 @@ const FaultOptions& FaultPlan::OptionsFor(ResourceId resource) const {
 void FaultPlan::Reset() {
   std::fill(stream_ready_.begin(), stream_ready_.end(), 0);
   std::fill(storm_left_.begin(), storm_left_.end(), 0);
+  std::fill(outage_stream_ready_.begin(), outage_stream_ready_.end(), 0);
+  std::fill(outage_dark_.begin(), outage_dark_.end(), 0);
+  std::fill(outage_eval_from_.begin(), outage_eval_from_.end(), 0);
+  now_ = 0;
   stats_ = FaultStats{};
 }
 
@@ -114,6 +125,42 @@ Rng& FaultPlan::StreamFor(ResourceId resource) {
     stream_ready_[r] = 1;
   }
   return streams_[r];
+}
+
+Rng& FaultPlan::OutageStreamFor(ResourceId resource) {
+  std::size_t r = static_cast<std::size_t>(resource);
+  if (!outage_stream_ready_[r]) {
+    // Same derivation as StreamFor, salted so the outage chain and the
+    // per-probe fault stream of a resource are independent.
+    uint64_t state = (seed_ ^ 0xA5A5A5A55A5A5A5AULL) +
+                     0x9E3779B97F4A7C15ULL * (resource + 1);
+    outage_streams_[r] = Rng(SplitMix64(&state));
+    outage_stream_ready_[r] = 1;
+  }
+  return outage_streams_[r];
+}
+
+bool FaultPlan::InOutage(ResourceId resource, Chronon t) {
+  const FaultOptions& options = OptionsFor(resource);
+  if (options.outage_enter_rate <= 0.0) return false;
+  std::size_t r = static_cast<std::size_t>(resource);
+  Rng& rng = OutageStreamFor(resource);
+  // One Gilbert-Elliott step per chronon in [eval_from, t]; the state
+  // after the step at chronon c is the state *during* chronon c.
+  while (outage_eval_from_[r] <= t) {
+    if (outage_dark_[r]) {
+      if (options.outage_exit_rate > 0.0 &&
+          rng.NextBool(options.outage_exit_rate)) {
+        outage_dark_[r] = 0;
+      }
+    } else if (rng.NextBool(options.outage_enter_rate)) {
+      outage_dark_[r] = 1;
+      ++stats_.outages_entered;
+    }
+    if (outage_dark_[r]) ++stats_.outage_chronons;
+    ++outage_eval_from_[r];
+  }
+  return outage_dark_[r] != 0;
 }
 
 Result<FaultPlan::FaultedFetch> FaultPlan::ProbeConditional(
@@ -134,14 +181,29 @@ Result<FaultPlan::FaultedFetch> FaultPlan::ProbeConditional(
     return outcome;
   }
 
-  Rng& rng = StreamFor(resource);
-  if (options.latency_mean > 0.0) {
-    outcome.latency = rng.NextExponential(1.0 / options.latency_mean);
-  }
   auto record_latency = [&] {
     stats_.latency_total += outcome.latency;
     stats_.latency_max = std::max(stats_.latency_max, outcome.latency);
   };
+
+  // Outages swallow the probe before any per-probe fate is drawn, so a
+  // dark stretch does not consume the resource's fault stream: the
+  // per-probe fault sequence after recovery is the same one the
+  // resource would have seen without the outage.
+  if (InOutage(resource, now_)) {
+    outcome.fault = FaultKind::kOutage;
+    if (options.latency_mean > 0.0) {
+      outcome.latency = options.latency_timeout;
+    }
+    ++stats_.outage_probes;
+    record_latency();
+    return outcome;
+  }
+
+  Rng& rng = StreamFor(resource);
+  if (options.latency_mean > 0.0) {
+    outcome.latency = rng.NextExponential(1.0 / options.latency_mean);
+  }
 
   // Hard faults first: the request dies before a response exists, so
   // the wrapped server never sees a fetch.

@@ -40,6 +40,16 @@ struct FaultOptions {
   /// A response slower than this many chronons misses its chronon
   /// boundary and is accounted as a timeout.
   double latency_timeout = 1.0;
+  /// Per-chronon probability that a healthy resource enters an outage:
+  /// the "bad" state of a two-state Gilbert-Elliott chain under which
+  /// every probe of the resource fails until the outage ends. Models the
+  /// correlated failure bursts of real Web sources (0 disables the
+  /// chain entirely).
+  double outage_enter_rate = 0.0;
+  /// Per-chronon probability that a dark resource recovers. The mean
+  /// outage length is 1/outage_exit_rate chronons; 0 makes outages
+  /// permanent (a decommissioned source).
+  double outage_exit_rate = 0.25;
 
   /// True when every knob is off — the layer is a pass-through.
   bool AllZero() const;
@@ -58,6 +68,13 @@ struct FaultStats {
   std::size_t storms_started = 0;
   /// Conditional fetches forced to full-body by an active storm.
   std::size_t etag_invalidations = 0;
+  /// Probes swallowed because their resource was inside an outage.
+  std::size_t outage_probes = 0;
+  /// Healthy -> dark transitions of the per-resource outage chains.
+  std::size_t outages_entered = 0;
+  /// Dark chronons among those the outage chains were evaluated over
+  /// (chains advance lazily, up to each resource's last probed chronon).
+  std::size_t outage_chronons = 0;
   double latency_total = 0.0;
   double latency_max = 0.0;
 
@@ -87,6 +104,7 @@ class FaultPlan {
     kNone,         // response delivered (possibly mangled)
     kTimeout,      // no response within the chronon
     kServerError,  // transient 5xx, no usable document
+    kOutage,       // the resource is dark (Gilbert-Elliott bad state)
   };
 
   struct FaultedFetch {
@@ -113,8 +131,19 @@ class FaultPlan {
   /// the next run replays the identical fault sequence. Stats reset too.
   void Reset();
 
-  /// Delegates clock advancement to the wrapped network.
-  void AdvanceTo(Chronon t) { network_->AdvanceTo(t); }
+  /// Delegates clock advancement to the wrapped network and records the
+  /// current chronon: the per-resource outage chains are evaluated lazily
+  /// up to the clock seen here, once per chronon, so a resource's outage
+  /// trajectory depends only on (seed, chronon) — never on how often or
+  /// in which order resources are probed.
+  void AdvanceTo(Chronon t) {
+    now_ = t;
+    network_->AdvanceTo(t);
+  }
+
+  /// Whether `resource` is dark at chronon `t` (advances its chain to
+  /// `t` if needed; `t` must not precede chronons already evaluated).
+  bool InOutage(ResourceId resource, Chronon t);
 
   /// The faulty pull-probe: draws this probe's fate, performs the
   /// underlying conditional fetch unless the fault swallowed it, and
@@ -128,6 +157,7 @@ class FaultPlan {
 
  private:
   Rng& StreamFor(ResourceId resource);
+  Rng& OutageStreamFor(ResourceId resource);
 
   FeedNetwork* network_;
   uint64_t seed_;
@@ -140,6 +170,15 @@ class FaultPlan {
   std::vector<uint8_t> stream_ready_;
   /// Remaining probes of an active ETag storm, per resource.
   std::vector<int> storm_left_;
+  /// The outage chains draw from dedicated per-resource streams, one
+  /// draw per evaluated chronon, so per-probe fault draws never shift a
+  /// resource's outage trajectory (and vice versa).
+  std::vector<Rng> outage_streams_;
+  std::vector<uint8_t> outage_stream_ready_;
+  std::vector<uint8_t> outage_dark_;
+  /// First chronon each chain has not been evaluated for yet.
+  std::vector<Chronon> outage_eval_from_;
+  Chronon now_ = 0;
   FaultStats stats_;
 };
 

@@ -1,0 +1,17 @@
+#include "policies/health_aware.h"
+
+namespace pullmon {
+
+double HealthAwarePolicy::Score(const ExecutionInterval& ei,
+                                const TIntervalRuntime& parent,
+                                int ei_index, Chronon now) {
+  double score = base_->Score(ei, parent, ei_index, now);
+  if (health_ == nullptr) return score;
+  double p = health_->SuccessProbability(ei.resource);
+  if (p < kMinSuccess) p = kMinSuccess;
+  // Lower-is-better: a shrinking p must push the score up (away from
+  // selection), whichever sign the base policy uses.
+  return score >= 0.0 ? score / p : score * p;
+}
+
+}  // namespace pullmon

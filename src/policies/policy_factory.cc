@@ -1,6 +1,10 @@
 #include "policies/policy_factory.h"
 
+#include <string_view>
+#include <utility>
+
 #include "policies/baselines.h"
+#include "policies/health_aware.h"
 #include "policies/m_edf.h"
 #include "policies/mrsf.h"
 #include "policies/s_edf.h"
@@ -10,13 +14,22 @@
 namespace pullmon {
 
 std::vector<std::string> KnownPolicyNames() {
-  return {"s-edf", "m-edf",  "mrsf", "u-mrsf",    "u-edf",
-          "lrsf",  "random", "fcfs", "roundrobin"};
+  return {"s-edf", "m-edf",  "mrsf", "u-mrsf",    "u-edf",       "lrsf",
+          "random", "fcfs", "roundrobin", "health:mrsf", "health:s-edf"};
 }
 
 Result<std::unique_ptr<Policy>> MakePolicy(const std::string& name,
                                            const PolicyOptions& options) {
   std::string key = ToLower(name);
+  // "health:<base>" wraps any base policy in the expected-gain discount
+  // of HealthAwarePolicy (policies/health_aware.h).
+  constexpr std::string_view kHealthPrefix = "health:";
+  if (key.rfind(kHealthPrefix, 0) == 0) {
+    PULLMON_ASSIGN_OR_RETURN(
+        std::unique_ptr<Policy> base,
+        MakePolicy(key.substr(kHealthPrefix.size()), options));
+    return std::unique_ptr<Policy>(new HealthAwarePolicy(std::move(base)));
+  }
   // Accept both "s-edf" and "sedf" spellings.
   std::string compact;
   for (char c : key) {

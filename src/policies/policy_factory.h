@@ -17,7 +17,9 @@ struct PolicyOptions {
 };
 
 /// Names accepted by MakePolicy (lowercase, hyphens optional):
-/// "s-edf", "m-edf", "mrsf", "random", "fcfs", "roundrobin".
+/// "s-edf", "m-edf", "mrsf", "random", "fcfs", "roundrobin", plus a
+/// "health:<base>" prefix that wraps any base policy in the
+/// expected-gain discount of HealthAwarePolicy.
 std::vector<std::string> KnownPolicyNames();
 
 /// Instantiates a policy by name; NotFound for unknown names.

@@ -18,6 +18,13 @@ const char* DatasetKindToString(DatasetKind kind) {
 
 SimulationConfig BaselineConfig() { return SimulationConfig{}; }
 
+Status SimulationConfig::Validate() const {
+  PULLMON_RETURN_NOT_OK(faults.Validate());
+  PULLMON_RETURN_NOT_OK(retry.Validate());
+  PULLMON_RETURN_NOT_OK(breaker.Validate());
+  return Status::OK();
+}
+
 std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
     const {
   std::vector<std::pair<std::string, std::string>> rows;
@@ -48,6 +55,18 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
       rows.emplace_back("latency mean (chronons)",
                         StringFormat("%.3f", faults.latency_mean));
     }
+  }
+  if (faults.outage_enter_rate > 0.0) {
+    rows.emplace_back("outage (enter/exit)",
+                      StringFormat("%.3f/%.3f", faults.outage_enter_rate,
+                                   faults.outage_exit_rate));
+  }
+  if (breaker.enabled) {
+    rows.emplace_back(
+        "circuit breaker",
+        StringFormat("thresh %d, cooldown %d x%.1f cap %d",
+                     breaker.failure_threshold, breaker.cooldown_base,
+                     breaker.cooldown_multiplier, breaker.max_cooldown));
   }
   if (retry.max_retries > 0) {
     rows.emplace_back("probe retries",

@@ -70,6 +70,9 @@ struct SimulationConfig {
   uint64_t fault_seed = 0x5EED;
   /// Same-chronon retry/backoff policy of the proxy's probe path.
   RetryPolicy retry;
+  /// Circuit-breaker behavior of the executor's resource-health
+  /// tracking (core/resource_health.h); disabled by default.
+  BreakerOptions breaker;
   /// Which online-executor implementation runs (core/online_executor.h):
   /// the incremental candidate index (default) or the scan-based
   /// reference oracle. Both are decision-identical; the switch exists
@@ -81,6 +84,11 @@ struct SimulationConfig {
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;
+
+  /// Range-checks the sub-option blocks a run would otherwise reject
+  /// mid-flight (fault rates, retry/backoff, breaker) — the CLI calls
+  /// this up front so bad flags fail with a clean InvalidArgument.
+  Status Validate() const;
 };
 
 /// The paper's baseline parameter settings (Table 1).

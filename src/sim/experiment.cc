@@ -99,6 +99,7 @@ Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
   options.faults = config.faults;
   options.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
   options.retry = config.retry;
+  options.breaker = config.breaker;
   options.backend = config.executor_backend;
   MonitoringProxy proxy(&problem, &network, policy.get(), spec.mode,
                         options);
@@ -124,6 +125,7 @@ Status ExperimentRunner::RunRepetition(
                              MakePolicy(specs[s].policy, po));
     OnlineExecutor executor(&problem, policy.get(), specs[s].mode);
     executor.set_backend(config.executor_backend);
+    executor.set_breaker_options(config.breaker);
     PULLMON_ASSIGN_OR_RETURN(OnlineRunResult run, executor.Run());
     out->policies[s].gc.Add(run.completeness.GainedCompleteness());
     out->policies[s].runtime_seconds.Add(run.elapsed_seconds);

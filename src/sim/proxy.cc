@@ -16,11 +16,13 @@ MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
 Result<ProxyRunReport> MonitoringProxy::Run() {
   PULLMON_RETURN_NOT_OK(options_.faults.Validate());
   PULLMON_RETURN_NOT_OK(options_.retry.Validate());
+  PULLMON_RETURN_NOT_OK(options_.breaker.Validate());
   notifications_.clear();
   ProxyRunReport report;
 
   OnlineExecutor executor(problem_, policy_, mode_);
   executor.set_retry_policy(options_.retry);
+  executor.set_breaker_options(options_.breaker);
   executor.set_backend(options_.backend);
 
   // The fault layer sits between proxy and network only when some rate
@@ -43,7 +45,13 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
 
   executor.set_probe_callback([&](ResourceId resource, Chronon now) {
     // The pull leg: catch the network up to "now" and fetch the feed.
-    network_->AdvanceTo(now);
+    // Clock advancement goes through the fault plan when one exists, so
+    // its per-resource outage chains see the current chronon.
+    if (plan.has_value()) {
+      plan->AdvanceTo(now);
+    } else {
+      network_->AdvanceTo(now);
+    }
     if (now != fetch_chronon) {
       current_items.clear();
       fetch_chronon = now;
@@ -62,6 +70,9 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
           return false;
         case FaultPlan::FaultKind::kServerError:
           ++report.server_errors;
+          return false;
+        case FaultPlan::FaultKind::kOutage:
+          ++report.outage_probes;
           return false;
         case FaultPlan::FaultKind::kNone:
           break;
@@ -115,6 +126,14 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   report.probes_failed = report.run.probes_failed;
   report.retries_issued = report.run.retries_issued;
   report.retry_probes_spent = report.run.retry_probes_spent;
+  report.circuits_opened = report.run.circuits_opened;
+  report.circuits_reopened = report.run.circuits_reopened;
+  report.probation_probes = report.run.probation_probes;
+  report.probation_successes = report.run.probation_successes;
+  report.probes_suppressed = report.run.probes_suppressed;
+  report.budget_reclaimed = report.run.budget_reclaimed;
+  report.open_chronons_total = report.run.open_chronons_total;
+  report.open_chronons_by_resource = report.run.open_chronons_by_resource;
   std::size_t total = problem_->TotalTIntervalCount();
   report.gc_lost_to_faults =
       total == 0 ? 0.0

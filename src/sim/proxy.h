@@ -51,6 +51,9 @@ struct ProxyRunReport {
   std::size_t server_errors = 0;
   /// Conditional fetches forced to full bodies by ETag storms.
   std::size_t etag_invalidations = 0;
+  /// Probes swallowed because their resource was dark (Gilbert-Elliott
+  /// outage; mirrors fault_stats.outage_probes).
+  std::size_t outage_probes = 0;
   /// Total simulated response latency, in fractional chronons.
   double latency_chronons = 0.0;
   /// Fraction of all t-intervals that failed after a fault hit one of
@@ -59,6 +62,18 @@ struct ProxyRunReport {
   double gc_lost_to_faults = 0.0;
   /// Counters of the fault layer itself (empty without one).
   FaultStats fault_stats;
+  // --- Resource-health telemetry (all zero with the breaker disabled;
+  // --- mirrors OnlineRunResult, see core/resource_health.h). ----------
+  std::size_t circuits_opened = 0;
+  std::size_t circuits_reopened = 0;
+  std::size_t probation_probes = 0;
+  std::size_t probation_successes = 0;
+  std::size_t probes_suppressed = 0;
+  std::size_t budget_reclaimed = 0;
+  std::size_t open_chronons_total = 0;
+  /// Chronons each resource spent circuit-open (indexed by ResourceId);
+  /// empty when the breaker is disabled.
+  std::vector<std::size_t> open_chronons_by_resource;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults
@@ -72,6 +87,9 @@ struct ProxyOptions {
   /// Same-chronon retry/backoff policy for failed probes; retries are
   /// charged against the chronon budget C_j.
   RetryPolicy retry;
+  /// Circuit-breaker behavior of the executor's resource-health
+  /// tracking; disabled by default (byte-identical to no breaker).
+  BreakerOptions breaker;
   /// Scheduling implementation driving the probe path; both backends
   /// issue identical probe sequences (differentially tested), so this
   /// only affects scheduling cost.

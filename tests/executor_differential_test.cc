@@ -34,6 +34,14 @@ struct RunOutcome {
   std::size_t t_intervals_completed = 0;
   std::size_t t_intervals_failed = 0;
   std::size_t t_intervals_lost_to_faults = 0;
+  std::size_t circuits_opened = 0;
+  std::size_t circuits_reopened = 0;
+  std::size_t probation_probes = 0;
+  std::size_t probation_successes = 0;
+  std::size_t probes_suppressed = 0;
+  std::size_t budget_reclaimed = 0;
+  std::size_t open_chronons_total = 0;
+  std::vector<std::size_t> open_chronons_by_resource;
 };
 
 /// Deterministic flaky probe callback: ~25% of attempts fail, but a
@@ -59,10 +67,54 @@ class FlakyProbes {
   std::map<std::pair<ResourceId, Chronon>, uint64_t> attempts_;
 };
 
+/// Correlated-outage probe callback: on top of FlakyProbes' i.i.d.
+/// failures, each resource is dark for whole episodes of `episode_len`
+/// chronons (every attempt inside one fails, retries included). The
+/// episode pattern is a pure function of (seed, resource, episode), so
+/// both backends observe the identical outage trajectory regardless of
+/// probe order — the same property the FaultPlan outage streams have.
+class OutageProbes {
+ public:
+  OutageProbes(uint64_t seed, Chronon episode_len)
+      : flaky_(seed ^ 0xABCDEF12ULL), seed_(seed),
+        episode_len_(episode_len) {}
+
+  bool operator()(ResourceId r, Chronon t) {
+    uint64_t key = seed_;
+    key = key * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(r);
+    key = key * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(t / episode_len_);
+    uint64_t state = key;
+    // A quarter of all (resource, episode) cells are dark.
+    if ((SplitMix64(&state) & 3) == 0) return false;
+    return flaky_(r, t);
+  }
+
+ private:
+  FlakyProbes flaky_;
+  uint64_t seed_;
+  Chronon episode_len_;
+};
+
+/// Breaker parameters varied by seed so the differential test sweeps
+/// thresholds, cool-downs, and caps rather than pinning one shape.
+BreakerOptions BreakerVariant(uint64_t seed) {
+  BreakerOptions breaker;
+  breaker.enabled = true;
+  breaker.failure_threshold = 1 + static_cast<int>(seed % 3);
+  breaker.cooldown_base = 1 + static_cast<Chronon>(seed % 4);
+  breaker.cooldown_multiplier = (seed % 2 == 0) ? 2.0 : 1.5;
+  breaker.max_cooldown = breaker.cooldown_base * 4;
+  breaker.ewma_alpha = 0.2 + 0.1 * static_cast<double>(seed % 5);
+  return breaker;
+}
+
 RunOutcome RunBackend(const MonitoringProblem& problem,
                       const std::string& policy_name, ExecutionMode mode,
                       ExecutorBackend backend, bool with_faults,
-                      uint64_t fault_seed) {
+                      uint64_t fault_seed,
+                      const BreakerOptions* breaker = nullptr,
+                      Chronon outage_episode_len = 0) {
   PolicyOptions po;
   po.random_seed = 4242;
   po.num_resources = problem.num_resources;
@@ -71,13 +123,19 @@ RunOutcome RunBackend(const MonitoringProblem& problem,
 
   OnlineExecutor executor(&problem, policy->get(), mode);
   executor.set_backend(backend);
-  if (with_faults) {
+  if (outage_episode_len > 0) {
+    executor.set_probe_callback(
+        OutageProbes(fault_seed, outage_episode_len));
+  } else if (with_faults) {
     executor.set_probe_callback(FlakyProbes(fault_seed));
+  }
+  if (with_faults || outage_episode_len > 0) {
     RetryPolicy retry;
     retry.max_retries = 2;
     retry.backoff_base = 0.125;
     executor.set_retry_policy(retry);
   }
+  if (breaker != nullptr) executor.set_breaker_options(*breaker);
   auto run = executor.Run();
   EXPECT_TRUE(run.ok()) << run.status().ToString();
 
@@ -93,6 +151,14 @@ RunOutcome RunBackend(const MonitoringProblem& problem,
   outcome.t_intervals_completed = run->t_intervals_completed;
   outcome.t_intervals_failed = run->t_intervals_failed;
   outcome.t_intervals_lost_to_faults = run->t_intervals_lost_to_faults;
+  outcome.circuits_opened = run->circuits_opened;
+  outcome.circuits_reopened = run->circuits_reopened;
+  outcome.probation_probes = run->probation_probes;
+  outcome.probation_successes = run->probation_successes;
+  outcome.probes_suppressed = run->probes_suppressed;
+  outcome.budget_reclaimed = run->budget_reclaimed;
+  outcome.open_chronons_total = run->open_chronons_total;
+  outcome.open_chronons_by_resource = run->open_chronons_by_resource;
   return outcome;
 }
 
@@ -115,6 +181,22 @@ void ExpectIdentical(const RunOutcome& indexed,
       << label;
   EXPECT_EQ(indexed.t_intervals_lost_to_faults,
             reference.t_intervals_lost_to_faults)
+      << label;
+  EXPECT_EQ(indexed.circuits_opened, reference.circuits_opened) << label;
+  EXPECT_EQ(indexed.circuits_reopened, reference.circuits_reopened)
+      << label;
+  EXPECT_EQ(indexed.probation_probes, reference.probation_probes)
+      << label;
+  EXPECT_EQ(indexed.probation_successes, reference.probation_successes)
+      << label;
+  EXPECT_EQ(indexed.probes_suppressed, reference.probes_suppressed)
+      << label;
+  EXPECT_EQ(indexed.budget_reclaimed, reference.budget_reclaimed)
+      << label;
+  EXPECT_EQ(indexed.open_chronons_total, reference.open_chronons_total)
+      << label;
+  EXPECT_EQ(indexed.open_chronons_by_resource,
+            reference.open_chronons_by_resource)
       << label;
 }
 
@@ -213,6 +295,61 @@ TEST(ExecutorDifferentialTest, IndexedMatchesReferenceEverywhere) {
   EXPECT_GE(instances, 190);
 }
 
+// The new code paths: correlated outage episodes with the circuit
+// breaker enabled. Suppression changes which candidates are scored at
+// all, so this is the configuration most likely to expose a divergence
+// between the candidate index's lazy compaction and the reference
+// scan — every policy (including the health: wrappers), both modes,
+// breaker parameters swept by seed.
+TEST(ExecutorDifferentialTest, IndexedMatchesReferenceWithBreakers) {
+  const std::vector<std::string> policies = KnownPolicyNames();
+  ASSERT_FALSE(policies.empty());
+  const ExecutionMode modes[] = {ExecutionMode::kPreemptive,
+                                 ExecutionMode::kNonPreemptive};
+
+  int instances = 0;
+  std::size_t total_opened = 0;
+  std::size_t total_suppressed = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (int variant = 0; variant < 4; ++variant) {
+      Rng rng(seed * 2000 + static_cast<uint64_t>(variant));
+      MonitoringProblem problem = MakeVariantInstance(variant, &rng);
+      if (problem.profiles.empty()) continue;
+      ++instances;
+      BreakerOptions breaker = BreakerVariant(seed);
+      // Dark episodes of 2-4 chronons — long enough for a threshold-1
+      // breaker to trip and serve its cool-down inside the tiny epochs.
+      Chronon episode_len = 2 + static_cast<Chronon>(seed % 3);
+      for (const std::string& policy : policies) {
+        for (ExecutionMode mode : modes) {
+          std::string label =
+              "breaker seed=" + std::to_string(seed) +
+              " variant=" + std::to_string(variant) +
+              " policy=" + policy +
+              " mode=" + std::string(ExecutionModeToString(mode));
+          RunOutcome indexed = RunBackend(
+              problem, policy, mode, ExecutorBackend::kIndexed,
+              /*with_faults=*/true, seed, &breaker, episode_len);
+          RunOutcome reference = RunBackend(
+              problem, policy, mode, ExecutorBackend::kReference,
+              /*with_faults=*/true, seed, &breaker, episode_len);
+          ExpectIdentical(indexed, reference, label);
+          total_opened += indexed.circuits_opened;
+          total_suppressed += indexed.probes_suppressed;
+          if (::testing::Test::HasFailure()) {
+            FAIL() << "stopping at first divergence: " << label;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(instances, 75);
+  // The sweep must actually exercise the breaker: a decision-identity
+  // pass in which no circuit ever opened would be vacuous.
+  EXPECT_GT(total_opened, 0u);
+  EXPECT_GT(total_suppressed, 0u);
+}
+
 // The full physical path — FeedNetwork, FaultPlan, RetryPolicy, proxy
 // notifications — must also be backend-independent: the backend choice
 // may only change scheduling cost, never a probe or a byte fetched.
@@ -267,6 +404,76 @@ TEST(ExecutorDifferentialTest, ProxyPathMatchesThroughFaultLayer) {
       EXPECT_EQ(indexed->fault_stats, reference->fault_stats) << label;
       EXPECT_EQ(indexed->gc_lost_to_faults, reference->gc_lost_to_faults)
           << label;
+    }
+  }
+}
+
+// Same physical-path identity with the Gilbert-Elliott outage process
+// and the circuit breaker live: the health telemetry itself must also
+// agree between backends, byte for byte.
+TEST(ExecutorDifferentialTest, ProxyPathMatchesWithOutagesAndBreaker) {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 20;
+  config.epoch_length = 80;
+  config.num_profiles = 30;
+  config.lambda = 6.0;
+  config.budget = 2;
+  config.faults.timeout_rate = 0.05;
+  config.faults.outage_enter_rate = 0.02;
+  config.faults.outage_exit_rate = 0.1;
+  config.retry.max_retries = 2;
+  config.retry.backoff_base = 0.1;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_base = 3;
+  config.breaker.max_cooldown = 12;
+
+  for (const PolicySpec& spec :
+       {PolicySpec{"MRSF", ExecutionMode::kPreemptive},
+        PolicySpec{"health:mrsf", ExecutionMode::kPreemptive},
+        PolicySpec{"S-EDF", ExecutionMode::kNonPreemptive}}) {
+    for (uint64_t seed : {11u, 42u, 77u}) {
+      SimulationConfig indexed_config = config;
+      indexed_config.executor_backend = ExecutorBackend::kIndexed;
+      SimulationConfig reference_config = config;
+      reference_config.executor_backend = ExecutorBackend::kReference;
+
+      auto indexed = RunProxyOnce(indexed_config, spec, seed);
+      auto reference = RunProxyOnce(reference_config, spec, seed);
+      ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      std::string label = spec.Label() + " seed=" + std::to_string(seed);
+      for (Chronon t = 0; t < config.epoch_length; ++t) {
+        EXPECT_EQ(indexed->run.schedule.ProbesAt(t),
+                  reference->run.schedule.ProbesAt(t))
+            << label << " chronon " << t;
+      }
+      EXPECT_EQ(indexed->run.completeness.GainedCompleteness(),
+                reference->run.completeness.GainedCompleteness())
+          << label;
+      EXPECT_EQ(indexed->outage_probes, reference->outage_probes)
+          << label;
+      EXPECT_EQ(indexed->circuits_opened, reference->circuits_opened)
+          << label;
+      EXPECT_EQ(indexed->circuits_reopened, reference->circuits_reopened)
+          << label;
+      EXPECT_EQ(indexed->probation_probes, reference->probation_probes)
+          << label;
+      EXPECT_EQ(indexed->probation_successes,
+                reference->probation_successes)
+          << label;
+      EXPECT_EQ(indexed->probes_suppressed, reference->probes_suppressed)
+          << label;
+      EXPECT_EQ(indexed->budget_reclaimed, reference->budget_reclaimed)
+          << label;
+      EXPECT_EQ(indexed->open_chronons_total,
+                reference->open_chronons_total)
+          << label;
+      EXPECT_EQ(indexed->open_chronons_by_resource,
+                reference->open_chronons_by_resource)
+          << label;
+      EXPECT_EQ(indexed->fault_stats, reference->fault_stats) << label;
     }
   }
 }

@@ -1,5 +1,7 @@
 #include "feeds/fault_injection.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "feeds/atom.h"
@@ -85,6 +87,23 @@ TEST(FaultOptionsTest, ValidationRejectsMalformedRates) {
   faults = FaultOptions{};
   faults.latency_timeout = 0.0;
   EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.outage_enter_rate = 1.5;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.outage_enter_rate = -0.1;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultOptions{};
+  faults.outage_exit_rate = 2.0;
+  EXPECT_FALSE(faults.Validate().ok());
+  // A non-zero exit rate alone keeps AllZero true: no resource can ever
+  // enter an outage, so the layer is still a pass-through.
+  faults = FaultOptions{};
+  faults.outage_exit_rate = 0.5;
+  EXPECT_TRUE(faults.Validate().ok());
+  EXPECT_TRUE(faults.AllZero());
+  faults.outage_enter_rate = 0.01;
+  EXPECT_FALSE(faults.AllZero());
 }
 
 TEST(FaultPlanTest, SameSeedSameFaultSequence) {
@@ -194,6 +213,141 @@ TEST(FaultPlanTest, EtagStormForcesFullBodies) {
   }
   EXPECT_EQ(plan.stats().etag_invalidations, 10u);
   EXPECT_EQ(plan.stats().storms_started, 1u);
+}
+
+TEST(FaultPlanTest, OutageTrajectoryIndependentOfProbeOrder) {
+  // The Gilbert-Elliott chain is evaluated lazily from dedicated
+  // per-resource streams: whether resource r is dark at chronon t must
+  // depend only on (seed, r, t) — never on how many probes were issued,
+  // in what order, or whether other chronons were skipped entirely.
+  Rng rng(53);
+  auto trace = GeneratePoissonTrace({4, 200, 5.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FaultOptions faults;
+  faults.outage_enter_rate = 0.05;
+  faults.outage_exit_rate = 0.2;
+
+  // Arm A: probe every resource at every chronon, in resource order.
+  FeedNetwork network_a(&*trace, 6);
+  FaultPlan plan_a(&network_a, 4711, faults);
+  std::vector<std::vector<bool>> dark_a(4);
+  for (Chronon t = 0; t < 200; ++t) {
+    plan_a.AdvanceTo(t);
+    for (ResourceId r = 0; r < 4; ++r) {
+      auto outcome = plan_a.ProbeConditional(r, "");
+      ASSERT_TRUE(outcome.ok());
+      dark_a[static_cast<std::size_t>(r)].push_back(
+          outcome->fault == FaultPlan::FaultKind::kOutage);
+    }
+  }
+
+  // Arm B: reversed resource order, every third chronon only, and
+  // repeated probes of resource 0 — the trajectory must not move.
+  FeedNetwork network_b(&*trace, 6);
+  FaultPlan plan_b(&network_b, 4711, faults);
+  for (Chronon t = 0; t < 200; t += 3) {
+    plan_b.AdvanceTo(t);
+    for (ResourceId r = 3; r >= 0; --r) {
+      auto outcome = plan_b.ProbeConditional(r, "");
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome->fault == FaultPlan::FaultKind::kOutage,
+                dark_a[static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(t)])
+          << "resource " << r << " chronon " << t;
+    }
+    auto again = plan_b.ProbeConditional(0, "");
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->fault == FaultPlan::FaultKind::kOutage,
+              dark_a[0][static_cast<std::size_t>(t)])
+        << "repeat probe, chronon " << t;
+  }
+
+  // The sweep actually produced outages, and the stats counted them.
+  std::size_t dark_total = 0;
+  for (const auto& row : dark_a) {
+    for (bool dark : row) dark_total += dark ? 1u : 0u;
+  }
+  EXPECT_GT(dark_total, 0u);
+  EXPECT_EQ(plan_a.stats().outage_probes, dark_total);
+  EXPECT_GT(plan_a.stats().outages_entered, 0u);
+  EXPECT_GT(plan_a.stats().outage_chronons, 0u);
+}
+
+TEST(FaultPlanTest, OutagesFormCorrelatedStretches) {
+  // With a low exit rate a dark resource stays dark: consecutive dark
+  // chronons must appear (mean stretch 1/exit = 10), unlike the
+  // memoryless per-probe faults.
+  Rng rng(59);
+  auto trace = GeneratePoissonTrace({1, 400, 5.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FeedNetwork network(&*trace, 6);
+  FaultOptions faults;
+  faults.outage_enter_rate = 0.05;
+  faults.outage_exit_rate = 0.1;
+  FaultPlan plan(&network, 97, faults);
+  int longest = 0, current = 0;
+  for (Chronon t = 0; t < 400; ++t) {
+    plan.AdvanceTo(t);
+    auto outcome = plan.ProbeConditional(0, "");
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->fault == FaultPlan::FaultKind::kOutage) {
+      ++current;
+      longest = std::max(longest, current);
+    } else {
+      current = 0;
+    }
+  }
+  EXPECT_GE(longest, 3);
+}
+
+TEST(FaultPlanTest, OutageSwallowsProbeBeforePerProbeFaultDraws) {
+  // A dark probe must not consume the resource's per-probe fault
+  // stream: after recovery the resource sees exactly the fault
+  // sequence it would have seen without the outage. (Restricted to
+  // timeout/server-error faults, whose stream consumption is a pure
+  // function of the stream state — corruption draws depend on the
+  // fetched body, which legitimately differs by chronon.)
+  Rng rng(61);
+  auto trace = GeneratePoissonTrace({2, 150, 5.0, 0.0}, &rng);
+  ASSERT_TRUE(trace.ok());
+  FaultOptions simple;
+  simple.timeout_rate = 0.2;
+  simple.server_error_rate = 0.2;
+  FaultOptions mixed = simple;
+  mixed.outage_enter_rate = 0.1;
+  mixed.outage_exit_rate = 0.3;
+  // Per-resource fault-kind sequences; the mixed arm records only
+  // non-dark probes (the ones that consumed a stream draw).
+  auto collect = [&](const FaultOptions& options, bool skip_dark) {
+    FeedNetwork network(&*trace, 6);
+    FaultPlan plan(&network, 1234, options);
+    std::vector<std::vector<int>> kinds(2);
+    for (Chronon t = 0; t < 150; ++t) {
+      plan.AdvanceTo(t);
+      for (ResourceId r = 0; r < 2; ++r) {
+        auto outcome = plan.ProbeConditional(r, "");
+        EXPECT_TRUE(outcome.ok());
+        bool dark =
+            outcome->fault == FaultPlan::FaultKind::kOutage;
+        if (dark && skip_dark) continue;
+        kinds[static_cast<std::size_t>(r)].push_back(
+            static_cast<int>(outcome->fault));
+      }
+    }
+    return kinds;
+  };
+  std::vector<std::vector<int>> surviving =
+      collect(mixed, /*skip_dark=*/true);
+  std::vector<std::vector<int>> clean =
+      collect(simple, /*skip_dark=*/false);
+  for (std::size_t r = 0; r < 2; ++r) {
+    // Outages swallowed some probes, so the surviving sequence is a
+    // strict prefix-length subsequence of the clean one.
+    ASSERT_LT(surviving[r].size(), clean[r].size()) << "resource " << r;
+    ASSERT_GT(surviving[r].size(), 0u) << "resource " << r;
+    clean[r].resize(surviving[r].size());
+    EXPECT_EQ(surviving[r], clean[r]) << "resource " << r;
+  }
 }
 
 TEST(CorruptionGeneratorTest, TruncatedBodiesNeverParse) {
@@ -326,6 +480,23 @@ TEST(FaultInjectionEndToEnd, FaultsDegradeCompleteness) {
             clean->run.completeness.GainedCompleteness());
   EXPECT_GT(faulty->gc_lost_to_faults, 0.0);
   EXPECT_GT(faulty->timeouts, 0u);
+}
+
+TEST(FaultInjectionEndToEnd, OutagesSurfaceInProxyReportDeterministically) {
+  SimulationConfig config = SmallConfig();
+  config.faults.outage_enter_rate = 0.03;
+  config.faults.outage_exit_rate = 0.15;
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  auto r1 = RunProxyOnce(config, spec, 271);
+  auto r2 = RunProxyOnce(config, spec, 271);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r1->outage_probes, 0u);
+  EXPECT_EQ(r1->outage_probes, r1->fault_stats.outage_probes);
+  EXPECT_GT(r1->fault_stats.outages_entered, 0u);
+  EXPECT_GT(r1->fault_stats.outage_chronons, 0u);
+  ExpectReportsIdentical(*r1, *r2);
+  EXPECT_EQ(r1->outage_probes, r2->outage_probes);
 }
 
 TEST(FaultInjectionEndToEnd, RetriesRecoverCompletenessUnderFaults) {

@@ -61,6 +61,23 @@ void AddConfigFlags(FlagParser* flags) {
                   "probe retries per failure (spend budget C)");
   flags->AddDouble("retry-backoff", 0.125,
                    "initial retry backoff (chronons, doubles per try)");
+  flags->AddDouble("outage-enter", 0.0,
+                   "per-chronon probability a resource goes dark "
+                   "(Gilbert-Elliott outage chain)");
+  flags->AddDouble("outage-exit", 0.25,
+                   "per-chronon probability a dark resource recovers");
+  flags->AddBool("breaker", false,
+                 "enable the per-resource circuit breaker");
+  flags->AddInt64("breaker-threshold", 3,
+                  "consecutive probe failures that open a circuit");
+  flags->AddInt64("breaker-cooldown", 4,
+                  "initial open-circuit cool-down (chronons)");
+  flags->AddDouble("breaker-multiplier", 2.0,
+                   "cool-down growth per probation failure");
+  flags->AddInt64("breaker-max-cooldown", 64,
+                  "exponential cool-down cap (chronons)");
+  flags->AddDouble("breaker-alpha", 0.2,
+                   "EWMA smoothing of per-resource failure rates");
   flags->AddInt64("buffer-capacity", 8,
                   "feed server buffer size (proxy runs)");
   flags->AddString("executor", "indexed",
@@ -104,9 +121,20 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.faults.corruption_rate = flags.GetDouble("fault-corrupt");
   config.faults.etag_storm_rate = flags.GetDouble("fault-etag-storm");
   config.faults.latency_mean = flags.GetDouble("fault-latency");
+  config.faults.outage_enter_rate = flags.GetDouble("outage-enter");
+  config.faults.outage_exit_rate = flags.GetDouble("outage-exit");
   config.fault_seed = static_cast<uint64_t>(flags.GetInt64("fault-seed"));
   config.retry.max_retries = static_cast<int>(flags.GetInt64("retries"));
   config.retry.backoff_base = flags.GetDouble("retry-backoff");
+  config.breaker.enabled = flags.GetBool("breaker");
+  config.breaker.failure_threshold =
+      static_cast<int>(flags.GetInt64("breaker-threshold"));
+  config.breaker.cooldown_base =
+      static_cast<Chronon>(flags.GetInt64("breaker-cooldown"));
+  config.breaker.cooldown_multiplier = flags.GetDouble("breaker-multiplier");
+  config.breaker.max_cooldown =
+      static_cast<Chronon>(flags.GetInt64("breaker-max-cooldown"));
+  config.breaker.ewma_alpha = flags.GetDouble("breaker-alpha");
   config.feed_buffer_capacity =
       static_cast<int>(flags.GetInt64("buffer-capacity"));
   // Commands reject unknown names via BackendFromFlags before reaching
@@ -203,10 +231,12 @@ int RunProxyExperiment(const SimulationConfig& config,
                        const std::vector<PolicySpec>& specs, int reps,
                        uint64_t base_seed, const std::string& csv_path) {
   TablePrinter table({"policy", "GC", "GC lost to faults", "probes",
-                      "failed", "retries", "corrupt", "notifications"});
+                      "failed", "retries", "corrupt", "opened",
+                      "suppressed", "notifications"});
   std::vector<std::vector<std::string>> csv_rows;
   for (const PolicySpec& spec : specs) {
     RunningStats gc, gc_lost, probes, failed, retries, corrupt, delivered;
+    RunningStats opened, suppressed;
     for (int rep = 0; rep < reps; ++rep) {
       uint64_t seed = base_seed + static_cast<uint64_t>(rep) * 7919;
       auto report = RunProxyOnce(config, spec, seed);
@@ -221,6 +251,8 @@ int RunProxyExperiment(const SimulationConfig& config,
       failed.Add(static_cast<double>(report->probes_failed));
       retries.Add(static_cast<double>(report->retries_issued));
       corrupt.Add(static_cast<double>(report->corrupt_bodies));
+      opened.Add(static_cast<double>(report->circuits_opened));
+      suppressed.Add(static_cast<double>(report->probes_suppressed));
       delivered.Add(
           static_cast<double>(report->notifications_delivered));
     }
@@ -230,6 +262,8 @@ int RunProxyExperiment(const SimulationConfig& config,
                   TablePrinter::FormatDouble(failed.mean(), 1),
                   TablePrinter::FormatDouble(retries.mean(), 1),
                   TablePrinter::FormatDouble(corrupt.mean(), 1),
+                  TablePrinter::FormatDouble(opened.mean(), 1),
+                  TablePrinter::FormatDouble(suppressed.mean(), 1),
                   TablePrinter::FormatDouble(delivered.mean(), 0)});
     csv_rows.push_back(
         {spec.Label(), TablePrinter::FormatDouble(gc.mean(), 6),
@@ -238,6 +272,8 @@ int RunProxyExperiment(const SimulationConfig& config,
          TablePrinter::FormatDouble(failed.mean(), 1),
          TablePrinter::FormatDouble(retries.mean(), 1),
          TablePrinter::FormatDouble(corrupt.mean(), 1),
+         TablePrinter::FormatDouble(opened.mean(), 1),
+         TablePrinter::FormatDouble(suppressed.mean(), 1),
          TablePrinter::FormatDouble(delivered.mean(), 1)});
   }
   table.Print(std::cout);
@@ -249,6 +285,7 @@ int RunProxyExperiment(const SimulationConfig& config,
     }
     writer->WriteRow({"policy", "gc_mean", "gc_lost_to_faults", "probes",
                       "probes_failed", "retries", "corrupt_bodies",
+                      "circuits_opened", "probes_suppressed",
                       "notifications"});
     for (const auto& row : csv_rows) writer->WriteRow(row);
     writer->Flush();
@@ -288,6 +325,13 @@ int CommandRun(const std::vector<std::string>& args) {
     return 2;
   }
   SimulationConfig config = ConfigFromFlags(flags);
+  // Reject out-of-range --fault-*/--outage-*/--breaker-* values up front
+  // with the InvalidArgument the option structs produce, instead of
+  // failing (or silently misbehaving) mid-run.
+  if (Status valid = config.Validate(); !valid.ok()) {
+    std::cerr << valid.ToString() << "\n";
+    return 2;
+  }
   if (flags.GetBool("proxy")) {
     return RunProxyExperiment(config, *specs,
                               static_cast<int>(flags.GetInt64("reps")),
@@ -351,6 +395,10 @@ int CommandSweep(const std::vector<std::string>& args) {
   auto specs = SpecsFromFlags(flags);
   if (!specs.ok()) {
     std::cerr << specs.status().ToString() << "\n";
+    return 2;
+  }
+  if (Status valid = ConfigFromFlags(flags).Validate(); !valid.ok()) {
+    std::cerr << valid.ToString() << "\n";
     return 2;
   }
   if (!ConfigFromFlags(flags).faults.AllZero() ||
