@@ -45,8 +45,62 @@ Result<FeedDocument> ParseAtom(std::string_view xml) {
   return feed;
 }
 
+Result<const FeedDocumentView*> ParseAtom(std::string_view xml,
+                                          Arena* arena) {
+  PULLMON_ASSIGN_OR_RETURN(const ArenaXmlNode* root, ParseXml(xml, arena));
+  if (root->name != "feed") {
+    return Status::ParseError("expected <feed> root, got <" +
+                              std::string(root->name) + ">");
+  }
+  FeedDocumentView* feed = arena->New<FeedDocumentView>();
+  feed->title = root->ChildText("title");
+  feed->description = root->ChildText("subtitle");
+  if (const ArenaXmlNode* link = root->FirstChild("link")) {
+    if (const std::string_view* href = link->Attribute("href")) {
+      feed->link = *href;
+    }
+  }
+  FeedItemView* last_item = nullptr;
+  for (const ArenaXmlNode* entry = root->first_child; entry != nullptr;
+       entry = entry->next_sibling) {
+    if (entry->name != "entry") continue;
+    FeedItemView* item = arena->New<FeedItemView>();
+    item->guid = entry->ChildText("id");
+    item->title = entry->ChildText("title");
+    item->description = entry->ChildText("summary");
+    if (item->description.empty()) {
+      item->description = entry->ChildText("content");
+    }
+    if (const ArenaXmlNode* link = entry->FirstChild("link")) {
+      if (const std::string_view* href = link->Attribute("href")) {
+        item->link = *href;
+      }
+    }
+    std::string_view updated = entry->ChildText("updated");
+    if (updated.empty()) updated = entry->ChildText("published");
+    if (!updated.empty()) {
+      auto parsed = ParseRfc3339(updated);
+      if (parsed.ok()) item->published = *parsed;
+    }
+    if (last_item == nullptr) {
+      feed->first_item = item;
+    } else {
+      last_item->next = item;
+    }
+    last_item = item;
+    ++feed->num_items;
+  }
+  return static_cast<const FeedDocumentView*>(feed);
+}
+
 std::string WriteAtom(const FeedDocument& feed) {
-  XmlWriter writer;
+  std::string out;
+  WriteAtomTo(feed, &out);
+  return out;
+}
+
+void WriteAtomTo(const FeedDocument& feed, std::string* out) {
+  XmlWriter writer(out);
   writer.Open("feed", {{"xmlns", "http://www.w3.org/2005/Atom"}});
   writer.Leaf("title", feed.title);
   writer.Leaf("subtitle", feed.description);
@@ -63,12 +117,13 @@ std::string WriteAtom(const FeedDocument& feed) {
     writer.Close();
   }
   writer.Close();
-  return writer.str();
 }
 
-Result<FeedDocument> ParseFeed(std::string_view xml) {
-  // Cheap root sniffing to avoid parsing twice: find the first element
-  // that is not a declaration/comment.
+namespace {
+
+/// Root sniffing shared by both ParseFeed overloads: 'r' for <rss>,
+/// 'a' for <feed>, '\0' for no/unknown root, without parsing twice.
+char SniffFeedRoot(std::string_view xml) {
   std::size_t pos = 0;
   while (pos < xml.size()) {
     pos = xml.find('<', pos);
@@ -81,22 +136,54 @@ Result<FeedDocument> ParseFeed(std::string_view xml) {
     }
     break;
   }
-  if (pos == std::string_view::npos || pos >= xml.size()) {
-    return Status::ParseError("no root element in feed document");
+  if (pos == std::string_view::npos || pos >= xml.size()) return '\0';
+  if (StartsWith(xml.substr(pos), "<rss")) return 'r';
+  if (StartsWith(xml.substr(pos), "<feed")) return 'a';
+  return '\0';
+}
+
+}  // namespace
+
+Result<FeedDocument> ParseFeed(std::string_view xml) {
+  switch (SniffFeedRoot(xml)) {
+    case 'r':
+      return ParseRss(xml);
+    case 'a':
+      return ParseAtom(xml);
+    default:
+      return Status::ParseError("unrecognized feed root element");
   }
-  if (StartsWith(xml.substr(pos), "<rss")) return ParseRss(xml);
-  if (StartsWith(xml.substr(pos), "<feed")) return ParseAtom(xml);
-  return Status::ParseError("unrecognized feed root element");
+}
+
+Result<const FeedDocumentView*> ParseFeed(std::string_view xml,
+                                          Arena* arena) {
+  switch (SniffFeedRoot(xml)) {
+    case 'r':
+      return ParseRss(xml, arena);
+    case 'a':
+      return ParseAtom(xml, arena);
+    default:
+      return Status::ParseError("unrecognized feed root element");
+  }
 }
 
 std::string WriteFeed(const FeedDocument& feed, FeedFormat format) {
+  std::string out;
+  WriteFeedTo(feed, format, &out);
+  return out;
+}
+
+void WriteFeedTo(const FeedDocument& feed, FeedFormat format,
+                 std::string* out) {
   switch (format) {
     case FeedFormat::kRss2:
-      return WriteRss(feed);
+      WriteRssTo(feed, out);
+      return;
     case FeedFormat::kAtom1:
-      return WriteAtom(feed);
+      WriteAtomTo(feed, out);
+      return;
   }
-  return std::string();
+  out->clear();
 }
 
 }  // namespace pullmon

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "feeds/feed_item.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -14,14 +15,30 @@ namespace pullmon {
 /// published. ParseError on structural problems.
 Result<FeedDocument> ParseAtom(std::string_view xml);
 
+/// Arena overload: parses in-situ over `xml` into caller-owned arena
+/// storage (see ParseRss).
+Result<const FeedDocumentView*> ParseAtom(std::string_view xml,
+                                          Arena* arena);
+
 /// Serializes a feed as Atom 1.0.
 std::string WriteAtom(const FeedDocument& feed);
+
+/// Serializes into `*out` (cleared first), reusing its capacity.
+void WriteAtomTo(const FeedDocument& feed, std::string* out);
 
 /// Auto-detects RSS vs Atom by root element and dispatches.
 Result<FeedDocument> ParseFeed(std::string_view xml);
 
+/// Arena overload of ParseFeed.
+Result<const FeedDocumentView*> ParseFeed(std::string_view xml,
+                                          Arena* arena);
+
 /// Serializes in the requested format.
 std::string WriteFeed(const FeedDocument& feed, FeedFormat format);
+
+/// Serializes into `*out` (cleared first), reusing its capacity.
+void WriteFeedTo(const FeedDocument& feed, FeedFormat format,
+                 std::string* out);
 
 }  // namespace pullmon
 

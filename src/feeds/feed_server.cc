@@ -22,48 +22,78 @@ void FeedServer::Publish(FeedItem item) {
     items_.pop_back();
     ++evicted_count_;
   }
+  body_dirty_ = true;
+  etag_dirty_ = true;
+}
+
+std::string_view FeedServer::CurrentETagView() const {
+  if (etag_dirty_) {
+    // A content-derived validator: publish count plus the newest guid
+    // is enough to distinguish every buffer state of this server.
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    auto mix = [&h](const std::string& s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+      }
+    };
+    mix(StringFormat("%zu", publish_count_));
+    if (!items_.empty()) mix(items_.front().guid);
+    etag_cache_ =
+        StringFormat("\"%016llx\"", static_cast<unsigned long long>(h));
+    etag_dirty_ = false;
+  }
+  return etag_cache_;
 }
 
 std::string FeedServer::CurrentETag() const {
-  // A content-derived validator: publish count plus the newest guid is
-  // enough to distinguish every buffer state of this server.
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  auto mix = [&h](const std::string& s) {
-    for (unsigned char c : s) {
-      h ^= c;
-      h *= 1099511628211ULL;
-    }
-  };
-  mix(StringFormat("%zu", publish_count_));
-  if (!items_.empty()) mix(items_.front().guid);
-  return StringFormat("\"%016llx\"", static_cast<unsigned long long>(h));
+  return std::string(CurrentETagView());
 }
 
-FeedServer::ConditionalFetch FeedServer::FetchConditional(
-    const std::string& if_none_match) {
-  ConditionalFetch result;
-  result.etag = CurrentETag();
+FeedServer::ConditionalFetchView FeedServer::FetchConditionalView(
+    std::string_view if_none_match) {
+  ConditionalFetchView result;
+  result.etag = CurrentETagView();
   if (!if_none_match.empty() && if_none_match == result.etag) {
     result.not_modified = true;
     ++not_modified_count_;
     ++fetch_count_;
     return result;
   }
-  result.body = Fetch();
+  result.body = FetchView();
   return result;
 }
 
-std::string FeedServer::Fetch() {
-  ++fetch_count_;
-  FeedDocument doc;
-  doc.title = title_;
-  doc.link = StringFormat("http://feeds.example.com/resource/%d", id_);
-  doc.description =
-      StringFormat("Volatile feed of resource %d (capacity %zu)", id_,
-                   capacity_);
-  doc.items.assign(items_.begin(), items_.end());
-  return WriteFeed(doc, format_);
+FeedServer::ConditionalFetch FeedServer::FetchConditional(
+    const std::string& if_none_match) {
+  ConditionalFetchView view = FetchConditionalView(if_none_match);
+  ConditionalFetch result;
+  result.not_modified = view.not_modified;
+  result.body.assign(view.body);
+  result.etag.assign(view.etag);
+  return result;
 }
+
+std::string_view FeedServer::FetchView() {
+  ++fetch_count_;
+  if (body_dirty_) {
+    // The scratch document and the body buffer keep their capacity, so
+    // rebuilds after the warm-up allocate only for genuinely new item
+    // content.
+    scratch_doc_.title = title_;
+    scratch_doc_.link =
+        StringFormat("http://feeds.example.com/resource/%d", id_);
+    scratch_doc_.description =
+        StringFormat("Volatile feed of resource %d (capacity %zu)", id_,
+                     capacity_);
+    scratch_doc_.items.assign(items_.begin(), items_.end());
+    WriteFeedTo(scratch_doc_, format_, &body_cache_);
+    body_dirty_ = false;
+  }
+  return body_cache_;
+}
+
+std::string FeedServer::Fetch() { return std::string(FetchView()); }
 
 FeedNetwork::FeedNetwork(const UpdateTrace* trace,
                          std::size_t buffer_capacity, FeedFormat format,
@@ -116,6 +146,17 @@ Result<FeedServer::ConditionalFetch> FeedNetwork::ProbeConditional(
         StringFormat("no feed server for resource %d", resource));
   }
   return servers_[static_cast<std::size_t>(resource)].FetchConditional(
+      if_none_match);
+}
+
+Result<FeedServer::ConditionalFetchView> FeedNetwork::ProbeConditionalView(
+    ResourceId resource, std::string_view if_none_match) {
+  if (resource < 0 ||
+      resource >= static_cast<ResourceId>(servers_.size())) {
+    return Status::NotFound(
+        StringFormat("no feed server for resource %d", resource));
+  }
+  return servers_[static_cast<std::size_t>(resource)].FetchConditionalView(
       if_none_match);
 }
 

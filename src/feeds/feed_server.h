@@ -37,6 +37,12 @@ class FeedServer {
   /// protocol endpoint (an HTTP GET in a deployment).
   std::string Fetch();
 
+  /// Zero-copy Fetch: a view of the server's cached serialization,
+  /// valid until the next Publish() (serialization and its buffer are
+  /// reused across probes of an unchanged feed — the probe hot path
+  /// performs no allocation in the steady state).
+  std::string_view FetchView();
+
   /// Result of a conditional fetch (HTTP If-None-Match semantics).
   struct ConditionalFetch {
     /// True when the client's validator still matches: no body is sent
@@ -47,14 +53,29 @@ class FeedServer {
     std::string etag;
   };
 
+  /// Zero-copy ConditionalFetch: views into the server's cached body
+  /// and validator buffers, valid until the next Publish().
+  struct ConditionalFetchView {
+    bool not_modified = false;
+    std::string_view body;  // empty when not_modified
+    std::string_view etag;
+  };
+
   /// Conditional pull: pass the validator from a previous fetch (or ""
   /// for an unconditional one). When the feed state is unchanged the
   /// server answers not_modified with an empty body — the bandwidth
   /// economy that makes frequent polling viable in deployments.
   ConditionalFetch FetchConditional(const std::string& if_none_match);
 
+  /// Zero-copy FetchConditional (same protocol and counters).
+  ConditionalFetchView FetchConditionalView(std::string_view if_none_match);
+
   /// Validator of the current buffer state (changes on every publish).
   std::string CurrentETag() const;
+
+  /// Zero-copy CurrentETag: a view of the cached validator, valid until
+  /// the next Publish().
+  std::string_view CurrentETagView() const;
 
   /// Items currently buffered, newest first.
   const std::deque<FeedItem>& items() const { return items_; }
@@ -77,6 +98,15 @@ class FeedServer {
   std::size_t fetch_count_ = 0;
   std::size_t evicted_count_ = 0;
   std::size_t not_modified_count_ = 0;
+  // Serialization and validator caches, invalidated by Publish(). Both
+  // buffers (and the scratch document) retain their capacity across
+  // rebuilds, so probing an unchanged feed allocates nothing. Mutable
+  // because the accessors are logically const (CurrentETag).
+  mutable std::string body_cache_;
+  mutable bool body_dirty_ = true;
+  mutable std::string etag_cache_;
+  mutable bool etag_dirty_ = true;
+  mutable FeedDocument scratch_doc_;
 };
 
 /// A fleet of feed servers, one per resource, replaying an update trace:
@@ -104,6 +134,11 @@ class FeedNetwork {
   /// resources.
   Result<FeedServer::ConditionalFetch> ProbeConditional(
       ResourceId resource, const std::string& if_none_match);
+
+  /// Zero-copy conditional pull-probe: views valid until the probed
+  /// server's next Publish(). NotFound for unknown resources.
+  Result<FeedServer::ConditionalFetchView> ProbeConditionalView(
+      ResourceId resource, std::string_view if_none_match);
 
   FeedServer* server(ResourceId resource);
   std::size_t num_servers() const { return servers_.size(); }

@@ -1,0 +1,70 @@
+#include "feeds/parse_cache.h"
+
+#include <utility>
+
+namespace pullmon {
+
+uint64_t ParseCache::HashBody(std::string_view body) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (unsigned char c : body) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const FeedDocument* ParseCache::Lookup(ResourceId resource,
+                                       std::string_view served_etag,
+                                       std::string_view body,
+                                       bool mangled) {
+  // The mangled flag is authoritative: a body the transport layer
+  // says is degraded must reach the parser, even when it carries a
+  // truthful validator or happens to hash like the stored body. This
+  // keeps fault accounting (parse_failures, invalidations) identical
+  // with the cache on or off.
+  if (mangled) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(resource)];
+  if (entry.valid) {
+    // Validator key: the served ETag equals the stored one.
+    if (!served_etag.empty() && served_etag == entry.etag) {
+      ++stats_.hits;
+      stats_.bytes_saved += body.size();
+      return &entry.document;
+    }
+    // Content key: byte-identical body under a different (e.g.
+    // storm-salted) validator.
+    if (body.size() == entry.body_size &&
+        HashBody(body) == entry.body_hash) {
+      ++stats_.hits;
+      stats_.bytes_saved += body.size();
+      return &entry.document;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const FeedDocument& ParseCache::Store(ResourceId resource,
+                                      std::string_view served_etag,
+                                      std::string_view body,
+                                      FeedDocument document) {
+  Entry& entry = entries_[static_cast<std::size_t>(resource)];
+  entry.valid = true;
+  entry.etag.assign(served_etag);
+  entry.body_hash = HashBody(body);
+  entry.body_size = body.size();
+  entry.document = std::move(document);
+  return entry.document;
+}
+
+void ParseCache::Invalidate(ResourceId resource) {
+  Entry& entry = entries_[static_cast<std::size_t>(resource)];
+  if (!entry.valid) return;
+  entry.valid = false;
+  ++stats_.invalidations;
+}
+
+}  // namespace pullmon

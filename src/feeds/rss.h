@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "feeds/feed_item.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -14,8 +15,17 @@ namespace pullmon {
 /// yields published == 0. ParseError on structural problems.
 Result<FeedDocument> ParseRss(std::string_view xml);
 
+/// Arena overload: parses in-situ over `xml` into caller-owned arena
+/// storage, with no per-field string copies. Accepts/rejects the same
+/// documents as the allocating overload.
+Result<const FeedDocumentView*> ParseRss(std::string_view xml,
+                                         Arena* arena);
+
 /// Serializes a feed as RSS 2.0. Item pubDates are RFC 822.
 std::string WriteRss(const FeedDocument& feed);
+
+/// Serializes into `*out` (cleared first), reusing its capacity.
+void WriteRssTo(const FeedDocument& feed, std::string* out);
 
 }  // namespace pullmon
 

@@ -1,6 +1,7 @@
 #include "feeds/xml.h"
 
 #include <cctype>
+#include <cstring>
 
 #include "util/string_util.h"
 
@@ -8,17 +9,158 @@ namespace pullmon {
 
 namespace {
 
-/// Cursor-based recursive-descent XML parser.
+// ---------------------------------------------------------------------
+// Scanning helpers shared by the allocating and the arena parser, so
+// the two accept exactly the same documents (the arena parser is
+// differentially fuzz-tested against the allocating one).
+// ---------------------------------------------------------------------
+
+bool MatchAt(std::string_view input, std::size_t pos,
+             std::string_view token) {
+  return input.substr(pos, token.size()) == token;
+}
+
+void SkipWhitespace(std::string_view input, std::size_t* pos) {
+  while (*pos < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[*pos]))) {
+    ++*pos;
+  }
+}
+
+/// Skips whitespace, comments, processing instructions and the XML
+/// declaration — everything allowed outside the root element.
+void SkipMisc(std::string_view input, std::size_t* pos) {
+  while (true) {
+    SkipWhitespace(input, pos);
+    if (MatchAt(input, *pos, "<!--")) {
+      std::size_t end = input.find("-->", *pos + 4);
+      *pos = end == std::string_view::npos ? input.size() : end + 3;
+      continue;
+    }
+    if (MatchAt(input, *pos, "<?")) {
+      std::size_t end = input.find("?>", *pos + 2);
+      *pos = end == std::string_view::npos ? input.size() : end + 2;
+      continue;
+    }
+    if (MatchAt(input, *pos, "<!DOCTYPE")) {
+      std::size_t end = input.find('>', *pos);
+      *pos = end == std::string_view::npos ? input.size() : end + 1;
+      continue;
+    }
+    break;
+  }
+}
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Scans an XML name at *pos; returns a view into the input.
+Result<std::string_view> ScanName(std::string_view input,
+                                  std::size_t* pos) {
+  if (*pos >= input.size() || !IsNameStart(input[*pos])) {
+    return Status::ParseError(
+        StringFormat("expected XML name at offset %zu", *pos));
+  }
+  std::size_t start = *pos;
+  while (*pos < input.size() && IsNameChar(input[*pos])) ++*pos;
+  return input.substr(start, *pos - start);
+}
+
+void AppendUtf8(uint32_t code, char* buf, std::size_t* len) {
+  if (code < 0x80) {
+    buf[(*len)++] = static_cast<char>(code);
+  } else if (code < 0x800) {
+    buf[(*len)++] = static_cast<char>(0xC0 | (code >> 6));
+    buf[(*len)++] = static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code < 0x10000) {
+    buf[(*len)++] = static_cast<char>(0xE0 | (code >> 12));
+    buf[(*len)++] = static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    buf[(*len)++] = static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    buf[(*len)++] = static_cast<char>(0xF0 | (code >> 18));
+    buf[(*len)++] = static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    buf[(*len)++] = static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    buf[(*len)++] = static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+/// Decodes one entity reference starting at '&' (== input[*pos]);
+/// writes the decoded bytes (at most 4) into `buf`, advances *pos past
+/// the ';'.
+Status DecodeEntity(std::string_view input, std::size_t* pos, char* buf,
+                    std::size_t* len) {
+  *len = 0;
+  std::size_t end = input.find(';', *pos);
+  if (end == std::string_view::npos || end - *pos > 12) {
+    return Status::ParseError(
+        StringFormat("unterminated entity at offset %zu", *pos));
+  }
+  std::string_view entity = input.substr(*pos + 1, end - *pos - 1);
+  if (entity == "lt") {
+    buf[(*len)++] = '<';
+  } else if (entity == "gt") {
+    buf[(*len)++] = '>';
+  } else if (entity == "amp") {
+    buf[(*len)++] = '&';
+  } else if (entity == "apos") {
+    buf[(*len)++] = '\'';
+  } else if (entity == "quot") {
+    buf[(*len)++] = '"';
+  } else if (!entity.empty() && entity[0] == '#') {
+    bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+    uint32_t code = 0;
+    std::size_t i = hex ? 2 : 1;
+    if (i >= entity.size()) {
+      return Status::ParseError("empty numeric character reference");
+    }
+    for (; i < entity.size(); ++i) {
+      char c = entity[i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (hex && c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (hex && c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::ParseError("bad numeric character reference: " +
+                                  std::string(entity));
+      }
+      code = code * (hex ? 16 : 10) + digit;
+      if (code > 0x10FFFF) {
+        return Status::ParseError("character reference out of range");
+      }
+    }
+    AppendUtf8(code, buf, len);
+  } else {
+    return Status::ParseError("unknown entity: &" + std::string(entity) +
+                              ";");
+  }
+  *pos = end + 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Allocating recursive-descent parser (the seed implementation, now on
+// the shared scanning helpers).
+// ---------------------------------------------------------------------
+
 class Parser {
  public:
   explicit Parser(std::string_view input) : input_(input) {}
 
   Result<XmlNode> ParseDocument() {
-    SkipMisc();
+    SkipMisc(input_, &pos_);
     if (AtEnd()) return Status::ParseError("XML document has no root element");
     XmlNode root;
     PULLMON_RETURN_NOT_OK(ParseElement(&root));
-    SkipMisc();
+    SkipMisc(input_, &pos_);
     if (!AtEnd()) {
       return Status::ParseError("trailing content after XML root element");
     }
@@ -29,127 +171,22 @@ class Parser {
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return input_[pos_]; }
   bool Match(std::string_view token) const {
-    return input_.substr(pos_, token.size()) == token;
+    return MatchAt(input_, pos_, token);
   }
   void Advance(std::size_t count = 1) { pos_ += count; }
 
-  void SkipWhitespace() {
-    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
-      Advance();
-    }
-  }
-
-  /// Skips whitespace, comments, processing instructions and the XML
-  /// declaration — everything allowed outside the root element.
-  void SkipMisc() {
-    while (true) {
-      SkipWhitespace();
-      if (Match("<!--")) {
-        std::size_t end = input_.find("-->", pos_ + 4);
-        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
-        continue;
-      }
-      if (Match("<?")) {
-        std::size_t end = input_.find("?>", pos_ + 2);
-        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
-        continue;
-      }
-      if (Match("<!DOCTYPE")) {
-        std::size_t end = input_.find('>', pos_);
-        pos_ = end == std::string_view::npos ? input_.size() : end + 1;
-        continue;
-      }
-      break;
-    }
-  }
-
-  static bool IsNameStart(char c) {
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
-           c == ':';
-  }
-  static bool IsNameChar(char c) {
-    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-           c == '-' || c == '.';
-  }
-
   Result<std::string> ParseName() {
-    if (AtEnd() || !IsNameStart(Peek())) {
-      return Status::ParseError(
-          StringFormat("expected XML name at offset %zu", pos_));
-    }
-    std::size_t start = pos_;
-    while (!AtEnd() && IsNameChar(Peek())) Advance();
-    return std::string(input_.substr(start, pos_ - start));
+    PULLMON_ASSIGN_OR_RETURN(std::string_view name,
+                             ScanName(input_, &pos_));
+    return std::string(name);
   }
 
-  /// Decodes one entity reference starting at '&'; appends to *out.
-  Status DecodeEntity(std::string* out) {
-    std::size_t end = input_.find(';', pos_);
-    if (end == std::string_view::npos || end - pos_ > 12) {
-      return Status::ParseError(
-          StringFormat("unterminated entity at offset %zu", pos_));
-    }
-    std::string_view entity = input_.substr(pos_ + 1, end - pos_ - 1);
-    if (entity == "lt") {
-      out->push_back('<');
-    } else if (entity == "gt") {
-      out->push_back('>');
-    } else if (entity == "amp") {
-      out->push_back('&');
-    } else if (entity == "apos") {
-      out->push_back('\'');
-    } else if (entity == "quot") {
-      out->push_back('"');
-    } else if (!entity.empty() && entity[0] == '#') {
-      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
-      uint32_t code = 0;
-      std::size_t i = hex ? 2 : 1;
-      if (i >= entity.size()) {
-        return Status::ParseError("empty numeric character reference");
-      }
-      for (; i < entity.size(); ++i) {
-        char c = entity[i];
-        uint32_t digit;
-        if (c >= '0' && c <= '9') {
-          digit = static_cast<uint32_t>(c - '0');
-        } else if (hex && c >= 'a' && c <= 'f') {
-          digit = static_cast<uint32_t>(c - 'a' + 10);
-        } else if (hex && c >= 'A' && c <= 'F') {
-          digit = static_cast<uint32_t>(c - 'A' + 10);
-        } else {
-          return Status::ParseError("bad numeric character reference: " +
-                                    std::string(entity));
-        }
-        code = code * (hex ? 16 : 10) + digit;
-        if (code > 0x10FFFF) {
-          return Status::ParseError("character reference out of range");
-        }
-      }
-      AppendUtf8(code, out);
-    } else {
-      return Status::ParseError("unknown entity: &" + std::string(entity) +
-                                ";");
-    }
-    pos_ = end + 1;
+  Status AppendEntity(std::string* out) {
+    char buf[4];
+    std::size_t len = 0;
+    PULLMON_RETURN_NOT_OK(DecodeEntity(input_, &pos_, buf, &len));
+    out->append(buf, len);
     return Status::OK();
-  }
-
-  static void AppendUtf8(uint32_t code, std::string* out) {
-    if (code < 0x80) {
-      out->push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else if (code < 0x10000) {
-      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
   }
 
   Result<std::string> ParseAttributeValue() {
@@ -163,7 +200,7 @@ class Parser {
     std::string value;
     while (!AtEnd() && Peek() != quote) {
       if (Peek() == '&') {
-        PULLMON_RETURN_NOT_OK(DecodeEntity(&value));
+        PULLMON_RETURN_NOT_OK(AppendEntity(&value));
       } else if (Peek() == '<') {
         return Status::ParseError("raw '<' in attribute value");
       } else {
@@ -185,17 +222,17 @@ class Parser {
     PULLMON_ASSIGN_OR_RETURN(node->name, ParseName());
     // Attributes.
     while (true) {
-      SkipWhitespace();
+      SkipWhitespace(input_, &pos_);
       if (AtEnd()) return Status::ParseError("truncated element tag");
       if (Peek() == '>' || Match("/>")) break;
       PULLMON_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
-      SkipWhitespace();
+      SkipWhitespace(input_, &pos_);
       if (AtEnd() || Peek() != '=') {
         return Status::ParseError("expected '=' after attribute " +
                                   attr_name);
       }
       Advance();
-      SkipWhitespace();
+      SkipWhitespace(input_, &pos_);
       PULLMON_ASSIGN_OR_RETURN(std::string attr_value,
                                ParseAttributeValue());
       node->attributes.emplace_back(std::move(attr_name),
@@ -221,7 +258,7 @@ class Parser {
                                     close_name + "> for <" + node->name +
                                     ">");
         }
-        SkipWhitespace();
+        SkipWhitespace(input_, &pos_);
         if (AtEnd() || Peek() != '>') {
           return Status::ParseError("malformed closing tag </" +
                                     close_name + ">");
@@ -261,7 +298,7 @@ class Parser {
         continue;
       }
       if (Peek() == '&') {
-        PULLMON_RETURN_NOT_OK(DecodeEntity(&node->text));
+        PULLMON_RETURN_NOT_OK(AppendEntity(&node->text));
         continue;
       }
       node->text.push_back(Peek());
@@ -271,6 +308,244 @@ class Parser {
 
   std::string_view input_;
   std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Arena parser: same grammar, zero-copy output. Text and attribute
+// values that need no decoding stay views into the input buffer; mixed
+// or entity-bearing runs are assembled from arena-held chunks.
+// ---------------------------------------------------------------------
+
+class ArenaParser {
+ public:
+  ArenaParser(std::string_view input, Arena* arena)
+      : input_(input), arena_(arena) {}
+
+  Result<const ArenaXmlNode*> ParseDocument() {
+    SkipMisc(input_, &pos_);
+    if (AtEnd()) return Status::ParseError("XML document has no root element");
+    ArenaXmlNode* root = arena_->New<ArenaXmlNode>();
+    PULLMON_RETURN_NOT_OK(ParseElement(root));
+    SkipMisc(input_, &pos_);
+    if (!AtEnd()) {
+      return Status::ParseError("trailing content after XML root element");
+    }
+    return static_cast<const ArenaXmlNode*>(root);
+  }
+
+ private:
+  /// A run of decoded character data; elements concatenate their runs
+  /// once at close time, so a single-run text (the common feed case)
+  /// ends up a direct view with no copy at all.
+  struct Chunk {
+    std::string_view piece;
+    Chunk* next = nullptr;
+  };
+
+  /// Accumulates views/decoded runs and renders them into one view.
+  class ChunkList {
+   public:
+    explicit ChunkList(Arena* arena) : arena_(arena) {}
+
+    void Add(std::string_view piece) {
+      if (piece.empty()) return;
+      Chunk* chunk = arena_->New<Chunk>();
+      chunk->piece = piece;
+      if (tail_ == nullptr) {
+        head_ = tail_ = chunk;
+      } else {
+        tail_->next = chunk;
+        tail_ = chunk;
+      }
+      total_ += piece.size();
+      ++count_;
+    }
+
+    /// Copies at most 4 decoded bytes into the arena and appends them.
+    void AddDecoded(const char* buf, std::size_t len) {
+      if (len == 0) return;
+      Add(arena_->CopyString(std::string_view(buf, len)));
+    }
+
+    std::string_view Render() const {
+      if (count_ == 0) return std::string_view();
+      if (count_ == 1) return head_->piece;
+      char* out = static_cast<char*>(arena_->Allocate(total_, 1));
+      std::size_t at = 0;
+      for (const Chunk* chunk = head_; chunk != nullptr;
+           chunk = chunk->next) {
+        std::memcpy(out + at, chunk->piece.data(), chunk->piece.size());
+        at += chunk->piece.size();
+      }
+      return std::string_view(out, total_);
+    }
+
+   private:
+    Arena* arena_;
+    Chunk* head_ = nullptr;
+    Chunk* tail_ = nullptr;
+    std::size_t total_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view token) const {
+    return MatchAt(input_, pos_, token);
+  }
+  void Advance(std::size_t count = 1) { pos_ += count; }
+
+  Result<std::string_view> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError(
+          StringFormat("expected quoted attribute value at offset %zu",
+                       pos_));
+    }
+    char quote = Peek();
+    Advance();
+    ChunkList value(arena_);
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        char buf[4];
+        std::size_t len = 0;
+        PULLMON_RETURN_NOT_OK(DecodeEntity(input_, &pos_, buf, &len));
+        value.AddDecoded(buf, len);
+      } else if (Peek() == '<') {
+        return Status::ParseError("raw '<' in attribute value");
+      } else {
+        // A raw run: everything until the quote, an entity, or a '<'.
+        std::size_t start = pos_;
+        while (!AtEnd() && Peek() != quote && Peek() != '&' &&
+               Peek() != '<') {
+          Advance();
+        }
+        value.Add(input_.substr(start, pos_ - start));
+      }
+    }
+    if (AtEnd()) return Status::ParseError("unterminated attribute value");
+    Advance();  // closing quote
+    return value.Render();
+  }
+
+  Status ParseElement(ArenaXmlNode* node) {
+    if (AtEnd() || Peek() != '<') {
+      return Status::ParseError(
+          StringFormat("expected '<' at offset %zu", pos_));
+    }
+    Advance();
+    PULLMON_ASSIGN_OR_RETURN(node->name, ScanName(input_, &pos_));
+    // Attributes.
+    ArenaXmlAttr* last_attr = nullptr;
+    while (true) {
+      SkipWhitespace(input_, &pos_);
+      if (AtEnd()) return Status::ParseError("truncated element tag");
+      if (Peek() == '>' || Match("/>")) break;
+      PULLMON_ASSIGN_OR_RETURN(std::string_view attr_name,
+                               ScanName(input_, &pos_));
+      SkipWhitespace(input_, &pos_);
+      if (AtEnd() || Peek() != '=') {
+        return Status::ParseError("expected '=' after attribute " +
+                                  std::string(attr_name));
+      }
+      Advance();
+      SkipWhitespace(input_, &pos_);
+      PULLMON_ASSIGN_OR_RETURN(std::string_view attr_value,
+                               ParseAttributeValue());
+      ArenaXmlAttr* attr = arena_->New<ArenaXmlAttr>();
+      attr->name = attr_name;
+      attr->value = attr_value;
+      if (last_attr == nullptr) {
+        node->first_attr = attr;
+      } else {
+        last_attr->next = attr;
+      }
+      last_attr = attr;
+    }
+    if (Match("/>")) {
+      Advance(2);
+      return Status::OK();
+    }
+    Advance();  // '>'
+
+    // Content: text, children, comments, CDATA.
+    ChunkList text(arena_);
+    ArenaXmlNode* last_child = nullptr;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unexpected end inside element <" +
+                                  std::string(node->name) + ">");
+      }
+      if (Match("</")) {
+        Advance(2);
+        PULLMON_ASSIGN_OR_RETURN(std::string_view close_name,
+                                 ScanName(input_, &pos_));
+        if (close_name != node->name) {
+          return Status::ParseError("mismatched closing tag </" +
+                                    std::string(close_name) + "> for <" +
+                                    std::string(node->name) + ">");
+        }
+        SkipWhitespace(input_, &pos_);
+        if (AtEnd() || Peek() != '>') {
+          return Status::ParseError("malformed closing tag </" +
+                                    std::string(close_name) + ">");
+        }
+        Advance();
+        node->text = text.Render();
+        return Status::OK();
+      }
+      if (Match("<!--")) {
+        std::size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<![CDATA[")) {
+        std::size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA section");
+        }
+        text.Add(input_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<?")) {
+        std::size_t end = input_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        ArenaXmlNode* child = arena_->New<ArenaXmlNode>();
+        PULLMON_RETURN_NOT_OK(ParseElement(child));
+        if (last_child == nullptr) {
+          node->first_child = child;
+        } else {
+          last_child->next_sibling = child;
+        }
+        last_child = child;
+        continue;
+      }
+      if (Peek() == '&') {
+        char buf[4];
+        std::size_t len = 0;
+        PULLMON_RETURN_NOT_OK(DecodeEntity(input_, &pos_, buf, &len));
+        text.AddDecoded(buf, len);
+        continue;
+      }
+      // A raw character run: up to the next markup or entity.
+      std::size_t start = pos_;
+      while (!AtEnd() && Peek() != '<' && Peek() != '&') Advance();
+      text.Add(input_.substr(start, pos_ - start));
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  Arena* arena_;
 };
 
 }  // namespace
@@ -304,8 +579,38 @@ std::string XmlNode::ChildText(std::string_view child_name) const {
                           : std::string(Trim(child->text));
 }
 
+const ArenaXmlNode* ArenaXmlNode::FirstChild(
+    std::string_view child_name) const {
+  for (const ArenaXmlNode* child = first_child; child != nullptr;
+       child = child->next_sibling) {
+    if (child->name == child_name) return child;
+  }
+  return nullptr;
+}
+
+const std::string_view* ArenaXmlNode::Attribute(
+    std::string_view attr_name) const {
+  for (const ArenaXmlAttr* attr = first_attr; attr != nullptr;
+       attr = attr->next) {
+    if (attr->name == attr_name) return &attr->value;
+  }
+  return nullptr;
+}
+
+std::string_view ArenaXmlNode::ChildText(
+    std::string_view child_name) const {
+  const ArenaXmlNode* child = FirstChild(child_name);
+  return child == nullptr ? std::string_view() : Trim(child->text);
+}
+
 Result<XmlNode> ParseXml(std::string_view input) {
   Parser parser(input);
+  return parser.ParseDocument();
+}
+
+Result<const ArenaXmlNode*> ParseXml(std::string_view input,
+                                     Arena* arena) {
+  ArenaParser parser(input, arena);
   return parser.ParseDocument();
 }
 
@@ -338,31 +643,31 @@ std::string XmlEscape(std::string_view text) {
 }
 
 void XmlWriter::Indent() {
-  for (std::size_t i = 0; i < stack_.size(); ++i) out_ += "  ";
+  for (std::size_t i = 0; i < stack_.size(); ++i) *out_ += "  ";
 }
 
 void XmlWriter::Open(
     std::string_view name,
     const std::vector<std::pair<std::string, std::string>>& attributes) {
   Indent();
-  out_ += "<";
-  out_.append(name);
+  *out_ += "<";
+  out_->append(name);
   for (const auto& [attr, value] : attributes) {
-    out_ += " " + attr + "=\"" + XmlEscape(value) + "\"";
+    *out_ += " " + attr + "=\"" + XmlEscape(value) + "\"";
   }
-  out_ += ">\n";
+  *out_ += ">\n";
   stack_.emplace_back(name);
 }
 
 void XmlWriter::Leaf(std::string_view name, std::string_view text) {
   Indent();
-  out_ += "<";
-  out_.append(name);
-  out_ += ">";
-  out_ += XmlEscape(text);
-  out_ += "</";
-  out_.append(name);
-  out_ += ">\n";
+  *out_ += "<";
+  out_->append(name);
+  *out_ += ">";
+  *out_ += XmlEscape(text);
+  *out_ += "</";
+  out_->append(name);
+  *out_ += ">\n";
 }
 
 void XmlWriter::Close() {
@@ -370,7 +675,7 @@ void XmlWriter::Close() {
   std::string name = stack_.back();
   stack_.pop_back();
   Indent();
-  out_ += "</" + name + ">\n";
+  *out_ += "</" + name + ">\n";
 }
 
 }  // namespace pullmon

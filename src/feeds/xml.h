@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -42,14 +43,65 @@ struct XmlNode {
 /// on malformed input (mismatched tags, bad entities, truncation, ...).
 Result<XmlNode> ParseXml(std::string_view input);
 
+/// One attribute of an arena-parsed element, an intrusive list entry.
+struct ArenaXmlAttr {
+  std::string_view name;
+  std::string_view value;
+  const ArenaXmlAttr* next = nullptr;
+};
+
+/// An element of an arena-parsed document: the zero-copy counterpart of
+/// XmlNode. Names, attribute values and character data are
+/// `std::string_view`s pointing either into the *input buffer* (the
+/// common case: no entities, one contiguous text run) or into the
+/// arena (decoded entities, concatenated mixed content). Children and
+/// attributes are intrusive singly-linked lists in document order, so a
+/// parse performs no allocations besides arena bumps.
+///
+/// Lifetime: nodes and every view they expose are valid until the
+/// arena's next Reset() — and only while the input buffer outlives
+/// them (see Arena's lifetime rules).
+struct ArenaXmlNode {
+  std::string_view name;
+  /// Concatenated character data (text + CDATA) directly under this
+  /// element, entity-decoded, in document order.
+  std::string_view text;
+  const ArenaXmlNode* first_child = nullptr;
+  const ArenaXmlNode* next_sibling = nullptr;
+  const ArenaXmlAttr* first_attr = nullptr;
+
+  /// First direct child with the given element name, or nullptr.
+  const ArenaXmlNode* FirstChild(std::string_view child_name) const;
+
+  /// Attribute value by name, or nullptr.
+  const std::string_view* Attribute(std::string_view attr_name) const;
+
+  /// Trimmed text of the first child with the given name, or "" when
+  /// absent — the dominant access pattern for feed fields.
+  std::string_view ChildText(std::string_view child_name) const;
+};
+
+/// Arena overload of ParseXml: parses in-situ over `input` into
+/// caller-owned arena storage. Accepts and rejects exactly the same
+/// documents as the allocating overload and produces an equivalent
+/// tree (differentially fuzz-tested); the returned node is arena-owned.
+Result<const ArenaXmlNode*> ParseXml(std::string_view input,
+                                     Arena* arena);
+
 /// Escapes &, <, >, " and ' for use in text content or attribute values.
 std::string XmlEscape(std::string_view text);
 
 /// Incremental writer producing indented XML, used by the feed
-/// serializers.
+/// serializers. Owns its buffer by default, or writes into a
+/// caller-provided one so serialization can reuse capacity across
+/// documents (the proxy hot path).
 class XmlWriter {
  public:
-  XmlWriter() { out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"; }
+  XmlWriter() : out_(&owned_) { Start(); }
+
+  /// External-buffer mode: clears `*out` and writes into it. The
+  /// buffer must outlive the writer; its capacity is retained.
+  explicit XmlWriter(std::string* out) : out_(out) { Start(); }
 
   /// Opens <name attr1="v1" ...>; attributes are escaped.
   void Open(std::string_view name,
@@ -63,12 +115,17 @@ class XmlWriter {
   void Close();
 
   /// The document so far; valid once all elements are closed.
-  const std::string& str() const { return out_; }
+  const std::string& str() const { return *out_; }
 
  private:
+  void Start() {
+    out_->clear();
+    *out_ += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
   void Indent();
 
-  std::string out_;
+  std::string owned_;
+  std::string* out_;
   std::vector<std::string> stack_;
 };
 

@@ -60,6 +60,7 @@
 #include "feeds/fault_injection.h"  // IWYU pragma: export
 #include "feeds/feed_item.h"        // IWYU pragma: export
 #include "feeds/feed_server.h"      // IWYU pragma: export
+#include "feeds/parse_cache.h"      // IWYU pragma: export
 #include "feeds/rss.h"              // IWYU pragma: export
 #include "feeds/xml.h"              // IWYU pragma: export
 
@@ -72,6 +73,7 @@
 #include "sim/report.h"                    // IWYU pragma: export
 
 // Utilities.
+#include "util/arena.h"          // IWYU pragma: export
 #include "util/csv.h"            // IWYU pragma: export
 #include "util/datetime.h"       // IWYU pragma: export
 #include "util/flags.h"          // IWYU pragma: export

@@ -78,6 +78,7 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
     rows.emplace_back("executor",
                       ExecutorBackendToString(executor_backend));
   }
+  if (parse_cache) rows.emplace_back("parse cache", "on");
   return rows;
 }
 

@@ -81,6 +81,10 @@ struct SimulationConfig {
   /// Per-server feed buffer capacity of the simulated network (proxy
   /// experiments): small buffers make feeds volatile.
   int feed_buffer_capacity = 8;
+  /// ETag/content-keyed parse cache on the proxy's probe path
+  /// (sim/proxy.h). Off by default; results are byte-identical either
+  /// way apart from the cache's own counters.
+  bool parse_cache = false;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

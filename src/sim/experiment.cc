@@ -101,6 +101,7 @@ Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
   options.retry = config.retry;
   options.breaker = config.breaker;
   options.backend = config.executor_backend;
+  options.parse_cache = config.parse_cache;
   MonitoringProxy proxy(&problem, &network, policy.get(), spec.mode,
                         options);
   return proxy.Run();
@@ -109,13 +110,13 @@ Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
 Status ExperimentRunner::RunRepetition(
     const SimulationConfig& config, const std::vector<PolicySpec>& specs,
     bool include_offline, const LocalRatioOptions& offline_options,
-    int rep, ComparisonResult* out) {
+    int rep, RepetitionRecord* out) {
   uint64_t seed = base_seed_ + static_cast<uint64_t>(rep) * 7919;
   PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
                            BuildProblem(config, seed));
-  out->t_intervals.Add(
-      static_cast<double>(problem.TotalTIntervalCount()));
-  out->eis.Add(static_cast<double>(problem.TotalEiCount()));
+  out->t_intervals = static_cast<double>(problem.TotalTIntervalCount());
+  out->eis = static_cast<double>(problem.TotalEiCount());
+  out->policies.resize(specs.size());
 
   for (std::size_t s = 0; s < specs.size(); ++s) {
     PolicyOptions po;
@@ -127,18 +128,17 @@ Status ExperimentRunner::RunRepetition(
     executor.set_backend(config.executor_backend);
     executor.set_breaker_options(config.breaker);
     PULLMON_ASSIGN_OR_RETURN(OnlineRunResult run, executor.Run());
-    out->policies[s].gc.Add(run.completeness.GainedCompleteness());
-    out->policies[s].runtime_seconds.Add(run.elapsed_seconds);
-    out->policies[s].probes_used.Add(
-        static_cast<double>(run.probes_used));
+    out->policies[s].gc = run.completeness.GainedCompleteness();
+    out->policies[s].runtime_seconds = run.elapsed_seconds;
+    out->policies[s].probes_used = static_cast<double>(run.probes_used);
   }
 
   if (include_offline) {
     LocalRatioScheduler scheduler(&problem, offline_options);
     PULLMON_ASSIGN_OR_RETURN(OfflineSolution offline, scheduler.Solve());
-    out->offline->gc.Add(offline.gained_completeness);
-    out->offline->runtime_seconds.Add(offline.elapsed_seconds);
-    out->offline->guaranteed_factor = scheduler.GuaranteedFactor();
+    out->offline_gc = offline.gained_completeness;
+    out->offline_runtime_seconds = offline.elapsed_seconds;
+    out->offline_guaranteed_factor = scheduler.GuaranteedFactor();
   }
   return Status::OK();
 }
@@ -146,68 +146,63 @@ Status ExperimentRunner::RunRepetition(
 Result<ComparisonResult> ExperimentRunner::Run(
     const SimulationConfig& config, const std::vector<PolicySpec>& specs,
     bool include_offline, const LocalRatioOptions& offline_options) {
-  auto make_empty = [&] {
-    ComparisonResult result;
-    result.policies.resize(specs.size());
-    for (std::size_t s = 0; s < specs.size(); ++s) {
-      result.policies[s].spec = specs[s];
-    }
-    if (include_offline) result.offline = OfflineOutcome{};
-    return result;
-  };
-
+  // Every repetition computes a plain record into its own slot;
+  // aggregation then folds the records in repetition order on one
+  // thread. The fold — not just the per-repetition values — is
+  // therefore independent of the thread count, which makes the
+  // header's thread-invariance promise hold bitwise (floating-point
+  // accumulation order never varies).
+  std::vector<RepetitionRecord> records(
+      static_cast<std::size_t>(repetitions_ < 0 ? 0 : repetitions_));
   int threads = std::min(threads_, repetitions_);
   if (threads <= 1) {
-    ComparisonResult result = make_empty();
     for (int rep = 0; rep < repetitions_; ++rep) {
-      PULLMON_RETURN_NOT_OK(RunRepetition(
-          config, specs, include_offline, offline_options, rep, &result));
+      PULLMON_RETURN_NOT_OK(
+          RunRepetition(config, specs, include_offline, offline_options,
+                        rep, &records[static_cast<std::size_t>(rep)]));
     }
-    return result;
-  }
-
-  // Parallel path: disjoint repetition ranges into thread-local
-  // accumulators, merged afterwards (exact; see header).
-  std::vector<ComparisonResult> partial(
-      static_cast<std::size_t>(threads));
-  std::vector<Status> failures(static_cast<std::size_t>(threads));
-  for (auto& p : partial) p = make_empty();
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w] {
-      for (int rep = w; rep < repetitions_; rep += threads) {
-        Status st = RunRepetition(config, specs, include_offline,
-                                  offline_options, rep,
-                                  &partial[static_cast<std::size_t>(w)]);
-        if (!st.ok()) {
-          failures[static_cast<std::size_t>(w)] = st;
-          return;
+  } else {
+    std::vector<Status> failures(static_cast<std::size_t>(threads));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        for (int rep = w; rep < repetitions_; rep += threads) {
+          Status st = RunRepetition(
+              config, specs, include_offline, offline_options, rep,
+              &records[static_cast<std::size_t>(rep)]);
+          if (!st.ok()) {
+            failures[static_cast<std::size_t>(w)] = st;
+            return;
+          }
         }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  for (const auto& failure : failures) {
-    if (!failure.ok()) return failure;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto& failure : failures) {
+      if (!failure.ok()) return failure;
+    }
   }
 
-  ComparisonResult result = make_empty();
-  for (const auto& p : partial) {
-    result.t_intervals.Merge(p.t_intervals);
-    result.eis.Merge(p.eis);
+  ComparisonResult result;
+  result.policies.resize(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    result.policies[s].spec = specs[s];
+  }
+  if (include_offline) result.offline = OfflineOutcome{};
+  for (const RepetitionRecord& record : records) {
+    result.t_intervals.Add(record.t_intervals);
+    result.eis.Add(record.eis);
     for (std::size_t s = 0; s < specs.size(); ++s) {
-      result.policies[s].gc.Merge(p.policies[s].gc);
-      result.policies[s].runtime_seconds.Merge(
-          p.policies[s].runtime_seconds);
-      result.policies[s].probes_used.Merge(p.policies[s].probes_used);
+      result.policies[s].gc.Add(record.policies[s].gc);
+      result.policies[s].runtime_seconds.Add(
+          record.policies[s].runtime_seconds);
+      result.policies[s].probes_used.Add(record.policies[s].probes_used);
     }
-    if (include_offline && p.offline.has_value()) {
-      result.offline->gc.Merge(p.offline->gc);
-      result.offline->runtime_seconds.Merge(p.offline->runtime_seconds);
-      if (p.offline->guaranteed_factor > 0.0) {
-        result.offline->guaranteed_factor = p.offline->guaranteed_factor;
-      }
+    if (include_offline) {
+      result.offline->gc.Add(record.offline_gc);
+      result.offline->runtime_seconds.Add(record.offline_runtime_seconds);
+      result.offline->guaranteed_factor = record.offline_guaranteed_factor;
     }
   }
   return result;

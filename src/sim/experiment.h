@@ -70,9 +70,10 @@ struct ComparisonResult {
 /// averages, following the paper's protocol of 10 repetitions per
 /// setting (Section 5.1). All policies see identical instances within a
 /// repetition. Repetitions are independent and deterministic in their
-/// seed, so they can run on several threads; results are identical
-/// regardless of the thread count (per-repetition values are merged,
-/// and RunningStats::Merge is exact).
+/// seed, so they can run on several threads; results are bitwise
+/// identical regardless of the thread count (each repetition fills its
+/// own record slot and the records are folded in repetition order on
+/// one thread — see tests/thread_invariance_test.cc).
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(int repetitions = 10, uint64_t base_seed = 1234,
@@ -87,13 +88,29 @@ class ExperimentRunner {
                                const LocalRatioOptions& offline_options = {});
 
  private:
-  /// One repetition, accumulated into `out` (single-threaded use) —
-  /// factored out so threads can run disjoint repetition ranges.
+  /// The plain per-repetition measurements, one slot per repetition,
+  /// so aggregation order is fixed no matter which thread ran it.
+  struct RepetitionRecord {
+    double t_intervals = 0.0;
+    double eis = 0.0;
+    struct PolicyRecord {
+      double gc = 0.0;
+      double runtime_seconds = 0.0;
+      double probes_used = 0.0;
+    };
+    std::vector<PolicyRecord> policies;
+    double offline_gc = 0.0;
+    double offline_runtime_seconds = 0.0;
+    double offline_guaranteed_factor = 0.0;
+  };
+
+  /// One repetition into its record slot — factored out so threads can
+  /// run disjoint repetition ranges.
   Status RunRepetition(const SimulationConfig& config,
                        const std::vector<PolicySpec>& specs,
                        bool include_offline,
                        const LocalRatioOptions& offline_options, int rep,
-                       ComparisonResult* out);
+                       RepetitionRecord* out);
 
   int repetitions_;
   uint64_t base_seed_;

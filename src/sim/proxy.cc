@@ -1,6 +1,7 @@
 #include "sim/proxy.h"
 
 #include "feeds/atom.h"
+#include "util/arena.h"
 
 namespace pullmon {
 
@@ -43,6 +44,18 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   std::vector<std::string> etags(
       static_cast<std::size_t>(problem_->num_resources));
 
+  // The probe hot path parses into one arena, Reset() per document;
+  // after warm-up a parse performs no heap allocation.
+  Arena arena;
+
+  // Optional ETag/content-keyed parse cache; replayed documents are
+  // byte-identical to what parsing would have produced, so the run's
+  // observable behavior does not depend on the cache being on.
+  std::optional<ParseCache> cache;
+  if (options_.parse_cache) {
+    cache.emplace(static_cast<std::size_t>(problem_->num_resources));
+  }
+
   executor.set_probe_callback([&](ResourceId resource, Chronon now) {
     // The pull leg: catch the network up to "now" and fetch the feed.
     // Clock advancement goes through the fault plan when one exists, so
@@ -57,7 +70,14 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
       fetch_chronon = now;
     }
     std::string& etag = etags[static_cast<std::size_t>(resource)];
-    FeedServer::ConditionalFetch fetched;
+    // The response, unified across both paths as views: into the
+    // server's reused buffers on the direct path, or into `faulted`
+    // (alive for the rest of the probe) on the fault-plan path.
+    bool not_modified = false;
+    std::string_view body;
+    std::string_view served_etag;
+    bool mangled = false;
+    FaultPlan::FaultedFetch faulted;
     if (plan.has_value()) {
       auto outcome = plan->ProbeConditional(resource, etag);
       if (!outcome.ok()) {
@@ -78,34 +98,70 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
           break;
       }
       if (outcome->truncated || outcome->corrupted) ++report.corrupt_bodies;
-      fetched = std::move(outcome->fetch);
+      faulted = std::move(*outcome);
+      mangled = faulted.truncated || faulted.corrupted;
+      not_modified = faulted.fetch.not_modified;
+      body = faulted.fetch.body;
+      served_etag = faulted.fetch.etag;
     } else {
-      auto direct = network_->ProbeConditional(resource, etag);
+      auto direct = network_->ProbeConditionalView(resource, etag);
       if (!direct.ok()) {
         ++report.parse_failures;
         return false;
       }
-      fetched = std::move(*direct);
+      not_modified = direct->not_modified;
+      body = direct->body;
+      served_etag = direct->etag;
     }
     ++report.feeds_fetched;
-    if (fetched.not_modified) {
+    if (not_modified) {
       ++report.not_modified;
-      etag = fetched.etag;
+      etag.assign(served_etag);
       return true;  // nothing new to parse or deliver
     }
-    report.feed_bytes += fetched.body.size();
-    auto parsed = ParseFeed(fetched.body);
+    report.feed_bytes += body.size();
+    if (cache.has_value()) {
+      const FeedDocument* replay =
+          cache->Lookup(resource, served_etag, body, mangled);
+      if (replay != nullptr) {
+        etag.assign(served_etag);
+        report.items_parsed += replay->items.size();
+        current_items.insert(current_items.end(), replay->items.begin(),
+                             replay->items.end());
+        return true;
+      }
+    }
+    arena.Reset();
+    auto parsed = ParseFeed(body, &arena);
     if (!parsed.ok()) {
       ++report.parse_failures;
       // An unparsable response proves nothing about the feed state:
       // keep the previous validator so a retry refetches the full body,
-      // and report failure so the EI stays a candidate.
+      // drop any cached document (it can no longer be trusted as
+      // current), and report failure so the EI stays a candidate.
+      if (cache.has_value()) cache->Invalidate(resource);
       return false;
     }
-    etag = fetched.etag;
-    report.items_parsed += parsed->items.size();
-    current_items.insert(current_items.end(), parsed->items.begin(),
-                         parsed->items.end());
+    const FeedDocumentView& view = **parsed;
+    etag.assign(served_etag);
+    report.items_parsed += view.num_items;
+    if (cache.has_value()) {
+      const FeedDocument& stored =
+          cache->Store(resource, served_etag, body, view.Materialize());
+      current_items.insert(current_items.end(), stored.items.begin(),
+                           stored.items.end());
+    } else {
+      for (const FeedItemView* item = view.first_item; item != nullptr;
+           item = item->next) {
+        FeedItem copy;
+        copy.guid = std::string(item->guid);
+        copy.title = std::string(item->title);
+        copy.link = std::string(item->link);
+        copy.description = std::string(item->description);
+        copy.published = item->published;
+        current_items.push_back(std::move(copy));
+      }
+    }
     return true;
   });
 
@@ -142,6 +198,12 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   if (plan.has_value()) {
     report.fault_stats = plan->stats();
     report.latency_chronons = report.fault_stats.latency_total;
+  }
+  if (cache.has_value()) {
+    report.parse_cache_hits = cache->stats().hits;
+    report.parse_cache_misses = cache->stats().misses;
+    report.parse_cache_invalidations = cache->stats().invalidations;
+    report.parse_cache_bytes_saved = cache->stats().bytes_saved;
   }
   return report;
 }

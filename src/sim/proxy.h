@@ -9,6 +9,7 @@
 #include "feeds/fault_injection.h"
 #include "feeds/feed_item.h"
 #include "feeds/feed_server.h"
+#include "feeds/parse_cache.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -74,6 +75,13 @@ struct ProxyRunReport {
   /// Chronons each resource spent circuit-open (indexed by ResourceId);
   /// empty when the breaker is disabled.
   std::vector<std::size_t> open_chronons_by_resource;
+  // --- Parse-cache telemetry (all zero with the cache disabled; every
+  // --- other report field is byte-identical cache on or off). ---------
+  std::size_t parse_cache_hits = 0;
+  std::size_t parse_cache_misses = 0;
+  std::size_t parse_cache_invalidations = 0;
+  /// Body bytes whose parse a cache hit skipped.
+  std::size_t parse_cache_bytes_saved = 0;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults
@@ -94,6 +102,11 @@ struct ProxyOptions {
   /// issue identical probe sequences (differentially tested), so this
   /// only affects scheduling cost.
   ExecutorBackend backend = ExecutorBackend::kIndexed;
+  /// ETag/content-keyed parse cache in front of the feed layer: a probe
+  /// whose response matches the cached entry replays the cached
+  /// document instead of reparsing. Off by default; the report is
+  /// byte-identical either way apart from the parse_cache_* counters.
+  bool parse_cache = false;
 };
 
 /// The monitoring proxy: drives the online executor over an epoch while

@@ -1,0 +1,15 @@
+#include "util/arena.h"
+
+namespace pullmon {
+
+void Arena::AddBlock(std::size_t min_bytes) {
+  Block block;
+  block.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  block.data = std::make_unique<char[]>(block.size);
+  bytes_reserved_ += block.size;
+  current_ = blocks_.size();
+  offset_ = 0;
+  blocks_.push_back(std::move(block));
+}
+
+}  // namespace pullmon

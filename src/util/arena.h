@@ -1,0 +1,128 @@
+#ifndef PULLMON_UTIL_ARENA_H_
+#define PULLMON_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pullmon {
+
+/// A bump allocator with scoped reset, built for the probe hot path:
+/// parse a feed document into the arena, consume the result, Reset(),
+/// repeat. After the first few probes have grown the block list to the
+/// working-set size, the steady state performs zero heap allocations —
+/// Reset() rewinds the bump pointer and keeps every block.
+///
+/// Lifetime rules (see DESIGN.md §11):
+///  * Objects are never destroyed individually; Reset() and the
+///    destructor reclaim storage without running destructors, so only
+///    trivially destructible types may live in an arena (enforced by
+///    New/NewArray at compile time).
+///  * Everything allocated since the last Reset() dies together at the
+///    next Reset(). Views handed out by arena-backed parsers are valid
+///    exactly that long — and views into the *input* buffer are valid
+///    only as long as the input outlives its consumers.
+///  * Not thread-safe; one arena per worker, like one Rng per stream.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < 64 ? 64 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage, aligned; never returns nullptr (aborts on OOM like
+  /// operator new). Size 0 returns a unique non-null pointer.
+  void* Allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= block.size) {
+          offset_ = aligned + bytes;
+          bytes_used_ += bytes;
+          return block.data.get() + aligned;
+        }
+        // The current block is exhausted for this request; move on (a
+        // reset arena may skip blocks too small for an oversize ask).
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      AddBlock(bytes + align);
+    }
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible —
+  /// the arena never runs destructors.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    return new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Value-initialized array of T in the arena.
+  template <typename T>
+  T* NewArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    T* array = static_cast<T*>(Allocate(sizeof(T) * count, alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (array + i) T();
+    return array;
+  }
+
+  /// Copies `text` into the arena and returns a view of the copy.
+  std::string_view CopyString(std::string_view text) {
+    if (text.empty()) return std::string_view();
+    char* copy = static_cast<char*>(Allocate(text.size(), 1));
+    std::memcpy(copy, text.data(), text.size());
+    return std::string_view(copy, text.size());
+  }
+
+  /// Rewinds the bump pointer to the start of the first block. All
+  /// blocks are retained: a warmed-up arena allocates nothing.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset() (excludes alignment slop).
+  std::size_t bytes_used() const { return bytes_used_; }
+  /// Total bytes owned across all blocks (survives Reset()).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Grows the block list (the cold path; out of line so the hot
+  /// Allocate stays small enough to inline).
+  void AddBlock(std::size_t min_bytes);
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  /// Index of the block the bump pointer is in, and the offset within.
+  std::size_t current_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_UTIL_ARENA_H_

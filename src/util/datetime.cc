@@ -102,17 +102,28 @@ std::string FormatRfc822(int64_t unix_seconds) {
 
 Result<int64_t> ParseRfc822(std::string_view text) {
   // Grammar: [weekday ","] day month year time zone
-  std::string s(Trim(text));
+  // Scanned entirely over views: this runs per feed item on the probe
+  // hot path and must not allocate on success.
+  std::string_view s = Trim(text);
   // Strip an optional leading weekday.
   std::size_t comma = s.find(',');
-  if (comma != std::string::npos) s = std::string(Trim(s.substr(comma + 1)));
+  if (comma != std::string_view::npos) s = Trim(s.substr(comma + 1));
 
-  std::vector<std::string> raw = Split(s, ' ');
-  std::vector<std::string> parts;
-  for (auto& p : raw) {
-    if (!Trim(p).empty()) parts.emplace_back(Trim(p));
+  // Whitespace-separated fields, empties dropped; the original grammar
+  // ignores anything beyond the fifth field.
+  std::array<std::string_view, 5> parts;
+  std::size_t num_parts = 0;
+  for (std::size_t pos = 0; pos < s.size() && num_parts < parts.size();) {
+    if (s[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < s.size() && s[end] != ' ') ++end;
+    parts[num_parts++] = s.substr(pos, end - pos);
+    pos = end;
   }
-  if (parts.size() < 5) {
+  if (num_parts < 5) {
     return Status::ParseError("RFC822 date too short: " + std::string(text));
   }
   DateTime dt;
@@ -121,17 +132,30 @@ Result<int64_t> ParseRfc822(std::string_view text) {
   PULLMON_ASSIGN_OR_RETURN(dt.year, ParseFixedInt(parts[2]));
   if (dt.year < 100) dt.year += dt.year < 70 ? 2000 : 1900;
 
-  std::vector<std::string> hms = Split(parts[3], ':');
-  if (hms.size() < 2 || hms.size() > 3) {
-    return Status::ParseError("bad RFC822 time: " + parts[3]);
+  // ':'-separated time, empty segments kept (and rejected as
+  // non-digits below, like the original Split-based scan).
+  std::array<std::string_view, 3> hms;
+  std::size_t num_hms = 1;
+  std::string_view time = parts[3];
+  std::size_t seg_start = 0;
+  for (std::size_t pos = 0; pos <= time.size(); ++pos) {
+    if (pos == time.size() || time[pos] == ':') {
+      if (num_hms > hms.size()) break;
+      hms[num_hms - 1] = time.substr(seg_start, pos - seg_start);
+      seg_start = pos + 1;
+      if (pos < time.size()) ++num_hms;
+    }
+  }
+  if (num_hms < 2 || num_hms > 3) {
+    return Status::ParseError("bad RFC822 time: " + std::string(time));
   }
   PULLMON_ASSIGN_OR_RETURN(dt.hour, ParseFixedInt(hms[0]));
   PULLMON_ASSIGN_OR_RETURN(dt.minute, ParseFixedInt(hms[1]));
-  if (hms.size() == 3) {
+  if (num_hms == 3) {
     PULLMON_ASSIGN_OR_RETURN(dt.second, ParseFixedInt(hms[2]));
   }
 
-  const std::string& zone = parts[4];
+  std::string_view zone = parts[4];
   int64_t offset_seconds = 0;
   if (zone == "GMT" || zone == "UT" || zone == "UTC" || zone == "Z") {
     offset_seconds = 0;
@@ -148,7 +172,7 @@ Result<int64_t> ParseRfc822(std::string_view text) {
   } else if (zone == "PDT") {
     offset_seconds = -7 * 3600;
   } else {
-    return Status::ParseError("unknown RFC822 zone: " + zone);
+    return Status::ParseError("unknown RFC822 zone: " + std::string(zone));
   }
   return ToUnixSeconds(dt) - offset_seconds;
 }
@@ -160,12 +184,14 @@ std::string FormatRfc3339(int64_t unix_seconds) {
 }
 
 Result<int64_t> ParseRfc3339(std::string_view text) {
-  std::string s(Trim(text));
+  // View-based for the same reason as ParseRfc822: no allocation on
+  // the per-item success path.
+  std::string_view s = Trim(text);
   // Minimum: "YYYY-MM-DDThh:mm:ssZ"
   if (s.size() < 20 || s[4] != '-' || s[7] != '-' ||
       (s[10] != 'T' && s[10] != 't' && s[10] != ' ') || s[13] != ':' ||
       s[16] != ':') {
-    return Status::ParseError("malformed RFC3339 date: " + s);
+    return Status::ParseError("malformed RFC3339 date: " + std::string(s));
   }
   DateTime dt;
   PULLMON_ASSIGN_OR_RETURN(dt.year, ParseFixedInt(s.substr(0, 4)));
@@ -184,12 +210,12 @@ Result<int64_t> ParseRfc3339(std::string_view text) {
     }
   }
   if (pos >= s.size()) {
-    return Status::ParseError("RFC3339 date missing zone: " + s);
+    return Status::ParseError("RFC3339 date missing zone: " + std::string(s));
   }
   int64_t offset_seconds = 0;
   if (s[pos] == 'Z' || s[pos] == 'z') {
     if (pos + 1 != s.size()) {
-      return Status::ParseError("trailing characters in RFC3339 date: " + s);
+      return Status::ParseError("trailing characters in RFC3339 date: " + std::string(s));
     }
   } else if ((s[pos] == '+' || s[pos] == '-') && s.size() == pos + 6 &&
              s[pos + 3] == ':') {
@@ -197,7 +223,7 @@ Result<int64_t> ParseRfc3339(std::string_view text) {
     PULLMON_ASSIGN_OR_RETURN(int mm, ParseFixedInt(s.substr(pos + 4, 2)));
     offset_seconds = (hh * 3600 + mm * 60) * (s[pos] == '+' ? 1 : -1);
   } else {
-    return Status::ParseError("bad RFC3339 zone in: " + s);
+    return Status::ParseError("bad RFC3339 zone in: " + std::string(s));
   }
   return ToUnixSeconds(dt) - offset_seconds;
 }

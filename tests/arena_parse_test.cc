@@ -1,0 +1,225 @@
+// Unit coverage of the probe hot path's memory layer: the bump
+// allocator itself (scoped reset, block reuse, alignment) and the
+// zero-copy properties of the arena XML/feed parsers — views into the
+// input buffer where possible, arena storage only where decoding makes
+// in-situ impossible.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "feeds/atom.h"
+#include "feeds/rss.h"
+#include "feeds/xml.h"
+#include "util/arena.h"
+
+namespace pullmon {
+namespace {
+
+bool ViewInto(std::string_view view, std::string_view buffer) {
+  return !view.empty() && view.data() >= buffer.data() &&
+         view.data() + view.size() <= buffer.data() + buffer.size();
+}
+
+TEST(ArenaTest, AllocatesAlignedAndTracksUsage) {
+  Arena arena(128);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.bytes_used(), 11u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, ResetKeepsBlocksSoSteadyStateAllocatesNothing) {
+  Arena arena(128);
+  for (int i = 0; i < 10; ++i) arena.Allocate(100, 1);
+  std::size_t reserved = arena.bytes_reserved();
+  std::size_t blocks = arena.num_blocks();
+  EXPECT_GT(blocks, 1u);
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 10; ++i) arena.Allocate(100, 1);
+    // The warmed-up arena never grows again for the same workload.
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.num_blocks(), blocks);
+  }
+}
+
+TEST(ArenaTest, OversizeRequestGetsItsOwnBlock) {
+  Arena arena(64);
+  char* big = static_cast<char*>(arena.Allocate(1000, 1));
+  big[0] = 'x';
+  big[999] = 'y';
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+TEST(ArenaTest, NewAndNewArrayConstruct) {
+  Arena arena;
+  struct Point {
+    int x = 7;
+    int y = 0;
+  };
+  Point* p = arena.New<Point>();
+  EXPECT_EQ(p->x, 7);
+  int* values = arena.NewArray<int>(16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(values[i], 0);
+}
+
+TEST(ArenaTest, CopyStringIsIndependentOfSource) {
+  Arena arena;
+  std::string source = "volatile";
+  std::string_view copy = arena.CopyString(source);
+  source.assign("clobbered");
+  EXPECT_EQ(copy, "volatile");
+}
+
+TEST(ArenaXmlTest, PlainTextStaysAViewIntoTheInput) {
+  std::string input = "<rss><title>Plain text run</title></rss>";
+  Arena arena;
+  auto root = ParseXml(input, &arena);
+  ASSERT_TRUE(root.ok());
+  const ArenaXmlNode* title = (*root)->FirstChild("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->text, "Plain text run");
+  // No entities, one run: zero-copy — the text IS the input bytes.
+  EXPECT_TRUE(ViewInto(title->text, input));
+  EXPECT_TRUE(ViewInto(title->name, input));
+}
+
+TEST(ArenaXmlTest, EntityBearingTextIsAssembledInTheArena) {
+  std::string input = "<a>fish &amp; chips</a>";
+  Arena arena;
+  auto root = ParseXml(input, &arena);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "fish & chips");
+  // Decoding forced a concatenation; the result lives in the arena,
+  // not the input buffer.
+  EXPECT_FALSE(ViewInto((*root)->text, input));
+}
+
+TEST(ArenaXmlTest, AttributesAndHelpersMatchAllocatingSemantics) {
+  std::string input =
+      "<feed><link href=\"http://x/?a=1&amp;b=2\" rel=\"self\"/>"
+      "<title>  padded  </title></feed>";
+  Arena arena;
+  auto root = ParseXml(input, &arena);
+  ASSERT_TRUE(root.ok());
+  const ArenaXmlNode* link = (*root)->FirstChild("link");
+  ASSERT_NE(link, nullptr);
+  const std::string_view* href = link->Attribute("href");
+  ASSERT_NE(href, nullptr);
+  EXPECT_EQ(*href, "http://x/?a=1&b=2");
+  const std::string_view* rel = link->Attribute("rel");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(*rel, "self");
+  // Entity-free attribute values stay views into the input.
+  EXPECT_TRUE(ViewInto(*rel, input));
+  EXPECT_EQ(link->Attribute("missing"), nullptr);
+  // ChildText trims, like XmlNode::ChildText.
+  EXPECT_EQ((*root)->ChildText("title"), "padded");
+  EXPECT_EQ((*root)->ChildText("absent"), "");
+}
+
+TEST(ArenaXmlTest, CdataAndMixedContentConcatenate) {
+  std::string input = "<d>before <![CDATA[<raw & bytes>]]> after</d>";
+  Arena arena;
+  auto root = ParseXml(input, &arena);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "before <raw & bytes> after");
+}
+
+TEST(ArenaXmlTest, MalformedInputRejectedLikeAllocatingParser) {
+  Arena arena;
+  for (const char* bad :
+       {"<a><b></a></b>", "<a attr=>x</a>", "<a>&bogus;</a>",
+        "<a>unterminated", "", "<a>x</a><b/>"}) {
+    auto heap = ParseXml(std::string_view(bad));
+    auto in_arena = ParseXml(std::string_view(bad), &arena);
+    EXPECT_FALSE(heap.ok()) << bad;
+    EXPECT_FALSE(in_arena.ok()) << bad;
+    arena.Reset();
+  }
+}
+
+TEST(ArenaFeedTest, RssRoundTripMatchesAllocatingParse) {
+  FeedDocument feed;
+  feed.title = "Resource 3 updates";
+  feed.link = "http://feeds.example.com/resource/3";
+  feed.description = "Volatile feed of resource 3 (capacity 8)";
+  for (int i = 0; i < 4; ++i) {
+    FeedItem item;
+    item.guid = "resource-3-update-" + std::to_string(i);
+    item.title = "Update " + std::to_string(i) + " <&>";
+    item.link = "http://feeds.example.com/resource/3/" + std::to_string(i);
+    item.description = "State change observed at chronon 12";
+    item.published = 1167609600 + i;
+    feed.items.push_back(item);
+  }
+  std::string body = WriteRss(feed);
+  Arena arena;
+  auto view = ParseRss(body, &arena);
+  ASSERT_TRUE(view.ok());
+  auto heap = ParseRss(body);
+  ASSERT_TRUE(heap.ok());
+  FeedDocument materialized = (*view)->Materialize();
+  EXPECT_EQ(materialized.title, heap->title);
+  EXPECT_EQ(materialized.link, heap->link);
+  EXPECT_EQ(materialized.description, heap->description);
+  ASSERT_EQ(materialized.items.size(), heap->items.size());
+  for (std::size_t i = 0; i < heap->items.size(); ++i) {
+    EXPECT_TRUE(materialized.items[i] == heap->items[i]) << "item " << i;
+  }
+  EXPECT_EQ((*view)->num_items, heap->items.size());
+}
+
+TEST(ArenaFeedTest, AtomParsesDatesAndLinks) {
+  FeedDocument feed;
+  feed.title = "t";
+  feed.link = "http://example.com/f";
+  feed.description = "d";
+  FeedItem item;
+  item.guid = "id-1";
+  item.title = "entry";
+  item.link = "http://example.com/e";
+  item.description = "body";
+  item.published = 1167609600;
+  feed.items.push_back(item);
+  std::string body = WriteAtom(feed);
+  Arena arena;
+  auto view = ParseFeed(body, &arena);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ((*view)->num_items, 1u);
+  const FeedItemView* first = (*view)->first_item;
+  EXPECT_EQ(first->guid, "id-1");
+  EXPECT_EQ(first->link, "http://example.com/e");
+  EXPECT_EQ(first->published, 1167609600);
+}
+
+TEST(ArenaFeedTest, RepeatedParsesReuseTheArena) {
+  FeedDocument feed;
+  feed.title = "steady";
+  for (int i = 0; i < 8; ++i) {
+    FeedItem item;
+    item.guid = "g" + std::to_string(i);
+    item.title = "t" + std::to_string(i);
+    feed.items.push_back(item);
+  }
+  std::string body = WriteRss(feed);
+  Arena arena;
+  ASSERT_TRUE(ParseFeed(body, &arena).ok());
+  std::size_t reserved = arena.bytes_reserved();
+  std::size_t blocks = arena.num_blocks();
+  for (int round = 0; round < 20; ++round) {
+    arena.Reset();
+    ASSERT_TRUE(ParseFeed(body, &arena).ok());
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.num_blocks(), blocks);
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

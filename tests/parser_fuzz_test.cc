@@ -14,6 +14,7 @@
 #include "feeds/atom.h"
 #include "feeds/rss.h"
 #include "feeds/xml.h"
+#include "util/arena.h"
 #include "util/random.h"
 
 namespace pullmon {
@@ -135,6 +136,74 @@ TEST(ParserFuzzTest, AutoDetectionSurvivesMutations) {
   for (int i = 0; i < 1000; ++i) {
     TouchIfOk(ParseFeed(Mutate(rss, &rng)));
     TouchIfOk(ParseFeed(Mutate(atom, &rng)));
+  }
+}
+
+/// Structural equality of the allocating and the arena tree: same
+/// names, text, attributes, and children in the same order.
+void ExpectTreesEqual(const XmlNode& a, const ArenaXmlNode* b) {
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a.name, b->name);
+  EXPECT_EQ(a.text, b->text);
+  const ArenaXmlAttr* attr = b->first_attr;
+  for (const auto& [name, value] : a.attributes) {
+    ASSERT_NE(attr, nullptr);
+    EXPECT_EQ(name, attr->name);
+    EXPECT_EQ(value, attr->value);
+    attr = attr->next;
+  }
+  EXPECT_EQ(attr, nullptr);
+  const ArenaXmlNode* child = b->first_child;
+  for (const XmlNode& a_child : a.children) {
+    ASSERT_NE(child, nullptr);
+    ExpectTreesEqual(a_child, child);
+    child = child->next_sibling;
+  }
+  EXPECT_EQ(child, nullptr);
+}
+
+TEST(ParserFuzzTest, ArenaXmlParserMatchesAllocatingParser) {
+  // The arena overload promises to accept and reject exactly the same
+  // documents as the allocating one and to produce an equivalent tree —
+  // checked here differentially over unstructured mutations.
+  std::string xml = WriteRss(SampleFeed());
+  Rng rng(0xA12E4AULL);
+  Arena arena;
+  for (int i = 0; i < 2000; ++i) {
+    std::string body = Mutate(xml, &rng);
+    auto heap = ParseXml(body);
+    arena.Reset();
+    auto in_arena = ParseXml(body, &arena);
+    ASSERT_EQ(heap.ok(), in_arena.ok()) << "iteration " << i;
+    if (heap.ok()) ExpectTreesEqual(*heap, *in_arena);
+  }
+}
+
+TEST(ParserFuzzTest, ArenaFeedParsersMatchAllocating) {
+  // Same differential one level up: a materialized FeedDocumentView
+  // must equal the allocating ParseFeed's document field for field.
+  std::string rss = WriteRss(SampleFeed());
+  std::string atom = WriteAtom(SampleFeed());
+  Rng rng(0xFEEDFACEULL);
+  Arena arena;
+  for (int i = 0; i < 1000; ++i) {
+    for (const std::string* base : {&rss, &atom}) {
+      std::string body = Mutate(*base, &rng);
+      auto heap = ParseFeed(body);
+      arena.Reset();
+      auto in_arena = ParseFeed(body, &arena);
+      ASSERT_EQ(heap.ok(), in_arena.ok()) << "iteration " << i;
+      if (!heap.ok()) continue;
+      FeedDocument materialized = (*in_arena)->Materialize();
+      EXPECT_EQ(heap->title, materialized.title);
+      EXPECT_EQ(heap->link, materialized.link);
+      EXPECT_EQ(heap->description, materialized.description);
+      ASSERT_EQ(heap->items.size(), materialized.items.size());
+      for (std::size_t k = 0; k < heap->items.size(); ++k) {
+        EXPECT_TRUE(heap->items[k] == materialized.items[k])
+            << "item " << k;
+      }
+    }
   }
 }
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files on their deterministic content.
+
+Wall-clock metrics (wall_time_seconds, *_per_sec, speedups) vary by
+machine and are never compared. What must match between a committed
+baseline and a fresh run of the same binary at the same seed/reps:
+
+  * the set of benchmark record names, in order;
+  * each record's params;
+  * each record's set of metric keys (a vanished metric means the
+    schema silently changed);
+  * metrics listed in DETERMINISTIC_METRICS exactly (they derive only
+    from the seeded workload, e.g. item checksums).
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json
+Exits 0 when equivalent, 1 with a report when not, 2 on bad input.
+"""
+
+import json
+import sys
+
+DETERMINISTIC_METRICS = {"items_parsed", "gc"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench_diff: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    if "benchmarks" not in doc:
+        print(f"bench_diff: {path} has no 'benchmarks' array",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(argv[1])
+    candidate = load(argv[2])
+    problems = []
+
+    for key in ("schema_version", "binary", "seed", "reps"):
+        if baseline.get(key) != candidate.get(key):
+            problems.append(
+                f"header '{key}': baseline {baseline.get(key)!r} vs "
+                f"candidate {candidate.get(key)!r}")
+
+    base_records = baseline["benchmarks"]
+    cand_records = candidate["benchmarks"]
+    base_names = [record.get("name") for record in base_records]
+    cand_names = [record.get("name") for record in cand_records]
+    if base_names != cand_names:
+        problems.append(
+            f"benchmark names differ: baseline {base_names} vs "
+            f"candidate {cand_names}")
+    else:
+        for base, cand in zip(base_records, cand_records):
+            name = base.get("name")
+            if base.get("params") != cand.get("params"):
+                problems.append(
+                    f"{name}: params {base.get('params')} vs "
+                    f"{cand.get('params')}")
+            base_metrics = base.get("metrics", {})
+            cand_metrics = cand.get("metrics", {})
+            if set(base_metrics) != set(cand_metrics):
+                problems.append(
+                    f"{name}: metric keys {sorted(base_metrics)} vs "
+                    f"{sorted(cand_metrics)}")
+                continue
+            for key in sorted(set(base_metrics) & DETERMINISTIC_METRICS):
+                if base_metrics[key] != cand_metrics[key]:
+                    problems.append(
+                        f"{name}: deterministic metric '{key}' "
+                        f"{base_metrics[key]} vs {cand_metrics[key]}")
+
+    if problems:
+        print(f"bench_diff: {argv[1]} vs {argv[2]}: "
+              f"{len(problems)} difference(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"bench_diff: {argv[2]} matches the deterministic content of "
+          f"{argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

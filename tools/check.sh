@@ -5,13 +5,23 @@
 #
 #   tools/check.sh            # both passes
 #   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
+#   tools/check.sh --bench    # also run the hot-path bench gate
+#                             # (Release+LTO build, 2x + zero-alloc)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --bench) bench=1 ;;
+    *) echo "unknown flag: $arg (expected --fast and/or --bench)" >&2
+       exit 2 ;;
+  esac
+done
 
 echo "== tier-1: default build =="
 cmake -B build -S . > /dev/null
@@ -20,12 +30,19 @@ cmake --build build -j "$jobs"
 
 if [[ "$fast" == 1 ]]; then
   echo "== skipped sanitizer pass (--fast) =="
-  exit 0
+else
+  echo "== sanitizer pass: asan + ubsan =="
+  cmake --preset asan > /dev/null
+  cmake --build --preset asan -j "$jobs"
+  (cd build-asan && ctest --output-on-failure -j "$jobs")
 fi
 
-echo "== sanitizer pass: asan + ubsan =="
-cmake --preset asan > /dev/null
-cmake --build --preset asan -j "$jobs"
-(cd build-asan && ctest --output-on-failure -j "$jobs")
+if [[ "$bench" == 1 ]]; then
+  echo "== hot-path bench gate: Release + LTO =="
+  cmake --preset release > /dev/null
+  cmake --build --preset release -j "$jobs" --target bench_hotpath
+  ./build-release/bench/bench_hotpath --json=BENCH_hotpath_local.json
+  python3 tools/bench_diff.py BENCH_hotpath.json BENCH_hotpath_local.json
+fi
 
 echo "== all checks passed =="

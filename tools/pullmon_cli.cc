@@ -80,6 +80,9 @@ void AddConfigFlags(FlagParser* flags) {
                    "EWMA smoothing of per-resource failure rates");
   flags->AddInt64("buffer-capacity", 8,
                   "feed server buffer size (proxy runs)");
+  flags->AddBool("parse-cache", false,
+                 "ETag/content-keyed parse cache on the proxy's probe "
+                 "path (proxy runs)");
   flags->AddString("executor", "indexed",
                    "scheduling backend: indexed (incremental candidate "
                    "index) | reference (scan-based oracle)");
@@ -137,6 +140,7 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.breaker.ewma_alpha = flags.GetDouble("breaker-alpha");
   config.feed_buffer_capacity =
       static_cast<int>(flags.GetInt64("buffer-capacity"));
+  config.parse_cache = flags.GetBool("parse-cache");
   // Commands reject unknown names via BackendFromFlags before reaching
   // here, so the fallback is never user-visible.
   auto backend = BackendFromFlags(flags);
@@ -232,11 +236,11 @@ int RunProxyExperiment(const SimulationConfig& config,
                        uint64_t base_seed, const std::string& csv_path) {
   TablePrinter table({"policy", "GC", "GC lost to faults", "probes",
                       "failed", "retries", "corrupt", "opened",
-                      "suppressed", "notifications"});
+                      "suppressed", "cache hits", "notifications"});
   std::vector<std::vector<std::string>> csv_rows;
   for (const PolicySpec& spec : specs) {
     RunningStats gc, gc_lost, probes, failed, retries, corrupt, delivered;
-    RunningStats opened, suppressed;
+    RunningStats opened, suppressed, cache_hits;
     for (int rep = 0; rep < reps; ++rep) {
       uint64_t seed = base_seed + static_cast<uint64_t>(rep) * 7919;
       auto report = RunProxyOnce(config, spec, seed);
@@ -253,6 +257,7 @@ int RunProxyExperiment(const SimulationConfig& config,
       corrupt.Add(static_cast<double>(report->corrupt_bodies));
       opened.Add(static_cast<double>(report->circuits_opened));
       suppressed.Add(static_cast<double>(report->probes_suppressed));
+      cache_hits.Add(static_cast<double>(report->parse_cache_hits));
       delivered.Add(
           static_cast<double>(report->notifications_delivered));
     }
@@ -264,6 +269,7 @@ int RunProxyExperiment(const SimulationConfig& config,
                   TablePrinter::FormatDouble(corrupt.mean(), 1),
                   TablePrinter::FormatDouble(opened.mean(), 1),
                   TablePrinter::FormatDouble(suppressed.mean(), 1),
+                  TablePrinter::FormatDouble(cache_hits.mean(), 1),
                   TablePrinter::FormatDouble(delivered.mean(), 0)});
     csv_rows.push_back(
         {spec.Label(), TablePrinter::FormatDouble(gc.mean(), 6),
@@ -274,6 +280,7 @@ int RunProxyExperiment(const SimulationConfig& config,
          TablePrinter::FormatDouble(corrupt.mean(), 1),
          TablePrinter::FormatDouble(opened.mean(), 1),
          TablePrinter::FormatDouble(suppressed.mean(), 1),
+         TablePrinter::FormatDouble(cache_hits.mean(), 1),
          TablePrinter::FormatDouble(delivered.mean(), 1)});
   }
   table.Print(std::cout);
@@ -286,7 +293,7 @@ int RunProxyExperiment(const SimulationConfig& config,
     writer->WriteRow({"policy", "gc_mean", "gc_lost_to_faults", "probes",
                       "probes_failed", "retries", "corrupt_bodies",
                       "circuits_opened", "probes_suppressed",
-                      "notifications"});
+                      "parse_cache_hits", "notifications"});
     for (const auto& row : csv_rows) writer->WriteRow(row);
     writer->Flush();
     std::cout << "Wrote " << csv_path << "\n";
@@ -341,6 +348,11 @@ int CommandRun(const std::vector<std::string>& args) {
   if (!config.faults.AllZero() || config.retry.max_retries > 0) {
     std::cerr << "fault/retry flags only affect --proxy runs; the "
                  "logical executor assumes a reliable network\n";
+    return 2;
+  }
+  if (config.parse_cache) {
+    std::cerr << "--parse-cache only affects --proxy runs; the logical "
+                 "executor never parses feed bodies\n";
     return 2;
   }
   ExperimentRunner runner(static_cast<int>(flags.GetInt64("reps")),
@@ -405,6 +417,11 @@ int CommandSweep(const std::vector<std::string>& args) {
       flags.GetInt64("retries") > 0) {
     std::cerr << "fault/retry flags only affect `run --proxy`; sweeps "
                  "use the logical executor\n";
+    return 2;
+  }
+  if (flags.GetBool("parse-cache")) {
+    std::cerr << "--parse-cache only affects `run --proxy`; sweeps use "
+                 "the logical executor\n";
     return 2;
   }
   std::string param = ToLower(flags.GetString("param"));
