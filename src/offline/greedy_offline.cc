@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "core/completeness.h"
-#include "offline/probe_assignment.h"
 #include "util/logging.h"
 
 namespace pullmon {
@@ -32,19 +32,14 @@ Result<OfflineSolution> GreedyOfflineScheduler::Solve() {
 
   OfflineSolution solution;
   solution.schedule = Schedule(epoch_len);
-  std::vector<ExecutionInterval> selected_eis;
+  std::unique_ptr<EdfFeasibilityChecker> checker =
+      MakeFeasibilityChecker(options_.backend, &problem_->budget,
+                             epoch_len);
   for (const auto& item : items) {
-    std::size_t before = selected_eis.size();
-    selected_eis.insert(selected_eis.end(), item.eta->eis().begin(),
-                        item.eta->eis().end());
-    if (!AssignProbesEdf(selected_eis, problem_->budget, epoch_len,
-                         nullptr)) {
-      selected_eis.resize(before);
-    }
+    TryCommitTInterval(*item.eta, checker.get());
     ++solution.work;
   }
-  PULLMON_CHECK(AssignProbesEdf(selected_eis, problem_->budget, epoch_len,
-                                &solution.schedule));
+  PULLMON_RETURN_NOT_OK(checker->ExportSchedule(&solution.schedule));
 
   const auto end = std::chrono::steady_clock::now();
   solution.elapsed_seconds =

@@ -2,31 +2,44 @@
 #define PULLMON_OFFLINE_GREEDY_OFFLINE_H_
 
 #include "core/problem.h"
+#include "offline/incremental_edf.h"
 #include "offline/offline_solution.h"
 #include "util/status.h"
 
 namespace pullmon {
+
+struct GreedyOfflineOptions {
+  /// Feasibility oracle used for the acceptance tests. kFromScratch is
+  /// the seed per-candidate rebuild, kept as the differential oracle.
+  FeasibilityBackend backend = FeasibilityBackend::kIncremental;
+};
 
 /// Myopic greedy offline scheduler for split-interval selection (in the
 /// spirit of Erlebach & Spieksma's simple algorithms for weighted job
 /// interval selection): t-intervals are processed by earliest
 /// latest-finish (heavier utility first on ties) and kept whenever they
 /// remain jointly schedulable with the current selection under the
-/// budget (EDF probe assignment with intra-resource sharing).
+/// budget (EDF probe assignment with intra-resource sharing). For
+/// alternatives (required() < size()) only a required()-sized subset
+/// must fit — see TryCommitTInterval.
 ///
 /// Runs in low-polynomial time with no LP, so it scales where the
 /// Local-Ratio approximation does not — the pragmatic offline baseline a
 /// production deployment would actually use, and the natural foil for
-/// Figure 5's scalability story.
+/// Figure 5's scalability story. Acceptance tests go through the
+/// incremental EDF checker; per-candidate cost is proportional to the
+/// replayed suffix, not the whole selection.
 class GreedyOfflineScheduler {
  public:
-  explicit GreedyOfflineScheduler(const MonitoringProblem* problem)
-      : problem_(problem) {}
+  explicit GreedyOfflineScheduler(const MonitoringProblem* problem,
+                                  GreedyOfflineOptions options = {})
+      : problem_(problem), options_(options) {}
 
   Result<OfflineSolution> Solve();
 
  private:
   const MonitoringProblem* problem_;
+  GreedyOfflineOptions options_;
 };
 
 }  // namespace pullmon

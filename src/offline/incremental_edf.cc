@@ -1,0 +1,221 @@
+#include "offline/incremental_edf.h"
+
+#include <algorithm>
+
+#include "offline/probe_assignment.h"
+#include "util/logging.h"
+
+namespace pullmon {
+
+IncrementalEdfChecker::IncrementalEdfChecker(const BudgetVector* budget,
+                                             Chronon epoch_length)
+    : budget_(budget), epoch_len_(epoch_length) {
+  used_.assign(static_cast<std::size_t>(epoch_len_ < 0 ? 0 : epoch_len_),
+               0);
+}
+
+std::vector<Chronon>& IncrementalEdfChecker::Slots(ResourceId resource) {
+  std::size_t index = static_cast<std::size_t>(resource);
+  if (index >= slots_.size()) slots_.resize(index + 1);
+  return slots_[index];
+}
+
+bool IncrementalEdfChecker::PlaceEntry(Entry* entry) {
+  const ExecutionInterval& ei = entry->ei;
+  std::vector<Chronon>& slots = Slots(ei.resource);
+  auto shared = std::lower_bound(slots.begin(), slots.end(), ei.start);
+  if (shared != slots.end() && *shared <= ei.finish) {
+    entry->placed_at = -1;
+    return true;
+  }
+  for (Chronon j = ei.start; j <= ei.finish; ++j) {
+    if (used_[static_cast<std::size_t>(j)] < budget_->at(j)) {
+      ++used_[static_cast<std::size_t>(j)];
+      slots.insert(std::lower_bound(slots.begin(), slots.end(), j), j);
+      entry->placed_at = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalEdfChecker::UndoPlacement(const Entry& entry) {
+  if (entry.placed_at < 0) return;
+  --used_[static_cast<std::size_t>(entry.placed_at)];
+  std::vector<Chronon>& slots = Slots(entry.ei.resource);
+  auto it =
+      std::lower_bound(slots.begin(), slots.end(), entry.placed_at);
+  PULLMON_CHECK(it != slots.end() && *it == entry.placed_at);
+  slots.erase(it);
+}
+
+void IncrementalEdfChecker::RedoPlacement(const Entry& entry) {
+  if (entry.placed_at < 0) return;
+  ++used_[static_cast<std::size_t>(entry.placed_at)];
+  std::vector<Chronon>& slots = Slots(entry.ei.resource);
+  slots.insert(
+      std::lower_bound(slots.begin(), slots.end(), entry.placed_at),
+      entry.placed_at);
+}
+
+bool IncrementalEdfChecker::TrialInsert(
+    const std::vector<ExecutionInterval>& eis) {
+  PULLMON_CHECK(!pending_);
+  sorted_batch_.assign(eis.begin(), eis.end());
+  std::sort(sorted_batch_.begin(), sorted_batch_.end(), EdfOrderLess{});
+  old_suffix_.clear();
+  new_suffix_.clear();
+  if (sorted_batch_.empty()) {
+    pending_ = true;
+    pending_pos_ = entries_.size();
+    return true;
+  }
+  auto split = std::lower_bound(
+      entries_.begin(), entries_.end(), sorted_batch_.front(),
+      [](const Entry& entry, const ExecutionInterval& ei) {
+        return EdfOrderLess{}(entry.ei, ei);
+      });
+  pending_pos_ = static_cast<std::size_t>(split - entries_.begin());
+  old_suffix_.assign(split, entries_.end());
+  for (auto it = old_suffix_.rbegin(); it != old_suffix_.rend(); ++it) {
+    UndoPlacement(*it);
+  }
+  // Merge-replay in EDF order; ties take the committed entry first
+  // (tied EIs are identical, so the choice cannot change the outcome).
+  std::size_t oi = 0;
+  std::size_t ni = 0;
+  bool feasible = true;
+  while (feasible &&
+         (oi < old_suffix_.size() || ni < sorted_batch_.size())) {
+    bool take_old =
+        ni == sorted_batch_.size() ||
+        (oi < old_suffix_.size() &&
+         !EdfOrderLess{}(sorted_batch_[ni], old_suffix_[oi].ei));
+    Entry entry;
+    entry.ei = take_old ? old_suffix_[oi++].ei : sorted_batch_[ni++];
+    ++replay_steps_;
+    feasible = PlaceEntry(&entry);
+    if (feasible) new_suffix_.push_back(entry);
+  }
+  if (!feasible) {
+    for (auto it = new_suffix_.rbegin(); it != new_suffix_.rend(); ++it) {
+      UndoPlacement(*it);
+    }
+    for (const Entry& entry : old_suffix_) RedoPlacement(entry);
+    old_suffix_.clear();
+    new_suffix_.clear();
+    return false;
+  }
+  pending_ = true;
+  return true;
+}
+
+void IncrementalEdfChecker::Commit() {
+  PULLMON_CHECK(pending_);
+  entries_.resize(pending_pos_);
+  entries_.insert(entries_.end(), new_suffix_.begin(), new_suffix_.end());
+  old_suffix_.clear();
+  new_suffix_.clear();
+  pending_ = false;
+}
+
+void IncrementalEdfChecker::Rollback() {
+  PULLMON_CHECK(pending_);
+  for (auto it = new_suffix_.rbegin(); it != new_suffix_.rend(); ++it) {
+    UndoPlacement(*it);
+  }
+  for (const Entry& entry : old_suffix_) RedoPlacement(entry);
+  old_suffix_.clear();
+  new_suffix_.clear();
+  pending_ = false;
+}
+
+Status IncrementalEdfChecker::ExportSchedule(Schedule* out) const {
+  PULLMON_CHECK(!pending_);
+  for (const Entry& entry : entries_) {
+    if (entry.placed_at >= 0) {
+      PULLMON_RETURN_NOT_OK(
+          out->AddProbe(entry.ei.resource, entry.placed_at));
+    }
+  }
+  return Status::OK();
+}
+
+bool FromScratchEdfChecker::TrialInsert(
+    const std::vector<ExecutionInterval>& eis) {
+  PULLMON_CHECK(!pending_);
+  trial_ = committed_;
+  trial_.insert(trial_.end(), eis.begin(), eis.end());
+  if (!AssignProbesEdf(trial_, *budget_, epoch_len_, nullptr)) {
+    trial_.clear();
+    return false;
+  }
+  pending_ = true;
+  return true;
+}
+
+void FromScratchEdfChecker::Commit() {
+  PULLMON_CHECK(pending_);
+  committed_.swap(trial_);
+  trial_.clear();
+  pending_ = false;
+}
+
+void FromScratchEdfChecker::Rollback() {
+  PULLMON_CHECK(pending_);
+  trial_.clear();
+  pending_ = false;
+}
+
+Status FromScratchEdfChecker::ExportSchedule(Schedule* out) const {
+  PULLMON_CHECK(!pending_);
+  if (!AssignProbesEdf(committed_, *budget_, epoch_len_, out)) {
+    return Status::Internal(
+        "committed EI set unexpectedly infeasible at export");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<EdfFeasibilityChecker> MakeFeasibilityChecker(
+    FeasibilityBackend backend, const BudgetVector* budget,
+    Chronon epoch_length) {
+  if (backend == FeasibilityBackend::kFromScratch) {
+    return std::make_unique<FromScratchEdfChecker>(budget, epoch_length);
+  }
+  return std::make_unique<IncrementalEdfChecker>(budget, epoch_length);
+}
+
+bool TryCommitTInterval(const TInterval& eta,
+                        EdfFeasibilityChecker* checker) {
+  const std::size_t k = eta.size();
+  if (k == 0) return false;
+  const std::size_t q = eta.required();
+  if (q >= k) {
+    if (!checker->TrialInsert(eta.eis())) return false;
+    checker->Commit();
+    return true;
+  }
+  std::vector<ExecutionInterval> sorted = eta.eis();
+  std::sort(sorted.begin(), sorted.end(), EdfOrderLess{});
+  std::vector<std::size_t> pick(q);
+  for (std::size_t i = 0; i < q; ++i) pick[i] = i;
+  std::vector<ExecutionInterval> subset(q);
+  int trials = 0;
+  while (true) {
+    for (std::size_t i = 0; i < q; ++i) subset[i] = sorted[pick[i]];
+    ++trials;
+    if (checker->TrialInsert(subset)) {
+      checker->Commit();
+      return true;
+    }
+    if (trials >= kMaxSubsetTrials) return false;
+    // Advance to the next lexicographic combination of q out of k.
+    std::size_t i = q;
+    while (i > 0 && pick[i - 1] == k - q + (i - 1)) --i;
+    if (i == 0) return false;
+    ++pick[i - 1];
+    for (std::size_t j = i; j < q; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+
+}  // namespace pullmon

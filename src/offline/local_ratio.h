@@ -1,7 +1,10 @@
 #ifndef PULLMON_OFFLINE_LOCAL_RATIO_H_
 #define PULLMON_OFFLINE_LOCAL_RATIO_H_
 
+#include <memory>
+
 #include "core/problem.h"
+#include "offline/incremental_edf.h"
 #include "offline/offline_solution.h"
 #include "offline/simplex.h"
 #include "util/status.h"
@@ -14,6 +17,8 @@ struct LocalRatioOptions {
   /// skip the LP and fall back to uniform fractional values (degrading
   /// the selection rule to minimum conflict degree) — mirroring the
   /// scalability wall the paper reports for the offline approximation.
+  /// Only rows the LP actually materializes are counted: chronons no EI
+  /// window touches contribute no budget row.
   std::size_t max_lp_cells = 40000000;
   /// Faithful [2] reduction (default false): two t-intervals conflict
   /// whenever any of their EIs overlap in time, regardless of resource —
@@ -26,6 +31,10 @@ struct LocalRatioOptions {
   /// that stays schedulable. Off by default (not part of [2]); only
   /// improves the solution when on.
   bool greedy_augmentation = false;
+  /// Feasibility oracle used by the unwind/augmentation acceptance
+  /// tests. kFromScratch is the seed per-candidate rebuild, kept as the
+  /// differential oracle.
+  FeasibilityBackend backend = FeasibilityBackend::kIncremental;
 };
 
 /// Offline approximation for Problem 1 via the (fractional) Local-Ratio
@@ -33,13 +42,20 @@ struct LocalRatioOptions {
 /// (Section 4.1.2):
 ///
 ///  1. Solve the LP relaxation with per-EI probe-placement variables and
-///     per-chronon budget constraints (own dense-simplex solver).
+///     per-chronon budget constraints (own dense-simplex solver). For
+///     alternatives t-intervals (required() < size()) the relaxation
+///     demands only required() covered EIs via auxiliary z variables.
 ///  2. Local-ratio weight decomposition: repeatedly pick the t-interval
 ///     whose closed conflict neighborhood carries the least fractional
 ///     weight, push it, and subtract its weight from the neighborhood.
+///     Minimum-load selection runs on a lazily invalidated heap over
+///     incrementally maintained neighborhood loads, O((V+E) log V)
+///     overall instead of the former O(V(V+E)) rescan.
 ///  3. Unwind the stack, keeping each t-interval that remains jointly
-///     schedulable (earliest-deadline-first probe assignment under the
-///     budget, with intra-resource probe sharing as a bonus).
+///     schedulable (EDF probe assignment under the budget, with
+///     intra-resource probe sharing as a bonus; alternatives need only
+///     a schedulable required()-sized subset). Acceptance tests go
+///     through the incremental EDF checker.
 ///
 /// Conflicts are time-overlaps between EIs of different t-intervals —
 /// the split-interval graph of [2]; probe sharing is deliberately *not*
@@ -55,6 +71,7 @@ class LocalRatioScheduler {
  public:
   explicit LocalRatioScheduler(const MonitoringProblem* problem,
                                LocalRatioOptions options = {});
+  ~LocalRatioScheduler();
 
   Result<OfflineSolution> Solve();
 
@@ -63,8 +80,11 @@ class LocalRatioScheduler {
   double GuaranteedFactor() const;
 
  private:
+  struct Workspace;  // pooled flatten/adjacency/LP scratch buffers
+
   const MonitoringProblem* problem_;
   LocalRatioOptions options_;
+  std::unique_ptr<Workspace> ws_;
 };
 
 }  // namespace pullmon

@@ -19,6 +19,10 @@ struct OfflineSolution {
   double captured_weight = 0.0;
   /// True when the value is provably optimal (exact solver only).
   bool optimal = false;
+  /// True when an LP relaxation was solved to optimality and guided the
+  /// solver (LocalRatioScheduler only; false when the cell guard or
+  /// iteration cap forced the uniform-fractional fallback).
+  bool used_lp = false;
   /// Wall-clock seconds spent solving (the Figure 5 quantity).
   double elapsed_seconds = 0.0;
   /// Search nodes (exact) or LP iterations + recursion steps (approx).

@@ -17,11 +17,18 @@ bool AssignProbesEdf(const std::vector<ExecutionInterval>& eis,
       return resource < other.resource;
     }
   };
+  // Total order (finish, start, resource): ties under the former
+  // (finish, start) key could land probes on different resources
+  // depending on the unstable sort's whim; the resource tiebreaker
+  // makes the placement deterministic, which the incremental checker's
+  // probe-for-probe equivalence guarantee relies on (EIs comparing
+  // equal are identical, so duplicates remain interchangeable).
   std::vector<ExecutionInterval> sorted = eis;
   std::sort(sorted.begin(), sorted.end(),
             [](const ExecutionInterval& a, const ExecutionInterval& b) {
               if (a.finish != b.finish) return a.finish < b.finish;
-              return a.start < b.start;
+              if (a.start != b.start) return a.start < b.start;
+              return a.resource < b.resource;
             });
   std::vector<int> used(static_cast<std::size_t>(epoch_length), 0);
   std::vector<Slot> placed;  // sorted

@@ -70,6 +70,7 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
   }
 
   LpSolution solution;
+  bool optimal = false;
   std::size_t iteration = 0;
   while (iteration < options.max_iterations) {
     const bool bland = iteration >= options.bland_after;
@@ -89,7 +90,10 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
         }
       }
     }
-    if (entering < 0) break;  // optimal
+    if (entering < 0) {
+      optimal = true;
+      break;
+    }
 
     // Ratio test: pick the leaving row.
     int leaving = -1;
@@ -129,8 +133,21 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
     ++iteration;
   }
 
+  // The loop may exit on the iteration cap with the tableau already
+  // optimal (the final pivot reached the optimum exactly at the cap).
+  // Re-run pricing once so `converged` reports optimality of the
+  // tableau, not how the loop happened to exit.
+  if (!optimal) {
+    optimal = true;
+    for (int j = 0; j < n + m; ++j) {
+      if (obj_row[static_cast<std::size_t>(j)] < -eps) {
+        optimal = false;
+        break;
+      }
+    }
+  }
   solution.iterations = iteration;
-  solution.converged = iteration < options.max_iterations;
+  solution.converged = optimal;
   solution.values.assign(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < m; ++i) {
     int var = basis[static_cast<std::size_t>(i)];

@@ -37,6 +37,7 @@
 // Offline solvers.
 #include "offline/exact_solver.h"      // IWYU pragma: export
 #include "offline/greedy_offline.h"    // IWYU pragma: export
+#include "offline/incremental_edf.h"   // IWYU pragma: export
 #include "offline/local_ratio.h"       // IWYU pragma: export
 #include "offline/probe_assignment.h"  // IWYU pragma: export
 #include "offline/simplex.h"           // IWYU pragma: export

@@ -98,6 +98,50 @@ TEST(GreedyOfflineTest, UtilityBreaksTies) {
   EXPECT_DOUBLE_EQ(solution->captured_weight, 5.0);
 }
 
+TEST(GreedyOfflineTest, AlternativesNeedOnlyRequiredSubset) {
+  // Regression: the solver used to flatten all EIs of a t-interval into
+  // the feasibility test, so required() < size() instances were
+  // rejected whenever the full set did not fit. Any 1 of these two
+  // same-chronon EIs fits under budget 1; the full pair does not.
+  TInterval eta({{0, 0, 0}, {1, 0, 0}});
+  eta.set_required(1);
+  MonitoringProblem p = SmallProblem({Profile("alt", {eta})}, 2, 2, 1);
+  GreedyOfflineScheduler greedy(&p);
+  auto solution = greedy.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 1u);
+  ExactSolver exact(&p);
+  auto optimum = exact.Solve();
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_EQ(solution->captured, optimum->captured);
+  EXPECT_DOUBLE_EQ(solution->captured_weight, optimum->captured_weight);
+}
+
+TEST(GreedyOfflineTest, AlternativesStayWithinOptimum) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 131 + 5);
+    RandomInstanceOptions options;
+    options.num_resources = 4;
+    options.epoch_length = 8;
+    options.num_t_intervals = 5;
+    options.max_rank = 3;
+    options.max_width = 2;
+    options.random_alternatives = true;
+    options.random_weights = true;
+    MonitoringProblem problem = MakeRandomInstance(options, &rng);
+    GreedyOfflineScheduler greedy(&problem);
+    auto solution = greedy.Solve();
+    ASSERT_TRUE(solution.ok());
+    EXPECT_TRUE(solution->schedule.SatisfiesBudget(problem.budget));
+    ExactSolver exact(&problem);
+    auto optimum = exact.Solve();
+    ASSERT_TRUE(optimum.ok());
+    EXPECT_LE(solution->captured_weight,
+              optimum->captured_weight + 1e-9)
+        << "seed " << seed;
+  }
+}
+
 TEST(GreedyOfflineTest, EmptyInstance) {
   MonitoringProblem p = SmallProblem({}, 1, 5, 1);
   GreedyOfflineScheduler scheduler(&p);

@@ -1,0 +1,211 @@
+#include "offline/incremental_edf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "offline/probe_assignment.h"
+#include "util/random.h"
+
+namespace pullmon {
+namespace {
+
+bool SchedulesEqual(const Schedule& a, const Schedule& b) {
+  if (a.epoch_length() != b.epoch_length()) return false;
+  for (Chronon t = 0; t < a.epoch_length(); ++t) {
+    if (a.ProbesAt(t) != b.ProbesAt(t)) return false;
+  }
+  return true;
+}
+
+Schedule Export(const EdfFeasibilityChecker& checker, Chronon epoch) {
+  Schedule schedule(epoch);
+  EXPECT_TRUE(checker.ExportSchedule(&schedule).ok());
+  return schedule;
+}
+
+TEST(IncrementalEdfTest, CommitAccumulatesRollbackRestores) {
+  BudgetVector budget = BudgetVector::Uniform(1, 6);
+  IncrementalEdfChecker checker(&budget, 6);
+  ASSERT_TRUE(checker.TrialInsert({{0, 0, 1}}));
+  checker.Commit();
+  EXPECT_EQ(checker.committed_eis(), 1u);
+  Schedule before = Export(checker, 6);
+
+  ASSERT_TRUE(checker.TrialInsert({{1, 0, 2}}));
+  checker.Rollback();
+  EXPECT_EQ(checker.committed_eis(), 1u);
+  EXPECT_TRUE(SchedulesEqual(Export(checker, 6), before));
+
+  ASSERT_TRUE(checker.TrialInsert({{1, 0, 2}}));
+  checker.Commit();
+  EXPECT_EQ(checker.committed_eis(), 2u);
+}
+
+TEST(IncrementalEdfTest, FailedTrialAutoRestores) {
+  BudgetVector budget = BudgetVector::Uniform(1, 4);
+  IncrementalEdfChecker checker(&budget, 4);
+  ASSERT_TRUE(checker.TrialInsert({{0, 1, 1}}));
+  checker.Commit();
+  Schedule before = Export(checker, 4);
+  // Same chronon, different resource, budget 1: infeasible. The checker
+  // must restore itself without Commit/Rollback.
+  EXPECT_FALSE(checker.TrialInsert({{1, 1, 1}}));
+  EXPECT_EQ(checker.committed_eis(), 1u);
+  EXPECT_TRUE(SchedulesEqual(Export(checker, 4), before));
+  // And remain fully usable afterwards.
+  ASSERT_TRUE(checker.TrialInsert({{1, 2, 3}}));
+  checker.Commit();
+  EXPECT_EQ(checker.committed_eis(), 2u);
+}
+
+TEST(IncrementalEdfTest, EarlierDeadlineInsertReplaysSuffix) {
+  // Committing an EI ordered before the existing entries must replay
+  // them and still match the from-scratch assignment on the union.
+  BudgetVector budget = BudgetVector::Uniform(1, 8);
+  IncrementalEdfChecker checker(&budget, 8);
+  std::vector<ExecutionInterval> committed = {
+      {0, 2, 5}, {1, 3, 6}, {2, 4, 7}};
+  for (const auto& ei : committed) {
+    ASSERT_TRUE(checker.TrialInsert({ei}));
+    checker.Commit();
+  }
+  ExecutionInterval early(3, 0, 2);
+  ASSERT_TRUE(checker.TrialInsert({early}));
+  checker.Commit();
+  committed.push_back(early);
+  Schedule expected(8);
+  ASSERT_TRUE(AssignProbesEdf(committed, budget, 8, &expected));
+  EXPECT_TRUE(SchedulesEqual(Export(checker, 8), expected));
+}
+
+TEST(IncrementalEdfTest, MatchesFromScratchOnRandomSequences) {
+  // Differential: random batch sequences with interleaved accept /
+  // reject / rollback; after every step the incremental checker's
+  // feasibility answer and exported schedule must equal what
+  // AssignProbesEdf produces on the committed multiset.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 7919 + 3);
+    const Chronon epoch = 10;
+    BudgetVector budget = BudgetVector::Uniform(
+        static_cast<int>(rng.NextInt(1, 2)), epoch);
+    IncrementalEdfChecker checker(&budget, epoch);
+    std::vector<ExecutionInterval> committed;
+    for (int step = 0; step < 30; ++step) {
+      std::vector<ExecutionInterval> batch;
+      const int batch_size = static_cast<int>(rng.NextInt(1, 3));
+      for (int b = 0; b < batch_size; ++b) {
+        Chronon start = static_cast<Chronon>(rng.NextInt(0, epoch - 1));
+        Chronon finish = start + static_cast<Chronon>(rng.NextInt(
+                                     0, epoch - 1 - start > 2
+                                            ? 2
+                                            : epoch - 1 - start));
+        batch.emplace_back(static_cast<ResourceId>(rng.NextInt(0, 3)),
+                           start, finish);
+      }
+      std::vector<ExecutionInterval> trial = committed;
+      trial.insert(trial.end(), batch.begin(), batch.end());
+      const bool oracle_feasible =
+          AssignProbesEdf(trial, budget, epoch, nullptr);
+      const bool incremental_feasible = checker.TrialInsert(batch);
+      ASSERT_EQ(incremental_feasible, oracle_feasible)
+          << "seed " << seed << " step " << step;
+      if (incremental_feasible) {
+        if (rng.NextBool(0.25)) {
+          checker.Rollback();
+        } else {
+          checker.Commit();
+          committed = std::move(trial);
+        }
+      }
+      ASSERT_EQ(checker.committed_eis(), committed.size());
+      Schedule expected(epoch);
+      ASSERT_TRUE(AssignProbesEdf(committed, budget, epoch, &expected));
+      ASSERT_TRUE(SchedulesEqual(Export(checker, epoch), expected))
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(IncrementalEdfTest, DeadlineOrderedInsertionIsLinear) {
+  // Greedy's regime: batches arrive by increasing deadline, so every
+  // trial's replay suffix is just the batch itself and total replay
+  // work stays linear in the number of EIs.
+  const Chronon epoch = 200;
+  BudgetVector budget = BudgetVector::Uniform(1, epoch);
+  IncrementalEdfChecker checker(&budget, epoch);
+  std::size_t total_eis = 0;
+  for (Chronon t = 0; t < epoch; ++t) {
+    ASSERT_TRUE(checker.TrialInsert({{0, t, t}}));
+    checker.Commit();
+    ++total_eis;
+  }
+  EXPECT_EQ(checker.replay_steps(), total_eis);
+}
+
+TEST(TryCommitTIntervalTest, AllRequiredCommitsOrLeavesUntouched) {
+  BudgetVector budget = BudgetVector::Uniform(1, 4);
+  IncrementalEdfChecker checker(&budget, 4);
+  TInterval both({{0, 0, 0}, {1, 0, 0}});
+  // Budget 1 at chronon 0 cannot host both EIs.
+  EXPECT_FALSE(TryCommitTInterval(both, &checker));
+  EXPECT_EQ(checker.committed_eis(), 0u);
+  TInterval one({{0, 0, 0}});
+  EXPECT_TRUE(TryCommitTInterval(one, &checker));
+  EXPECT_EQ(checker.committed_eis(), 1u);
+}
+
+TEST(TryCommitTIntervalTest, AlternativesCommitRequiredSizedSubset) {
+  BudgetVector budget = BudgetVector::Uniform(1, 4);
+  IncrementalEdfChecker checker(&budget, 4);
+  // Any 1 of 2 suffices; only one fits under budget 1.
+  TInterval eta({{0, 0, 0}, {1, 0, 0}});
+  eta.set_required(1);
+  EXPECT_TRUE(TryCommitTInterval(eta, &checker));
+  EXPECT_EQ(checker.committed_eis(), 1u);
+  Schedule schedule = Export(checker, 4);
+  EXPECT_EQ(schedule.TotalProbes(), 1u);
+}
+
+TEST(TryCommitTIntervalTest, AlternativesFallBackToLaterSubsets) {
+  BudgetVector budget = BudgetVector::Uniform(1, 4);
+  IncrementalEdfChecker checker(&budget, 4);
+  ASSERT_TRUE(checker.TrialInsert({{0, 0, 0}}));
+  checker.Commit();
+  // EDF-first subset {r1@0} is blocked (budget 1 at chronon 0, r1
+  // cannot share r0's probe); the enumeration must move on and commit
+  // {r2@[1,1]}.
+  TInterval eta({{1, 0, 0}, {2, 1, 1}});
+  eta.set_required(1);
+  EXPECT_TRUE(TryCommitTInterval(eta, &checker));
+  EXPECT_EQ(checker.committed_eis(), 2u);
+}
+
+TEST(TryCommitTIntervalTest, InfeasibleAlternativesLeaveStateIntact) {
+  BudgetVector budget = BudgetVector::Uniform(1, 3);
+  IncrementalEdfChecker checker(&budget, 3);
+  ASSERT_TRUE(checker.TrialInsert({{0, 0, 0}}));
+  checker.Commit();
+  Schedule before = Export(checker, 3);
+  TInterval eta({{1, 0, 0}, {2, 0, 0}});
+  eta.set_required(1);
+  EXPECT_FALSE(TryCommitTInterval(eta, &checker));
+  EXPECT_EQ(checker.committed_eis(), 1u);
+  EXPECT_TRUE(SchedulesEqual(Export(checker, 3), before));
+}
+
+TEST(TryCommitTIntervalTest, BackendsAgreeOnAlternatives) {
+  for (auto backend : {FeasibilityBackend::kIncremental,
+                       FeasibilityBackend::kFromScratch}) {
+    BudgetVector budget = BudgetVector::Uniform(1, 5);
+    auto checker = MakeFeasibilityChecker(backend, &budget, 5);
+    TInterval eta({{0, 1, 2}, {1, 1, 2}, {2, 3, 4}});
+    eta.set_required(2);
+    EXPECT_TRUE(TryCommitTInterval(eta, checker.get()));
+    EXPECT_EQ(checker->committed_eis(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

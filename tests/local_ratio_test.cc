@@ -117,6 +117,23 @@ TEST(LocalRatioTest, GeneralWidthInstanceStaysFeasible) {
   EXPECT_EQ(report.captured_t_intervals, solution->captured);
 }
 
+TEST(LocalRatioTest, AlternativesNeedOnlyRequiredSubset) {
+  // Regression: the unwind used to demand a feasible placement for all
+  // EIs of a t-interval even when required() < size(). Any 1 of these
+  // two same-chronon EIs fits under budget 1; the full pair does not.
+  TInterval eta({{0, 0, 0}, {1, 0, 0}});
+  eta.set_required(1);
+  MonitoringProblem p = SmallProblem({Profile("alt", {eta})}, 2, 2, 1);
+  LocalRatioScheduler scheduler(&p);
+  auto solution = scheduler.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->captured, 1u);
+  ExactSolver exact(&p);
+  auto optimum = exact.Solve();
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_EQ(solution->captured, optimum->captured);
+}
+
 TEST(LocalRatioTest, EmptyInstance) {
   MonitoringProblem p = SmallProblem({}, 1, 4, 1);
   LocalRatioScheduler scheduler(&p);
@@ -136,8 +153,26 @@ TEST(LocalRatioTest, LpFallbackStillProducesFeasibleSchedule) {
   LocalRatioScheduler scheduler(&p, options);
   auto solution = scheduler.Solve();
   ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->used_lp);
   EXPECT_TRUE(solution->schedule.SatisfiesBudget(p.budget));
   EXPECT_EQ(solution->captured, 2u);
+}
+
+TEST(LocalRatioTest, CellGuardCountsOnlyNonEmptyBudgetRows) {
+  // Regression: the guard used to count a budget row for every chronon
+  // of the epoch even though rows with no slot variables are never
+  // materialized. A single unit EI in a 1500-chronon epoch builds a
+  // 3-row LP (EI cover, x <= 1, one budget row), which must fit a tiny
+  // cell cap instead of tripping the guard.
+  MonitoringProblem p = SmallProblem(
+      {Profile("a", {TInterval({{0, 3, 3}})})}, 1, 1500, 1);
+  LocalRatioOptions options;
+  options.max_lp_cells = 100;
+  LocalRatioScheduler scheduler(&p, options);
+  auto solution = scheduler.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->used_lp);
+  EXPECT_EQ(solution->captured, 1u);
 }
 
 TEST(ContractToUnitWidthTest, ContractionRules) {

@@ -137,5 +137,27 @@ TEST(SimplexTest, IterationCapReportsNonConverged) {
   EXPECT_FALSE(solution->converged);
 }
 
+TEST(SimplexTest, ConvergedWhenCapEqualsExactPivotCount) {
+  // max x + y s.t. x <= 1, y <= 1 converges in exactly two pivots.
+  // Regression: with the cap pinned to that count the solver exited the
+  // loop on the iteration bound and mislabeled the already-optimal
+  // tableau as non-converged; pricing must be re-run once at exit.
+  LinearProgram lp(2);
+  ASSERT_TRUE(lp.SetObjective(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjective(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0, 1.0}}, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1, 1.0}}, 1.0).ok());
+  auto unconstrained = SolveLp(lp);
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_EQ(unconstrained->iterations, 2u);  // pin the exact count
+  SimplexOptions options;
+  options.max_iterations = 2;
+  auto solution = SolveLp(lp, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->converged);
+  EXPECT_EQ(solution->iterations, 2u);
+  EXPECT_NEAR(solution->objective, 2.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace pullmon

@@ -21,6 +21,15 @@ struct RandomInstanceOptions {
   bool forbid_intra_resource_overlap = false;
   /// When true every EI has width 1 (a P^[1] instance).
   bool unit_width = false;
+  /// When true each t-interval draws a utility weight from
+  /// {0.25, 0.5, ..., 4.0} instead of the default 1.0.
+  bool random_weights = false;
+  /// When true each t-interval with >= 2 EIs becomes an alternatives
+  /// t-interval (required() < size()) with probability 1/2.
+  bool random_alternatives = false;
+  /// When true the per-chronon budget is drawn from [0, budget] per
+  /// chronon instead of the uniform `budget`.
+  bool nonuniform_budget = false;
 };
 
 /// Draws a random monitoring problem. Each t-interval gets a rank drawn
@@ -82,6 +91,16 @@ inline MonitoringProblem MakeRandomInstance(
       ++placed;
     }
     if (eta.empty()) continue;
+    // The extensions below draw from the rng only when enabled so that
+    // pre-existing seeds keep producing the exact same base instances.
+    if (options.random_weights) {
+      eta.set_weight(0.25 * static_cast<double>(rng->NextInt(1, 16)));
+    }
+    if (options.random_alternatives && eta.size() >= 2 &&
+        rng->NextBool(0.5)) {
+      eta.set_required(static_cast<std::size_t>(
+          rng->NextInt(1, static_cast<int64_t>(eta.size()) - 1)));
+    }
     current.AddTInterval(std::move(eta));
     if (static_cast<int>(current.size()) >= t_intervals_per_profile) {
       problem.profiles.push_back(std::move(current));
@@ -89,6 +108,14 @@ inline MonitoringProblem MakeRandomInstance(
     }
   }
   if (!current.empty()) problem.profiles.push_back(std::move(current));
+  if (options.nonuniform_budget) {
+    std::vector<int> budgets(
+        static_cast<std::size_t>(options.epoch_length));
+    for (auto& c : budgets) {
+      c = static_cast<int>(rng->NextInt(0, options.budget));
+    }
+    problem.budget = BudgetVector::FromVector(std::move(budgets));
+  }
   return problem;
 }
 

@@ -19,7 +19,14 @@ Exits 0 when equivalent, 1 with a report when not, 2 on bad input.
 import json
 import sys
 
-DETERMINISTIC_METRICS = {"items_parsed", "gc"}
+DETERMINISTIC_METRICS = {
+    "items_parsed",
+    "gc",
+    "captured_weight",
+    "lr_gc",
+    "lr_captured_weight",
+    "lr_used_lp",
+}
 
 
 def load(path):

@@ -5,8 +5,9 @@
 #
 #   tools/check.sh            # both passes
 #   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
-#   tools/check.sh --bench    # also run the hot-path bench gate
-#                             # (Release+LTO build, 2x + zero-alloc)
+#   tools/check.sh --bench    # also run the bench gates (Release+LTO
+#                             # build): hot-path (2x + zero-alloc) and
+#                             # offline solvers (5x + equivalence)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +44,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_hotpath
   ./build-release/bench/bench_hotpath --json=BENCH_hotpath_local.json
   python3 tools/bench_diff.py BENCH_hotpath.json BENCH_hotpath_local.json
+  echo "== offline-solver bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_offline_solvers
+  ./build-release/bench/bench_offline_solvers --json=BENCH_offline_local.json
+  python3 tools/bench_diff.py BENCH_offline.json BENCH_offline_local.json
 fi
 
 echo "== all checks passed =="
