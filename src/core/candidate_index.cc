@@ -1,5 +1,7 @@
 #include "core/candidate_index.h"
 
+#include "util/string_util.h"
+
 namespace pullmon {
 
 CandidateIndex::CandidateIndex(int num_resources, Chronon epoch_length)
@@ -64,6 +66,94 @@ Chronon CandidateIndex::EarliestDeadline(ResourceId resource) const {
     heap.pop_back();
   }
   return -1;
+}
+
+Status CandidateIndex::CheckInvariants() const {
+  std::vector<int> list_occurrences(eis_.size(), 0);
+  for (ResourceId r = 0; r < num_resources_; ++r) {
+    const auto& bucket = live_on_resource_[static_cast<std::size_t>(r)];
+    int non_dead = 0;
+    for (int id : bucket) {
+      if (id < 0 || id >= static_cast<int>(eis_.size())) {
+        return Status::InvalidArgument(StringFormat(
+            "resource %d live list holds out-of-range flat id %d", r, id));
+      }
+      const IndexedEi& flat = eis_[static_cast<std::size_t>(id)];
+      if (flat.ei.resource != r) {
+        return Status::InvalidArgument(StringFormat(
+            "flat id %d (resource %d) filed under resource %d's live list",
+            id, flat.ei.resource, r));
+      }
+      ++list_occurrences[static_cast<std::size_t>(id)];
+      if (!flat.dead) {
+        ++non_dead;
+        if (!flat.active) {
+          return Status::InvalidArgument(StringFormat(
+              "flat id %d is listed live on resource %d but not active",
+              id, r));
+        }
+      }
+    }
+    if (live_count_[static_cast<std::size_t>(r)] != non_dead) {
+      return Status::InvalidArgument(StringFormat(
+          "resource %d live counter %d != %d non-dead list entries", r,
+          live_count_[static_cast<std::size_t>(r)], non_dead));
+    }
+    if (non_dead > 0 && !in_play_[static_cast<std::size_t>(r)]) {
+      return Status::InvalidArgument(StringFormat(
+          "resource %d holds %d live candidates but is not in play", r,
+          non_dead));
+    }
+  }
+  // A resource flagged in play must actually sit on the active list.
+  std::vector<uint8_t> on_active_list(
+      static_cast<std::size_t>(num_resources_), 0);
+  for (ResourceId r : active_resources_) {
+    if (r < 0 || r >= num_resources_) {
+      return Status::InvalidArgument(
+          StringFormat("active-resource list holds bogus resource %d", r));
+    }
+    on_active_list[static_cast<std::size_t>(r)] = 1;
+  }
+  for (ResourceId r = 0; r < num_resources_; ++r) {
+    if (in_play_[static_cast<std::size_t>(r)] &&
+        !on_active_list[static_cast<std::size_t>(r)]) {
+      return Status::InvalidArgument(StringFormat(
+          "resource %d flagged in play but missing from the active list",
+          r));
+    }
+  }
+  for (std::size_t id = 0; id < eis_.size(); ++id) {
+    const IndexedEi& flat = eis_[id];
+    if (flat.captured && !flat.dead) {
+      return Status::InvalidArgument(
+          StringFormat("flat id %zu captured but not dead", id));
+    }
+    if (!flat.active || flat.dead) continue;
+    // A live candidate occupies exactly one live-list slot...
+    if (list_occurrences[id] != 1) {
+      return Status::InvalidArgument(StringFormat(
+          "live flat id %zu appears %d times in resource %d's live list",
+          id, list_occurrences[id], flat.ei.resource));
+    }
+    // ... and is represented in its resource's lazy deadline heap.
+    const auto& heap =
+        deadline_heap_[static_cast<std::size_t>(flat.ei.resource)];
+    bool in_heap = false;
+    for (const auto& entry : heap) {
+      if (entry.second == static_cast<int>(id) &&
+          entry.first == flat.ei.finish) {
+        in_heap = true;
+        break;
+      }
+    }
+    if (!in_heap) {
+      return Status::InvalidArgument(StringFormat(
+          "live flat id %zu missing from resource %d's deadline heap", id,
+          flat.ei.resource));
+    }
+  }
+  return Status::OK();
 }
 
 std::size_t CandidateIndex::SelectTopResources(

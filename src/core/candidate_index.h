@@ -10,6 +10,7 @@
 #include "core/chronon.h"
 #include "core/execution_interval.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace pullmon {
 
@@ -220,11 +221,27 @@ class CandidateIndex {
     }
   }
 
-  /// Removes an EI from play because its parent died (completed or
-  /// failed) — the "interval departs" event of dynamic interval
-  /// scheduling. Safe on any state: captured/expired/unstarted EIs are
-  /// left as they are (their counters were already settled).
+  /// Removes an EI from play because its parent died (completed,
+  /// failed, or withdrawn by a client cancel/edit) — the "interval
+  /// departs" event of dynamic interval scheduling. This is the
+  /// incremental-delete primitive: the pending start/expiry bucket
+  /// entries and the live-list slot are retired *lazily* (skipped as
+  /// dead, compacted on the next CollectResourceCandidates pass), while
+  /// the per-resource live counter is settled immediately and the
+  /// deadline heap cleans itself on the next EarliestDeadline query —
+  /// so no churn operation ever rebuilds the index. Safe on any state:
+  /// captured/expired/unstarted EIs are left as they are (their
+  /// counters were already settled).
   void Deactivate(int flat_id);
+
+  /// Deactivates the contiguous flat-id range [first_flat, first_flat +
+  /// num_eis) — the shared retire path of the executors and
+  /// DynamicMonitor, whose per-parent EIs are registered contiguously.
+  void RetireRange(int first_flat, int num_eis) {
+    for (int fid = first_flat; fid < first_flat + num_eis; ++fid) {
+      Deactivate(fid);
+    }
+  }
 
   /// Expires the EIs whose window closes at `now`: each still-live one
   /// is removed from the index and reported to `on_expire` (a callable
@@ -262,6 +279,16 @@ class CandidateIndex {
   const std::vector<ResourceId>& ActiveResources() const {
     return active_resources_;
   }
+
+  /// Exhaustive O(total EIs) audit of the lazy structures, run by the
+  /// churn fuzz suite after every operation. Verifies, per resource:
+  /// the exact live counter equals the number of non-dead live-list
+  /// entries; non-dead entries are flagged active; every live EI
+  /// appears in exactly one live-list slot and has a deadline-heap
+  /// entry; a resource holding live candidates is on the active list;
+  /// and captured implies dead. Returns InvalidArgument naming the
+  /// first violated invariant.
+  Status CheckInvariants() const;
 
  private:
   static bool Better(int np_class, double score, Chronon deadline, int id,

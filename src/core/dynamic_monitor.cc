@@ -7,24 +7,56 @@
 
 namespace pullmon {
 
+const char* MonitorIndexModeToString(MonitorIndexMode mode) {
+  switch (mode) {
+    case MonitorIndexMode::kIncremental:
+      return "incremental";
+    case MonitorIndexMode::kRebuild:
+      return "rebuild";
+  }
+  return "?";
+}
+
 DynamicMonitor::DynamicMonitor(int num_resources, Chronon epoch_length,
                                BudgetVector budget, Policy* policy,
-                               ExecutionMode mode)
+                               ExecutionMode mode, MonitorOptions options)
     : num_resources_(num_resources),
       epoch_length_(epoch_length),
       budget_(std::move(budget)),
       policy_(policy),
       mode_(mode),
+      options_(options),
+      health_(num_resources, options.breaker),
       schedule_(epoch_length),
       index_(num_resources, epoch_length) {
   policy_->Reset();
+  policy_->AttachHealth(&health_);
 }
 
 ProfileId DynamicMonitor::RegisterProfile(std::string name) {
   profile_names_.push_back(std::move(name));
   rank_of_profile_.push_back(0);
+  profile_unregistered_.push_back(0);
   runtimes_of_profile_.emplace_back();
   return static_cast<ProfileId>(profile_names_.size()) - 1;
+}
+
+Result<int> DynamicMonitor::ResolveSubmission(ProfileId profile,
+                                              int submission_id) const {
+  if (profile < 0 ||
+      profile >= static_cast<ProfileId>(profile_names_.size())) {
+    return Status::InvalidArgument(
+        StringFormat("unknown profile id %d", profile));
+  }
+  const auto& subs =
+      runtimes_of_profile_[static_cast<std::size_t>(profile)];
+  if (submission_id < 0 ||
+      submission_id >= static_cast<int>(subs.size())) {
+    return Status::InvalidArgument(
+        StringFormat("profile %d has no submission %d", profile,
+                     submission_id));
+  }
+  return subs[static_cast<std::size_t>(submission_id)];
 }
 
 Result<int> DynamicMonitor::Submit(ProfileId profile,
@@ -33,6 +65,10 @@ Result<int> DynamicMonitor::Submit(ProfileId profile,
       profile >= static_cast<ProfileId>(profile_names_.size())) {
     return Status::InvalidArgument(
         StringFormat("unknown profile id %d", profile));
+  }
+  if (profile_unregistered_[static_cast<std::size_t>(profile)]) {
+    return Status::InvalidArgument(
+        StringFormat("profile %d is unregistered", profile));
   }
   PULLMON_RETURN_NOT_OK(t_interval.Validate(Epoch{epoch_length_}));
   for (const auto& ei : t_interval.eis()) {
@@ -47,7 +83,12 @@ Result<int> DynamicMonitor::Submit(ProfileId profile,
           ei.start, now_));
     }
   }
+  ++stats_.submitted;
+  return AppendSubmission(profile, std::move(t_interval));
+}
 
+int DynamicMonitor::AppendSubmission(ProfileId profile,
+                                     TInterval t_interval) {
   submitted_.push_back(std::move(t_interval));
   const TInterval& stored = submitted_.back();
   int t_id = static_cast<int>(runtimes_.size());
@@ -69,6 +110,8 @@ Result<int> DynamicMonitor::Submit(ProfileId profile,
   rt.required = static_cast<int>(stored.required());
   rt.ei_captured.assign(stored.size(), 0);
   runtimes_.push_back(std::move(rt));
+  cancelled_.push_back(0);
+  fault_touched_.push_back(0);
   int submission = static_cast<int>(
       runtimes_of_profile_[static_cast<std::size_t>(profile)].size()) -
       1;
@@ -84,12 +127,132 @@ Result<int> DynamicMonitor::Submit(ProfileId profile,
 void DynamicMonitor::RetireParent(int t_id) {
   const TIntervalRuntime& parent =
       runtimes_[static_cast<std::size_t>(t_id)];
-  int begin = first_flat_[static_cast<std::size_t>(t_id)];
-  int end = begin + parent.NumEis();
-  for (int fid = begin; fid < end; ++fid) index_.Deactivate(fid);
+  index_.RetireRange(first_flat_[static_cast<std::size_t>(t_id)],
+                     parent.NumEis());
+}
+
+void DynamicMonitor::CancelLive(int t_id) {
+  TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
+  // Captures already spent on a submission the client is withdrawing
+  // served nobody: account them as orphaned probe work.
+  stats_.orphaned_probes += static_cast<std::size_t>(rt.num_captured);
+  cancelled_[static_cast<std::size_t>(t_id)] = 1;
+  RetireParent(t_id);
+  if (options_.maintenance == MonitorIndexMode::kRebuild) RebuildIndex();
+}
+
+Status DynamicMonitor::Cancel(ProfileId profile, int submission_id) {
+  PULLMON_ASSIGN_OR_RETURN(int t_id,
+                           ResolveSubmission(profile, submission_id));
+  if (!IsLive(t_id)) {
+    const TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
+    const char* state = cancelled_[static_cast<std::size_t>(t_id)]
+                            ? "already cancelled"
+                            : (rt.completed ? "already completed"
+                                            : "already failed");
+    return Status::InvalidArgument(
+        StringFormat("submission %d of profile %d is %s", submission_id,
+                     profile, state));
+  }
+  CancelLive(t_id);
+  ++stats_.cancelled;
+  return Status::OK();
+}
+
+Result<int> DynamicMonitor::Unregister(ProfileId profile) {
+  if (profile < 0 ||
+      profile >= static_cast<ProfileId>(profile_names_.size())) {
+    return Status::InvalidArgument(
+        StringFormat("unknown profile id %d", profile));
+  }
+  if (profile_unregistered_[static_cast<std::size_t>(profile)]) {
+    return Status::InvalidArgument(
+        StringFormat("profile %d is already unregistered", profile));
+  }
+  profile_unregistered_[static_cast<std::size_t>(profile)] = 1;
+  int cancelled = 0;
+  for (int t_id :
+       runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    if (!IsLive(t_id)) continue;
+    CancelLive(t_id);
+    ++stats_.cancelled;
+    ++cancelled;
+  }
+  ++stats_.unregistered_profiles;
+  return cancelled;
+}
+
+Result<int> DynamicMonitor::Edit(ProfileId profile, int submission_id,
+                                 TInterval replacement) {
+  PULLMON_ASSIGN_OR_RETURN(int t_id,
+                           ResolveSubmission(profile, submission_id));
+  if (profile_unregistered_[static_cast<std::size_t>(profile)]) {
+    return Status::InvalidArgument(
+        StringFormat("profile %d is unregistered", profile));
+  }
+  if (!IsLive(t_id)) {
+    return Status::InvalidArgument(StringFormat(
+        "submission %d of profile %d is no longer live", submission_id,
+        profile));
+  }
+  // Validate the replacement in full *before* touching the old
+  // submission, so a rejected edit is a no-op.
+  PULLMON_RETURN_NOT_OK(replacement.Validate(Epoch{epoch_length_}));
+  for (const auto& ei : replacement.eis()) {
+    if (ei.resource >= num_resources_) {
+      return Status::OutOfRange(
+          StringFormat("EI resource %d outside [0,%d)", ei.resource,
+                       num_resources_));
+    }
+    if (ei.start < now_) {
+      return Status::InvalidArgument(StringFormat(
+          "edited EI starts at %d but the monitor is already at chronon "
+          "%d (edits cannot reach into the past)",
+          ei.start, now_));
+    }
+  }
+  CancelLive(t_id);
+  ++stats_.edited;
+  return AppendSubmission(profile, std::move(replacement));
+}
+
+void DynamicMonitor::RebuildIndex() {
+  // The from-scratch oracle: re-register every EI in original flat-id
+  // order (selection tie-breaks depend on flat ids), mark everything
+  // that has left play dead — captured EIs, expired windows, and whole
+  // parents that completed, failed, or were withdrawn — then replay the
+  // activations of already-opened windows. Dead EIs are skipped by the
+  // replay, so the rebuilt live lists hold exactly the surviving
+  // candidates in activation order, matching the incremental index's
+  // observable state (its lists may additionally carry dead entries
+  // awaiting lazy compaction, which nothing observes).
+  CandidateIndex fresh(num_resources_, epoch_length_);
+  for (std::size_t t = 0; t < runtimes_.size(); ++t) {
+    const TIntervalRuntime& rt = runtimes_[t];
+    const bool parent_dead =
+        rt.completed || rt.failed || cancelled_[t] != 0;
+    const auto& eis = rt.source->eis();
+    for (std::size_t i = 0; i < eis.size(); ++i) {
+      int fid =
+          fresh.AddEi(eis[i], static_cast<int>(t), static_cast<int>(i));
+      if (parent_dead || rt.ei_captured[i] != 0 ||
+          eis[i].finish < now_) {
+        fresh.Deactivate(fid);
+      }
+    }
+  }
+  for (Chronon t = 0; t < now_; ++t) {
+    fresh.ActivateArrivals(t, [](int) { return true; });
+  }
+  index_ = std::move(fresh);
 }
 
 Result<StepResult> DynamicMonitor::Step() {
+  if (!validated_options_) {
+    PULLMON_RETURN_NOT_OK(options_.retry.Validate());
+    PULLMON_RETURN_NOT_OK(options_.breaker.Validate());
+    validated_options_ = true;
+  }
   if (now_ >= epoch_length_) {
     return Status::FailedPrecondition("the epoch is over");
   }
@@ -99,8 +262,13 @@ Result<StepResult> DynamicMonitor::Step() {
   // 1. Reveal EIs starting now (dead parents were retired eagerly).
   index_.ActivateArrivals(now_, [](int) { return true; });
 
-  // 2. Score the live candidates, one minimal key per resource.
-  index_.CollectResourceCandidates(
+  // Expired cool-downs move to probation before scoring, so a half-open
+  // resource competes in this chronon's selection.
+  health_.BeginChronon(now_);
+
+  // 2. Score the live candidates, one minimal key per resource;
+  //    open-circuit resources are skipped and their budget flows on.
+  std::size_t scored = index_.CollectResourceCandidates(
       now_,
       [&](const IndexedEi& flat) {
         const TIntervalRuntime& parent =
@@ -112,16 +280,57 @@ Result<StepResult> DynamicMonitor::Step() {
         return std::make_pair(
             np_class, policy_->Score(flat.ei, parent, flat.ei_index, now_));
       },
+      [&](ResourceId r) { return health_.IsSuppressed(r); },
+      [&](ResourceId r, int live) { health_.NoteSuppressed(r, live); },
       &entries_);
+  stats_.candidates_scored += scored;
+  stats_.max_concurrent_candidates =
+      std::max(stats_.max_concurrent_candidates, scored);
 
   // 3. Partial top-C_now selection over resources, best first.
   int budget = budget_.at(now_);
   if (budget > 0 && !entries_.empty()) {
     std::size_t take =
         CandidateIndex::SelectTopResources(&entries_, budget);
-    for (std::size_t e = 0;
-         e < take && static_cast<int>(step.probed.size()) < budget; ++e) {
+    int probes_this_chronon = 0;
+    for (std::size_t e = 0; e < take; ++e) {
+      if (probes_this_chronon >= budget) break;
       ResourceId r = entries_[e].resource;
+      ++probes_this_chronon;
+      ++stats_.probes_used;
+      bool success = probe_callback_ ? probe_callback_(r, now_) : true;
+      health_.RecordProbe(r, now_, success);
+      if (!success) {
+        ++stats_.probes_failed;
+        // Same-chronon retries with exponential backoff, each charged
+        // one budget unit (identical to OnlineExecutor's probe path).
+        double waited = 0.0;
+        double backoff = options_.retry.backoff_base;
+        for (int attempt = 0; attempt < options_.retry.max_retries &&
+                              probes_this_chronon < budget &&
+                              !health_.CircuitOpen(r);
+             ++attempt) {
+          waited += backoff;
+          if (waited > options_.retry.backoff_budget) break;
+          backoff *= options_.retry.backoff_multiplier;
+          ++probes_this_chronon;
+          ++stats_.probes_used;
+          ++stats_.retries_issued;
+          ++stats_.retry_probes_spent;
+          success = probe_callback_(r, now_);
+          health_.RecordProbe(r, now_, success);
+          if (success) break;
+          ++stats_.probes_failed;
+        }
+      }
+      if (!success) {
+        // Nothing was delivered: candidates on r stay candidates.
+        // Record which parents the failure touched for attribution.
+        index_.ForEachLiveOnResource(r, [&](int, const IndexedEi& miss) {
+          fault_touched_[static_cast<std::size_t>(miss.t_id)] = 1;
+        });
+        continue;
+      }
       step.probed.push_back(r);
       PULLMON_CHECK_OK(schedule_.AddProbe(r, now_));
 
@@ -142,18 +351,27 @@ Result<StepResult> DynamicMonitor::Step() {
         }
       });
     }
+    health_.NoteBudgetReclaimed(
+        std::min(health_.SuppressedThisChronon(),
+                 static_cast<std::size_t>(probes_this_chronon)));
   }
 
   // 5. Expiry.
   index_.ExpireEnding(now_, [&](int, const IndexedEi& flat) {
     TIntervalRuntime& parent =
         runtimes_[static_cast<std::size_t>(flat.t_id)];
-    if (parent.failed || parent.completed) return;
+    if (parent.failed || parent.completed ||
+        cancelled_[static_cast<std::size_t>(flat.t_id)]) {
+      return;
+    }
     ++parent.num_expired;
     if (parent.num_captured + parent.NumAlive() < parent.required) {
       parent.failed = true;
       ++failed_;
       RetireParent(flat.t_id);
+      if (fault_touched_[static_cast<std::size_t>(flat.t_id)]) {
+        ++stats_.t_intervals_lost_to_faults;
+      }
       step.failed.emplace_back(
           parent.profile,
           submission_id_[static_cast<std::size_t>(flat.t_id)]);
@@ -176,6 +394,9 @@ CompletenessReport DynamicMonitor::Completeness() const {
   CompletenessReport report;
   report.per_profile.resize(profile_names_.size());
   for (std::size_t t = 0; t < runtimes_.size(); ++t) {
+    // Withdrawn submissions leave the denominator: the client no longer
+    // wants them, so they are neither captured nor missed.
+    if (cancelled_[t]) continue;
     const TIntervalRuntime& rt = runtimes_[t];
     auto& pc = report.per_profile[static_cast<std::size_t>(rt.profile)];
     ++pc.total;
@@ -188,6 +409,38 @@ CompletenessReport DynamicMonitor::Completeness() const {
     }
   }
   return report;
+}
+
+Status DynamicMonitor::CheckInvariants() const {
+  PULLMON_RETURN_NOT_OK(index_.CheckInvariants());
+  for (std::size_t t = 0; t < runtimes_.size(); ++t) {
+    const TIntervalRuntime& rt = runtimes_[t];
+    int captured = 0;
+    for (uint8_t flag : rt.ei_captured) captured += flag != 0;
+    if (captured != rt.num_captured) {
+      return Status::InvalidArgument(StringFormat(
+          "t-interval %zu capture counter %d != %d flagged EIs", t,
+          rt.num_captured, captured));
+    }
+    if (rt.completed && rt.num_captured < rt.required) {
+      return Status::InvalidArgument(StringFormat(
+          "t-interval %zu completed with %d of %d required captures", t,
+          rt.num_captured, rt.required));
+    }
+    const bool dead = rt.completed || rt.failed || cancelled_[t] != 0;
+    if (!dead) continue;
+    int begin = first_flat_[t];
+    int end = begin + rt.NumEis();
+    for (int fid = begin; fid < end; ++fid) {
+      const IndexedEi& flat = index_.at(fid);
+      if (flat.active && !flat.dead) {
+        return Status::InvalidArgument(StringFormat(
+            "dead t-interval %zu still holds live EI (flat id %d)", t,
+            fid));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace pullmon

@@ -2,13 +2,17 @@
 #define PULLMON_CORE_DYNAMIC_MONITOR_H_
 
 #include <deque>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/candidate_index.h"
 #include "core/completeness.h"
+#include "core/online_executor.h"
 #include "core/policy.h"
 #include "core/problem.h"
+#include "core/resource_health.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -24,22 +28,112 @@ struct StepResult {
   std::vector<std::pair<ProfileId, int>> failed;
 };
 
-/// The truly online face of the library: clients subscribe and submit
-/// t-intervals *while the epoch runs*, exactly the setting of
-/// Section 4.2.1 ("at every chronon T_j, the proxy may receive a set of
-/// new t-intervals"). OnlineExecutor requires the whole workload up
-/// front and replays it; DynamicMonitor accepts submissions between
-/// steps and is what a deployed proxy embeds.
+/// How the monitor maintains its candidate structures across churn
+/// operations (Cancel / Edit / Unregister).
+enum class MonitorIndexMode {
+  /// Production path: every churn operation retires the affected EIs in
+  /// place (CandidateIndex::Deactivate) — O(rank) per operation, no
+  /// rebuild ever.
+  kIncremental,
+  /// Differential oracle: after every churn removal the candidate index
+  /// is reconstructed from scratch from the monitor's parent bookkeeping
+  /// (O(total EIs) per operation), mirroring the original "event lists
+  /// are built once" design. Decision-identical to kIncremental — the
+  /// churn differential suite and bench_churn enforce schedule-for-
+  /// schedule equality.
+  kRebuild,
+};
+
+/// "incremental" / "rebuild".
+const char* MonitorIndexModeToString(MonitorIndexMode mode);
+
+/// Behavioral knobs of the monitor's probe path and index maintenance.
+/// Defaults reproduce the pre-churn monitor exactly: no retries, no
+/// breaker, incremental maintenance.
+struct MonitorOptions {
+  /// Same-chronon retry/backoff for failed probes (needs a probe
+  /// callback to ever fail).
+  RetryPolicy retry;
+  /// Circuit-breaker behavior of the resource-health tracking; disabled
+  /// by default (byte-identical to no breaker).
+  BreakerOptions breaker;
+  /// Candidate-structure maintenance under churn.
+  MonitorIndexMode maintenance = MonitorIndexMode::kIncremental;
+};
+
+/// Deterministic counters of one monitor lifetime (mirrors the
+/// scheduling/fault/churn portions of OnlineRunResult/ProxyRunReport).
+struct MonitorStats {
+  // --- Probe path (identical meaning to OnlineRunResult). -------------
+  std::size_t probes_used = 0;
+  std::size_t probes_failed = 0;
+  std::size_t retries_issued = 0;
+  std::size_t retry_probes_spent = 0;
+  std::size_t candidates_scored = 0;
+  std::size_t max_concurrent_candidates = 0;
+  std::size_t t_intervals_lost_to_faults = 0;
+  // --- Churn telemetry. ------------------------------------------------
+  /// Accepted Submit() calls (edit replacements are counted under
+  /// `edited`, not here).
+  std::size_t submitted = 0;
+  /// Accepted Cancel() calls plus per-submission cancellations performed
+  /// by Unregister().
+  std::size_t cancelled = 0;
+  /// Accepted Edit() calls.
+  std::size_t edited = 0;
+  /// Accepted Unregister() calls.
+  std::size_t unregistered_profiles = 0;
+  /// Probe work orphaned by churn: EI captures whose parent t-interval
+  /// was cancelled or edited away before completing — pulls whose data
+  /// no client ever received.
+  std::size_t orphaned_probes = 0;
+};
+
+/// The truly online face of the library: clients subscribe, submit,
+/// cancel, and edit t-intervals *while the epoch runs* — Section 4.2.1's
+/// per-chronon arrivals extended with the full churn surface a deployed
+/// proxy serving volatile client populations needs. OnlineExecutor
+/// requires the whole workload up front and replays it; DynamicMonitor
+/// accepts mutations between steps.
 ///
 /// Semantics are identical to OnlineExecutor (same candidate rules,
-/// probe sharing, preemption classes, deterministic tie-breaks) — a
-/// differential test asserts schedule-for-schedule equality when all
-/// t-intervals are submitted up front.
+/// probe sharing, preemption classes, retry/breaker behavior,
+/// deterministic tie-breaks) — a differential test asserts
+/// schedule-for-schedule equality when all t-intervals are submitted up
+/// front, and the churn differential suite asserts equality between the
+/// incremental index and the from-scratch rebuild oracle
+/// (MonitorIndexMode::kRebuild) under arbitrary churn.
+///
+/// Churn semantics (DESIGN.md section 13):
+///  * Cancel(profile, submission) withdraws a live submission; its
+///    remaining EIs stop competing immediately (this chronon's budget
+///    flows to other candidates). Cancelling an unknown, completed,
+///    failed, or already-cancelled submission is InvalidArgument.
+///  * Edit(profile, submission, replacement) atomically cancels the old
+///    submission and resubmits the replacement (new deadline/weight/
+///    alternatives), returning the replacement's submission id. The
+///    replacement must not start before now() (InvalidArgument).
+///  * Unregister(profile) cancels every live submission of the profile
+///    and refuses future submissions to it.
+///  * Cancelled submissions leave the completeness denominator — they
+///    were withdrawn, not missed. Captures they already consumed are
+///    surfaced as MonitorStats::orphaned_probes.
+///  * A profile's rank is a high-water mark: cancels never lower it
+///    (rank-level policies stay monotone under churn).
 class DynamicMonitor {
  public:
+  /// Invoked for every probe attempt: (resource, chronon) -> success.
+  /// Without a callback every probe succeeds (the logical setting).
+  using ProbeCallback = std::function<bool(ResourceId, Chronon)>;
+
   /// `policy` must outlive the monitor; it is Reset() on construction.
   DynamicMonitor(int num_resources, Chronon epoch_length,
-                 BudgetVector budget, Policy* policy, ExecutionMode mode);
+                 BudgetVector budget, Policy* policy, ExecutionMode mode,
+                 MonitorOptions options = MonitorOptions{});
+
+  void set_probe_callback(ProbeCallback callback) {
+    probe_callback_ = std::move(callback);
+  }
 
   /// Registers a client profile; its rank grows as t-intervals are
   /// submitted (rank-level policies see the current rank).
@@ -50,6 +144,21 @@ class DynamicMonitor {
   /// current chronon (no retroactive arrivals). Returns a submission id
   /// unique within the profile, echoed in StepResult.
   Result<int> Submit(ProfileId profile, TInterval t_interval);
+
+  /// Withdraws a live submission mid-epoch; see the churn semantics
+  /// above. O(rank) incremental delete — no rebuild.
+  Status Cancel(ProfileId profile, int submission_id);
+
+  /// Cancels every live submission of `profile` and bars future ones.
+  /// Unknown or already-unregistered profiles are InvalidArgument.
+  /// Returns the number of submissions cancelled.
+  Result<int> Unregister(ProfileId profile);
+
+  /// Cancel + resubmit in one atomic operation: validation failures
+  /// (dead target, invalid or retroactive replacement) leave the old
+  /// submission untouched. Returns the replacement's submission id.
+  Result<int> Edit(ProfileId profile, int submission_id,
+                   TInterval replacement);
 
   /// Executes the current chronon (probe selection, captures, expiry)
   /// and advances time. FailedPrecondition once the epoch is over.
@@ -68,31 +177,74 @@ class DynamicMonitor {
   std::size_t t_intervals_submitted() const { return runtimes_.size(); }
   std::size_t t_intervals_completed() const { return completed_; }
   std::size_t t_intervals_failed() const { return failed_; }
+  std::size_t t_intervals_cancelled() const { return stats_.cancelled; }
 
-  /// Completeness of the schedule so far against everything submitted.
+  const MonitorStats& stats() const { return stats_; }
+  const ResourceHealthTracker& health() const { return health_; }
+  MonitorIndexMode maintenance() const { return options_.maintenance; }
+
+  /// Completeness of the schedule so far against everything submitted
+  /// and not withdrawn (cancelled submissions are excluded).
   CompletenessReport Completeness() const;
 
+  /// Audits the candidate index's lazy structures plus the monitor's
+  /// parent bookkeeping (dead parents hold no live EIs, capture counts
+  /// consistent) — the churn fuzz suite runs this after every op.
+  Status CheckInvariants() const;
+
  private:
-  /// Removes a dead (completed/failed) parent's remaining EIs from the
-  /// candidate index.
+  /// True when the submission can still be mutated (not completed,
+  /// failed, or cancelled).
+  bool IsLive(int t_id) const {
+    const TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
+    return !rt.completed && !rt.failed &&
+           !cancelled_[static_cast<std::size_t>(t_id)];
+  }
+
+  /// Resolves (profile, submission) to a flat t_id, or InvalidArgument.
+  Result<int> ResolveSubmission(ProfileId profile, int submission_id) const;
+
+  /// Records a pre-validated t-interval (shared tail of Submit and
+  /// Edit); returns the submission id within the profile.
+  int AppendSubmission(ProfileId profile, TInterval t_interval);
+
+  /// Removes a dead (completed/failed/cancelled) parent's remaining EIs
+  /// from the candidate index.
   void RetireParent(int t_id);
+
+  /// Marks a live submission cancelled: orphan accounting, retire, and —
+  /// under MonitorIndexMode::kRebuild — the from-scratch rebuild.
+  void CancelLive(int t_id);
+
+  /// The rebuild oracle: reconstructs `index_` from the monitor's parent
+  /// bookkeeping (flat ids, live/dead state, activation replay), exactly
+  /// as if every surviving EI had been registered into a fresh index.
+  void RebuildIndex();
 
   int num_resources_;
   Chronon epoch_length_;
   BudgetVector budget_;
   Policy* policy_;
   ExecutionMode mode_;
+  MonitorOptions options_;
+  ProbeCallback probe_callback_;
+  ResourceHealthTracker health_;
+  bool validated_options_ = false;
 
   Chronon now_ = 0;
   Schedule schedule_;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  MonitorStats stats_;
 
   /// Stable storage: TIntervalRuntime::source points into this deque.
   std::deque<TInterval> submitted_;
   std::vector<TIntervalRuntime> runtimes_;
+  std::vector<uint8_t> cancelled_;   // per runtime: withdrawn by client
+  std::vector<uint8_t> fault_touched_;  // per runtime: failed probe seen
   std::vector<int> submission_id_;   // per runtime, unique in profile
   std::vector<int> rank_of_profile_;  // current rank per profile
+  std::vector<uint8_t> profile_unregistered_;
   std::vector<std::vector<int>> runtimes_of_profile_;
   std::vector<std::string> profile_names_;
 

@@ -106,9 +106,8 @@ Result<OnlineRunResult> OnlineExecutor::RunIndexed() {
   auto retire_parent = [&](int t_id) {
     const TIntervalRuntime& parent =
         runtimes[static_cast<std::size_t>(t_id)];
-    int begin = first_flat[static_cast<std::size_t>(t_id)];
-    int end = begin + parent.NumEis();
-    for (int fid = begin; fid < end; ++fid) index.Deactivate(fid);
+    index.RetireRange(first_flat[static_cast<std::size_t>(t_id)],
+                      parent.NumEis());
   };
 
   std::vector<ResourceCandidate> entries;

@@ -68,6 +68,7 @@
 // Profile generation and simulation harness.
 #include "profilegen/auction_watch.h"      // IWYU pragma: export
 #include "profilegen/profile_generator.h"  // IWYU pragma: export
+#include "sim/churn.h"                     // IWYU pragma: export
 #include "sim/config.h"                    // IWYU pragma: export
 #include "sim/experiment.h"                // IWYU pragma: export
 #include "sim/proxy.h"                     // IWYU pragma: export

@@ -1,0 +1,303 @@
+#include "sim/churn.h"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/dynamic_monitor.h"
+#include "policies/policy_factory.h"
+#include "sim/experiment.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace pullmon {
+
+Status ChurnOptions::Validate() const {
+  if (ops_per_chronon < 0.0) {
+    return Status::InvalidArgument("churn ops_per_chronon must be >= 0");
+  }
+  if (cancel_fraction < 0.0 || edit_fraction < 0.0 ||
+      unregister_fraction < 0.0) {
+    return Status::InvalidArgument("churn mix fractions must be >= 0");
+  }
+  const double sum =
+      cancel_fraction + edit_fraction + unregister_fraction;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(StringFormat(
+        "churn mix fractions must sum to 1 (got %.6f)", sum));
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("churn zipf_theta must be >= 0");
+  }
+  return Status::OK();
+}
+
+const char* ChurnEventKindToString(ChurnEvent::Kind kind) {
+  switch (kind) {
+    case ChurnEvent::Kind::kCancel:
+      return "cancel";
+    case ChurnEvent::Kind::kEdit:
+      return "edit";
+    case ChurnEvent::Kind::kUnregister:
+      return "unregister";
+  }
+  return "?";
+}
+
+ChurnWorkload GenerateChurnWorkload(const ChurnOptions& options,
+                                    int num_profiles, Chronon epoch_length,
+                                    uint64_t seed) {
+  ChurnWorkload workload;
+  if (!options.enabled || options.ops_per_chronon <= 0.0 ||
+      num_profiles <= 0) {
+    return workload;
+  }
+  Rng rng(seed);
+  ZipfDistribution activity(options.zipf_theta,
+                            static_cast<uint64_t>(num_profiles));
+  for (Chronon t = 0; t < epoch_length; ++t) {
+    int64_t count = rng.NextPoisson(options.ops_per_chronon);
+    for (int64_t i = 0; i < count; ++i) {
+      ChurnEvent event;
+      event.chronon = t;
+      double mix = rng.NextDouble();
+      if (mix < options.cancel_fraction) {
+        event.kind = ChurnEvent::Kind::kCancel;
+        ++workload.cancels;
+      } else if (mix < options.cancel_fraction + options.edit_fraction) {
+        event.kind = ChurnEvent::Kind::kEdit;
+        ++workload.edits;
+      } else {
+        event.kind = ChurnEvent::Kind::kUnregister;
+        ++workload.unregisters;
+      }
+      event.profile = static_cast<int>(activity.Sample(&rng)) - 1;
+      event.pick = rng.Next();
+      event.deadline_delta = static_cast<Chronon>(rng.NextInt(1, 12));
+      event.weight_factor = 0.5 + rng.NextDouble();
+      workload.events.push_back(event);
+    }
+  }
+  return workload;
+}
+
+namespace {
+
+/// Builds an Edit replacement from the submission's current definition:
+/// the EIs whose window has not yet opened survive, with their deadlines
+/// pushed out by `delta` (clamped to the epoch) and the weight rescaled.
+/// When every EI has already opened the replacement comes back empty and
+/// the monitor rejects the edit — the deliberate edit-to-past-deadline
+/// error path.
+TInterval BuildEditReplacement(const TInterval& current, Chronon now,
+                               Chronon epoch_length, Chronon delta,
+                               double weight_factor) {
+  TInterval replacement;
+  for (const ExecutionInterval& ei : current.eis()) {
+    if (ei.start < now) continue;
+    ExecutionInterval moved = ei;
+    moved.finish = std::min<Chronon>(ei.finish + delta, epoch_length - 1);
+    replacement.AddEi(moved);
+  }
+  replacement.set_weight(current.weight() * weight_factor);
+  return replacement;
+}
+
+}  // namespace
+
+Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
+                                    const PolicySpec& spec, uint64_t seed) {
+  PULLMON_RETURN_NOT_OK(config.churn.Validate());
+  PULLMON_RETURN_NOT_OK(config.faults.Validate());
+  PULLMON_RETURN_NOT_OK(config.retry.Validate());
+  PULLMON_RETURN_NOT_OK(config.breaker.Validate());
+
+  UpdateTrace trace(0, 0);
+  PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
+                           BuildProblem(config, seed, &trace));
+  FeedNetwork network(
+      &trace, static_cast<std::size_t>(config.feed_buffer_capacity < 1
+                                           ? 1
+                                           : config.feed_buffer_capacity));
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = problem.num_resources;
+  PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                           MakePolicy(spec.policy, po));
+
+  MonitorOptions mo;
+  mo.retry = config.retry;
+  mo.breaker = config.breaker;
+  // The backend switch maps onto the monitor's maintenance mode: the
+  // reference backend runs the from-scratch rebuild oracle, so backend
+  // differential tests cover churn too.
+  mo.maintenance = config.executor_backend == ExecutorBackend::kReference
+                       ? MonitorIndexMode::kRebuild
+                       : MonitorIndexMode::kIncremental;
+  DynamicMonitor monitor(problem.num_resources, problem.epoch.length,
+                         problem.budget, policy.get(), spec.mode, mo);
+
+  ProxyRunReport report;
+  ProxyOptions popts;
+  popts.faults = config.faults;
+  popts.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  popts.retry = config.retry;
+  popts.breaker = config.breaker;
+  popts.parse_cache = config.parse_cache;
+  FeedPullSession session(&network, problem.num_resources, popts, &report);
+  monitor.set_probe_callback([&](ResourceId resource, Chronon now) {
+    return session.Probe(resource, now);
+  });
+
+  // Register every client and bucket its t-intervals by arrival chronon
+  // (a t-interval is submitted the moment its earliest EI opens — the
+  // online reveal rule of Section 4.2.1).
+  const Chronon epoch_length = problem.epoch.length;
+  std::vector<std::vector<std::pair<ProfileId, const TInterval*>>>
+      arrivals(static_cast<std::size_t>(epoch_length));
+  std::vector<ProfileId> handle;
+  handle.reserve(problem.profiles.size());
+  for (const Profile& p : problem.profiles) {
+    handle.push_back(monitor.RegisterProfile(p.name()));
+    for (const TInterval& eta : p.t_intervals()) {
+      if (eta.empty()) continue;
+      Chronon at = eta.EarliestStart();
+      if (at < 0 || at >= epoch_length) continue;
+      arrivals[static_cast<std::size_t>(at)].emplace_back(handle.back(),
+                                                          &eta);
+    }
+  }
+
+  // The churn stream draws from its own generator, so enabling churn
+  // perturbs no trace/profile/fault/policy randomness.
+  ChurnWorkload workload = GenerateChurnWorkload(
+      config.churn, static_cast<int>(problem.profiles.size()),
+      epoch_length, config.churn.seed ^ (seed * 0x9E3779B97F4A7C15ULL));
+
+  // Local shadow of each profile's submissions (the definition currently
+  // live under each submission id), used to resolve churn targets and to
+  // build edit replacements.
+  std::vector<std::vector<TInterval>> defs(problem.profiles.size());
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::size_t next_event = 0;
+  for (Chronon now = 0; now < epoch_length; ++now) {
+    for (const auto& [pid, eta] : arrivals[static_cast<std::size_t>(now)]) {
+      auto submitted = monitor.Submit(pid, *eta);
+      if (submitted.ok()) {
+        defs[static_cast<std::size_t>(pid)].push_back(*eta);
+      } else {
+        // Arrivals for unregistered clients bounce — expected churn.
+        ++report.churn_rejected_ops;
+      }
+    }
+    while (next_event < workload.events.size() &&
+           workload.events[next_event].chronon == now) {
+      const ChurnEvent& event = workload.events[next_event++];
+      auto pid = static_cast<std::size_t>(event.profile);
+      int count = static_cast<int>(defs[pid].size());
+      // An inactive client's op targets submission 0 (or a bogus id) on
+      // purpose: rejected operations are part of the workload and keep
+      // the error paths hot.
+      int sub = count > 0
+                    ? static_cast<int>(event.pick %
+                                       static_cast<uint64_t>(count))
+                    : 0;
+      switch (event.kind) {
+        case ChurnEvent::Kind::kCancel: {
+          if (!monitor.Cancel(event.profile, sub).ok()) {
+            ++report.churn_rejected_ops;
+          }
+          break;
+        }
+        case ChurnEvent::Kind::kEdit: {
+          TInterval replacement;
+          if (count > 0) {
+            replacement = BuildEditReplacement(
+                defs[pid][static_cast<std::size_t>(sub)], now,
+                epoch_length, event.deadline_delta, event.weight_factor);
+          }
+          auto edited = monitor.Edit(event.profile, sub, replacement);
+          if (edited.ok()) {
+            defs[pid].push_back(std::move(replacement));
+          } else {
+            ++report.churn_rejected_ops;
+          }
+          break;
+        }
+        case ChurnEvent::Kind::kUnregister: {
+          if (!monitor.Unregister(event.profile).ok()) {
+            ++report.churn_rejected_ops;
+          }
+          break;
+        }
+      }
+    }
+    PULLMON_ASSIGN_OR_RETURN(StepResult step, monitor.Step());
+    report.notifications_delivered += step.captured.size();
+  }
+  const auto run_end = std::chrono::steady_clock::now();
+
+  // Mirror the scheduling/fault/health/churn telemetry the way
+  // MonitoringProxy::Run does, so churn and proxy reports compare
+  // field-for-field.
+  const MonitorStats& ms = monitor.stats();
+  report.run.schedule = monitor.schedule();
+  report.run.completeness = monitor.Completeness();
+  report.run.elapsed_seconds =
+      std::chrono::duration<double>(run_end - run_start).count();
+  report.run.probes_used = ms.probes_used;
+  report.run.t_intervals_completed = monitor.t_intervals_completed();
+  report.run.t_intervals_failed = monitor.t_intervals_failed();
+  report.run.candidates_scored = ms.candidates_scored;
+  report.run.max_concurrent_candidates = ms.max_concurrent_candidates;
+  report.run.probes_failed = ms.probes_failed;
+  report.run.retries_issued = ms.retries_issued;
+  report.run.retry_probes_spent = ms.retry_probes_spent;
+  report.run.t_intervals_lost_to_faults = ms.t_intervals_lost_to_faults;
+  const HealthStats& hs = monitor.health().stats();
+  report.run.circuits_opened = hs.circuits_opened;
+  report.run.circuits_reopened = hs.circuits_reopened;
+  report.run.probation_probes = hs.probation_probes;
+  report.run.probation_successes = hs.probation_successes;
+  report.run.probes_suppressed = hs.probes_suppressed;
+  report.run.budget_reclaimed = hs.budget_reclaimed;
+  report.run.open_chronons_total = hs.open_chronons_total;
+  if (config.breaker.enabled) {
+    report.run.open_chronons_by_resource =
+        monitor.health().OpenChrononsByResource();
+  }
+  // The monitor's own capture accounting must agree with the
+  // schedule-based evaluation (cancelled submissions excluded).
+  PULLMON_CHECK(report.run.completeness.captured_t_intervals ==
+                monitor.t_intervals_completed());
+
+  report.probes_failed = ms.probes_failed;
+  report.retries_issued = ms.retries_issued;
+  report.retry_probes_spent = ms.retry_probes_spent;
+  report.circuits_opened = report.run.circuits_opened;
+  report.circuits_reopened = report.run.circuits_reopened;
+  report.probation_probes = report.run.probation_probes;
+  report.probation_successes = report.run.probation_successes;
+  report.probes_suppressed = report.run.probes_suppressed;
+  report.budget_reclaimed = report.run.budget_reclaimed;
+  report.open_chronons_total = report.run.open_chronons_total;
+  report.open_chronons_by_resource = report.run.open_chronons_by_resource;
+  std::size_t total = report.run.completeness.total_t_intervals;
+  report.gc_lost_to_faults =
+      total == 0
+          ? 0.0
+          : static_cast<double>(report.run.t_intervals_lost_to_faults) /
+                static_cast<double>(total);
+  report.churn_submitted = ms.submitted;
+  report.churn_cancelled = ms.cancelled;
+  report.churn_edited = ms.edited;
+  report.churn_unregistered_profiles = ms.unregistered_profiles;
+  report.orphaned_probes = ms.orphaned_probes;
+  session.FinishReport();
+  return report;
+}
+
+}  // namespace pullmon

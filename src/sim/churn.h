@@ -1,0 +1,85 @@
+#ifndef PULLMON_SIM_CHURN_H_
+#define PULLMON_SIM_CHURN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/chronon.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Knobs of the mid-epoch profile-churn workload (ISSUE: "Profile churn
+/// at client scale"). Churn models a volatile client population: while
+/// the epoch runs, clients cancel pending submissions, edit their
+/// deadlines/weights, and occasionally unregister outright — on top of
+/// the t-interval arrivals the online setting already has. Client
+/// activity is Zipf-skewed (a few heavy clients drive most churn), as in
+/// the paper's eBay workload skew.
+struct ChurnOptions {
+  /// Master switch; when off the run path is churn-free.
+  bool enabled = false;
+  /// Mean churn operations per chronon (Poisson-distributed count).
+  double ops_per_chronon = 0.0;
+  /// Operation mix; the three fractions must sum to 1.
+  double cancel_fraction = 0.60;
+  double edit_fraction = 0.35;
+  double unregister_fraction = 0.05;
+  /// Zipf skew of the per-client activity (0 = uniform; 1.37 matches
+  /// the Web-feed popularity skew of [10]).
+  double zipf_theta = 1.37;
+  /// Base seed of the churn stream; mixed with the repetition seed so
+  /// churn never consumes randomness shared with trace, profile, fault
+  /// or policy streams.
+  uint64_t seed = 0xC4A2;
+
+  /// Range-checks the knobs (rates non-negative, fractions summing to
+  /// 1); the CLI surfaces violations as clean InvalidArgument.
+  Status Validate() const;
+};
+
+/// One pre-drawn churn operation. Events carry raw random material
+/// (`pick`) instead of resolved submission ids: which submissions exist
+/// at replay time depends on the run, so the runner resolves the target
+/// deterministically against the state then current.
+struct ChurnEvent {
+  enum class Kind { kCancel, kEdit, kUnregister };
+
+  Chronon chronon = 0;
+  Kind kind = Kind::kCancel;
+  /// Zipf-selected client driving the operation.
+  int profile = 0;
+  /// Uniform 64-bit draw; the runner maps it onto the profile's
+  /// submissions (pick % count).
+  uint64_t pick = 0;
+  /// Edit mutation: chronons added to every remaining EI deadline
+  /// (clamped to the epoch) ...
+  Chronon deadline_delta = 0;
+  /// ... and the factor applied to the t-interval's weight.
+  double weight_factor = 1.0;
+};
+
+const char* ChurnEventKindToString(ChurnEvent::Kind kind);
+
+/// A full epoch's churn stream, sorted by chronon (events within one
+/// chronon apply in generation order, before that chronon executes).
+struct ChurnWorkload {
+  std::vector<ChurnEvent> events;
+  std::size_t cancels = 0;
+  std::size_t edits = 0;
+  std::size_t unregisters = 0;
+};
+
+/// Draws the churn stream for one run: per chronon a Poisson(ops)
+/// event count, per event a kind (categorical over the mix), a client
+/// (Zipf over profiles), and the mutation material. Deterministic in
+/// (options, num_profiles, epoch_length, seed); `options` must already
+/// validate.
+ChurnWorkload GenerateChurnWorkload(const ChurnOptions& options,
+                                    int num_profiles, Chronon epoch_length,
+                                    uint64_t seed);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_SIM_CHURN_H_

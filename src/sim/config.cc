@@ -22,6 +22,7 @@ Status SimulationConfig::Validate() const {
   PULLMON_RETURN_NOT_OK(faults.Validate());
   PULLMON_RETURN_NOT_OK(retry.Validate());
   PULLMON_RETURN_NOT_OK(breaker.Validate());
+  PULLMON_RETURN_NOT_OK(churn.Validate());
   return Status::OK();
 }
 
@@ -79,6 +80,15 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
                       ExecutorBackendToString(executor_backend));
   }
   if (parse_cache) rows.emplace_back("parse cache", "on");
+  if (churn.enabled) {
+    rows.emplace_back(
+        "churn (ops/chronon)",
+        StringFormat("%.2f (cancel %.2f / edit %.2f / unreg %.2f)",
+                     churn.ops_per_chronon, churn.cancel_fraction,
+                     churn.edit_fraction, churn.unregister_fraction));
+    rows.emplace_back("churn zipf theta",
+                      StringFormat("%.2f", churn.zipf_theta));
+  }
   return rows;
 }
 

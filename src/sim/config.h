@@ -8,6 +8,7 @@
 #include "core/chronon.h"
 #include "core/online_executor.h"
 #include "feeds/fault_injection.h"
+#include "sim/churn.h"
 #include "trace/auction_generator.h"
 #include "trace/feed_workload.h"
 #include "trace/update_model.h"
@@ -85,6 +86,10 @@ struct SimulationConfig {
   /// (sim/proxy.h). Off by default; results are byte-identical either
   /// way apart from the cache's own counters.
   bool parse_cache = false;
+  /// Mid-epoch profile churn (sim/churn.h): cancel/edit/unregister
+  /// streams with Zipf-skewed client activity, driven through
+  /// DynamicMonitor by RunChurnOnce. Disabled by default.
+  ChurnOptions churn;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

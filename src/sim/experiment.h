@@ -43,6 +43,18 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
 Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed);
 
+/// Runs the churn-capable monitoring service once (sim/churn.cc):
+/// generates the instance, submits each t-interval the chronon its
+/// earliest EI opens, replays the generated churn stream
+/// (cancel/edit/unregister with Zipf client activity) against a
+/// DynamicMonitor, and pulls every scheduled probe through the same
+/// FeedPullSession as the proxy path. `config.executor_backend` selects
+/// the monitor's index maintenance (indexed -> incremental delete,
+/// reference -> rebuild oracle); both are decision-identical.
+/// Deterministic in (config, spec, seed).
+Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
+                                    const PolicySpec& spec, uint64_t seed);
+
 /// Aggregated outcome of one policy over the experiment repetitions.
 struct PolicyOutcome {
   PolicySpec spec;

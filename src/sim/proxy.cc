@@ -1,9 +1,147 @@
 #include "sim/proxy.h"
 
 #include "feeds/atom.h"
-#include "util/arena.h"
 
 namespace pullmon {
+
+FeedPullSession::FeedPullSession(FeedNetwork* network, int num_resources,
+                                 const ProxyOptions& options,
+                                 ProxyRunReport* report)
+    : network_(network),
+      report_(report),
+      etags_(static_cast<std::size_t>(num_resources)) {
+  // The fault layer sits between session and network only when some rate
+  // is non-zero; a fresh plan per session makes repeated runs replay the
+  // identical fault sequence.
+  if (!options.faults.AllZero()) {
+    plan_.emplace(network_, options.fault_seed, options.faults);
+  }
+  if (options.parse_cache) {
+    cache_.emplace(static_cast<std::size_t>(num_resources));
+  }
+}
+
+bool FeedPullSession::Probe(ResourceId resource, Chronon now) {
+  // The pull leg: catch the network up to "now" and fetch the feed.
+  // Clock advancement goes through the fault plan when one exists, so
+  // its per-resource outage chains see the current chronon.
+  if (plan_.has_value()) {
+    plan_->AdvanceTo(now);
+  } else {
+    network_->AdvanceTo(now);
+  }
+  if (now != fetch_chronon_) {
+    current_items_.clear();
+    fetch_chronon_ = now;
+  }
+  std::string& etag = etags_[static_cast<std::size_t>(resource)];
+  // The response, unified across both paths as views: into the server's
+  // reused buffers on the direct path, or into `faulted` (alive for the
+  // rest of the probe) on the fault-plan path.
+  bool not_modified = false;
+  std::string_view body;
+  std::string_view served_etag;
+  bool mangled = false;
+  FaultPlan::FaultedFetch faulted;
+  if (plan_.has_value()) {
+    auto outcome = plan_->ProbeConditional(resource, etag);
+    if (!outcome.ok()) {
+      ++report_->parse_failures;
+      return false;
+    }
+    switch (outcome->fault) {
+      case FaultPlan::FaultKind::kTimeout:
+        ++report_->timeouts;
+        return false;
+      case FaultPlan::FaultKind::kServerError:
+        ++report_->server_errors;
+        return false;
+      case FaultPlan::FaultKind::kOutage:
+        ++report_->outage_probes;
+        return false;
+      case FaultPlan::FaultKind::kNone:
+        break;
+    }
+    if (outcome->truncated || outcome->corrupted) ++report_->corrupt_bodies;
+    faulted = std::move(*outcome);
+    mangled = faulted.truncated || faulted.corrupted;
+    not_modified = faulted.fetch.not_modified;
+    body = faulted.fetch.body;
+    served_etag = faulted.fetch.etag;
+  } else {
+    auto direct = network_->ProbeConditionalView(resource, etag);
+    if (!direct.ok()) {
+      ++report_->parse_failures;
+      return false;
+    }
+    not_modified = direct->not_modified;
+    body = direct->body;
+    served_etag = direct->etag;
+  }
+  ++report_->feeds_fetched;
+  if (not_modified) {
+    ++report_->not_modified;
+    etag.assign(served_etag);
+    return true;  // nothing new to parse or deliver
+  }
+  report_->feed_bytes += body.size();
+  if (cache_.has_value()) {
+    const FeedDocument* replay =
+        cache_->Lookup(resource, served_etag, body, mangled);
+    if (replay != nullptr) {
+      etag.assign(served_etag);
+      report_->items_parsed += replay->items.size();
+      current_items_.insert(current_items_.end(), replay->items.begin(),
+                            replay->items.end());
+      return true;
+    }
+  }
+  arena_.Reset();
+  auto parsed = ParseFeed(body, &arena_);
+  if (!parsed.ok()) {
+    ++report_->parse_failures;
+    // An unparsable response proves nothing about the feed state: keep
+    // the previous validator so a retry refetches the full body, drop
+    // any cached document (it can no longer be trusted as current), and
+    // report failure so the EI stays a candidate.
+    if (cache_.has_value()) cache_->Invalidate(resource);
+    return false;
+  }
+  const FeedDocumentView& view = **parsed;
+  etag.assign(served_etag);
+  report_->items_parsed += view.num_items;
+  if (cache_.has_value()) {
+    const FeedDocument& stored =
+        cache_->Store(resource, served_etag, body, view.Materialize());
+    current_items_.insert(current_items_.end(), stored.items.begin(),
+                          stored.items.end());
+  } else {
+    for (const FeedItemView* item = view.first_item; item != nullptr;
+         item = item->next) {
+      FeedItem copy;
+      copy.guid = std::string(item->guid);
+      copy.title = std::string(item->title);
+      copy.link = std::string(item->link);
+      copy.description = std::string(item->description);
+      copy.published = item->published;
+      current_items_.push_back(std::move(copy));
+    }
+  }
+  return true;
+}
+
+void FeedPullSession::FinishReport() {
+  if (plan_.has_value()) {
+    report_->fault_stats = plan_->stats();
+    report_->latency_chronons = report_->fault_stats.latency_total;
+  }
+  if (cache_.has_value()) {
+    report_->parse_cache_hits = cache_->stats().hits;
+    report_->parse_cache_misses = cache_->stats().misses;
+    report_->parse_cache_invalidations = cache_->stats().invalidations;
+    report_->parse_cache_bytes_saved = cache_->stats().bytes_saved;
+  }
+}
 
 MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
                                  FeedNetwork* network, Policy* policy,
@@ -26,143 +164,11 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   executor.set_breaker_options(options_.breaker);
   executor.set_backend(options_.backend);
 
-  // The fault layer sits between proxy and network only when some rate
-  // is non-zero; a fresh plan per Run() makes repeated runs replay the
-  // identical fault sequence.
-  std::optional<FaultPlan> plan;
-  if (!options_.faults.AllZero()) {
-    plan.emplace(network_, options_.fault_seed, options_.faults);
-  }
-
-  // Items pulled during the current chronon, attached to notifications
-  // delivered at that chronon.
-  Chronon fetch_chronon = -1;
-  std::vector<FeedItem> current_items;
-
-  // Per-resource validators for conditional fetches: repeated probes of
-  // an unchanged feed cost no bandwidth (HTTP If-None-Match semantics).
-  std::vector<std::string> etags(
-      static_cast<std::size_t>(problem_->num_resources));
-
-  // The probe hot path parses into one arena, Reset() per document;
-  // after warm-up a parse performs no heap allocation.
-  Arena arena;
-
-  // Optional ETag/content-keyed parse cache; replayed documents are
-  // byte-identical to what parsing would have produced, so the run's
-  // observable behavior does not depend on the cache being on.
-  std::optional<ParseCache> cache;
-  if (options_.parse_cache) {
-    cache.emplace(static_cast<std::size_t>(problem_->num_resources));
-  }
+  FeedPullSession session(network_, problem_->num_resources, options_,
+                          &report);
 
   executor.set_probe_callback([&](ResourceId resource, Chronon now) {
-    // The pull leg: catch the network up to "now" and fetch the feed.
-    // Clock advancement goes through the fault plan when one exists, so
-    // its per-resource outage chains see the current chronon.
-    if (plan.has_value()) {
-      plan->AdvanceTo(now);
-    } else {
-      network_->AdvanceTo(now);
-    }
-    if (now != fetch_chronon) {
-      current_items.clear();
-      fetch_chronon = now;
-    }
-    std::string& etag = etags[static_cast<std::size_t>(resource)];
-    // The response, unified across both paths as views: into the
-    // server's reused buffers on the direct path, or into `faulted`
-    // (alive for the rest of the probe) on the fault-plan path.
-    bool not_modified = false;
-    std::string_view body;
-    std::string_view served_etag;
-    bool mangled = false;
-    FaultPlan::FaultedFetch faulted;
-    if (plan.has_value()) {
-      auto outcome = plan->ProbeConditional(resource, etag);
-      if (!outcome.ok()) {
-        ++report.parse_failures;
-        return false;
-      }
-      switch (outcome->fault) {
-        case FaultPlan::FaultKind::kTimeout:
-          ++report.timeouts;
-          return false;
-        case FaultPlan::FaultKind::kServerError:
-          ++report.server_errors;
-          return false;
-        case FaultPlan::FaultKind::kOutage:
-          ++report.outage_probes;
-          return false;
-        case FaultPlan::FaultKind::kNone:
-          break;
-      }
-      if (outcome->truncated || outcome->corrupted) ++report.corrupt_bodies;
-      faulted = std::move(*outcome);
-      mangled = faulted.truncated || faulted.corrupted;
-      not_modified = faulted.fetch.not_modified;
-      body = faulted.fetch.body;
-      served_etag = faulted.fetch.etag;
-    } else {
-      auto direct = network_->ProbeConditionalView(resource, etag);
-      if (!direct.ok()) {
-        ++report.parse_failures;
-        return false;
-      }
-      not_modified = direct->not_modified;
-      body = direct->body;
-      served_etag = direct->etag;
-    }
-    ++report.feeds_fetched;
-    if (not_modified) {
-      ++report.not_modified;
-      etag.assign(served_etag);
-      return true;  // nothing new to parse or deliver
-    }
-    report.feed_bytes += body.size();
-    if (cache.has_value()) {
-      const FeedDocument* replay =
-          cache->Lookup(resource, served_etag, body, mangled);
-      if (replay != nullptr) {
-        etag.assign(served_etag);
-        report.items_parsed += replay->items.size();
-        current_items.insert(current_items.end(), replay->items.begin(),
-                             replay->items.end());
-        return true;
-      }
-    }
-    arena.Reset();
-    auto parsed = ParseFeed(body, &arena);
-    if (!parsed.ok()) {
-      ++report.parse_failures;
-      // An unparsable response proves nothing about the feed state:
-      // keep the previous validator so a retry refetches the full body,
-      // drop any cached document (it can no longer be trusted as
-      // current), and report failure so the EI stays a candidate.
-      if (cache.has_value()) cache->Invalidate(resource);
-      return false;
-    }
-    const FeedDocumentView& view = **parsed;
-    etag.assign(served_etag);
-    report.items_parsed += view.num_items;
-    if (cache.has_value()) {
-      const FeedDocument& stored =
-          cache->Store(resource, served_etag, body, view.Materialize());
-      current_items.insert(current_items.end(), stored.items.begin(),
-                           stored.items.end());
-    } else {
-      for (const FeedItemView* item = view.first_item; item != nullptr;
-           item = item->next) {
-        FeedItem copy;
-        copy.guid = std::string(item->guid);
-        copy.title = std::string(item->title);
-        copy.link = std::string(item->link);
-        copy.description = std::string(item->description);
-        copy.published = item->published;
-        current_items.push_back(std::move(copy));
-      }
-    }
-    return true;
+    return session.Probe(resource, now);
   });
 
   executor.set_capture_callback([&](ProfileId profile,
@@ -173,7 +179,9 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
     notification.profile = profile;
     notification.t_interval_index = t_interval_index;
     notification.chronon = now;
-    if (now == fetch_chronon) notification.items = current_items;
+    if (now == session.fetch_chronon()) {
+      notification.items = session.current_items();
+    }
     notifications_.push_back(std::move(notification));
     ++report.notifications_delivered;
   });
@@ -195,16 +203,7 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
       total == 0 ? 0.0
                  : static_cast<double>(report.run.t_intervals_lost_to_faults) /
                        static_cast<double>(total);
-  if (plan.has_value()) {
-    report.fault_stats = plan->stats();
-    report.latency_chronons = report.fault_stats.latency_total;
-  }
-  if (cache.has_value()) {
-    report.parse_cache_hits = cache->stats().hits;
-    report.parse_cache_misses = cache->stats().misses;
-    report.parse_cache_invalidations = cache->stats().invalidations;
-    report.parse_cache_bytes_saved = cache->stats().bytes_saved;
-  }
+  session.FinishReport();
   return report;
 }
 

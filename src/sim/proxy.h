@@ -10,6 +10,7 @@
 #include "feeds/feed_item.h"
 #include "feeds/feed_server.h"
 #include "feeds/parse_cache.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -82,6 +83,23 @@ struct ProxyRunReport {
   std::size_t parse_cache_invalidations = 0;
   /// Body bytes whose parse a cache hit skipped.
   std::size_t parse_cache_bytes_saved = 0;
+  // --- Churn telemetry (all zero in churn-free runs; mirrors
+  // --- MonitorStats, see core/dynamic_monitor.h). ---------------------
+  /// Accepted Submit() operations.
+  std::size_t churn_submitted = 0;
+  /// Accepted Cancel() operations (including Unregister fan-out).
+  std::size_t churn_cancelled = 0;
+  /// Accepted Edit() operations.
+  std::size_t churn_edited = 0;
+  /// Accepted Unregister() operations.
+  std::size_t churn_unregistered_profiles = 0;
+  /// Churn operations the monitor rejected (cancel of a completed
+  /// submission, duplicate unregister, ...) — expected under racy
+  /// workloads and deterministic under seed.
+  std::size_t churn_rejected_ops = 0;
+  /// Probe work orphaned by churn: EI captures whose parent was
+  /// cancelled or edited away before completing.
+  std::size_t orphaned_probes = 0;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults
@@ -107,6 +125,50 @@ struct ProxyOptions {
   /// document instead of reparsing. Off by default; the report is
   /// byte-identical either way apart from the parse_cache_* counters.
   bool parse_cache = false;
+};
+
+/// The physical pull leg shared by MonitoringProxy (executor-driven) and
+/// the churn experiment runner (DynamicMonitor-driven): conditional
+/// fetches through an optional deterministic fault plan, arena-backed
+/// parsing, and the optional ETag/content parse cache — one Probe() call
+/// per scheduled probe, filling the transport counters of a
+/// ProxyRunReport. Extracting it keeps churn runs byte-comparable to
+/// proxy runs on every feeds/fault/cache counter.
+class FeedPullSession {
+ public:
+  /// `network` and `report` must outlive the session; `options` must
+  /// already be validated.
+  FeedPullSession(FeedNetwork* network, int num_resources,
+                  const ProxyOptions& options, ProxyRunReport* report);
+
+  /// Executes the pull leg of one probe of `resource` at chronon `now`:
+  /// returns false when a fault or parse failure delivered no usable
+  /// document (the EI stays a candidate), true otherwise.
+  bool Probe(ResourceId resource, Chronon now);
+
+  /// Chronon of the most recent successful fetch batch.
+  Chronon fetch_chronon() const { return fetch_chronon_; }
+  /// Items pulled during the current chronon (notification payload).
+  const std::vector<FeedItem>& current_items() const {
+    return current_items_;
+  }
+
+  /// Copies the fault-plan and parse-cache counters into the report;
+  /// call once after the run.
+  void FinishReport();
+
+ private:
+  FeedNetwork* network_;
+  ProxyRunReport* report_;
+  std::optional<FaultPlan> plan_;
+  Chronon fetch_chronon_ = -1;
+  std::vector<FeedItem> current_items_;
+  /// Per-resource validators for conditional fetches (HTTP
+  /// If-None-Match semantics).
+  std::vector<std::string> etags_;
+  /// The probe hot path parses into one arena, Reset() per document.
+  Arena arena_;
+  std::optional<ParseCache> cache_;
 };
 
 /// The monitoring proxy: drives the online executor over an epoch while

@@ -141,6 +141,90 @@ TEST(DynamicMonitorTest, RankGrowsWithSubmissions) {
   EXPECT_EQ(step0->probed, (std::vector<ResourceId>{0}));
 }
 
+TEST(DynamicMonitorTest, CancelledLeaveCompletenessDenominator) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 8, BudgetVector::Uniform(1, 8), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  ASSERT_TRUE(monitor.Submit(client, TInterval({{0, 0, 3}})).ok());
+  auto doomed = monitor.Submit(client, TInterval({{1, 0, 7}}));
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(monitor.Step().ok());  // S-EDF captures r0 first
+  ASSERT_TRUE(monitor.Cancel(client, *doomed).ok());
+  auto report = monitor.RunToEnd();
+  ASSERT_TRUE(report.ok());
+  // The cancelled t-interval neither completes, fails, nor counts: GC
+  // is 1/1, not 1/2.
+  EXPECT_EQ(report->total_t_intervals, 1u);
+  EXPECT_EQ(report->captured_t_intervals, 1u);
+  EXPECT_DOUBLE_EQ(report->GainedCompleteness(), 1.0);
+  EXPECT_EQ(monitor.t_intervals_cancelled(), 1u);
+  EXPECT_EQ(monitor.t_intervals_failed(), 0u);
+}
+
+TEST(DynamicMonitorTest, OrphanedProbeAccounting) {
+  // A rank-2 t-interval captures one of its two EIs, then gets
+  // cancelled: that spent capture is recorded as orphaned work.
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 8, BudgetVector::Uniform(1, 8), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  auto sub = monitor.Submit(client, TInterval({{0, 0, 2}, {1, 4, 6}}));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(monitor.Step().ok());  // captures the r0 EI
+  EXPECT_EQ(monitor.t_intervals_completed(), 0u);
+  ASSERT_TRUE(monitor.Cancel(client, *sub).ok());
+  EXPECT_EQ(monitor.stats().orphaned_probes, 1u);
+  EXPECT_EQ(monitor.stats().cancelled, 1u);
+}
+
+TEST(DynamicMonitorTest, EditMovesWorkToReplacement) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(3, 10, BudgetVector::Uniform(1, 10), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId client = monitor.RegisterProfile("client");
+  auto sub = monitor.Submit(client, TInterval({{0, 2, 9}}));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(monitor.Step().ok());
+  auto replacement = monitor.Edit(client, *sub, TInterval({{2, 1, 9}}));
+  ASSERT_TRUE(replacement.ok());
+  EXPECT_NE(*replacement, *sub);
+  auto step = monitor.Step();
+  ASSERT_TRUE(step.ok());
+  // The monitor now probes the replacement's resource, not the old one.
+  EXPECT_EQ(step->probed, (std::vector<ResourceId>{2}));
+  ASSERT_EQ(step->captured.size(), 1u);
+  EXPECT_EQ(step->captured[0], std::make_pair(client, *replacement));
+  // Net bookkeeping: 2 submitted (original + replacement), 1 completed.
+  // The replaced original counts as edited — not cancelled — yet still
+  // leaves the completeness denominator.
+  EXPECT_EQ(monitor.t_intervals_submitted(), 2u);
+  EXPECT_EQ(monitor.t_intervals_cancelled(), 0u);
+  EXPECT_EQ(monitor.t_intervals_completed(), 1u);
+  EXPECT_EQ(monitor.stats().edited, 1u);
+  EXPECT_EQ(monitor.Completeness().total_t_intervals, 1u);
+}
+
+TEST(DynamicMonitorTest, UnregisterBarsFutureSubmissions) {
+  SEdfPolicy policy;
+  DynamicMonitor monitor(2, 8, BudgetVector::Uniform(1, 8), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId gone = monitor.RegisterProfile("gone");
+  ProfileId stays = monitor.RegisterProfile("stays");
+  ASSERT_TRUE(monitor.Submit(gone, TInterval({{0, 1, 6}})).ok());
+  ASSERT_TRUE(monitor.Submit(gone, TInterval({{1, 2, 6}})).ok());
+  ASSERT_TRUE(monitor.Submit(stays, TInterval({{0, 3, 6}})).ok());
+  auto cancelled = monitor.Unregister(gone);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(*cancelled, 2);
+  EXPECT_EQ(monitor.Submit(gone, TInterval({{0, 4, 6}})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(monitor.Cancel(gone, 0).code(), StatusCode::kInvalidArgument);
+  // The other profile is unaffected.
+  EXPECT_TRUE(monitor.Submit(stays, TInterval({{1, 4, 6}})).ok());
+  EXPECT_EQ(monitor.stats().unregistered_profiles, 1u);
+}
+
 class DynamicEquivalenceTest : public testing::TestWithParam<uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DynamicEquivalenceTest,

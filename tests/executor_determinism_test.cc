@@ -64,6 +64,34 @@ void ExpectReportsIdentical(const ProxyRunReport& a,
   EXPECT_EQ(a.latency_chronons, b.latency_chronons) << label;
   EXPECT_EQ(a.gc_lost_to_faults, b.gc_lost_to_faults) << label;
   EXPECT_EQ(a.fault_stats, b.fault_stats) << label;
+
+  // The churn telemetry (all zero on churn-free runs).
+  EXPECT_EQ(a.churn_submitted, b.churn_submitted) << label;
+  EXPECT_EQ(a.churn_cancelled, b.churn_cancelled) << label;
+  EXPECT_EQ(a.churn_edited, b.churn_edited) << label;
+  EXPECT_EQ(a.churn_unregistered_profiles, b.churn_unregistered_profiles)
+      << label;
+  EXPECT_EQ(a.churn_rejected_ops, b.churn_rejected_ops) << label;
+  EXPECT_EQ(a.orphaned_probes, b.orphaned_probes) << label;
+}
+
+SimulationConfig ChurnHeavyConfig() {
+  SimulationConfig config = BaselineConfig();
+  config.num_resources = 30;
+  config.epoch_length = 80;
+  config.num_profiles = 40;
+  config.lambda = 8.0;
+  config.budget = 2;
+  config.churn.enabled = true;
+  config.churn.ops_per_chronon = 2.0;
+  config.faults.timeout_rate = 0.08;
+  config.faults.server_error_rate = 0.05;
+  config.faults.outage_enter_rate = 0.02;
+  config.retry.max_retries = 2;
+  config.retry.backoff_base = 0.1;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 3;
+  return config;
 }
 
 TEST(ExecutorDeterminismTest, IndexedProxyRunsAreReproducible) {
@@ -94,6 +122,41 @@ TEST(ExecutorDeterminismTest, IndexedProxyRunsAreReproducible) {
           spec.Label() + " seed=" + std::to_string(seed));
     }
   }
+}
+
+TEST(ExecutorDeterminismTest, ChurnHeavyRunsAreReproducible) {
+  // Same seed twice through the churn runner must be bit-identical:
+  // churn draws from its own RNG stream, so cancel/edit/unregister
+  // traffic may not consume randomness shared with fault injection.
+  SimulationConfig config = ChurnHeavyConfig();
+  for (const PolicySpec& spec : StandardPolicySpecs()) {
+    for (uint64_t seed : {11u, 137u}) {
+      auto first = RunChurnOnce(config, spec, seed);
+      auto second = RunChurnOnce(config, spec, seed);
+      ASSERT_TRUE(first.ok()) << first.status().ToString();
+      ASSERT_TRUE(second.ok()) << second.status().ToString();
+      EXPECT_GT(first->churn_cancelled + first->churn_edited, 0u);
+      ExpectReportsIdentical(
+          *first, *second, config.epoch_length,
+          spec.Label() + " churn seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ExecutorDeterminismTest, ChurnIdenticalAcrossBackends) {
+  // The backend flag selects the monitor's index maintenance
+  // (incremental delete vs rebuild oracle); the observable run may not
+  // change.
+  SimulationConfig config = ChurnHeavyConfig();
+  PolicySpec spec{"S-EDF", ExecutionMode::kNonPreemptive};
+  config.executor_backend = ExecutorBackend::kIndexed;
+  auto indexed = RunChurnOnce(config, spec, 29);
+  config.executor_backend = ExecutorBackend::kReference;
+  auto reference = RunChurnOnce(config, spec, 29);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ExpectReportsIdentical(*indexed, *reference, config.epoch_length,
+                         "backend differential");
 }
 
 TEST(ExecutorDeterminismTest, DifferentSeedsDiverge) {

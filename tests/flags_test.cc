@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/churn.h"
+#include "sim/config.h"
+
 namespace pullmon {
 namespace {
 
@@ -109,6 +112,57 @@ TEST(FlagParserTest, UsageListsAllFlags) {
     EXPECT_NE(usage.find(name), std::string::npos) << name;
   }
   EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+TEST(ChurnOptionsTest, DefaultsValidate) {
+  ChurnOptions churn;
+  EXPECT_TRUE(churn.Validate().ok());
+  churn.enabled = true;
+  churn.ops_per_chronon = 2.5;
+  EXPECT_TRUE(churn.Validate().ok());
+}
+
+TEST(ChurnOptionsTest, RejectsNegativeRate) {
+  ChurnOptions churn;
+  churn.ops_per_chronon = -0.1;
+  Status st = churn.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChurnOptionsTest, RejectsMixNotSummingToOne) {
+  ChurnOptions churn;
+  churn.cancel_fraction = 0.5;
+  churn.edit_fraction = 0.5;
+  churn.unregister_fraction = 0.5;
+  EXPECT_FALSE(churn.Validate().ok());
+  churn.unregister_fraction = 0.0;
+  EXPECT_TRUE(churn.Validate().ok());
+}
+
+TEST(ChurnOptionsTest, RejectsNegativeFractionsAndTheta) {
+  ChurnOptions churn;
+  churn.cancel_fraction = -0.2;
+  churn.edit_fraction = 1.15;
+  churn.unregister_fraction = 0.05;
+  EXPECT_FALSE(churn.Validate().ok());
+
+  ChurnOptions theta;
+  theta.zipf_theta = -1.0;
+  EXPECT_FALSE(theta.Validate().ok());
+}
+
+TEST(SimulationConfigTest, ValidateCoversChurn) {
+  SimulationConfig config;
+  ASSERT_TRUE(config.Validate().ok());
+  config.churn.enabled = true;
+  config.churn.ops_per_chronon = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  // A broken churn mix fails the whole config, enabled or not.
+  config.churn.cancel_fraction = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.churn.enabled = false;
+  EXPECT_FALSE(config.Validate().ok());
 }
 
 }  // namespace

@@ -26,6 +26,9 @@ DETERMINISTIC_METRICS = {
     "lr_gc",
     "lr_captured_weight",
     "lr_used_lp",
+    "churn_ops",
+    "cancelled",
+    "edited",
 }
 
 

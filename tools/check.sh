@@ -6,8 +6,10 @@
 #   tools/check.sh            # both passes
 #   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
 #   tools/check.sh --bench    # also run the bench gates (Release+LTO
-#                             # build): hot-path (2x + zero-alloc) and
-#                             # offline solvers (5x + equivalence)
+#                             # build): hot-path (2x + zero-alloc),
+#                             # offline solvers (5x + equivalence) and
+#                             # churn maintenance (5x + schedule
+#                             # equality vs the rebuild oracle)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +50,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_offline_solvers
   ./build-release/bench/bench_offline_solvers --json=BENCH_offline_local.json
   python3 tools/bench_diff.py BENCH_offline.json BENCH_offline_local.json
+  echo "== churn bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_churn
+  ./build-release/bench/bench_churn --json=BENCH_churn_local.json
+  python3 tools/bench_diff.py BENCH_churn.json BENCH_churn_local.json
 fi
 
 echo "== all checks passed =="

@@ -86,6 +86,18 @@ void AddConfigFlags(FlagParser* flags) {
   flags->AddString("executor", "indexed",
                    "scheduling backend: indexed (incremental candidate "
                    "index) | reference (scan-based oracle)");
+  // Profile churn (churn runs only; see --churn under `run`).
+  flags->AddDouble("churn-rate", 0.0,
+                   "mean churn operations per chronon");
+  flags->AddDouble("churn-cancel", 0.60,
+                   "fraction of churn ops that cancel a submission");
+  flags->AddDouble("churn-edit", 0.35,
+                   "fraction of churn ops that edit a submission");
+  flags->AddDouble("churn-unregister", 0.05,
+                   "fraction of churn ops that unregister a client");
+  flags->AddDouble("churn-theta", 1.37,
+                   "Zipf skew of per-client churn activity");
+  flags->AddInt64("churn-seed", 0xC4A2, "churn stream random seed");
 }
 
 Result<ExecutorBackend> BackendFromFlags(const FlagParser& flags) {
@@ -141,6 +153,12 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.feed_buffer_capacity =
       static_cast<int>(flags.GetInt64("buffer-capacity"));
   config.parse_cache = flags.GetBool("parse-cache");
+  config.churn.ops_per_chronon = flags.GetDouble("churn-rate");
+  config.churn.cancel_fraction = flags.GetDouble("churn-cancel");
+  config.churn.edit_fraction = flags.GetDouble("churn-edit");
+  config.churn.unregister_fraction = flags.GetDouble("churn-unregister");
+  config.churn.zipf_theta = flags.GetDouble("churn-theta");
+  config.churn.seed = static_cast<uint64_t>(flags.GetInt64("churn-seed"));
   // Commands reject unknown names via BackendFromFlags before reaching
   // here, so the fallback is never user-visible.
   auto backend = BackendFromFlags(flags);
@@ -301,6 +319,77 @@ int RunProxyExperiment(const SimulationConfig& config,
   return 0;
 }
 
+/// The churn run path: DynamicMonitor with mid-epoch submissions plus
+/// the generated cancel/edit/unregister stream, pulled through the same
+/// feed substrate as --proxy. One row per policy.
+int RunChurnExperiment(const SimulationConfig& config,
+                       const std::vector<PolicySpec>& specs, int reps,
+                       uint64_t base_seed, const std::string& csv_path) {
+  TablePrinter table({"policy", "GC", "probes", "submitted", "cancelled",
+                      "edited", "unregistered", "rejected", "orphaned",
+                      "notifications"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const PolicySpec& spec : specs) {
+    RunningStats gc, probes, submitted, cancelled, edited, unregistered;
+    RunningStats rejected, orphaned, delivered;
+    for (int rep = 0; rep < reps; ++rep) {
+      uint64_t seed = base_seed + static_cast<uint64_t>(rep) * 7919;
+      auto report = RunChurnOnce(config, spec, seed);
+      if (!report.ok()) {
+        std::cerr << "churn run failed: " << report.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      gc.Add(report->run.completeness.GainedCompleteness());
+      probes.Add(static_cast<double>(report->run.probes_used));
+      submitted.Add(static_cast<double>(report->churn_submitted));
+      cancelled.Add(static_cast<double>(report->churn_cancelled));
+      edited.Add(static_cast<double>(report->churn_edited));
+      unregistered.Add(
+          static_cast<double>(report->churn_unregistered_profiles));
+      rejected.Add(static_cast<double>(report->churn_rejected_ops));
+      orphaned.Add(static_cast<double>(report->orphaned_probes));
+      delivered.Add(
+          static_cast<double>(report->notifications_delivered));
+    }
+    table.AddRow({spec.Label(), TablePrinter::FormatDouble(gc.mean(), 4),
+                  TablePrinter::FormatDouble(probes.mean(), 0),
+                  TablePrinter::FormatDouble(submitted.mean(), 0),
+                  TablePrinter::FormatDouble(cancelled.mean(), 1),
+                  TablePrinter::FormatDouble(edited.mean(), 1),
+                  TablePrinter::FormatDouble(unregistered.mean(), 1),
+                  TablePrinter::FormatDouble(rejected.mean(), 1),
+                  TablePrinter::FormatDouble(orphaned.mean(), 1),
+                  TablePrinter::FormatDouble(delivered.mean(), 0)});
+    csv_rows.push_back(
+        {spec.Label(), TablePrinter::FormatDouble(gc.mean(), 6),
+         TablePrinter::FormatDouble(probes.mean(), 1),
+         TablePrinter::FormatDouble(submitted.mean(), 1),
+         TablePrinter::FormatDouble(cancelled.mean(), 1),
+         TablePrinter::FormatDouble(edited.mean(), 1),
+         TablePrinter::FormatDouble(unregistered.mean(), 1),
+         TablePrinter::FormatDouble(rejected.mean(), 1),
+         TablePrinter::FormatDouble(orphaned.mean(), 1),
+         TablePrinter::FormatDouble(delivered.mean(), 1)});
+  }
+  table.Print(std::cout);
+  if (!csv_path.empty()) {
+    auto writer = CsvWriter::Open(csv_path);
+    if (!writer.ok()) {
+      std::cerr << writer.status().ToString() << "\n";
+      return 1;
+    }
+    writer->WriteRow({"policy", "gc_mean", "probes", "churn_submitted",
+                      "churn_cancelled", "churn_edited",
+                      "churn_unregistered", "churn_rejected",
+                      "orphaned_probes", "notifications"});
+    for (const auto& row : csv_rows) writer->WriteRow(row);
+    writer->Flush();
+    std::cout << "Wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
 int CommandRun(const std::vector<std::string>& args) {
   FlagParser flags("pullmon_cli run",
                    "run one monitoring experiment and print/emit results");
@@ -311,6 +400,10 @@ int CommandRun(const std::vector<std::string>& args) {
   flags.AddBool("proxy", false,
                 "run the physical proxy path (feed servers, parsing, "
                 "fault layer) instead of the logical executor");
+  flags.AddBool("churn", false,
+                "run the churn-capable monitoring service "
+                "(DynamicMonitor with mid-epoch submit/cancel/edit/"
+                "unregister per the --churn-* knobs)");
   flags.AddString("csv", "", "write results to this CSV file");
   Status st = flags.Parse(args);
   if (!st.ok()) {
@@ -332,11 +425,26 @@ int CommandRun(const std::vector<std::string>& args) {
     return 2;
   }
   SimulationConfig config = ConfigFromFlags(flags);
-  // Reject out-of-range --fault-*/--outage-*/--breaker-* values up front
-  // with the InvalidArgument the option structs produce, instead of
-  // failing (or silently misbehaving) mid-run.
+  config.churn.enabled = flags.GetBool("churn");
+  // Reject out-of-range --fault-*/--outage-*/--breaker-*/--churn-*
+  // values up front with the InvalidArgument the option structs
+  // produce, instead of failing (or silently misbehaving) mid-run.
   if (Status valid = config.Validate(); !valid.ok()) {
     std::cerr << valid.ToString() << "\n";
+    return 2;
+  }
+  if (config.churn.enabled && flags.GetBool("proxy")) {
+    std::cerr << "--churn and --proxy are mutually exclusive run paths\n";
+    return 2;
+  }
+  if (config.churn.enabled) {
+    return RunChurnExperiment(config, *specs,
+                              static_cast<int>(flags.GetInt64("reps")),
+                              static_cast<uint64_t>(flags.GetInt64("seed")),
+                              flags.GetString("csv"));
+  }
+  if (config.churn.ops_per_chronon > 0.0) {
+    std::cerr << "--churn-* flags only affect --churn runs\n";
     return 2;
   }
   if (flags.GetBool("proxy")) {
@@ -421,6 +529,11 @@ int CommandSweep(const std::vector<std::string>& args) {
   }
   if (flags.GetBool("parse-cache")) {
     std::cerr << "--parse-cache only affects `run --proxy`; sweeps use "
+                 "the logical executor\n";
+    return 2;
+  }
+  if (flags.GetDouble("churn-rate") > 0.0) {
+    std::cerr << "--churn-* flags only affect `run --churn`; sweeps use "
                  "the logical executor\n";
     return 2;
   }
