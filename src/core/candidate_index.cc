@@ -47,6 +47,23 @@ void CandidateIndex::RemoveFromPlay(IndexedEi* flat) {
   // The entry stays in its resource list until the next lazy compaction;
   // only the exact counter is settled here.
   --live_count_[static_cast<std::size_t>(flat->ei.resource)];
+  MaybeCompactHeap(flat->ei.resource);
+}
+
+void CandidateIndex::MaybeCompactHeap(ResourceId resource) {
+  const int live = live_count_[static_cast<std::size_t>(resource)];
+  const int corpses = DeadlineHeapCorpses(resource);
+  if (corpses <= kHeapCompactionMinCorpses || corpses <= 2 * live) return;
+  auto& heap = deadline_heap_[static_cast<std::size_t>(resource)];
+  heap.erase(std::remove_if(heap.begin(), heap.end(),
+                            [this](const std::pair<Chronon, int>& entry) {
+                              return eis_[static_cast<std::size_t>(
+                                              entry.second)]
+                                  .dead;
+                            }),
+             heap.end());
+  std::make_heap(heap.begin(), heap.end(),
+                 std::greater<std::pair<Chronon, int>>());
 }
 
 void CandidateIndex::Deactivate(int flat_id) {
@@ -103,6 +120,45 @@ Status CandidateIndex::CheckInvariants() const {
       return Status::InvalidArgument(StringFormat(
           "resource %d holds %d live candidates but is not in play", r,
           non_dead));
+    }
+    // Audit the lazy deadline heap: entries must be well-formed, each
+    // non-dead one must be an active EI of this resource with a matching
+    // deadline, and the corpse identity (heap size - live counter) must
+    // agree with a direct count — the quantity MaybeCompactHeap keys on.
+    const auto& heap = deadline_heap_[static_cast<std::size_t>(r)];
+    int heap_live = 0;
+    for (const auto& entry : heap) {
+      if (entry.second < 0 ||
+          entry.second >= static_cast<int>(eis_.size())) {
+        return Status::InvalidArgument(StringFormat(
+            "resource %d deadline heap holds out-of-range flat id %d", r,
+            entry.second));
+      }
+      const IndexedEi& flat = eis_[static_cast<std::size_t>(entry.second)];
+      if (flat.ei.resource != r) {
+        return Status::InvalidArgument(StringFormat(
+            "flat id %d (resource %d) filed in resource %d's deadline heap",
+            entry.second, flat.ei.resource, r));
+      }
+      if (flat.dead) continue;
+      ++heap_live;
+      if (!flat.active) {
+        return Status::InvalidArgument(StringFormat(
+            "flat id %d sits live in resource %d's deadline heap but is "
+            "not active",
+            entry.second, r));
+      }
+      if (entry.first != flat.ei.finish) {
+        return Status::InvalidArgument(StringFormat(
+            "flat id %d heap deadline %d != EI finish %d", entry.second,
+            entry.first, flat.ei.finish));
+      }
+    }
+    if (heap_live != live_count_[static_cast<std::size_t>(r)]) {
+      return Status::InvalidArgument(StringFormat(
+          "resource %d deadline heap holds %d live entries but the live "
+          "counter says %d (corpse accounting broken)",
+          r, heap_live, live_count_[static_cast<std::size_t>(r)]));
     }
   }
   // A resource flagged in play must actually sit on the active list.

@@ -208,6 +208,9 @@ class CandidateIndex {
       flat.dead = true;
       on_capture(id, const_cast<const IndexedEi&>(flat));
     }
+    // Every scratch entry is dead now; their deadline-heap entries are
+    // all corpses.
+    MaybeCompactHeap(resource);
   }
 
   /// Visits every live candidate on `resource` without mutating it —
@@ -229,7 +232,10 @@ class CandidateIndex {
   /// dead, compacted on the next CollectResourceCandidates pass), while
   /// the per-resource live counter is settled immediately and the
   /// deadline heap cleans itself on the next EarliestDeadline query —
-  /// so no churn operation ever rebuilds the index. Safe on any state:
+  /// or, when a cancel storm leaves it corpse-dominated, is compacted
+  /// outright (MaybeCompactHeap) so its size stays bounded by the live
+  /// population — so no churn operation ever rebuilds the index. Safe
+  /// on any state:
   /// captured/expired/unstarted EIs are left as they are (their
   /// counters were already settled).
   void Deactivate(int flat_id);
@@ -273,6 +279,29 @@ class CandidateIndex {
   /// cleaned min-heap.
   Chronon EarliestDeadline(ResourceId resource) const;
 
+  /// Corpse floor below which compaction never runs — lazy pops in
+  /// EarliestDeadline() handle small corpse populations for free.
+  static constexpr int kHeapCompactionMinCorpses = 64;
+
+  /// Physical size of `resource`'s deadline heap, corpses included —
+  /// the quantity MaybeCompactHeap() bounds. The heap never holds more
+  /// than max(kHeapCompactionMinCorpses, 2 * LiveCount(resource)) + 1
+  /// corpses at a public-API boundary.
+  std::size_t DeadlineHeapSize(ResourceId resource) const {
+    return deadline_heap_[static_cast<std::size_t>(resource)].size();
+  }
+
+  /// Dead entries currently parked in `resource`'s deadline heap.
+  /// Exact without any bookkeeping: every live EI owns exactly one heap
+  /// entry, so corpses = heap size - live counter. (That identity also
+  /// holds through CaptureResource's reentrant window — detaching the
+  /// list zeroes the live counter at the same moment the whole scratch
+  /// set's heap entries become doomed.)
+  int DeadlineHeapCorpses(ResourceId resource) const {
+    return static_cast<int>(DeadlineHeapSize(resource)) -
+           live_count_[static_cast<std::size_t>(resource)];
+  }
+
   /// Resources currently holding at least one live candidate (may
   /// include a few stale entries between compactions; LiveCount is
   /// authoritative).
@@ -302,6 +331,17 @@ class CandidateIndex {
   void Activate(int flat_id);
   /// Settles counters for an EI leaving play (expiry / deactivation).
   void RemoveFromPlay(IndexedEi* flat);
+
+  /// Rebuilds `resource`'s deadline heap without its corpses when dead
+  /// entries dominate (> kHeapCompactionMinCorpses of them AND more
+  /// than twice the live population). EarliestDeadline()'s lazy pops
+  /// only clean the heap *top*; a cancel storm against a never-queried
+  /// resource would otherwise grow the heap with one corpse per
+  /// cancelled EI for the rest of the epoch. The ratio trigger keeps
+  /// the rebuild O(1) amortized per death: each compaction erases more
+  /// than half the heap, so its O(size) cost is charged to the deaths
+  /// since the previous one.
+  void MaybeCompactHeap(ResourceId resource);
 
   int num_resources_;
   Chronon epoch_length_;

@@ -7,9 +7,14 @@
 
 namespace pullmon {
 
-Result<Profile> MakeAuctionWatchProfile(
-    const UpdateTrace& trace, const std::vector<ResourceId>& resources,
-    const EiDerivationOptions& ei_options) {
+namespace {
+
+/// Validation plus the round-wise combination rule, shared by both
+/// trace backends; `derive` yields one resource's EIs.
+template <typename DeriveEis>
+Result<Profile> MakeAuctionWatchFromDeriver(
+    int num_resources, const std::vector<ResourceId>& resources,
+    DeriveEis&& derive) {
   if (resources.empty()) {
     return Status::InvalidArgument("AuctionWatch requires >= 1 resource");
   }
@@ -18,7 +23,7 @@ Result<Profile> MakeAuctionWatchProfile(
     return Status::InvalidArgument("duplicate resources in AuctionWatch");
   }
   for (ResourceId r : resources) {
-    if (r < 0 || r >= trace.num_resources()) {
+    if (r < 0 || r >= num_resources) {
       return Status::OutOfRange(
           StringFormat("AuctionWatch resource %d outside trace", r));
     }
@@ -28,7 +33,9 @@ Result<Profile> MakeAuctionWatchProfile(
   per_resource.reserve(resources.size());
   std::size_t rounds = SIZE_MAX;
   for (ResourceId r : resources) {
-    per_resource.push_back(DeriveExecutionIntervals(trace, r, ei_options));
+    PULLMON_ASSIGN_OR_RETURN(std::vector<ExecutionInterval> eis,
+                             derive(r));
+    per_resource.push_back(std::move(eis));
     rounds = std::min(rounds, per_resource.back().size());
   }
   if (rounds == SIZE_MAX) rounds = 0;
@@ -41,6 +48,28 @@ Result<Profile> MakeAuctionWatchProfile(
     profile.AddTInterval(std::move(eta));
   }
   return profile;
+}
+
+}  // namespace
+
+Result<Profile> MakeAuctionWatchProfile(
+    const UpdateTrace& trace, const std::vector<ResourceId>& resources,
+    const EiDerivationOptions& ei_options) {
+  return MakeAuctionWatchFromDeriver(
+      trace.num_resources(), resources,
+      [&](ResourceId r) -> Result<std::vector<ExecutionInterval>> {
+        return DeriveExecutionIntervals(trace, r, ei_options);
+      });
+}
+
+Result<Profile> MakeAuctionWatchProfile(
+    const TraceStore& trace, const std::vector<ResourceId>& resources,
+    const EiDerivationOptions& ei_options) {
+  return MakeAuctionWatchFromDeriver(
+      trace.num_resources(), resources,
+      [&](ResourceId r) -> Result<std::vector<ExecutionInterval>> {
+        return DeriveExecutionIntervals(trace, r, ei_options);
+      });
 }
 
 Result<Profile> MakeArbitrageProfile(const UpdateTrace& trace,

@@ -36,8 +36,14 @@ Result<std::vector<ResourceId>> DrawDistinctResources(int count, int n,
   return std::vector<ResourceId>(chosen.begin(), chosen.end());
 }
 
-Result<std::vector<Profile>> GenerateProfiles(
-    const UpdateTrace& trace, const ProfileGeneratorOptions& options,
+namespace {
+
+/// The generator body, templated over the trace backend — both expose
+/// num_resources() and a MakeAuctionWatchProfile overload, which is all
+/// the draw consumes.
+template <typename Trace>
+Result<std::vector<Profile>> GenerateProfilesImpl(
+    const Trace& trace, const ProfileGeneratorOptions& options,
     Rng* rng) {
   if (options.num_profiles <= 0) {
     return Status::InvalidArgument("num_profiles must be positive");
@@ -84,6 +90,20 @@ Result<std::vector<Profile>> GenerateProfiles(
     profiles.push_back(std::move(profile));
   }
   return profiles;
+}
+
+}  // namespace
+
+Result<std::vector<Profile>> GenerateProfiles(
+    const UpdateTrace& trace, const ProfileGeneratorOptions& options,
+    Rng* rng) {
+  return GenerateProfilesImpl(trace, options, rng);
+}
+
+Result<std::vector<Profile>> GenerateProfiles(
+    const TraceStore& trace, const ProfileGeneratorOptions& options,
+    Rng* rng) {
+  return GenerateProfilesImpl(trace, options, rng);
 }
 
 }  // namespace pullmon

@@ -115,12 +115,18 @@ Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
   PULLMON_RETURN_NOT_OK(config.breaker.Validate());
 
   UpdateTrace trace(0, 0);
+  std::optional<TraceStore> store;
   PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
-                           BuildProblem(config, seed, &trace));
-  FeedNetwork network(
-      &trace, static_cast<std::size_t>(config.feed_buffer_capacity < 1
-                                           ? 1
-                                           : config.feed_buffer_capacity));
+                           BuildProblem(config, seed, &trace, &store));
+  const auto buffer_capacity = static_cast<std::size_t>(
+      config.feed_buffer_capacity < 1 ? 1 : config.feed_buffer_capacity);
+  std::optional<FeedNetwork> network_holder;
+  if (store.has_value()) {
+    network_holder.emplace(&*store, buffer_capacity);
+  } else {
+    network_holder.emplace(&trace, buffer_capacity);
+  }
+  FeedNetwork& network = *network_holder;
   PolicyOptions po;
   po.random_seed = seed ^ 0x5bf03635ULL;
   po.num_resources = problem.num_resources;

@@ -23,6 +23,7 @@ Status SimulationConfig::Validate() const {
   PULLMON_RETURN_NOT_OK(retry.Validate());
   PULLMON_RETURN_NOT_OK(breaker.Validate());
   PULLMON_RETURN_NOT_OK(churn.Validate());
+  PULLMON_RETURN_NOT_OK(trace_store.Validate());
   return Status::OK();
 }
 
@@ -80,6 +81,14 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
                       ExecutorBackendToString(executor_backend));
   }
   if (parse_cache) rows.emplace_back("parse cache", "on");
+  if (trace_backend != TraceBackend::kInMemory) {
+    rows.emplace_back("trace backend",
+                      TraceBackendToString(trace_backend));
+    rows.emplace_back(
+        "trace store (page/cache)",
+        StringFormat("%zu B / %zu pages", trace_store.page_size,
+                     trace_store.cache_pages));
+  }
   if (churn.enabled) {
     rows.emplace_back(
         "churn (ops/chronon)",

@@ -11,6 +11,7 @@
 #include "sim/churn.h"
 #include "trace/auction_generator.h"
 #include "trace/feed_workload.h"
+#include "trace/trace_store.h"
 #include "trace/update_model.h"
 
 namespace pullmon {
@@ -90,6 +91,13 @@ struct SimulationConfig {
   /// streams with Zipf-skewed client activity, driven through
   /// DynamicMonitor by RunChurnOnce. Disabled by default.
   ChurnOptions churn;
+  /// Trace representation the proxy paths generate and replay
+  /// (trace/trace_store.h): the in-memory UpdateTrace oracle (default)
+  /// or the paged compressed TraceStore. Decision-identical; the paged
+  /// backend adds its own telemetry to ProxyRunReport.
+  TraceBackend trace_backend = TraceBackend::kInMemory;
+  /// Page size and cache budget of the paged backend.
+  TraceStoreOptions trace_store;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

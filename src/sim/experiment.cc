@@ -25,10 +25,60 @@ std::vector<PolicySpec> StandardPolicySpecs() {
   };
 }
 
-Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
-                                       uint64_t seed,
-                                       UpdateTrace* trace_out) {
-  Rng rng(seed);
+namespace {
+
+/// Generates the update trace into whichever representation the config
+/// selects and derives the profiles from it. Both branches consume
+/// `rng` identically (the store-direct generators mirror the
+/// UpdateTrace ones draw for draw), so for one seed the backends build
+/// the same problem from the same events.
+Result<std::vector<Profile>> GenerateTraceAndProfiles(
+    const SimulationConfig& config, Rng* rng,
+    const ProfileGeneratorOptions& pg, UpdateTrace* trace_out,
+    std::optional<TraceStore>* store_out) {
+  const bool paged = config.trace_backend == TraceBackend::kPaged;
+  if (paged) {
+    std::optional<TraceStore> store;
+    switch (config.dataset) {
+      case DatasetKind::kPoisson: {
+        PoissonTraceOptions options;
+        options.num_resources = config.num_resources;
+        options.epoch_length = config.epoch_length;
+        options.lambda = config.lambda;
+        PULLMON_ASSIGN_OR_RETURN(
+            TraceStore generated,
+            GeneratePoissonTraceStore(options, rng, config.trace_store));
+        store.emplace(std::move(generated));
+        break;
+      }
+      case DatasetKind::kAuction: {
+        AuctionTraceOptions options = config.auction;
+        options.num_auctions = config.num_resources;
+        options.epoch_length = config.epoch_length;
+        PULLMON_ASSIGN_OR_RETURN(AuctionTrace auctions,
+                                 GenerateAuctionTrace(options, rng));
+        PULLMON_ASSIGN_OR_RETURN(
+            TraceStore generated,
+            auctions.ToTraceStore(config.trace_store));
+        store.emplace(std::move(generated));
+        break;
+      }
+      case DatasetKind::kFeedWorkload: {
+        FeedWorkloadOptions options = config.feed_workload;
+        options.num_feeds = config.num_resources;
+        options.epoch_length = config.epoch_length;
+        PULLMON_ASSIGN_OR_RETURN(
+            TraceStore generated,
+            GenerateFeedWorkloadStore(options, rng, config.trace_store));
+        store.emplace(std::move(generated));
+        break;
+      }
+    }
+    PULLMON_ASSIGN_OR_RETURN(std::vector<Profile> profiles,
+                             GenerateProfiles(*store, pg, rng));
+    if (store_out != nullptr) *store_out = std::move(store);
+    return profiles;
+  }
 
   UpdateTrace trace(0, 0);
   switch (config.dataset) {
@@ -37,7 +87,7 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
       options.num_resources = config.num_resources;
       options.epoch_length = config.epoch_length;
       options.lambda = config.lambda;
-      PULLMON_ASSIGN_OR_RETURN(trace, GeneratePoissonTrace(options, &rng));
+      PULLMON_ASSIGN_OR_RETURN(trace, GeneratePoissonTrace(options, rng));
       break;
     }
     case DatasetKind::kAuction: {
@@ -45,7 +95,7 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
       options.num_auctions = config.num_resources;
       options.epoch_length = config.epoch_length;
       PULLMON_ASSIGN_OR_RETURN(AuctionTrace auctions,
-                               GenerateAuctionTrace(options, &rng));
+                               GenerateAuctionTrace(options, rng));
       PULLMON_ASSIGN_OR_RETURN(trace, auctions.ToUpdateTrace());
       break;
     }
@@ -54,10 +104,22 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
       options.num_feeds = config.num_resources;
       options.epoch_length = config.epoch_length;
       PULLMON_ASSIGN_OR_RETURN(trace,
-                               GenerateFeedWorkload(options, &rng));
+                               GenerateFeedWorkload(options, rng));
       break;
     }
   }
+  PULLMON_ASSIGN_OR_RETURN(std::vector<Profile> profiles,
+                           GenerateProfiles(trace, pg, rng));
+  if (trace_out != nullptr) *trace_out = std::move(trace);
+  return profiles;
+}
+
+}  // namespace
+
+Result<MonitoringProblem> BuildProblem(
+    const SimulationConfig& config, uint64_t seed, UpdateTrace* trace_out,
+    std::optional<TraceStore>* store_out) {
+  Rng rng(seed);
 
   ProfileGeneratorOptions pg;
   pg.num_profiles = config.num_profiles;
@@ -67,8 +129,9 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
   pg.ei_options.restriction = config.restriction;
   pg.ei_options.window = config.window;
   pg.max_t_intervals_per_profile = config.max_t_intervals_per_profile;
-  PULLMON_ASSIGN_OR_RETURN(std::vector<Profile> profiles,
-                           GenerateProfiles(trace, pg, &rng));
+  PULLMON_ASSIGN_OR_RETURN(
+      std::vector<Profile> profiles,
+      GenerateTraceAndProfiles(config, &rng, pg, trace_out, store_out));
 
   MonitoringProblem problem;
   problem.num_resources = config.num_resources;
@@ -76,20 +139,23 @@ Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
   problem.profiles = std::move(profiles);
   problem.budget = BudgetVector::Uniform(config.budget,
                                          config.epoch_length);
-  if (trace_out != nullptr) *trace_out = std::move(trace);
   return problem;
 }
 
 Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed) {
   UpdateTrace trace(0, 0);
+  std::optional<TraceStore> store;
   PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
-                           BuildProblem(config, seed, &trace));
-  FeedNetwork network(
-      &trace, static_cast<std::size_t>(
-                  config.feed_buffer_capacity < 1
-                      ? 1
-                      : config.feed_buffer_capacity));
+                           BuildProblem(config, seed, &trace, &store));
+  const auto buffer_capacity = static_cast<std::size_t>(
+      config.feed_buffer_capacity < 1 ? 1 : config.feed_buffer_capacity);
+  std::optional<FeedNetwork> network;
+  if (store.has_value()) {
+    network.emplace(&*store, buffer_capacity);
+  } else {
+    network.emplace(&trace, buffer_capacity);
+  }
   PolicyOptions po;
   po.random_seed = seed ^ 0x5bf03635ULL;
   po.num_resources = problem.num_resources;
@@ -102,7 +168,8 @@ Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
   options.breaker = config.breaker;
   options.backend = config.executor_backend;
   options.parse_cache = config.parse_cache;
-  MonitoringProxy proxy(&problem, &network, policy.get(), spec.mode,
+  options.trace_backend = config.trace_backend;
+  MonitoringProxy proxy(&problem, &*network, policy.get(), spec.mode,
                         options);
   return proxy.Run();
 }

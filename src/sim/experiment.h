@@ -32,9 +32,17 @@ std::vector<PolicySpec> StandardPolicySpecs();
 /// three-stage generator, and attaches the uniform budget. When
 /// `trace_out` is non-null it receives the generated update trace (the
 /// proxy path replays it through a FeedNetwork).
-Result<MonitoringProblem> BuildProblem(const SimulationConfig& config,
-                                       uint64_t seed,
-                                       UpdateTrace* trace_out = nullptr);
+///
+/// With config.trace_backend == kPaged the trace is generated straight
+/// into a compressed TraceStore (profiles derived through its page
+/// cache, so nothing is ever fully resident) and `store_out` — if
+/// non-null — receives it; `trace_out` is left untouched. The two
+/// backends consume the seed identically, so they build the same
+/// problem from the same events.
+Result<MonitoringProblem> BuildProblem(
+    const SimulationConfig& config, uint64_t seed,
+    UpdateTrace* trace_out = nullptr,
+    std::optional<TraceStore>* store_out = nullptr);
 
 /// Runs the *physical* proxy path once: generates the instance, replays
 /// its trace through a FeedNetwork (buffer capacity, fault rates, and

@@ -141,6 +141,16 @@ void FeedPullSession::FinishReport() {
     report_->parse_cache_invalidations = cache_->stats().invalidations;
     report_->parse_cache_bytes_saved = cache_->stats().bytes_saved;
   }
+  if (const TraceStore* store = network_->trace_store();
+      store != nullptr) {
+    const TraceStoreStats& stats = store->stats();
+    report_->trace_pages_written = stats.pages_written;
+    report_->trace_bytes_stored = stats.bytes_stored;
+    report_->trace_in_memory_bytes = stats.in_memory_bytes;
+    report_->trace_cache_hits = stats.cache_hits;
+    report_->trace_cache_misses = stats.cache_misses;
+    report_->trace_cache_evictions = stats.cache_evictions;
+  }
 }
 
 MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
@@ -156,6 +166,12 @@ Result<ProxyRunReport> MonitoringProxy::Run() {
   PULLMON_RETURN_NOT_OK(options_.faults.Validate());
   PULLMON_RETURN_NOT_OK(options_.retry.Validate());
   PULLMON_RETURN_NOT_OK(options_.breaker.Validate());
+  if (options_.trace_backend == TraceBackend::kPaged &&
+      network_->trace_store() == nullptr) {
+    return Status::InvalidArgument(
+        "trace_backend is paged but the feed network replays an "
+        "in-memory trace");
+  }
   notifications_.clear();
   ProxyRunReport report;
 

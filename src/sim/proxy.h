@@ -100,6 +100,19 @@ struct ProxyRunReport {
   /// Probe work orphaned by churn: EI captures whose parent was
   /// cancelled or edited away before completing.
   std::size_t orphaned_probes = 0;
+  // --- Trace-store telemetry (all zero on the in-memory backend; every
+  // --- other report field is identical across trace backends). --------
+  /// Compressed pages the paged backend wrote at generation time.
+  std::size_t trace_pages_written = 0;
+  /// Encoded bytes (plus page index) holding the trace.
+  std::size_t trace_bytes_stored = 0;
+  /// What the same trace costs in UpdateTrace form (modeled).
+  std::size_t trace_in_memory_bytes = 0;
+  /// Page-cache traffic of the per-resource read path (profile
+  /// generation and EI derivation read through the LRU cache).
+  std::size_t trace_cache_hits = 0;
+  std::size_t trace_cache_misses = 0;
+  std::size_t trace_cache_evictions = 0;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults
@@ -125,6 +138,10 @@ struct ProxyOptions {
   /// document instead of reparsing. Off by default; the report is
   /// byte-identical either way apart from the parse_cache_* counters.
   bool parse_cache = false;
+  /// Which trace representation the network replays. kPaged requires a
+  /// store-backed FeedNetwork (Run() rejects the mismatch); the report
+  /// is identical either way apart from the trace_* counters.
+  TraceBackend trace_backend = TraceBackend::kInMemory;
 };
 
 /// The physical pull leg shared by MonitoringProxy (executor-driven) and

@@ -1,0 +1,182 @@
+#include "trace/page_codec.h"
+
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+
+constexpr std::size_t kChecksumBytes = 4;
+constexpr int kMaxVarintBytes = 10;
+
+/// Writes the little-endian checksum trailer.
+void AppendChecksum(std::uint32_t checksum, std::string* out) {
+  out->push_back(static_cast<char>(checksum & 0xFF));
+  out->push_back(static_cast<char>((checksum >> 8) & 0xFF));
+  out->push_back(static_cast<char>((checksum >> 16) & 0xFF));
+  out->push_back(static_cast<char>((checksum >> 24) & 0xFF));
+}
+
+std::uint32_t ReadChecksum(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+Status Corrupt(const char* what) {
+  return Status::ParseError(
+      StringFormat("trace page corrupt: %s", what));
+}
+
+}  // namespace
+
+std::uint32_t PageChecksum(std::string_view bytes) {
+  std::uint32_t h = 2166136261u;  // FNV-1a 32-bit offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void AppendVarint(std::uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+const char* DecodeVarint(const char* p, const char* end,
+                         std::uint64_t* value) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxVarintBytes && p < end; ++i, ++p) {
+    std::uint64_t byte = static_cast<unsigned char>(*p);
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return p + 1;
+    }
+    shift += 7;
+  }
+  return nullptr;  // truncated or overlong
+}
+
+std::size_t EncodePage(ResourceId resource, const Chronon* events,
+                       std::size_t count, std::string* out) {
+  PULLMON_CHECK(count >= 1);
+  PULLMON_CHECK(resource >= 0 && events[0] >= 0);
+  const std::size_t start = out->size();
+  AppendVarint(static_cast<std::uint64_t>(resource), out);
+  AppendVarint(static_cast<std::uint64_t>(events[0]), out);
+  AppendVarint(static_cast<std::uint64_t>(events[count - 1] - events[0]),
+               out);
+  AppendVarint(static_cast<std::uint64_t>(count - 1), out);
+  std::string payload;
+  for (std::size_t i = 1; i < count; ++i) {
+    PULLMON_CHECK(events[i] > events[i - 1]);
+    AppendVarint(static_cast<std::uint64_t>(events[i] - events[i - 1] - 1),
+                 &payload);
+  }
+  AppendVarint(payload.size(), out);
+  out->append(payload);
+  AppendChecksum(
+      PageChecksum(std::string_view(*out).substr(start)), out);
+  return out->size() - start;
+}
+
+Result<PageHeader> DecodePageHeader(std::string_view page) {
+  const char* p = page.data();
+  const char* end = page.data() + page.size();
+  PageHeader header;
+  std::uint64_t resource = 0, first = 0, span = 0, count_minus_1 = 0,
+                payload_bytes = 0;
+  if ((p = DecodeVarint(p, end, &resource)) == nullptr) {
+    return Corrupt("truncated resource id");
+  }
+  if ((p = DecodeVarint(p, end, &first)) == nullptr) {
+    return Corrupt("truncated first chronon");
+  }
+  if ((p = DecodeVarint(p, end, &span)) == nullptr) {
+    return Corrupt("truncated chronon span");
+  }
+  if ((p = DecodeVarint(p, end, &count_minus_1)) == nullptr) {
+    return Corrupt("truncated event count");
+  }
+  if ((p = DecodeVarint(p, end, &payload_bytes)) == nullptr) {
+    return Corrupt("truncated payload length");
+  }
+  const auto max_chronon =
+      static_cast<std::uint64_t>(std::numeric_limits<Chronon>::max());
+  if (resource > static_cast<std::uint64_t>(
+                     std::numeric_limits<ResourceId>::max()) ||
+      first > max_chronon || span > max_chronon ||
+      first + span > max_chronon) {
+    return Corrupt("header value out of range");
+  }
+  if (count_minus_1 == 0 && span != 0) {
+    return Corrupt("single-event page with nonzero span");
+  }
+  header.resource = static_cast<ResourceId>(resource);
+  header.first_chronon = static_cast<Chronon>(first);
+  header.last_chronon = static_cast<Chronon>(first + span);
+  header.event_count = static_cast<std::int64_t>(count_minus_1) + 1;
+  header.payload_bytes = payload_bytes;
+  header.payload_offset = static_cast<std::size_t>(p - page.data());
+  const std::size_t remaining = static_cast<std::size_t>(end - p);
+  if (payload_bytes > remaining ||
+      remaining - static_cast<std::size_t>(payload_bytes) <
+          kChecksumBytes) {
+    return Corrupt("payload extends past the buffer");
+  }
+  header.page_bytes = header.payload_offset +
+                      static_cast<std::size_t>(payload_bytes) +
+                      kChecksumBytes;
+  const std::size_t checksum_at = header.page_bytes - kChecksumBytes;
+  const std::uint32_t expected = ReadChecksum(page.data() + checksum_at);
+  const std::uint32_t actual = PageChecksum(page.substr(0, checksum_at));
+  if (expected != actual) {
+    return Status::ParseError(StringFormat(
+        "trace page checksum mismatch: stored %08x, computed %08x",
+        expected, actual));
+  }
+  return header;
+}
+
+Result<PageHeader> DecodePage(std::string_view page,
+                              std::vector<Chronon>* events) {
+  PULLMON_ASSIGN_OR_RETURN(PageHeader header, DecodePageHeader(page));
+  const char* p = page.data() + header.payload_offset;
+  const char* payload_end =
+      p + static_cast<std::size_t>(header.payload_bytes);
+  Chronon prev = header.first_chronon;
+  events->push_back(prev);
+  for (std::int64_t i = 1; i < header.event_count; ++i) {
+    std::uint64_t gap_minus_1 = 0;
+    if ((p = DecodeVarint(p, payload_end, &gap_minus_1)) == nullptr) {
+      return Corrupt("payload shorter than the event count");
+    }
+    const std::uint64_t next =
+        static_cast<std::uint64_t>(prev) + gap_minus_1 + 1;
+    if (next > static_cast<std::uint64_t>(header.last_chronon)) {
+      return Corrupt("event past the header's last chronon");
+    }
+    prev = static_cast<Chronon>(next);
+    events->push_back(prev);
+  }
+  if (p != payload_end) {
+    return Corrupt("payload longer than the event count");
+  }
+  if (prev != header.last_chronon) {
+    return Corrupt("final event disagrees with the header");
+  }
+  return header;
+}
+
+}  // namespace pullmon

@@ -17,9 +17,25 @@ const char* LengthRestrictionToString(LengthRestriction restriction) {
 std::vector<ExecutionInterval> DeriveExecutionIntervals(
     const UpdateTrace& trace, ResourceId resource,
     const EiDerivationOptions& options) {
+  return DeriveExecutionIntervalsFromEvents(trace.EventsFor(resource),
+                                            resource,
+                                            trace.epoch_length(), options);
+}
+
+Result<std::vector<ExecutionInterval>> DeriveExecutionIntervals(
+    const TraceStore& trace, ResourceId resource,
+    const EiDerivationOptions& options) {
+  std::vector<Chronon> updates;
+  PULLMON_RETURN_NOT_OK(trace.ReadResource(resource, &updates));
+  return DeriveExecutionIntervalsFromEvents(updates, resource,
+                                            trace.epoch_length(), options);
+}
+
+std::vector<ExecutionInterval> DeriveExecutionIntervalsFromEvents(
+    const std::vector<Chronon>& updates, ResourceId resource,
+    Chronon epoch_length, const EiDerivationOptions& options) {
   std::vector<ExecutionInterval> out;
-  const std::vector<Chronon>& updates = trace.EventsFor(resource);
-  const Chronon last_chronon = trace.epoch_length() - 1;
+  const Chronon last_chronon = epoch_length - 1;
   for (std::size_t i = 0; i < updates.size(); ++i) {
     Chronon start = updates[i];
     Chronon finish;

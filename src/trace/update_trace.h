@@ -39,6 +39,11 @@ class UpdateTrace {
   /// Total number of events across resources.
   std::size_t TotalEvents() const { return total_events_; }
 
+  /// Measured heap footprint of the event storage: every inner vector's
+  /// header plus its actual capacity. The denominator TraceStore's
+  /// compression is judged against (bench_trace_store).
+  std::size_t ApproxMemoryBytes() const;
+
   /// Average events per resource (the lambda actually realized).
   double MeanIntensity() const;
 

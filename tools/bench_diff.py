@@ -29,6 +29,11 @@ DETERMINISTIC_METRICS = {
     "churn_ops",
     "cancelled",
     "edited",
+    "events_replayed",
+    "pages_written",
+    "bytes_stored",
+    "in_memory_bytes",
+    "bytes_ratio",
 }
 
 

@@ -7,9 +7,11 @@
 #   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
 #   tools/check.sh --bench    # also run the bench gates (Release+LTO
 #                             # build): hot-path (2x + zero-alloc),
-#                             # offline solvers (5x + equivalence) and
+#                             # offline solvers (5x + equivalence),
 #                             # churn maintenance (5x + schedule
-#                             # equality vs the rebuild oracle)
+#                             # equality vs the rebuild oracle) and the
+#                             # trace store (8x compression + 0.5x
+#                             # replay + cross-backend equality)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,6 +56,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_churn
   ./build-release/bench/bench_churn --json=BENCH_churn_local.json
   python3 tools/bench_diff.py BENCH_churn.json BENCH_churn_local.json
+  echo "== trace-store bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_trace_store
+  ./build-release/bench/bench_trace_store --json=BENCH_trace_store_local.json
+  python3 tools/bench_diff.py BENCH_trace_store.json BENCH_trace_store_local.json
 fi
 
 echo "== all checks passed =="

@@ -7,6 +7,8 @@
 //   pullmon_cli gen-feeds --outdir=/tmp/feeds --resources=20
 //   pullmon_cli policies
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -86,6 +88,15 @@ void AddConfigFlags(FlagParser* flags) {
   flags->AddString("executor", "indexed",
                    "scheduling backend: indexed (incremental candidate "
                    "index) | reference (scan-based oracle)");
+  flags->AddBool("trace-store", false,
+                 "generate and replay the trace through the paged "
+                 "compressed trace store instead of in memory "
+                 "(decision-identical; adds trace_* telemetry)");
+  flags->AddInt64("trace-page-size", 256,
+                  "target encoded payload bytes per trace page");
+  flags->AddInt64("trace-cache-pages", 64,
+                  "decoded pages the trace store's LRU cache keeps "
+                  "resident");
   // Profile churn (churn runs only; see --churn under `run`).
   flags->AddDouble("churn-rate", 0.0,
                    "mean churn operations per chronon");
@@ -153,6 +164,15 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.feed_buffer_capacity =
       static_cast<int>(flags.GetInt64("buffer-capacity"));
   config.parse_cache = flags.GetBool("parse-cache");
+  config.trace_backend = flags.GetBool("trace-store")
+                             ? TraceBackend::kPaged
+                             : TraceBackend::kInMemory;
+  // Clamp negatives to 0 before widening to size_t so -1 lands in
+  // TraceStoreOptions::Validate's rejection range instead of SIZE_MAX.
+  config.trace_store.page_size = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.GetInt64("trace-page-size")));
+  config.trace_store.cache_pages = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.GetInt64("trace-cache-pages")));
   config.churn.ops_per_chronon = flags.GetDouble("churn-rate");
   config.churn.cancel_fraction = flags.GetDouble("churn-cancel");
   config.churn.edit_fraction = flags.GetDouble("churn-edit");
@@ -256,6 +276,8 @@ int RunProxyExperiment(const SimulationConfig& config,
                       "failed", "retries", "corrupt", "opened",
                       "suppressed", "cache hits", "notifications"});
   std::vector<std::vector<std::string>> csv_rows;
+  RunningStats trace_pages, trace_bytes, trace_in_memory, trace_hits,
+      trace_misses;
   for (const PolicySpec& spec : specs) {
     RunningStats gc, gc_lost, probes, failed, retries, corrupt, delivered;
     RunningStats opened, suppressed, cache_hits;
@@ -278,6 +300,15 @@ int RunProxyExperiment(const SimulationConfig& config,
       cache_hits.Add(static_cast<double>(report->parse_cache_hits));
       delivered.Add(
           static_cast<double>(report->notifications_delivered));
+      if (config.trace_backend == TraceBackend::kPaged) {
+        trace_pages.Add(static_cast<double>(report->trace_pages_written));
+        trace_bytes.Add(static_cast<double>(report->trace_bytes_stored));
+        trace_in_memory.Add(
+            static_cast<double>(report->trace_in_memory_bytes));
+        trace_hits.Add(static_cast<double>(report->trace_cache_hits));
+        trace_misses.Add(
+            static_cast<double>(report->trace_cache_misses));
+      }
     }
     table.AddRow({spec.Label(), TablePrinter::FormatDouble(gc.mean(), 4),
                   TablePrinter::FormatDouble(gc_lost.mean(), 4),
@@ -302,6 +333,21 @@ int RunProxyExperiment(const SimulationConfig& config,
          TablePrinter::FormatDouble(delivered.mean(), 1)});
   }
   table.Print(std::cout);
+  if (config.trace_backend == TraceBackend::kPaged) {
+    double lookups = trace_hits.mean() + trace_misses.mean();
+    std::cout << "Trace store: " << trace_pages.mean() << " pages, "
+              << trace_bytes.mean() << " B stored vs "
+              << trace_in_memory.mean() << " B in-memory ("
+              << TablePrinter::FormatDouble(
+                     trace_bytes.mean() > 0.0
+                         ? trace_in_memory.mean() / trace_bytes.mean()
+                         : 0.0,
+                     2)
+              << "x), cache hit rate "
+              << TablePrinter::FormatDouble(
+                     lookups > 0.0 ? trace_hits.mean() / lookups : 0.0, 3)
+              << "\n";
+  }
   if (!csv_path.empty()) {
     auto writer = CsvWriter::Open(csv_path);
     if (!writer.ok()) {
@@ -463,6 +509,11 @@ int CommandRun(const std::vector<std::string>& args) {
                  "executor never parses feed bodies\n";
     return 2;
   }
+  if (config.trace_backend != TraceBackend::kInMemory) {
+    std::cerr << "--trace-store only affects --proxy runs; the logical "
+                 "executor replays the in-memory trace directly\n";
+    return 2;
+  }
   ExperimentRunner runner(static_cast<int>(flags.GetInt64("reps")),
                           static_cast<uint64_t>(flags.GetInt64("seed")));
   // The CLI exposes the strong Local-Ratio variant: probe-sharing-aware
@@ -529,6 +580,11 @@ int CommandSweep(const std::vector<std::string>& args) {
   }
   if (flags.GetBool("parse-cache")) {
     std::cerr << "--parse-cache only affects `run --proxy`; sweeps use "
+                 "the logical executor\n";
+    return 2;
+  }
+  if (flags.GetBool("trace-store")) {
+    std::cerr << "--trace-store only affects `run --proxy`; sweeps use "
                  "the logical executor\n";
     return 2;
   }
