@@ -411,6 +411,109 @@ CompletenessReport DynamicMonitor::Completeness() const {
   return report;
 }
 
+MonitorImage DynamicMonitor::Capture() const {
+  MonitorImage image;
+  image.now = now_;
+  image.profile_names = profile_names_;
+  image.profile_unregistered = profile_unregistered_;
+  image.submissions.reserve(runtimes_.size());
+  for (std::size_t t = 0; t < runtimes_.size(); ++t) {
+    const TIntervalRuntime& rt = runtimes_[t];
+    MonitorSubmissionImage sub;
+    sub.profile = rt.profile;
+    sub.definition = *rt.source;
+    sub.ei_captured = rt.ei_captured;
+    sub.num_expired = rt.num_expired;
+    sub.cancelled = cancelled_[t];
+    sub.fault_touched = fault_touched_[t];
+    sub.failed = rt.failed ? 1 : 0;
+    sub.completed = rt.completed ? 1 : 0;
+    sub.selected = rt.selected ? 1 : 0;
+    image.submissions.push_back(std::move(sub));
+  }
+  image.probes_by_chronon.reserve(static_cast<std::size_t>(now_));
+  for (Chronon t = 0; t < now_; ++t) {
+    image.probes_by_chronon.push_back(schedule_.ProbesAt(t));
+  }
+  image.stats = stats_;
+  image.health = health_.Capture();
+  return image;
+}
+
+Status DynamicMonitor::Restore(const MonitorImage& image) {
+  if (now_ != 0 || !runtimes_.empty() || !profile_names_.empty()) {
+    return Status::FailedPrecondition(
+        "Restore() requires a freshly constructed monitor");
+  }
+  if (image.now < 0 || image.now > epoch_length_) {
+    return Status::InvalidArgument(StringFormat(
+        "image chronon %d outside epoch of length %d", image.now,
+        epoch_length_));
+  }
+  if (image.profile_unregistered.size() != image.profile_names.size()) {
+    return Status::InvalidArgument(
+        "image profile arrays disagree on the profile count");
+  }
+  if (image.probes_by_chronon.size() !=
+      static_cast<std::size_t>(image.now)) {
+    return Status::InvalidArgument(
+        "image schedule does not cover exactly the chronons before now");
+  }
+  // The profile registry first, so submissions can validate against it.
+  for (const std::string& name : image.profile_names) {
+    RegisterProfile(name);
+  }
+  profile_unregistered_ = image.profile_unregistered;
+
+  // Replay every submission through the AppendSubmission bookkeeping
+  // (rank high-water marks, per-profile submission ids, flat EI ids come
+  // out exactly as the original run produced them), then lay the
+  // captured/expired/terminal state of the image over the runtimes.
+  for (const MonitorSubmissionImage& sub : image.submissions) {
+    if (sub.profile < 0 ||
+        sub.profile >= static_cast<ProfileId>(profile_names_.size())) {
+      return Status::InvalidArgument(StringFormat(
+          "image submission names unknown profile %d", sub.profile));
+    }
+    PULLMON_RETURN_NOT_OK(sub.definition.Validate(Epoch{epoch_length_}));
+    if (sub.ei_captured.size() != sub.definition.size()) {
+      return Status::InvalidArgument(
+          "image capture flags do not match the definition's EI count");
+    }
+    int t_id = static_cast<int>(runtimes_.size());
+    AppendSubmission(sub.profile, sub.definition);
+    TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
+    rt.ei_captured = sub.ei_captured;
+    rt.num_captured = 0;
+    for (uint8_t flag : sub.ei_captured) rt.num_captured += flag != 0;
+    rt.num_expired = sub.num_expired;
+    rt.failed = sub.failed != 0;
+    rt.completed = sub.completed != 0;
+    rt.selected = sub.selected != 0;
+    cancelled_[static_cast<std::size_t>(t_id)] = sub.cancelled;
+    fault_touched_[static_cast<std::size_t>(t_id)] = sub.fault_touched;
+    if (rt.completed) ++completed_;
+    if (rt.failed) ++failed_;
+  }
+
+  now_ = image.now;
+  for (Chronon t = 0; t < image.now; ++t) {
+    for (ResourceId r :
+         image.probes_by_chronon[static_cast<std::size_t>(t)]) {
+      PULLMON_RETURN_NOT_OK(schedule_.AddProbe(r, t));
+    }
+  }
+  stats_ = image.stats;
+  PULLMON_RETURN_NOT_OK(health_.Restore(image.health));
+
+  // The candidate structures come back through the rebuild oracle:
+  // decision-identical to the incrementally maintained index (the churn
+  // differential suite enforces it), so a restored run schedules exactly
+  // what the uninterrupted run would have.
+  RebuildIndex();
+  return CheckInvariants();
+}
+
 Status DynamicMonitor::CheckInvariants() const {
   PULLMON_RETURN_NOT_OK(index_.CheckInvariants());
   for (std::size_t t = 0; t < runtimes_.size(); ++t) {

@@ -89,6 +89,39 @@ struct MonitorStats {
   std::size_t orphaned_probes = 0;
 };
 
+/// One submission of a MonitorImage, in flat t_id (arrival) order. The
+/// runtime's derived fields (num_captured, weight, required, rank) are
+/// reconstructed from the definition and the capture flags on restore.
+struct MonitorSubmissionImage {
+  ProfileId profile = 0;
+  TInterval definition;
+  std::vector<uint8_t> ei_captured;
+  int num_expired = 0;
+  uint8_t cancelled = 0;
+  uint8_t fault_touched = 0;
+  uint8_t failed = 0;
+  uint8_t completed = 0;
+  uint8_t selected = 0;
+};
+
+/// Resumable state of one DynamicMonitor at a chronon boundary, produced
+/// by Capture() and consumed by Restore() on a freshly constructed
+/// monitor with the same constructor parameters. The candidate index is
+/// intentionally absent: Restore() reconstructs it from the parent
+/// bookkeeping via the rebuild oracle, which the churn differential
+/// suite proves decision-identical to the incrementally maintained
+/// index (DESIGN.md sections 13 and 15).
+struct MonitorImage {
+  Chronon now = 0;
+  std::vector<std::string> profile_names;
+  std::vector<uint8_t> profile_unregistered;
+  std::vector<MonitorSubmissionImage> submissions;
+  /// Probes of the schedule so far, per chronon in [0, now).
+  std::vector<std::vector<ResourceId>> probes_by_chronon;
+  MonitorStats stats;
+  HealthImage health;
+};
+
 /// The truly online face of the library: clients subscribe, submit,
 /// cancel, and edit t-intervals *while the epoch runs* — Section 4.2.1's
 /// per-chronon arrivals extended with the full churn surface a deployed
@@ -191,6 +224,14 @@ class DynamicMonitor {
   /// parent bookkeeping (dead parents hold no live EIs, capture counts
   /// consistent) — the churn fuzz suite runs this after every op.
   Status CheckInvariants() const;
+
+  /// Checkpoint support. Capture() freezes everything a resumed run
+  /// needs at a chronon boundary (call between Step()s, never inside
+  /// one). Restore() resumes the image on a *fresh* monitor built with
+  /// the same constructor parameters — FailedPrecondition if this
+  /// monitor has already registered, submitted, or stepped.
+  MonitorImage Capture() const;
+  Status Restore(const MonitorImage& image);
 
  private:
   /// True when the submission can still be mutated (not completed,

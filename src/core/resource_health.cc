@@ -136,4 +136,47 @@ void ResourceHealthTracker::NoteBudgetReclaimed(std::size_t reclaimed) {
   stats_.budget_reclaimed += reclaimed;
 }
 
+HealthImage ResourceHealthTracker::Capture() const {
+  HealthImage image;
+  image.state.reserve(state_.size());
+  for (CircuitState s : state_) {
+    image.state.push_back(static_cast<uint8_t>(s));
+  }
+  image.consecutive_failures = consecutive_failures_;
+  image.ewma_failure = ewma_failure_;
+  image.cooldown = cooldown_;
+  image.open_until = open_until_;
+  image.open_chronons = open_chronons_;
+  image.open_list = open_list_;
+  image.suppressed_this_chronon = suppressed_this_chronon_;
+  image.stats = stats_;
+  return image;
+}
+
+Status ResourceHealthTracker::Restore(const HealthImage& image) {
+  const std::size_t n = state_.size();
+  if (image.state.size() != n || image.consecutive_failures.size() != n ||
+      image.ewma_failure.size() != n || image.cooldown.size() != n ||
+      image.open_until.size() != n || image.open_chronons.size() != n) {
+    return Status::InvalidArgument(
+        "health image resource count does not match the tracker");
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (image.state[r] > static_cast<uint8_t>(CircuitState::kHalfOpen)) {
+      return Status::InvalidArgument("health image holds an unknown "
+                                     "circuit state");
+    }
+    state_[r] = static_cast<CircuitState>(image.state[r]);
+  }
+  consecutive_failures_ = image.consecutive_failures;
+  ewma_failure_ = image.ewma_failure;
+  cooldown_ = image.cooldown;
+  open_until_ = image.open_until;
+  open_chronons_ = image.open_chronons;
+  open_list_ = image.open_list;
+  suppressed_this_chronon_ = image.suppressed_this_chronon;
+  stats_ = image.stats;
+  return Status::OK();
+}
+
 }  // namespace pullmon

@@ -59,6 +59,23 @@ struct HealthStats {
   bool operator==(const HealthStats& other) const = default;
 };
 
+/// Resumable state of one ResourceHealthTracker, produced by Capture()
+/// and consumed by Restore() — the recovery layer serializes it into
+/// proxy snapshots (src/recovery/). Options are not part of the image:
+/// they come from the run configuration, which a restored run must share
+/// anyway (the snapshot codec fingerprints it).
+struct HealthImage {
+  std::vector<uint8_t> state;  // CircuitState per resource
+  std::vector<int> consecutive_failures;
+  std::vector<double> ewma_failure;
+  std::vector<Chronon> cooldown;
+  std::vector<Chronon> open_until;
+  std::vector<std::size_t> open_chronons;
+  std::vector<ResourceId> open_list;
+  std::size_t suppressed_this_chronon = 0;
+  HealthStats stats;
+};
+
 /// Breaker state of one resource.
 enum class CircuitState {
   kClosed,    // probed normally
@@ -163,6 +180,12 @@ class ResourceHealthTracker {
   const std::vector<std::size_t>& OpenChrononsByResource() const {
     return open_chronons_;
   }
+
+  /// Checkpoint support: Capture() freezes the full dynamic state;
+  /// Restore() resumes it on a tracker built with the same resource
+  /// count and options. InvalidArgument on a size mismatch.
+  HealthImage Capture() const;
+  Status Restore(const HealthImage& image);
 
  private:
   void Open(ResourceId resource, Chronon now, bool reopen);

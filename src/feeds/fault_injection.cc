@@ -115,6 +115,51 @@ void FaultPlan::Reset() {
   stats_ = FaultStats{};
 }
 
+FaultPlanImage FaultPlan::Capture() const {
+  FaultPlanImage image;
+  image.stream_states.reserve(streams_.size());
+  for (const Rng& rng : streams_) {
+    image.stream_states.push_back(rng.SaveState());
+  }
+  image.stream_ready = stream_ready_;
+  image.storm_left = storm_left_;
+  image.outage_stream_states.reserve(outage_streams_.size());
+  for (const Rng& rng : outage_streams_) {
+    image.outage_stream_states.push_back(rng.SaveState());
+  }
+  image.outage_stream_ready = outage_stream_ready_;
+  image.outage_dark = outage_dark_;
+  image.outage_eval_from = outage_eval_from_;
+  image.now = now_;
+  image.stats = stats_;
+  return image;
+}
+
+Status FaultPlan::Restore(const FaultPlanImage& image) {
+  const std::size_t n = streams_.size();
+  if (image.stream_states.size() != n || image.stream_ready.size() != n ||
+      image.storm_left.size() != n ||
+      image.outage_stream_states.size() != n ||
+      image.outage_stream_ready.size() != n ||
+      image.outage_dark.size() != n ||
+      image.outage_eval_from.size() != n) {
+    return Status::InvalidArgument(
+        "fault-plan image resource count does not match the plan");
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    streams_[r].RestoreState(image.stream_states[r]);
+    outage_streams_[r].RestoreState(image.outage_stream_states[r]);
+  }
+  stream_ready_ = image.stream_ready;
+  storm_left_ = image.storm_left;
+  outage_stream_ready_ = image.outage_stream_ready;
+  outage_dark_ = image.outage_dark;
+  outage_eval_from_ = image.outage_eval_from;
+  now_ = image.now;
+  stats_ = image.stats;
+  return Status::OK();
+}
+
 Rng& FaultPlan::StreamFor(ResourceId resource) {
   std::size_t r = static_cast<std::size_t>(resource);
   if (!stream_ready_[r]) {

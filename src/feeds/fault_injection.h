@@ -1,6 +1,7 @@
 #ifndef PULLMON_FEEDS_FAULT_INJECTION_H_
 #define PULLMON_FEEDS_FAULT_INJECTION_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -92,6 +93,25 @@ std::string TruncateBody(const std::string& body, Rng* rng);
 /// Deterministic given the generator state.
 std::string CorruptBody(const std::string& body, Rng* rng);
 
+/// Resumable state of one FaultPlan, produced by Capture() and consumed
+/// by Restore() — the recovery layer serializes it into proxy snapshots
+/// so a restored run replays the exact fault sequence from the point of
+/// interruption. Per-resource overrides and the options/seed are not
+/// part of the image: they come from the run configuration.
+struct FaultPlanImage {
+  /// Raw xoshiro states of the lazily created per-resource streams
+  /// (entries where *_ready is 0 are placeholders).
+  std::vector<std::array<uint64_t, 4>> stream_states;
+  std::vector<uint8_t> stream_ready;
+  std::vector<int> storm_left;
+  std::vector<std::array<uint64_t, 4>> outage_stream_states;
+  std::vector<uint8_t> outage_stream_ready;
+  std::vector<uint8_t> outage_dark;
+  std::vector<Chronon> outage_eval_from;
+  Chronon now = 0;
+  FaultStats stats;
+};
+
 /// The fault-injection layer: wraps a FeedNetwork and decides, per
 /// probe, whether and how the probe degrades. Every decision is drawn
 /// from a per-resource stream derived from a single 64-bit seed, so the
@@ -154,6 +174,13 @@ class FaultPlan {
 
   FeedNetwork* network() { return network_; }
   const FaultStats& stats() const { return stats_; }
+
+  /// Checkpoint support: Capture() freezes the full dynamic state
+  /// (stream positions, storm/outage progress, stats); Restore() resumes
+  /// it on a plan built over the same network size, seed, and options.
+  /// InvalidArgument on a size mismatch.
+  FaultPlanImage Capture() const;
+  Status Restore(const FaultPlanImage& image);
 
  private:
   Rng& StreamFor(ResourceId resource);

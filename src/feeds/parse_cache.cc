@@ -67,4 +67,38 @@ void ParseCache::Invalidate(ResourceId resource) {
   ++stats_.invalidations;
 }
 
+ParseCacheImage ParseCache::Capture() const {
+  ParseCacheImage image;
+  image.entries.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    ParseCacheEntryImage out;
+    out.valid = entry.valid;
+    out.etag = entry.etag;
+    out.body_hash = entry.body_hash;
+    out.body_size = entry.body_size;
+    out.document = entry.document;
+    image.entries.push_back(std::move(out));
+  }
+  image.stats = stats_;
+  return image;
+}
+
+Status ParseCache::Restore(const ParseCacheImage& image) {
+  if (image.entries.size() != entries_.size()) {
+    return Status::InvalidArgument(
+        "parse-cache image resource count does not match the cache");
+  }
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    const ParseCacheEntryImage& in = image.entries[r];
+    Entry& entry = entries_[r];
+    entry.valid = in.valid;
+    entry.etag = in.etag;
+    entry.body_hash = in.body_hash;
+    entry.body_size = in.body_size;
+    entry.document = in.document;
+  }
+  stats_ = image.stats;
+  return Status::OK();
+}
+
 }  // namespace pullmon

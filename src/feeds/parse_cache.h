@@ -9,6 +9,7 @@
 
 #include "core/chronon.h"
 #include "feeds/feed_item.h"
+#include "util/status.h"
 
 namespace pullmon {
 
@@ -21,6 +22,24 @@ struct ParseCacheStats {
   std::size_t bytes_saved = 0;
 
   bool operator==(const ParseCacheStats& other) const = default;
+};
+
+/// Resumable state of one ParseCache, produced by Capture() and consumed
+/// by Restore() — the recovery layer serializes it into proxy snapshots.
+/// The full cached documents travel with the validators: a restored run
+/// must replay the same hits (and skip the same parses) the uninterrupted
+/// run would have, or the parse_cache_* counters diverge.
+struct ParseCacheEntryImage {
+  bool valid = false;
+  std::string etag;
+  uint64_t body_hash = 0;
+  std::size_t body_size = 0;
+  FeedDocument document;
+};
+
+struct ParseCacheImage {
+  std::vector<ParseCacheEntryImage> entries;
+  ParseCacheStats stats;
 };
 
 /// A per-resource parse cache in front of the feed layer: remembers the
@@ -71,6 +90,12 @@ class ParseCache {
   void Invalidate(ResourceId resource);
 
   const ParseCacheStats& stats() const { return stats_; }
+
+  /// Checkpoint support: Capture() freezes entries and stats; Restore()
+  /// resumes them on a cache built with the same resource count.
+  /// InvalidArgument on a size mismatch.
+  ParseCacheImage Capture() const;
+  Status Restore(const ParseCacheImage& image);
 
   /// FNV-1a over the body bytes (the content key).
   static uint64_t HashBody(std::string_view body);

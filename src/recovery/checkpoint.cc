@@ -1,0 +1,139 @@
+#include "recovery/checkpoint.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pullmon {
+
+namespace {
+constexpr char kSnapshotPrefix[] = "snap-";
+constexpr char kSnapshotSuffix[] = ".pmsnap";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".pmwal";
+
+std::string PaddedChronon(Chronon chronon) {
+  std::string digits = std::to_string(chronon);
+  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  return digits;
+}
+
+Chronon ParseNumbered(const std::string& name, const char* prefix,
+                      const char* suffix) {
+  const std::string p(prefix);
+  const std::string s(suffix);
+  if (name.size() <= p.size() + s.size()) return -1;
+  if (name.compare(0, p.size(), p) != 0) return -1;
+  if (name.compare(name.size() - s.size(), s.size(), s) != 0) return -1;
+  Chronon value = 0;
+  for (std::size_t i = p.size(); i < name.size() - s.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+}  // namespace
+
+std::string SnapshotFileName(Chronon chronon) {
+  return kSnapshotPrefix + PaddedChronon(chronon) + kSnapshotSuffix;
+}
+
+std::string WalFileName(Chronon chronon) {
+  return kWalPrefix + PaddedChronon(chronon) + kWalSuffix;
+}
+
+Chronon ParseSnapshotFileName(const std::string& name) {
+  return ParseNumbered(name, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+Status WriteSnapshotFile(StableStorage* storage,
+                         const ProxySnapshot& snapshot) {
+  return storage->WriteFile(SnapshotFileName(snapshot.chronon),
+                            EncodeSnapshot(snapshot));
+}
+
+Result<LoadedCheckpoint> LoadNewestCheckpoint(StableStorage* storage,
+                                              std::uint64_t fingerprint) {
+  PULLMON_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           storage->ListFiles());
+  // Snapshot names sort by chronon (zero padding); walk newest first.
+  std::vector<std::pair<Chronon, std::string>> snapshots;
+  for (const std::string& name : names) {
+    const Chronon chronon = ParseSnapshotFileName(name);
+    if (chronon >= 0) snapshots.emplace_back(chronon, name);
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+
+  LoadedCheckpoint loaded;
+  loaded.snapshots_seen = snapshots.size();
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    auto bytes = storage->ReadFile(it->second);
+    if (!bytes.ok()) {
+      ++loaded.snapshots_rejected;
+      continue;
+    }
+    auto snapshot = DecodeSnapshot(*bytes);
+    if (!snapshot.ok()) {
+      ++loaded.snapshots_rejected;
+      continue;
+    }
+    if (snapshot->fingerprint != fingerprint) {
+      return Status::FailedPrecondition(StringFormat(
+          "checkpoint %s was written by a different configuration "
+          "(fingerprint %016llx, expected %016llx)",
+          it->second.c_str(),
+          static_cast<unsigned long long>(snapshot->fingerprint),
+          static_cast<unsigned long long>(fingerprint)));
+    }
+    loaded.found = true;
+    loaded.snapshot = std::move(*snapshot);
+
+    // Read the generation's WAL under the torn-tail rule and make the
+    // truncation durable, so the resumed run appends to an intact log.
+    const std::string wal_name = WalFileName(it->first);
+    auto wal_bytes = storage->ReadFile(wal_name);
+    if (wal_bytes.ok()) {
+      PULLMON_ASSIGN_OR_RETURN(loaded.wal, ReadWal(*wal_bytes));
+      if (loaded.wal.torn_bytes > 0) {
+        PULLMON_RETURN_NOT_OK(
+            storage->TruncateFile(wal_name, loaded.wal.valid_bytes));
+      }
+    }
+    // Drop newer generations that failed validation — they must never
+    // shadow this one on a second recovery.
+    for (auto newer = it.base(); newer != snapshots.end(); ++newer) {
+      PULLMON_RETURN_NOT_OK(storage->RemoveFile(newer->second));
+      PULLMON_RETURN_NOT_OK(storage->RemoveFile(WalFileName(newer->first)));
+    }
+    return loaded;
+  }
+  return loaded;  // found == false; counts say why
+}
+
+Status PruneCheckpoints(StableStorage* storage, Chronon keep_from) {
+  PULLMON_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           storage->ListFiles());
+  for (const std::string& name : names) {
+    const Chronon chronon = ParseSnapshotFileName(name);
+    if (chronon >= 0 && chronon < keep_from) {
+      PULLMON_RETURN_NOT_OK(storage->RemoveFile(name));
+      PULLMON_RETURN_NOT_OK(storage->RemoveFile(WalFileName(chronon)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ClearCheckpoints(StableStorage* storage) {
+  PULLMON_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           storage->ListFiles());
+  for (const std::string& name : names) {
+    if (ParseSnapshotFileName(name) >= 0 ||
+        ParseNumbered(name, kWalPrefix, kWalSuffix) >= 0) {
+      PULLMON_RETURN_NOT_OK(storage->RemoveFile(name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pullmon

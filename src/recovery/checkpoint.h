@@ -1,0 +1,73 @@
+#ifndef PULLMON_RECOVERY_CHECKPOINT_H_
+#define PULLMON_RECOVERY_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/chronon.h"
+#include "recovery/recovery_codec.h"
+#include "recovery/stable_storage.h"
+#include "recovery/wal.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Naming of one checkpoint generation: a snapshot taken at chronon t
+/// is `snap-<t padded to 8 digits>.pmsnap`, and the WAL of the chronons
+/// executed after it is `wal-<t>.pmwal`. Zero padding keeps the
+/// lexicographic order of ListFiles() equal to chronon order.
+std::string SnapshotFileName(Chronon chronon);
+std::string WalFileName(Chronon chronon);
+
+/// Parses the chronon out of a snapshot file name; -1 when `name` is
+/// not a snapshot file.
+Chronon ParseSnapshotFileName(const std::string& name);
+
+/// Writes one snapshot file (its WAL starts empty).
+Status WriteSnapshotFile(StableStorage* storage,
+                         const ProxySnapshot& snapshot);
+
+/// The outcome of scanning a checkpoint directory for the newest
+/// resumable state.
+struct LoadedCheckpoint {
+  /// False when no snapshot file validated: either the directory holds
+  /// no snapshots at all (`snapshots_seen == 0`, nothing to recover) or
+  /// every generation was torn/corrupt (crash before the first snapshot
+  /// became durable — the caller starts fresh, never replays garbage).
+  bool found = false;
+  ProxySnapshot snapshot;
+  /// The committed chronons of the snapshot's WAL, for replay
+  /// verification (empty when the crash happened before any commit).
+  WalReadResult wal;
+  /// Snapshot files present in storage.
+  std::size_t snapshots_seen = 0;
+  /// Snapshot files that failed validation during the scan (torn or
+  /// bit-flipped generations that were detected and skipped).
+  std::size_t snapshots_rejected = 0;
+};
+
+/// Finds the newest valid snapshot in `storage`: scans snapshot files
+/// newest-first, rejecting any that fail decoding, reads the winner's
+/// WAL under the torn-tail rule, truncates the WAL's torn tail in
+/// storage so the resumed run appends to an intact log, and removes the
+/// rejected newer generations so they can never shadow the valid one.
+/// A snapshot whose fingerprint differs from `fingerprint` is a
+/// FailedPrecondition — state from a different config/seed must never
+/// seed this run.
+Result<LoadedCheckpoint> LoadNewestCheckpoint(StableStorage* storage,
+                                              std::uint64_t fingerprint);
+
+/// Removes checkpoint generations older than `keep_from` (the newest
+/// snapshot's chronon): once a newer snapshot is durable, earlier
+/// generations are dead weight.
+Status PruneCheckpoints(StableStorage* storage, Chronon keep_from);
+
+/// Removes every checkpoint file — a fresh (non-recovering) run starts
+/// from a clean directory so stale generations from an unrelated run
+/// can never be mistaken for this run's state.
+Status ClearCheckpoints(StableStorage* storage);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_RECOVERY_CHECKPOINT_H_

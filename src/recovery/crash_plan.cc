@@ -1,0 +1,81 @@
+#include "recovery/crash_plan.h"
+
+#include <cassert>
+
+namespace pullmon {
+
+namespace {
+Status Dead() {
+  return Status::Aborted("simulated crash: process killed");
+}
+}  // namespace
+
+std::size_t CrashInjectedStorage::Admit(std::size_t size) {
+  if (!armed_) return size;
+  const std::size_t remaining =
+      plan_.write_offset > bytes_allowed_ ? plan_.write_offset - bytes_allowed_
+                                          : 0;
+  if (size <= remaining) {
+    bytes_allowed_ += size;
+    return size;
+  }
+  bytes_allowed_ = plan_.write_offset;
+  crashed_ = true;
+  return remaining;
+}
+
+Status CrashInjectedStorage::WriteFile(const std::string& name,
+                                       std::string_view bytes) {
+  if (crashed_) return Dead();
+  const std::size_t admitted = Admit(bytes.size());
+  if (!crashed_) return inner_->WriteFile(name, bytes);
+  // Torn whole-file write: the replacement's prefix lands, clobbering
+  // whatever was there — the worst case a non-atomic writer can leave.
+  Status st = inner_->WriteFile(name, bytes.substr(0, admitted));
+  (void)st;
+  return Dead();
+}
+
+Status CrashInjectedStorage::AppendFile(const std::string& name,
+                                        std::string_view bytes) {
+  if (crashed_) return Dead();
+  const std::size_t admitted = Admit(bytes.size());
+  if (!crashed_) return inner_->AppendFile(name, bytes);
+  // Torn append: a partial tail survives at the end of the log.
+  Status st = inner_->AppendFile(name, bytes.substr(0, admitted));
+  (void)st;
+  return Dead();
+}
+
+Result<std::string> CrashInjectedStorage::ReadFile(
+    const std::string& name) const {
+  if (crashed_) return Dead();
+  return inner_->ReadFile(name);
+}
+
+Status CrashInjectedStorage::TruncateFile(const std::string& name,
+                                          std::size_t size) {
+  if (crashed_) return Dead();
+  return inner_->TruncateFile(name, size);
+}
+
+Status CrashInjectedStorage::RemoveFile(const std::string& name) {
+  if (crashed_) return Dead();
+  return inner_->RemoveFile(name);
+}
+
+Result<std::vector<std::string>> CrashInjectedStorage::ListFiles() const {
+  if (crashed_) return Dead();
+  return inner_->ListFiles();
+}
+
+void FlipBit(std::string* bytes, std::size_t bit_index) {
+  assert(bytes != nullptr);
+  const std::size_t byte = bit_index / 8;
+  assert(byte < bytes->size());
+  (*bytes)[byte] = static_cast<char>(
+      static_cast<unsigned char>((*bytes)[byte]) ^
+      static_cast<unsigned char>(1u << (bit_index % 8)));
+}
+
+}  // namespace pullmon

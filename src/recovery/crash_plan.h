@@ -1,0 +1,75 @@
+#ifndef PULLMON_RECOVERY_CRASH_PLAN_H_
+#define PULLMON_RECOVERY_CRASH_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/chronon.h"
+#include "recovery/stable_storage.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// Where the crash-injection harness kills the run: the first byte
+/// written at or after `chronon` once `write_offset` bytes of durable
+/// writes have been permitted. The write in flight is torn — its prefix
+/// reaches storage, the rest never does — which is exactly the tail
+/// state a real process kill leaves behind. chronon < 0 disarms.
+struct CrashPlan {
+  Chronon chronon = -1;
+  std::size_t write_offset = 0;
+
+  bool Armed() const { return chronon >= 0; }
+};
+
+/// Storage wrapper that simulates a process kill per a CrashPlan. The
+/// durable runner advances it with SetChronon() at every boundary; once
+/// the plan's chronon is reached, every byte written through the
+/// wrapper draws down the write_offset allowance, and the write that
+/// exhausts it is torn (prefix persisted) and fails with
+/// Status::Aborted. All later operations also fail Aborted — the
+/// process is dead; only recovery from the inner storage remains.
+class CrashInjectedStorage : public StableStorage {
+ public:
+  /// `inner` must outlive the wrapper; no ownership taken.
+  CrashInjectedStorage(StableStorage* inner, CrashPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  /// Arms the byte counter when `now` reaches the plan's chronon.
+  void SetChronon(Chronon now) {
+    if (plan_.Armed() && now >= plan_.chronon) armed_ = true;
+  }
+
+  /// True once the simulated kill has fired.
+  bool crashed() const { return crashed_; }
+
+  Status WriteFile(const std::string& name,
+                   std::string_view bytes) override;
+  Status AppendFile(const std::string& name,
+                    std::string_view bytes) override;
+  Result<std::string> ReadFile(const std::string& name) const override;
+  Status TruncateFile(const std::string& name, std::size_t size) override;
+  Status RemoveFile(const std::string& name) override;
+  Result<std::vector<std::string>> ListFiles() const override;
+
+ private:
+  /// Returns the number of bytes of `size` the plan lets through, and
+  /// fires the crash when that is fewer than `size`.
+  std::size_t Admit(std::size_t size);
+
+  StableStorage* inner_;
+  CrashPlan plan_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  std::size_t bytes_allowed_ = 0;
+};
+
+/// Flips one bit of `bytes` in place (bit_index counts from the low bit
+/// of byte 0). Corruption harness for snapshot/WAL detection tests.
+void FlipBit(std::string* bytes, std::size_t bit_index);
+
+}  // namespace pullmon
+
+#endif  // PULLMON_RECOVERY_CRASH_PLAN_H_

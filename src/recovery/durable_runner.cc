@@ -1,0 +1,425 @@
+#include "recovery/durable_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dynamic_monitor.h"
+#include "policies/policy_factory.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery_codec.h"
+#include "recovery/wal.h"
+#include "sim/churn.h"
+#include "trace/page_codec.h"
+#include "util/string_util.h"
+
+namespace pullmon {
+
+Status DurableOptions::Validate() const {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("durable run needs a storage backend");
+  }
+  if (checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (snapshot_wal_bytes == 0) {
+    return Status::InvalidArgument("snapshot_wal_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::uint64_t Fnv64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t RunFingerprint(const SimulationConfig& config,
+                             const PolicySpec& spec, std::uint64_t seed) {
+  // Canonical full-precision serialization of everything the run's
+  // behavior depends on; a changed knob changes the fingerprint and the
+  // snapshot is refused. (The WAL verification during replay is the
+  // backstop for anything a hash collision would let through.)
+  std::string bytes;
+  AppendVarint(static_cast<std::uint64_t>(config.dataset), &bytes);
+  AppendSigned(config.num_resources, &bytes);
+  AppendSigned(config.epoch_length, &bytes);
+  AppendSigned(config.num_profiles, &bytes);
+  AppendSigned(config.max_rank, &bytes);
+  AppendDouble(config.lambda, &bytes);
+  AppendDouble(config.alpha, &bytes);
+  AppendDouble(config.beta, &bytes);
+  AppendVarint(static_cast<std::uint64_t>(config.restriction), &bytes);
+  AppendSigned(config.window, &bytes);
+  AppendSigned(config.budget, &bytes);
+  AppendSigned(config.max_t_intervals_per_profile, &bytes);
+  const AuctionTraceOptions& a = config.auction;
+  AppendDouble(a.mean_duration_fraction, &bytes);
+  AppendDouble(a.base_bid_rate, &bytes);
+  AppendDouble(a.snipe_intensity, &bytes);
+  AppendDouble(a.snipe_tau_fraction, &bytes);
+  AppendDouble(a.start_price_min, &bytes);
+  AppendDouble(a.start_price_max, &bytes);
+  AppendDouble(a.increment_mean, &bytes);
+  AppendSigned(a.num_bidders, &bytes);
+  bytes.push_back(a.seed_opening_bid ? 1 : 0);
+  const FeedWorkloadOptions& fw = config.feed_workload;
+  AppendSigned(fw.chronons_per_hour, &bytes);
+  AppendDouble(fw.periodic_fraction, &bytes);
+  AppendDouble(fw.period_jitter, &bytes);
+  AppendDouble(fw.period_spread, &bytes);
+  AppendDouble(fw.aperiodic_lambda, &bytes);
+  AppendDouble(fw.popularity_alpha, &bytes);
+  const FaultOptions& f = config.faults;
+  AppendDouble(f.timeout_rate, &bytes);
+  AppendDouble(f.server_error_rate, &bytes);
+  AppendDouble(f.truncation_rate, &bytes);
+  AppendDouble(f.corruption_rate, &bytes);
+  AppendDouble(f.etag_storm_rate, &bytes);
+  AppendSigned(f.etag_storm_length, &bytes);
+  AppendDouble(f.latency_mean, &bytes);
+  AppendDouble(f.latency_timeout, &bytes);
+  AppendDouble(f.outage_enter_rate, &bytes);
+  AppendDouble(f.outage_exit_rate, &bytes);
+  AppendFixed64(config.fault_seed, &bytes);
+  AppendSigned(config.retry.max_retries, &bytes);
+  AppendDouble(config.retry.backoff_base, &bytes);
+  AppendDouble(config.retry.backoff_multiplier, &bytes);
+  AppendDouble(config.retry.backoff_budget, &bytes);
+  const BreakerOptions& b = config.breaker;
+  bytes.push_back(b.enabled ? 1 : 0);
+  AppendSigned(b.failure_threshold, &bytes);
+  AppendSigned(b.cooldown_base, &bytes);
+  AppendDouble(b.cooldown_multiplier, &bytes);
+  AppendSigned(b.max_cooldown, &bytes);
+  AppendDouble(b.ewma_alpha, &bytes);
+  AppendVarint(static_cast<std::uint64_t>(config.executor_backend), &bytes);
+  AppendSigned(config.feed_buffer_capacity, &bytes);
+  bytes.push_back(config.parse_cache ? 1 : 0);
+  const ChurnOptions& c = config.churn;
+  bytes.push_back(c.enabled ? 1 : 0);
+  AppendDouble(c.ops_per_chronon, &bytes);
+  AppendDouble(c.cancel_fraction, &bytes);
+  AppendDouble(c.edit_fraction, &bytes);
+  AppendDouble(c.unregister_fraction, &bytes);
+  AppendDouble(c.zipf_theta, &bytes);
+  AppendFixed64(c.seed, &bytes);
+  AppendVarint(static_cast<std::uint64_t>(config.trace_backend), &bytes);
+  AppendVarint(config.trace_store.page_size, &bytes);
+  AppendVarint(config.trace_store.cache_pages, &bytes);
+  AppendLengthPrefixed(spec.policy, &bytes);
+  AppendVarint(static_cast<std::uint64_t>(spec.mode), &bytes);
+  AppendFixed64(seed, &bytes);
+  return Fnv64(bytes);
+}
+
+Result<ProxyRunReport> RunDurableOnce(const SimulationConfig& config,
+                                      const PolicySpec& spec,
+                                      std::uint64_t seed,
+                                      const DurableOptions& options) {
+  PULLMON_RETURN_NOT_OK(options.Validate());
+  PULLMON_RETURN_NOT_OK(config.churn.Validate());
+  PULLMON_RETURN_NOT_OK(config.faults.Validate());
+  PULLMON_RETURN_NOT_OK(config.retry.Validate());
+  PULLMON_RETURN_NOT_OK(config.breaker.Validate());
+  const std::uint64_t fingerprint = RunFingerprint(config, spec, seed);
+
+  // --- The simulation substrate, built exactly like RunChurnOnce: the
+  // --- problem instance, trace, network, policy, monitor, and churn
+  // --- workload are pure functions of (config, spec, seed), which is
+  // --- why none of them live in the snapshot.
+  UpdateTrace trace(0, 0);
+  std::optional<TraceStore> store;
+  PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
+                           BuildProblem(config, seed, &trace, &store));
+  const auto buffer_capacity = static_cast<std::size_t>(
+      config.feed_buffer_capacity < 1 ? 1 : config.feed_buffer_capacity);
+  std::optional<FeedNetwork> network_holder;
+  if (store.has_value()) {
+    network_holder.emplace(&*store, buffer_capacity);
+  } else {
+    network_holder.emplace(&trace, buffer_capacity);
+  }
+  FeedNetwork& network = *network_holder;
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = problem.num_resources;
+  PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                           MakePolicy(spec.policy, po));
+
+  MonitorOptions mo;
+  mo.retry = config.retry;
+  mo.breaker = config.breaker;
+  mo.maintenance = config.executor_backend == ExecutorBackend::kReference
+                       ? MonitorIndexMode::kRebuild
+                       : MonitorIndexMode::kIncremental;
+  DynamicMonitor monitor(problem.num_resources, problem.epoch.length,
+                         problem.budget, policy.get(), spec.mode, mo);
+
+  ProxyRunReport report;
+  ProxyOptions popts;
+  popts.faults = config.faults;
+  popts.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  popts.retry = config.retry;
+  popts.breaker = config.breaker;
+  popts.parse_cache = config.parse_cache;
+  FeedPullSession session(&network, problem.num_resources, popts, &report);
+
+  // Every probe outcome is captured for the chronon's WAL group (or
+  // verified against it during replay).
+  WalChronon current;
+  monitor.set_probe_callback([&](ResourceId resource, Chronon now) {
+    const bool success = session.Probe(resource, now);
+    current.probes.push_back(
+        WalProbeRecord{resource, static_cast<std::uint8_t>(success ? 1 : 0)});
+    return success;
+  });
+
+  const Chronon epoch_length = problem.epoch.length;
+  ChurnWorkload workload = GenerateChurnWorkload(
+      config.churn, static_cast<int>(problem.profiles.size()), epoch_length,
+      config.churn.seed ^ (seed * 0x9E3779B97F4A7C15ULL));
+  std::vector<std::vector<TInterval>> defs(problem.profiles.size());
+
+  // All durable writes of the run itself go through the crash wrapper;
+  // the recovery scan below reads the raw storage (it models the *next*
+  // process, which the planned kill does not touch).
+  CrashInjectedStorage storage(options.storage, options.crash);
+
+  Chronon start = 0;
+  std::vector<WalChronon> replay;
+  std::size_t wal_base_bytes = 0;
+  Chronon generation = -1;
+  std::optional<WalWriter> wal;
+  bool restored = false;
+
+  if (options.recover) {
+    PULLMON_ASSIGN_OR_RETURN(
+        LoadedCheckpoint loaded,
+        LoadNewestCheckpoint(options.storage, fingerprint));
+    if (loaded.found) {
+      PULLMON_RETURN_NOT_OK(monitor.Restore(loaded.snapshot.monitor));
+      PULLMON_RETURN_NOT_OK(session.Restore(loaded.snapshot.session));
+      report.feeds_fetched = loaded.snapshot.feeds_fetched;
+      report.not_modified = loaded.snapshot.not_modified;
+      report.feed_bytes = loaded.snapshot.feed_bytes;
+      report.items_parsed = loaded.snapshot.items_parsed;
+      report.parse_failures = loaded.snapshot.parse_failures;
+      report.corrupt_bodies = loaded.snapshot.corrupt_bodies;
+      report.timeouts = loaded.snapshot.timeouts;
+      report.server_errors = loaded.snapshot.server_errors;
+      report.outage_probes = loaded.snapshot.outage_probes;
+      report.notifications_delivered =
+          loaded.snapshot.notifications_delivered;
+      report.churn_rejected_ops = loaded.snapshot.churn_rejected_ops;
+      // The defs shadow regrows from the submission images: flat order
+      // is acceptance order, which is exactly how the original run
+      // appended them per profile.
+      for (const MonitorSubmissionImage& sub :
+           loaded.snapshot.monitor.submissions) {
+        defs[static_cast<std::size_t>(sub.profile)].push_back(
+            sub.definition);
+      }
+      start = loaded.snapshot.chronon;
+      generation = start;
+      replay = std::move(loaded.wal.chronons);
+      wal_base_bytes = loaded.wal.valid_bytes;
+      wal.emplace(&storage, WalFileName(generation));
+      restored = true;
+      report.recovery_snapshots_loaded = 1;
+      report.recovery_snapshots_rejected = loaded.snapshots_rejected;
+      report.recovery_torn_tail_truncated = loaded.wal.torn_bytes;
+    } else if (loaded.snapshots_seen == 0) {
+      return Status::NotFound(
+          "nothing to recover: the checkpoint directory holds no "
+          "snapshots");
+    } else {
+      // Every durable generation was torn or corrupt — the crash hit
+      // before the first snapshot completed. Nothing valid exists to
+      // replay, so the run starts from scratch (counting what it
+      // refused to trust).
+      report.recovery_snapshots_rejected = loaded.snapshots_rejected;
+    }
+  }
+
+  if (!restored) {
+    PULLMON_RETURN_NOT_OK(ClearCheckpoints(options.storage));
+    for (const Profile& p : problem.profiles) {
+      monitor.RegisterProfile(p.name());
+    }
+  }
+
+  // Arrivals bucketed by reveal chronon, as in RunChurnOnce. Profile
+  // ids are assignment-ordered in both the fresh and restored paths, so
+  // index i of problem.profiles is ProfileId i.
+  std::vector<std::vector<std::pair<ProfileId, const TInterval*>>> arrivals(
+      static_cast<std::size_t>(epoch_length));
+  for (std::size_t i = 0; i < problem.profiles.size(); ++i) {
+    const Profile& p = problem.profiles[i];
+    for (const TInterval& eta : p.t_intervals()) {
+      if (eta.empty()) continue;
+      Chronon at = eta.EarliestStart();
+      if (at < 0 || at >= epoch_length) continue;
+      arrivals[static_cast<std::size_t>(at)].emplace_back(
+          static_cast<ProfileId>(i), &eta);
+    }
+  }
+
+  std::size_t next_event = 0;
+  while (next_event < workload.events.size() &&
+         workload.events[next_event].chronon < start) {
+    ++next_event;
+  }
+
+  std::size_t replay_idx = 0;
+  const auto run_start = std::chrono::steady_clock::now();
+  for (Chronon now = start; now < epoch_length; ++now) {
+    storage.SetChronon(now);
+    const bool replaying = replay_idx < replay.size();
+
+    // --- Checkpoint decision at the boundary, before the chronon
+    // --- executes. Never during replay: generation `start` already
+    // --- covers those chronons durably.
+    if (!replaying) {
+      const std::size_t wal_bytes =
+          wal_base_bytes + (wal.has_value() ? wal->bytes_flushed() : 0);
+      const bool due =
+          !wal.has_value() ||
+          (options.checkpoint_every > 0 && now != generation &&
+           now % options.checkpoint_every == 0) ||
+          (now != generation && wal_bytes >= options.snapshot_wal_bytes);
+      if (due) {
+        ProxySnapshot snapshot;
+        snapshot.fingerprint = fingerprint;
+        snapshot.chronon = now;
+        snapshot.monitor = monitor.Capture();
+        snapshot.session = session.Capture();
+        snapshot.feeds_fetched = report.feeds_fetched;
+        snapshot.not_modified = report.not_modified;
+        snapshot.feed_bytes = report.feed_bytes;
+        snapshot.items_parsed = report.items_parsed;
+        snapshot.parse_failures = report.parse_failures;
+        snapshot.corrupt_bodies = report.corrupt_bodies;
+        snapshot.timeouts = report.timeouts;
+        snapshot.server_errors = report.server_errors;
+        snapshot.outage_probes = report.outage_probes;
+        snapshot.notifications_delivered = report.notifications_delivered;
+        snapshot.churn_rejected_ops = report.churn_rejected_ops;
+        PULLMON_RETURN_NOT_OK(WriteSnapshotFile(&storage, snapshot));
+        ++report.recovery_snapshots_written;
+        generation = now;
+        wal_base_bytes = 0;
+        wal.emplace(&storage, WalFileName(generation));
+        PULLMON_RETURN_NOT_OK(PruneCheckpoints(&storage, generation));
+      }
+    }
+
+    // --- Execute the chronon, accumulating its WAL group. -------------
+    current = WalChronon{};
+    current.chronon = now;
+    for (const auto& [pid, eta] :
+         arrivals[static_cast<std::size_t>(now)]) {
+      auto submitted = monitor.Submit(pid, *eta);
+      WalChurnRecord op;
+      op.kind = 3;  // arrival submit
+      op.profile = pid;
+      op.accepted = submitted.ok() ? 1 : 0;
+      op.submission = submitted.ok() ? *submitted : -1;
+      if (submitted.ok()) {
+        defs[static_cast<std::size_t>(pid)].push_back(*eta);
+      } else {
+        ++report.churn_rejected_ops;
+      }
+      current.churn.push_back(op);
+    }
+    while (next_event < workload.events.size() &&
+           workload.events[next_event].chronon == now) {
+      const ChurnEvent& event = workload.events[next_event++];
+      auto pid = static_cast<std::size_t>(event.profile);
+      int count = static_cast<int>(defs[pid].size());
+      int sub = count > 0 ? static_cast<int>(
+                                event.pick % static_cast<std::uint64_t>(count))
+                          : 0;
+      WalChurnRecord op;
+      op.profile = event.profile;
+      op.submission = sub;
+      switch (event.kind) {
+        case ChurnEvent::Kind::kCancel: {
+          op.kind = 0;
+          op.accepted = monitor.Cancel(event.profile, sub).ok() ? 1 : 0;
+          if (op.accepted == 0) ++report.churn_rejected_ops;
+          break;
+        }
+        case ChurnEvent::Kind::kEdit: {
+          op.kind = 1;
+          TInterval replacement;
+          if (count > 0) {
+            replacement = BuildEditReplacement(
+                defs[pid][static_cast<std::size_t>(sub)], now, epoch_length,
+                event.deadline_delta, event.weight_factor);
+          }
+          auto edited = monitor.Edit(event.profile, sub, replacement);
+          op.accepted = edited.ok() ? 1 : 0;
+          if (edited.ok()) {
+            defs[pid].push_back(std::move(replacement));
+          } else {
+            ++report.churn_rejected_ops;
+          }
+          break;
+        }
+        case ChurnEvent::Kind::kUnregister: {
+          op.kind = 2;
+          op.accepted = monitor.Unregister(event.profile).ok() ? 1 : 0;
+          if (op.accepted == 0) ++report.churn_rejected_ops;
+          break;
+        }
+      }
+      current.churn.push_back(op);
+    }
+    PULLMON_ASSIGN_OR_RETURN(StepResult step, monitor.Step());
+    report.notifications_delivered += step.captured.size();
+
+    if (replaying) {
+      // Recovery replay: the re-executed chronon must match the audit
+      // trail the pre-crash process committed — any divergence means
+      // the state or configuration is not what the WAL was written
+      // under, and resuming would silently corrupt the run.
+      const WalChronon& expected = replay[replay_idx++];
+      if (expected.chronon != now || expected.churn != current.churn ||
+          expected.probes != current.probes) {
+        return Status::Internal(StringFormat(
+            "WAL replay divergence at chronon %d: the re-executed "
+            "chronon does not match the committed log",
+            now));
+      }
+      report.recovery_wal_records_replayed +=
+          expected.churn.size() + expected.probes.size() + 2;
+    } else {
+      wal->LogChrononStart(now);
+      for (const WalChurnRecord& op : current.churn) wal->LogChurn(op);
+      for (const WalProbeRecord& probe : current.probes) {
+        wal->LogProbe(probe);
+      }
+      PULLMON_RETURN_NOT_OK(wal->CommitChronon(now));
+      report.recovery_wal_records_logged +=
+          current.churn.size() + current.probes.size() + 2;
+    }
+  }
+  const auto run_end = std::chrono::steady_clock::now();
+
+  report.run.elapsed_seconds =
+      std::chrono::duration<double>(run_end - run_start).count();
+  FinalizeChurnReport(monitor, config.breaker.enabled, &session, &report);
+  return report;
+}
+
+}  // namespace pullmon

@@ -1,0 +1,173 @@
+#include "recovery/stable_storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace pullmon {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// MemoryStorage
+// ---------------------------------------------------------------------
+
+Status MemoryStorage::WriteFile(const std::string& name,
+                                std::string_view bytes) {
+  files_[name].assign(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Status MemoryStorage::AppendFile(const std::string& name,
+                                 std::string_view bytes) {
+  files_[name].append(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Result<std::string> MemoryStorage::ReadFile(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return it->second;
+}
+
+Status MemoryStorage::TruncateFile(const std::string& name,
+                                   std::size_t size) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  if (it->second.size() > size) it->second.resize(size);
+  return Status::OK();
+}
+
+Status MemoryStorage::RemoveFile(const std::string& name) {
+  files_.erase(name);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemoryStorage::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::string* MemoryStorage::MutableFile(const std::string& name) {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------
+// DirectoryStorage
+// ---------------------------------------------------------------------
+
+DirectoryStorage::DirectoryStorage(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Status DirectoryStorage::Prepare() {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory " +
+                           directory_ + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::string DirectoryStorage::PathFor(const std::string& name) const {
+  return (fs::path(directory_) / name).string();
+}
+
+Status DirectoryStorage::WriteFile(const std::string& name,
+                                   std::string_view bytes) {
+  // Write-then-rename keeps a previously valid file visible until the
+  // replacement is fully on disk.
+  const std::string final_path = PathFor(name);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp_path);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return Status::IoError("short write to " + tmp_path);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IoError("cannot rename " + tmp_path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status DirectoryStorage::AppendFile(const std::string& name,
+                                    std::string_view bytes) {
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("cannot open " + PathFor(name));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IoError("short append to " + PathFor(name));
+  return Status::OK();
+}
+
+Result<std::string> DirectoryStorage::ReadFile(
+    const std::string& name) const {
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + PathFor(name));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read error on " + PathFor(name));
+  return bytes;
+}
+
+Status DirectoryStorage::TruncateFile(const std::string& name,
+                                      std::size_t size) {
+  const std::string path = PathFor(name);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("no such file: " + path);
+  }
+  const auto current = fs::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat " + path + ": " + ec.message());
+  if (current <= size) return Status::OK();
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    return Status::IoError("cannot truncate " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status DirectoryStorage::RemoveFile(const std::string& name) {
+  std::error_code ec;
+  fs::remove(PathFor(name), ec);
+  if (ec) {
+    return Status::IoError("cannot remove " + PathFor(name) + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> DirectoryStorage::ListFiles() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) {
+    return Status::IoError("cannot list " + directory_ + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace pullmon

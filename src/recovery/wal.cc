@@ -1,0 +1,156 @@
+#include "recovery/wal.h"
+
+#include <utility>
+
+#include "recovery/recovery_codec.h"
+#include "trace/page_codec.h"
+
+namespace pullmon {
+
+WalWriter::WalWriter(StableStorage* storage, std::string name)
+    : storage_(storage), name_(std::move(name)) {}
+
+void WalWriter::LogChrononStart(Chronon chronon) {
+  std::string& payload = payload_scratch_;
+  payload.clear();
+  AppendSigned(chronon, &payload);
+  AppendRecord(static_cast<std::uint64_t>(WalRecordType::kChrononStart),
+               payload, &buffer_);
+  ++records_logged_;
+}
+
+void WalWriter::LogChurn(const WalChurnRecord& record) {
+  std::string& payload = payload_scratch_;
+  payload.clear();
+  payload.push_back(static_cast<char>(record.kind));
+  AppendSigned(record.profile, &payload);
+  AppendSigned(record.submission, &payload);
+  payload.push_back(static_cast<char>(record.accepted));
+  AppendRecord(static_cast<std::uint64_t>(WalRecordType::kChurnOp), payload,
+               &buffer_);
+  ++records_logged_;
+}
+
+void WalWriter::LogProbe(const WalProbeRecord& record) {
+  std::string& payload = payload_scratch_;
+  payload.clear();
+  AppendSigned(record.resource, &payload);
+  payload.push_back(static_cast<char>(record.success));
+  AppendRecord(static_cast<std::uint64_t>(WalRecordType::kProbe), payload,
+               &buffer_);
+  ++records_logged_;
+}
+
+Status WalWriter::CommitChronon(Chronon chronon) {
+  std::string& payload = payload_scratch_;
+  payload.clear();
+  AppendSigned(chronon, &payload);
+  AppendRecord(static_cast<std::uint64_t>(WalRecordType::kChrononCommit),
+               payload, &buffer_);
+  ++records_logged_;
+  PULLMON_RETURN_NOT_OK(storage_->AppendFile(name_, buffer_));
+  bytes_flushed_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(std::string_view bytes) {
+  WalReadResult result;
+  std::size_t offset = 0;
+  std::size_t records_since_commit = 0;
+  // The chronon being accumulated (not yet committed).
+  WalChronon pending;
+  bool in_chronon = false;
+
+  while (offset < bytes.size()) {
+    auto record = DecodeRecord(bytes.substr(offset));
+    if (!record.ok()) break;  // torn tail: stop at the first bad frame
+    ByteReader r(record->payload);
+    bool intact = true;
+    switch (static_cast<WalRecordType>(record->type)) {
+      case WalRecordType::kChrononStart: {
+        if (in_chronon) {
+          return Status::ParseError(
+              "WAL chronon started before the previous one committed");
+        }
+        std::int64_t chronon = 0;
+        if (!r.ReadSigned(&chronon).ok() || !r.AtEnd()) {
+          intact = false;
+          break;
+        }
+        pending = WalChronon{};
+        pending.chronon = static_cast<Chronon>(chronon);
+        in_chronon = true;
+        break;
+      }
+      case WalRecordType::kChurnOp: {
+        if (!in_chronon) {
+          return Status::ParseError("WAL churn op outside a chronon");
+        }
+        WalChurnRecord churn;
+        std::int64_t profile = 0, submission = 0;
+        if (!r.ReadByte(&churn.kind).ok() ||
+            !r.ReadSigned(&profile).ok() ||
+            !r.ReadSigned(&submission).ok() ||
+            !r.ReadByte(&churn.accepted).ok() || !r.AtEnd()) {
+          intact = false;
+          break;
+        }
+        churn.profile = static_cast<ProfileId>(profile);
+        churn.submission = static_cast<int>(submission);
+        pending.churn.push_back(churn);
+        break;
+      }
+      case WalRecordType::kProbe: {
+        if (!in_chronon) {
+          return Status::ParseError("WAL probe outside a chronon");
+        }
+        WalProbeRecord probe;
+        std::int64_t resource = 0;
+        if (!r.ReadSigned(&resource).ok() ||
+            !r.ReadByte(&probe.success).ok() || !r.AtEnd()) {
+          intact = false;
+          break;
+        }
+        probe.resource = static_cast<ResourceId>(resource);
+        pending.probes.push_back(probe);
+        break;
+      }
+      case WalRecordType::kChrononCommit: {
+        std::int64_t chronon = 0;
+        if (!r.ReadSigned(&chronon).ok() || !r.AtEnd()) {
+          intact = false;
+          break;
+        }
+        if (!in_chronon ||
+            static_cast<Chronon>(chronon) != pending.chronon) {
+          return Status::ParseError(
+              "WAL commit does not match the open chronon");
+        }
+        result.chronons.push_back(std::move(pending));
+        in_chronon = false;
+        // The commit seals the group: everything up to and including
+        // this record is durable prefix.
+        result.valid_bytes = offset + record->record_bytes;
+        result.committed_records += records_since_commit + 2;
+        records_since_commit = 0;
+        break;
+      }
+      default:
+        intact = false;  // unknown type: treat as tail corruption
+        break;
+    }
+    if (!intact) break;
+    if (static_cast<WalRecordType>(record->type) !=
+            WalRecordType::kChrononCommit &&
+        static_cast<WalRecordType>(record->type) !=
+            WalRecordType::kChrononStart) {
+      ++records_since_commit;
+    }
+    offset += record->record_bytes;
+  }
+  result.torn_bytes = bytes.size() - result.valid_bytes;
+  return result;
+}
+
+}  // namespace pullmon

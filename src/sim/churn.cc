@@ -83,14 +83,6 @@ ChurnWorkload GenerateChurnWorkload(const ChurnOptions& options,
   return workload;
 }
 
-namespace {
-
-/// Builds an Edit replacement from the submission's current definition:
-/// the EIs whose window has not yet opened survive, with their deadlines
-/// pushed out by `delta` (clamped to the epoch) and the weight rescaled.
-/// When every EI has already opened the replacement comes back empty and
-/// the monitor rejects the edit — the deliberate edit-to-past-deadline
-/// error path.
 TInterval BuildEditReplacement(const TInterval& current, Chronon now,
                                Chronon epoch_length, Chronon delta,
                                double weight_factor) {
@@ -105,7 +97,61 @@ TInterval BuildEditReplacement(const TInterval& current, Chronon now,
   return replacement;
 }
 
-}  // namespace
+void FinalizeChurnReport(const DynamicMonitor& monitor, bool breaker_enabled,
+                         FeedPullSession* session, ProxyRunReport* report) {
+  const MonitorStats& ms = monitor.stats();
+  report->run.schedule = monitor.schedule();
+  report->run.completeness = monitor.Completeness();
+  report->run.probes_used = ms.probes_used;
+  report->run.t_intervals_completed = monitor.t_intervals_completed();
+  report->run.t_intervals_failed = monitor.t_intervals_failed();
+  report->run.candidates_scored = ms.candidates_scored;
+  report->run.max_concurrent_candidates = ms.max_concurrent_candidates;
+  report->run.probes_failed = ms.probes_failed;
+  report->run.retries_issued = ms.retries_issued;
+  report->run.retry_probes_spent = ms.retry_probes_spent;
+  report->run.t_intervals_lost_to_faults = ms.t_intervals_lost_to_faults;
+  const HealthStats& hs = monitor.health().stats();
+  report->run.circuits_opened = hs.circuits_opened;
+  report->run.circuits_reopened = hs.circuits_reopened;
+  report->run.probation_probes = hs.probation_probes;
+  report->run.probation_successes = hs.probation_successes;
+  report->run.probes_suppressed = hs.probes_suppressed;
+  report->run.budget_reclaimed = hs.budget_reclaimed;
+  report->run.open_chronons_total = hs.open_chronons_total;
+  if (breaker_enabled) {
+    report->run.open_chronons_by_resource =
+        monitor.health().OpenChrononsByResource();
+  }
+  // The monitor's own capture accounting must agree with the
+  // schedule-based evaluation (cancelled submissions excluded).
+  PULLMON_CHECK(report->run.completeness.captured_t_intervals ==
+                monitor.t_intervals_completed());
+
+  report->probes_failed = ms.probes_failed;
+  report->retries_issued = ms.retries_issued;
+  report->retry_probes_spent = ms.retry_probes_spent;
+  report->circuits_opened = report->run.circuits_opened;
+  report->circuits_reopened = report->run.circuits_reopened;
+  report->probation_probes = report->run.probation_probes;
+  report->probation_successes = report->run.probation_successes;
+  report->probes_suppressed = report->run.probes_suppressed;
+  report->budget_reclaimed = report->run.budget_reclaimed;
+  report->open_chronons_total = report->run.open_chronons_total;
+  report->open_chronons_by_resource = report->run.open_chronons_by_resource;
+  std::size_t total = report->run.completeness.total_t_intervals;
+  report->gc_lost_to_faults =
+      total == 0
+          ? 0.0
+          : static_cast<double>(report->run.t_intervals_lost_to_faults) /
+                static_cast<double>(total);
+  report->churn_submitted = ms.submitted;
+  report->churn_cancelled = ms.cancelled;
+  report->churn_edited = ms.edited;
+  report->churn_unregistered_profiles = ms.unregistered_profiles;
+  report->orphaned_probes = ms.orphaned_probes;
+  session->FinishReport();
+}
 
 Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed) {
@@ -249,60 +295,9 @@ Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
   // Mirror the scheduling/fault/health/churn telemetry the way
   // MonitoringProxy::Run does, so churn and proxy reports compare
   // field-for-field.
-  const MonitorStats& ms = monitor.stats();
-  report.run.schedule = monitor.schedule();
-  report.run.completeness = monitor.Completeness();
   report.run.elapsed_seconds =
       std::chrono::duration<double>(run_end - run_start).count();
-  report.run.probes_used = ms.probes_used;
-  report.run.t_intervals_completed = monitor.t_intervals_completed();
-  report.run.t_intervals_failed = monitor.t_intervals_failed();
-  report.run.candidates_scored = ms.candidates_scored;
-  report.run.max_concurrent_candidates = ms.max_concurrent_candidates;
-  report.run.probes_failed = ms.probes_failed;
-  report.run.retries_issued = ms.retries_issued;
-  report.run.retry_probes_spent = ms.retry_probes_spent;
-  report.run.t_intervals_lost_to_faults = ms.t_intervals_lost_to_faults;
-  const HealthStats& hs = monitor.health().stats();
-  report.run.circuits_opened = hs.circuits_opened;
-  report.run.circuits_reopened = hs.circuits_reopened;
-  report.run.probation_probes = hs.probation_probes;
-  report.run.probation_successes = hs.probation_successes;
-  report.run.probes_suppressed = hs.probes_suppressed;
-  report.run.budget_reclaimed = hs.budget_reclaimed;
-  report.run.open_chronons_total = hs.open_chronons_total;
-  if (config.breaker.enabled) {
-    report.run.open_chronons_by_resource =
-        monitor.health().OpenChrononsByResource();
-  }
-  // The monitor's own capture accounting must agree with the
-  // schedule-based evaluation (cancelled submissions excluded).
-  PULLMON_CHECK(report.run.completeness.captured_t_intervals ==
-                monitor.t_intervals_completed());
-
-  report.probes_failed = ms.probes_failed;
-  report.retries_issued = ms.retries_issued;
-  report.retry_probes_spent = ms.retry_probes_spent;
-  report.circuits_opened = report.run.circuits_opened;
-  report.circuits_reopened = report.run.circuits_reopened;
-  report.probation_probes = report.run.probation_probes;
-  report.probation_successes = report.run.probation_successes;
-  report.probes_suppressed = report.run.probes_suppressed;
-  report.budget_reclaimed = report.run.budget_reclaimed;
-  report.open_chronons_total = report.run.open_chronons_total;
-  report.open_chronons_by_resource = report.run.open_chronons_by_resource;
-  std::size_t total = report.run.completeness.total_t_intervals;
-  report.gc_lost_to_faults =
-      total == 0
-          ? 0.0
-          : static_cast<double>(report.run.t_intervals_lost_to_faults) /
-                static_cast<double>(total);
-  report.churn_submitted = ms.submitted;
-  report.churn_cancelled = ms.cancelled;
-  report.churn_edited = ms.edited;
-  report.churn_unregistered_profiles = ms.unregistered_profiles;
-  report.orphaned_probes = ms.orphaned_probes;
-  session.FinishReport();
+  FinalizeChurnReport(monitor, config.breaker.enabled, &session, &report);
   return report;
 }
 

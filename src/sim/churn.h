@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "core/chronon.h"
+#include "core/dynamic_monitor.h"
+#include "core/t_interval.h"
+#include "sim/proxy.h"
 #include "util/status.h"
 
 namespace pullmon {
@@ -79,6 +82,25 @@ struct ChurnWorkload {
 ChurnWorkload GenerateChurnWorkload(const ChurnOptions& options,
                                     int num_profiles, Chronon epoch_length,
                                     uint64_t seed);
+
+/// Builds an Edit replacement from the submission's current definition:
+/// the EIs whose window has not yet opened survive, with their deadlines
+/// pushed out by `delta` (clamped to the epoch) and the weight rescaled.
+/// When every EI has already opened the replacement comes back empty and
+/// the monitor rejects the edit — the deliberate edit-to-past-deadline
+/// error path. Shared by RunChurnOnce and the durable runner
+/// (src/recovery/durable_runner.cc) so both resolve churn identically.
+TInterval BuildEditReplacement(const TInterval& current, Chronon now,
+                               Chronon epoch_length, Chronon delta,
+                               double weight_factor);
+
+/// Mirrors the scheduling/fault/health/churn telemetry of a finished
+/// DynamicMonitor run into `report` the way MonitoringProxy::Run does
+/// (including session->FinishReport()), so churn, durable, and proxy
+/// reports compare field-for-field. Checks the monitor's capture
+/// accounting against the schedule-based evaluation.
+void FinalizeChurnReport(const DynamicMonitor& monitor, bool breaker_enabled,
+                         FeedPullSession* session, ProxyRunReport* report);
 
 }  // namespace pullmon
 

@@ -24,6 +24,26 @@ Status SimulationConfig::Validate() const {
   PULLMON_RETURN_NOT_OK(breaker.Validate());
   PULLMON_RETURN_NOT_OK(churn.Validate());
   PULLMON_RETURN_NOT_OK(trace_store.Validate());
+  if (checkpoint_every < 0) {
+    return Status::InvalidArgument(
+        "checkpoint-every must be >= 0 chronons");
+  }
+  if (checkpoint_dir.empty()) {
+    if (checkpoint_every > 0) {
+      return Status::InvalidArgument(
+          "--checkpoint-every requires --checkpoint-dir");
+    }
+    if (crash_at_chronon >= 0) {
+      return Status::InvalidArgument(
+          "--crash-at requires --checkpoint-dir (there is nothing "
+          "durable to crash)");
+    }
+    if (recover) {
+      return Status::InvalidArgument(
+          "--recover requires --checkpoint-dir (nowhere to recover "
+          "from)");
+    }
+  }
   return Status::OK();
 }
 
@@ -97,6 +117,19 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
                      churn.edit_fraction, churn.unregister_fraction));
     rows.emplace_back("churn zipf theta",
                       StringFormat("%.2f", churn.zipf_theta));
+  }
+  if (!checkpoint_dir.empty()) {
+    rows.emplace_back("checkpoint dir", checkpoint_dir);
+    rows.emplace_back("checkpoint every",
+                      checkpoint_every > 0
+                          ? StringFormat("%d chronons", checkpoint_every)
+                          : std::string("WAL-size only"));
+    if (crash_at_chronon >= 0) {
+      rows.emplace_back("crash at",
+                        StringFormat("chronon %d + %zu B",
+                                     crash_at_chronon, crash_at_offset));
+    }
+    if (recover) rows.emplace_back("recover", "yes");
   }
   return rows;
 }

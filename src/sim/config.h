@@ -1,6 +1,7 @@
 #ifndef PULLMON_SIM_CONFIG_H_
 #define PULLMON_SIM_CONFIG_H_
 
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,6 +99,25 @@ struct SimulationConfig {
   TraceBackend trace_backend = TraceBackend::kInMemory;
   /// Page size and cache budget of the paged backend.
   TraceStoreOptions trace_store;
+  /// Durability layer (src/recovery/): directory snapshots and WALs are
+  /// written to. Empty (the default) runs fully volatile. The
+  /// durability knobs below are process configuration, not simulation
+  /// parameters — none of them enter RunFingerprint, so a recovered run
+  /// may legally differ from the crashed one in all of them.
+  std::string checkpoint_dir;
+  /// Snapshot every N chronon boundaries (0 = only the initial snapshot
+  /// plus WAL-size-triggered ones). Requires checkpoint_dir.
+  Chronon checkpoint_every = 0;
+  /// Crash-injection point of the recovery harness: kill the run at the
+  /// first durable write at or after this chronon (-1 disarms).
+  /// Requires checkpoint_dir.
+  Chronon crash_at_chronon = -1;
+  /// Bytes of durable writes the armed crash plan still admits before
+  /// the kill fires (the exhausting write is torn).
+  std::size_t crash_at_offset = 0;
+  /// Resume from the newest valid checkpoint in checkpoint_dir instead
+  /// of starting fresh. Requires checkpoint_dir.
+  bool recover = false;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

@@ -153,6 +153,37 @@ void FeedPullSession::FinishReport() {
   }
 }
 
+PullSessionImage FeedPullSession::Capture() const {
+  PullSessionImage image;
+  image.etags = etags_;
+  if (plan_.has_value()) image.fault_plan = plan_->Capture();
+  if (cache_.has_value()) image.parse_cache = cache_->Capture();
+  return image;
+}
+
+Status FeedPullSession::Restore(const PullSessionImage& image) {
+  if (image.etags.size() != etags_.size()) {
+    return Status::InvalidArgument(
+        "session image resource count does not match the session");
+  }
+  if (image.fault_plan.has_value() != plan_.has_value()) {
+    return Status::InvalidArgument(
+        "session image and session disagree on the fault layer");
+  }
+  if (image.parse_cache.has_value() != cache_.has_value()) {
+    return Status::InvalidArgument(
+        "session image and session disagree on the parse cache");
+  }
+  etags_ = image.etags;
+  if (plan_.has_value()) {
+    PULLMON_RETURN_NOT_OK(plan_->Restore(*image.fault_plan));
+  }
+  if (cache_.has_value()) {
+    PULLMON_RETURN_NOT_OK(cache_->Restore(*image.parse_cache));
+  }
+  return Status::OK();
+}
+
 MonitoringProxy::MonitoringProxy(const MonitoringProblem* problem,
                                  FeedNetwork* network, Policy* policy,
                                  ExecutionMode mode, ProxyOptions options)

@@ -113,6 +113,24 @@ struct ProxyRunReport {
   std::size_t trace_cache_hits = 0;
   std::size_t trace_cache_misses = 0;
   std::size_t trace_cache_evictions = 0;
+  // --- Recovery telemetry (all zero without a checkpoint directory;
+  // --- src/recovery/. These are the ONLY fields allowed to differ
+  // --- between an uninterrupted run and a crash-recovered one — the
+  // --- recovery differential suite asserts everything above is equal).
+  /// Snapshots the durable runner persisted this run.
+  std::size_t recovery_snapshots_written = 0;
+  /// Snapshots loaded to seed this run (1 on a recovered run).
+  std::size_t recovery_snapshots_loaded = 0;
+  /// Snapshots rejected at load time (checksum/decode failure — torn or
+  /// bit-flipped files that were detected, never silently replayed).
+  std::size_t recovery_snapshots_rejected = 0;
+  /// WAL records group-flushed at chronon boundaries this run.
+  std::size_t recovery_wal_records_logged = 0;
+  /// WAL records verified against re-execution during recovery.
+  std::size_t recovery_wal_records_replayed = 0;
+  /// WAL records discarded by the torn-tail rule (bytes after the last
+  /// intact chronon commit, or after the first corrupt record).
+  std::size_t recovery_torn_tail_truncated = 0;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults
@@ -144,6 +162,16 @@ struct ProxyOptions {
   TraceBackend trace_backend = TraceBackend::kInMemory;
 };
 
+/// Resumable state of one FeedPullSession at a chronon boundary: the
+/// per-resource validators plus the images of the optional fault plan
+/// and parse cache. The report counters the session fills live in the
+/// ProxyRunReport and are checkpointed by the recovery layer alongside.
+struct PullSessionImage {
+  std::vector<std::string> etags;
+  std::optional<FaultPlanImage> fault_plan;
+  std::optional<ParseCacheImage> parse_cache;
+};
+
 /// The physical pull leg shared by MonitoringProxy (executor-driven) and
 /// the churn experiment runner (DynamicMonitor-driven): conditional
 /// fetches through an optional deterministic fault plan, arena-backed
@@ -173,6 +201,15 @@ class FeedPullSession {
   /// Copies the fault-plan and parse-cache counters into the report;
   /// call once after the run.
   void FinishReport();
+
+  /// Checkpoint support: Capture() at a chronon boundary freezes the
+  /// validators and the fault/cache layers; Restore() resumes them on a
+  /// session built from the same options. InvalidArgument when the
+  /// image disagrees with the session's layers or resource count. The
+  /// current-chronon item buffer is intentionally not captured: it is
+  /// rebuilt by the first probe of the next chronon.
+  PullSessionImage Capture() const;
+  Status Restore(const PullSessionImage& image);
 
  private:
   FeedNetwork* network_;

@@ -45,11 +45,16 @@ std::uint32_t PageChecksum(std::string_view bytes) {
 }
 
 void AppendVarint(std::uint64_t value, std::string* out) {
+  // Staged through a stack buffer: one append beats up to ten
+  // capacity-checked push_backs on the snapshot-encoding hot path.
+  char buf[kMaxVarintBytes];
+  std::size_t n = 0;
   while (value >= 0x80) {
-    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    buf[n++] = static_cast<char>((value & 0x7F) | 0x80);
     value >>= 7;
   }
-  out->push_back(static_cast<char>(value));
+  buf[n++] = static_cast<char>(value);
+  out->append(buf, n);
 }
 
 const char* DecodeVarint(const char* p, const char* end,

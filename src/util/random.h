@@ -1,6 +1,7 @@
 #ifndef PULLMON_UTIL_RANDOM_H_
 #define PULLMON_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,15 @@ class Rng {
 
   /// Derives an independent child generator (for parallel streams).
   Rng Fork();
+
+  /// The raw xoshiro256** state, for checkpointing a stream mid-run.
+  /// RestoreState(SaveState()) resumes the exact sequence.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   uint64_t state_[4];

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -22,6 +22,9 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kUnimplemented,
+  /// The operation was deliberately cut short (e.g. the crash-injection
+  /// harness simulating a process kill mid-run; src/recovery/).
+  kAborted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +76,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

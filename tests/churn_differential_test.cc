@@ -16,6 +16,7 @@
 
 #include "core/dynamic_monitor.h"
 #include "policies/policy_factory.h"
+#include "report_equality.h"
 #include "sim/config.h"
 #include "sim/experiment.h"
 #include "util/random.h"
@@ -245,43 +246,7 @@ TEST(ChurnDifferentialTest, IncrementalMatchesRebuildOracle) {
 void ExpectReportsIdentical(const ProxyRunReport& a,
                             const ProxyRunReport& b, Chronon epoch_length,
                             const std::string& label) {
-  for (Chronon t = 0; t < epoch_length; ++t) {
-    EXPECT_EQ(a.run.schedule.ProbesAt(t), b.run.schedule.ProbesAt(t))
-        << label << " chronon " << t;
-  }
-  EXPECT_EQ(a.run.completeness.GainedCompleteness(),
-            b.run.completeness.GainedCompleteness())
-      << label;
-  EXPECT_EQ(a.run.probes_used, b.run.probes_used) << label;
-  EXPECT_EQ(a.run.t_intervals_completed, b.run.t_intervals_completed)
-      << label;
-  EXPECT_EQ(a.run.t_intervals_failed, b.run.t_intervals_failed) << label;
-  EXPECT_EQ(a.run.probes_failed, b.run.probes_failed) << label;
-  EXPECT_EQ(a.run.retries_issued, b.run.retries_issued) << label;
-  EXPECT_EQ(a.run.t_intervals_lost_to_faults,
-            b.run.t_intervals_lost_to_faults)
-      << label;
-  EXPECT_EQ(a.feeds_fetched, b.feeds_fetched) << label;
-  EXPECT_EQ(a.not_modified, b.not_modified) << label;
-  EXPECT_EQ(a.feed_bytes, b.feed_bytes) << label;
-  EXPECT_EQ(a.items_parsed, b.items_parsed) << label;
-  EXPECT_EQ(a.parse_failures, b.parse_failures) << label;
-  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered)
-      << label;
-  EXPECT_EQ(a.timeouts, b.timeouts) << label;
-  EXPECT_EQ(a.server_errors, b.server_errors) << label;
-  EXPECT_EQ(a.outage_probes, b.outage_probes) << label;
-  EXPECT_EQ(a.corrupt_bodies, b.corrupt_bodies) << label;
-  EXPECT_EQ(a.circuits_opened, b.circuits_opened) << label;
-  EXPECT_EQ(a.probes_suppressed, b.probes_suppressed) << label;
-  EXPECT_EQ(a.fault_stats, b.fault_stats) << label;
-  EXPECT_EQ(a.churn_submitted, b.churn_submitted) << label;
-  EXPECT_EQ(a.churn_cancelled, b.churn_cancelled) << label;
-  EXPECT_EQ(a.churn_edited, b.churn_edited) << label;
-  EXPECT_EQ(a.churn_unregistered_profiles, b.churn_unregistered_profiles)
-      << label;
-  EXPECT_EQ(a.churn_rejected_ops, b.churn_rejected_ops) << label;
-  EXPECT_EQ(a.orphaned_probes, b.orphaned_probes) << label;
+  ExpectProxyReportsEqual(a, b, epoch_length, label);
 }
 
 // The end-to-end layer: RunChurnOnce drives the full feed substrate

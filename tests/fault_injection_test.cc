@@ -7,6 +7,7 @@
 #include "feeds/atom.h"
 #include "policies/mrsf.h"
 #include "policies/s_edf.h"
+#include "report_equality.h"
 #include "sim/experiment.h"
 #include "sim/proxy.h"
 #include "trace/poisson_generator.h"
@@ -40,32 +41,8 @@ FaultOptions HeavyFaults() {
 /// timing), for byte-identical comparisons across runs.
 void ExpectReportsIdentical(const ProxyRunReport& a,
                             const ProxyRunReport& b) {
-  EXPECT_EQ(a.run.probes_used, b.run.probes_used);
-  EXPECT_EQ(a.run.probes_failed, b.run.probes_failed);
-  EXPECT_EQ(a.run.retries_issued, b.run.retries_issued);
-  EXPECT_EQ(a.run.retry_probes_spent, b.run.retry_probes_spent);
-  EXPECT_EQ(a.run.t_intervals_completed, b.run.t_intervals_completed);
-  EXPECT_EQ(a.run.t_intervals_failed, b.run.t_intervals_failed);
-  EXPECT_EQ(a.run.t_intervals_lost_to_faults,
-            b.run.t_intervals_lost_to_faults);
-  EXPECT_DOUBLE_EQ(a.run.completeness.GainedCompleteness(),
-                   b.run.completeness.GainedCompleteness());
-  EXPECT_EQ(a.feeds_fetched, b.feeds_fetched);
-  EXPECT_EQ(a.not_modified, b.not_modified);
-  EXPECT_EQ(a.feed_bytes, b.feed_bytes);
-  EXPECT_EQ(a.items_parsed, b.items_parsed);
-  EXPECT_EQ(a.parse_failures, b.parse_failures);
-  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered);
-  EXPECT_EQ(a.probes_failed, b.probes_failed);
-  EXPECT_EQ(a.retries_issued, b.retries_issued);
-  EXPECT_EQ(a.retry_probes_spent, b.retry_probes_spent);
-  EXPECT_EQ(a.corrupt_bodies, b.corrupt_bodies);
-  EXPECT_EQ(a.timeouts, b.timeouts);
-  EXPECT_EQ(a.server_errors, b.server_errors);
-  EXPECT_EQ(a.etag_invalidations, b.etag_invalidations);
-  EXPECT_DOUBLE_EQ(a.latency_chronons, b.latency_chronons);
-  EXPECT_DOUBLE_EQ(a.gc_lost_to_faults, b.gc_lost_to_faults);
-  EXPECT_TRUE(a.fault_stats == b.fault_stats);
+  ASSERT_EQ(a.run.schedule.epoch_length(), b.run.schedule.epoch_length());
+  ExpectProxyReportsEqual(a, b, a.run.schedule.epoch_length());
 }
 
 TEST(FaultOptionsTest, ValidationRejectsMalformedRates) {

@@ -165,5 +165,34 @@ TEST(SimulationConfigTest, ValidateCoversChurn) {
   EXPECT_FALSE(config.Validate().ok());
 }
 
+TEST(SimulationConfigTest, ValidateCoversCheckpointFlags) {
+  SimulationConfig config;
+  ASSERT_TRUE(config.Validate().ok());
+
+  // Durability knobs without a checkpoint directory are meaningless
+  // and must be rejected, not silently ignored.
+  config.crash_at_chronon = 5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.crash_at_chronon = -1;
+  config.recover = true;
+  EXPECT_FALSE(config.Validate().ok());
+  config.recover = false;
+  config.checkpoint_every = 10;
+  EXPECT_FALSE(config.Validate().ok());
+
+  // With a directory the same knobs validate...
+  config.checkpoint_dir = "/tmp/ckpt";
+  config.crash_at_chronon = 5;
+  config.crash_at_offset = 100;
+  config.recover = true;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // ...except a negative snapshot period, which is nonsense always.
+  config.checkpoint_every = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.checkpoint_every = 0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace pullmon

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "policies/mrsf.h"
+#include "report_equality.h"
 #include "sim/config.h"
 #include "sim/experiment.h"
 #include "sim/proxy.h"
@@ -182,51 +183,9 @@ SimulationConfig SmallConfig() {
 void ExpectReportEqualityModuloTraceStats(const ProxyRunReport& a,
                                           const ProxyRunReport& b,
                                           Chronon epoch) {
-  for (Chronon t = 0; t < epoch; ++t) {
-    ASSERT_EQ(a.run.schedule.ProbesAt(t), b.run.schedule.ProbesAt(t))
-        << "chronon " << t;
-  }
-  EXPECT_DOUBLE_EQ(a.run.completeness.GainedCompleteness(),
-                   b.run.completeness.GainedCompleteness());
-  EXPECT_EQ(a.run.probes_used, b.run.probes_used);
-  EXPECT_EQ(a.run.probes_failed, b.run.probes_failed);
-  EXPECT_EQ(a.run.retries_issued, b.run.retries_issued);
-  EXPECT_EQ(a.run.retry_probes_spent, b.run.retry_probes_spent);
-  EXPECT_EQ(a.run.t_intervals_completed, b.run.t_intervals_completed);
-  EXPECT_EQ(a.run.t_intervals_failed, b.run.t_intervals_failed);
-  EXPECT_EQ(a.run.t_intervals_lost_to_faults,
-            b.run.t_intervals_lost_to_faults);
-  EXPECT_EQ(a.run.candidates_scored, b.run.candidates_scored);
-  EXPECT_EQ(a.run.max_concurrent_candidates,
-            b.run.max_concurrent_candidates);
-  EXPECT_EQ(a.run.circuits_opened, b.run.circuits_opened);
-  EXPECT_EQ(a.run.circuits_reopened, b.run.circuits_reopened);
-  EXPECT_EQ(a.run.probation_probes, b.run.probation_probes);
-  EXPECT_EQ(a.run.probation_successes, b.run.probation_successes);
-  EXPECT_EQ(a.run.probes_suppressed, b.run.probes_suppressed);
-  EXPECT_EQ(a.run.budget_reclaimed, b.run.budget_reclaimed);
-  EXPECT_EQ(a.run.open_chronons_total, b.run.open_chronons_total);
-  EXPECT_EQ(a.run.open_chronons_by_resource,
-            b.run.open_chronons_by_resource);
-  EXPECT_EQ(a.feeds_fetched, b.feeds_fetched);
-  EXPECT_EQ(a.not_modified, b.not_modified);
-  EXPECT_EQ(a.feed_bytes, b.feed_bytes);
-  EXPECT_EQ(a.items_parsed, b.items_parsed);
-  EXPECT_EQ(a.parse_failures, b.parse_failures);
-  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered);
-  EXPECT_EQ(a.probes_failed, b.probes_failed);
-  EXPECT_EQ(a.retries_issued, b.retries_issued);
-  EXPECT_EQ(a.retry_probes_spent, b.retry_probes_spent);
-  EXPECT_EQ(a.corrupt_bodies, b.corrupt_bodies);
-  EXPECT_EQ(a.timeouts, b.timeouts);
-  EXPECT_EQ(a.server_errors, b.server_errors);
-  EXPECT_EQ(a.etag_invalidations, b.etag_invalidations);
-  EXPECT_EQ(a.outage_probes, b.outage_probes);
-  EXPECT_EQ(a.parse_cache_hits, b.parse_cache_hits);
-  EXPECT_EQ(a.parse_cache_misses, b.parse_cache_misses);
-  EXPECT_DOUBLE_EQ(a.latency_chronons, b.latency_chronons);
-  EXPECT_DOUBLE_EQ(a.gc_lost_to_faults, b.gc_lost_to_faults);
-  EXPECT_TRUE(a.fault_stats == b.fault_stats);
+  ReportEqualityOptions options;
+  options.trace_stats = false;
+  ExpectProxyReportsEqual(a, b, epoch, "", options);
 }
 
 TEST(TraceStoreDifferentialTest, ProxyReportsIdenticalCleanRun) {

@@ -34,6 +34,14 @@ DETERMINISTIC_METRICS = {
     "bytes_stored",
     "in_memory_bytes",
     "bytes_ratio",
+    # bench_recovery: the durability layer is replay-exact, so its
+    # snapshot/WAL accounting derives only from the seeded workload.
+    "probes",
+    "reports_equal",
+    "snapshots_written",
+    "snapshot_bytes",
+    "wal_records",
+    "wal_records_replayed",
 }
 
 

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 suite in the default build, then the
-# whole suite again under AddressSanitizer + UBSan. Run from anywhere;
-# paths resolve relative to the repository root.
+# whole suite again under AddressSanitizer + UBSan, then once more
+# under standalone UBSan (the combined build can mask pure-UB findings
+# behind asan's instrumentation, and the standalone build runs fast
+# enough to keep). Run from anywhere; paths resolve relative to the
+# repository root.
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
+#   tools/check.sh            # all three passes
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
 #   tools/check.sh --bench    # also run the bench gates (Release+LTO
 #                             # build): hot-path (2x + zero-alloc),
 #                             # offline solvers (5x + equivalence),
 #                             # churn maintenance (5x + schedule
-#                             # equality vs the rebuild oracle) and the
+#                             # equality vs the rebuild oracle), the
 #                             # trace store (8x compression + 0.5x
-#                             # replay + cross-backend equality)
+#                             # replay + cross-backend equality) and
+#                             # the durability layer (<= 5% checkpoint
+#                             # overhead + replay-exact recovery)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,12 +39,16 @@ cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
 if [[ "$fast" == 1 ]]; then
-  echo "== skipped sanitizer pass (--fast) =="
+  echo "== skipped sanitizer passes (--fast) =="
 else
   echo "== sanitizer pass: asan + ubsan =="
   cmake --preset asan > /dev/null
   cmake --build --preset asan -j "$jobs"
   (cd build-asan && ctest --output-on-failure -j "$jobs")
+  echo "== sanitizer pass: standalone ubsan =="
+  cmake --preset ubsan > /dev/null
+  cmake --build --preset ubsan -j "$jobs"
+  (cd build-ubsan && ctest --output-on-failure -j "$jobs")
 fi
 
 if [[ "$bench" == 1 ]]; then
@@ -60,6 +69,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_trace_store
   ./build-release/bench/bench_trace_store --json=BENCH_trace_store_local.json
   python3 tools/bench_diff.py BENCH_trace_store.json BENCH_trace_store_local.json
+  echo "== recovery bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_recovery
+  ./build-release/bench/bench_recovery --json=BENCH_recovery_local.json
+  python3 tools/bench_diff.py BENCH_recovery.json BENCH_recovery_local.json
 fi
 
 echo "== all checks passed =="

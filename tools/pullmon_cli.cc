@@ -17,6 +17,8 @@
 #include "feeds/ebay_feed.h"
 #include "offline/local_ratio.h"
 #include "policies/policy_factory.h"
+#include "recovery/durable_runner.h"
+#include "recovery/stable_storage.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "trace/poisson_generator.h"
@@ -109,6 +111,43 @@ void AddConfigFlags(FlagParser* flags) {
   flags->AddDouble("churn-theta", 1.37,
                    "Zipf skew of per-client churn activity");
   flags->AddInt64("churn-seed", 0xC4A2, "churn stream random seed");
+  // Durability layer (run only; see --checkpoint-dir under `run`).
+  flags->AddString("checkpoint-dir", "",
+                   "directory for proxy snapshots + write-ahead logs; "
+                   "runs the durable monitoring service (src/recovery/)");
+  flags->AddInt64("checkpoint-every", 0,
+                  "snapshot every N chronon boundaries (0 = initial "
+                  "snapshot plus WAL-size-triggered only)");
+  flags->AddString("crash-at", "",
+                   "<chronon>[:offset] — crash-injection harness: kill "
+                   "the run at the first durable write at or after the "
+                   "chronon, after `offset` further bytes");
+  flags->AddBool("recover", false,
+                 "resume from the newest valid checkpoint in "
+                 "--checkpoint-dir instead of starting fresh");
+}
+
+Status ApplyCrashAtFlag(const std::string& value,
+                        SimulationConfig* config) {
+  if (value.empty()) return Status::OK();
+  std::vector<std::string> parts = Split(value, ':');
+  if (parts.empty() || parts.size() > 2) {
+    return Status::InvalidArgument(
+        "--crash-at expects <chronon>[:offset]");
+  }
+  PULLMON_ASSIGN_OR_RETURN(std::int64_t chronon, ParseInt64(parts[0]));
+  if (chronon < 0) {
+    return Status::InvalidArgument("--crash-at chronon must be >= 0");
+  }
+  config->crash_at_chronon = static_cast<Chronon>(chronon);
+  if (parts.size() == 2) {
+    PULLMON_ASSIGN_OR_RETURN(std::int64_t offset, ParseInt64(parts[1]));
+    if (offset < 0) {
+      return Status::InvalidArgument("--crash-at offset must be >= 0");
+    }
+    config->crash_at_offset = static_cast<std::size_t>(offset);
+  }
+  return Status::OK();
 }
 
 Result<ExecutorBackend> BackendFromFlags(const FlagParser& flags) {
@@ -179,6 +218,12 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.churn.unregister_fraction = flags.GetDouble("churn-unregister");
   config.churn.zipf_theta = flags.GetDouble("churn-theta");
   config.churn.seed = static_cast<uint64_t>(flags.GetInt64("churn-seed"));
+  config.checkpoint_dir = flags.GetString("checkpoint-dir");
+  config.checkpoint_every =
+      static_cast<Chronon>(flags.GetInt64("checkpoint-every"));
+  config.recover = flags.GetBool("recover");
+  // --crash-at needs parse-error reporting, so CommandRun applies it
+  // separately via ApplyCrashAtFlag before validating.
   // Commands reject unknown names via BackendFromFlags before reaching
   // here, so the fallback is never user-visible.
   auto backend = BackendFromFlags(flags);
@@ -436,6 +481,66 @@ int RunChurnExperiment(const SimulationConfig& config,
   return 0;
 }
 
+/// The durable run path (--checkpoint-dir): one monitoring-service run
+/// through RunDurableOnce with snapshots + WAL in a DirectoryStorage,
+/// optionally crash-injected (--crash-at) or resumed (--recover).
+int RunDurableExperiment(const SimulationConfig& config,
+                         const std::vector<PolicySpec>& specs,
+                         uint64_t seed) {
+  if (specs.size() != 1) {
+    std::cerr << "durable runs (--checkpoint-dir) take exactly one "
+                 "--policy / --mode combination\n";
+    return 2;
+  }
+  DirectoryStorage storage(config.checkpoint_dir);
+  if (Status st = storage.Prepare(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  DurableOptions options;
+  options.storage = &storage;
+  options.checkpoint_every = config.checkpoint_every;
+  options.recover = config.recover;
+  options.crash.chronon = config.crash_at_chronon;
+  options.crash.write_offset = config.crash_at_offset;
+  auto report = RunDurableOnce(config, specs[0], seed, options);
+  if (!report.ok()) {
+    if (report.status().code() == StatusCode::kAborted) {
+      std::cout << "crash injected at chronon " << config.crash_at_chronon
+                << " (+" << config.crash_at_offset
+                << " B of durable writes); checkpoint state left in "
+                << config.checkpoint_dir
+                << "\nrerun with --recover to resume the epoch\n";
+      return 3;
+    }
+    std::cerr << "durable run failed: " << report.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (config.recover) {
+    std::cout << "recovered: " << report->recovery_snapshots_loaded
+              << " snapshot loaded, " << report->recovery_snapshots_rejected
+              << " rejected, " << report->recovery_wal_records_replayed
+              << " WAL records replayed, "
+              << report->recovery_torn_tail_truncated
+              << " torn-tail bytes truncated\n";
+  }
+  TablePrinter table({"policy", "GC", "probes", "notifications",
+                      "snapshots", "wal records"});
+  table.AddRow(
+      {specs[0].Label(),
+       TablePrinter::FormatDouble(
+           report->run.completeness.GainedCompleteness(), 4),
+       StringFormat("%zu", report->run.probes_used),
+       StringFormat("%zu", report->notifications_delivered),
+       StringFormat("%zu", report->recovery_snapshots_written),
+       StringFormat("%zu", report->recovery_wal_records_logged)});
+  table.Print(std::cout);
+  std::cout << "Durable state in " << config.checkpoint_dir
+            << " (single repetition, seed " << seed << ")\n";
+  return 0;
+}
+
 int CommandRun(const std::vector<std::string>& args) {
   FlagParser flags("pullmon_cli run",
                    "run one monitoring experiment and print/emit results");
@@ -472,9 +577,15 @@ int CommandRun(const std::vector<std::string>& args) {
   }
   SimulationConfig config = ConfigFromFlags(flags);
   config.churn.enabled = flags.GetBool("churn");
+  if (Status st = ApplyCrashAtFlag(flags.GetString("crash-at"), &config);
+      !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
   // Reject out-of-range --fault-*/--outage-*/--breaker-*/--churn-*
-  // values up front with the InvalidArgument the option structs
-  // produce, instead of failing (or silently misbehaving) mid-run.
+  // values (and checkpoint/crash flag combinations) up front with the
+  // InvalidArgument the option structs produce, instead of failing (or
+  // silently misbehaving) mid-run.
   if (Status valid = config.Validate(); !valid.ok()) {
     std::cerr << valid.ToString() << "\n";
     return 2;
@@ -482,6 +593,16 @@ int CommandRun(const std::vector<std::string>& args) {
   if (config.churn.enabled && flags.GetBool("proxy")) {
     std::cerr << "--churn and --proxy are mutually exclusive run paths\n";
     return 2;
+  }
+  if (!config.checkpoint_dir.empty()) {
+    if (flags.GetBool("proxy")) {
+      std::cerr << "--checkpoint-dir runs the durable monitoring "
+                   "service (the churn-capable run path); it is "
+                   "incompatible with --proxy\n";
+      return 2;
+    }
+    return RunDurableExperiment(
+        config, *specs, static_cast<uint64_t>(flags.GetInt64("seed")));
   }
   if (config.churn.enabled) {
     return RunChurnExperiment(config, *specs,
@@ -586,6 +707,13 @@ int CommandSweep(const std::vector<std::string>& args) {
   if (flags.GetBool("trace-store")) {
     std::cerr << "--trace-store only affects `run --proxy`; sweeps use "
                  "the logical executor\n";
+    return 2;
+  }
+  if (!flags.GetString("checkpoint-dir").empty() ||
+      flags.GetInt64("checkpoint-every") != 0 ||
+      !flags.GetString("crash-at").empty() || flags.GetBool("recover")) {
+    std::cerr << "--checkpoint-dir/--checkpoint-every/--crash-at/"
+                 "--recover only affect `run`; sweeps are volatile\n";
     return 2;
   }
   if (flags.GetDouble("churn-rate") > 0.0) {
