@@ -1,0 +1,128 @@
+#ifndef PULLMON_CORE_CHURN_QUEUE_H_
+#define PULLMON_CORE_CHURN_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/chronon.h"
+#include "core/t_interval.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace pullmon {
+
+/// One churn operation submitted through a ChurnQueue, applied at the
+/// next chronon boundary.
+struct ChurnOp {
+  enum class Kind { kSubmit, kCancel, kEdit, kUnregister };
+
+  Kind kind = Kind::kSubmit;
+  ProfileId profile = 0;
+  /// Target of Cancel/Edit; ignored for Submit/Unregister.
+  int submission_id = -1;
+  /// Payload of Submit, replacement of Edit; ignored otherwise.
+  TInterval t_interval;
+  /// Invoked inline on the draining thread after the operation is
+  /// applied (empty for fire-and-forget submissions).
+  std::function<void(const struct ChurnOutcome&)> on_complete;
+};
+
+/// What applying one queued operation produced, delivered to the
+/// operation's completion callback.
+struct ChurnOutcome {
+  ChurnOp::Kind kind = ChurnOp::Kind::kSubmit;
+  ProfileId profile = 0;
+  Status status = Status::OK();
+  /// Accepted Submit/Edit: the new submission id. Accepted Unregister:
+  /// the number of submissions cancelled. Otherwise -1.
+  int result = -1;
+};
+
+/// Bounded multi-producer single-consumer queue for churn operations
+/// (DESIGN.md section 13, residual (c)). Client threads enqueue
+/// Submit/Cancel/Edit/Unregister concurrently; the monitor's step loop
+/// is the single consumer, draining the queue at the chronon boundary so
+/// every mutation of the candidate structures still happens on the
+/// monitor thread, between chronons — the monitor itself stays free of
+/// internal locking. FIFO order is global: operations are applied in
+/// exactly the order their enqueues won the queue lock, so a producer's
+/// own operations never reorder relative to each other.
+///
+/// Memory ordering: the queue mutex is the only synchronization — an
+/// enqueued operation (including its TInterval payload and callback
+/// captures) happens-before its application on the consumer thread via
+/// the lock hand-off.
+class ChurnQueue {
+ public:
+  explicit ChurnQueue(std::size_t capacity) : capacity_(capacity) {
+    PULLMON_CHECK(capacity >= 1);
+  }
+
+  ChurnQueue(const ChurnQueue&) = delete;
+  ChurnQueue& operator=(const ChurnQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Pending operations (racy by nature; exact only while producers are
+  /// quiescent).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+  }
+
+  /// Enqueues without blocking; false when the queue is full.
+  bool TryEnqueue(ChurnOp op) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (ops_.size() >= capacity_) return false;
+      ops_.push_back(std::move(op));
+    }
+    return true;
+  }
+
+  /// Enqueues, blocking while the queue is full (producers park until
+  /// the consumer drains). Never call from the consumer thread between
+  /// drains — a full queue would deadlock against itself.
+  void Enqueue(ChurnOp op) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return ops_.size() < capacity_; });
+    ops_.push_back(std::move(op));
+  }
+
+  /// Drains every operation enqueued so far, applying each in FIFO
+  /// order: `apply` maps ChurnOp -> ChurnOutcome, and each operation's
+  /// completion callback (if any) runs inline right after it applies.
+  /// Operations enqueued concurrently with the drain land in the next
+  /// drain. Single-consumer: at most one Drain at a time. Returns the
+  /// number of operations applied.
+  template <typename Apply>
+  std::size_t Drain(Apply&& apply) {
+    std::deque<ChurnOp> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.swap(ops_);
+    }
+    if (batch.empty()) return 0;
+    not_full_.notify_all();
+    for (ChurnOp& op : batch) {
+      ChurnOutcome outcome = apply(op);
+      if (op.on_complete) op.on_complete(outcome);
+    }
+    return batch.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<ChurnOp> ops_;
+};
+
+}  // namespace pullmon
+
+#endif  // PULLMON_CORE_CHURN_QUEUE_H_

@@ -26,6 +26,7 @@ DynamicMonitor::DynamicMonitor(int num_resources, Chronon epoch_length,
       policy_(policy),
       mode_(mode),
       options_(options),
+      churn_queue_(options.churn_queue_capacity),
       health_(num_resources, options.breaker),
       schedule_(epoch_length),
       index_(num_resources, epoch_length) {
@@ -247,6 +248,48 @@ void DynamicMonitor::RebuildIndex() {
   index_ = std::move(fresh);
 }
 
+void DynamicMonitor::DrainChurnQueue() {
+  churn_queue_.Drain([&](ChurnOp& op) {
+    ChurnOutcome outcome;
+    outcome.kind = op.kind;
+    outcome.profile = op.profile;
+    switch (op.kind) {
+      case ChurnOp::Kind::kSubmit: {
+        Result<int> r = Submit(op.profile, std::move(op.t_interval));
+        if (r.ok()) {
+          outcome.result = r.value();
+        } else {
+          outcome.status = r.status();
+        }
+        break;
+      }
+      case ChurnOp::Kind::kCancel:
+        outcome.status = Cancel(op.profile, op.submission_id);
+        break;
+      case ChurnOp::Kind::kEdit: {
+        Result<int> r =
+            Edit(op.profile, op.submission_id, std::move(op.t_interval));
+        if (r.ok()) {
+          outcome.result = r.value();
+        } else {
+          outcome.status = r.status();
+        }
+        break;
+      }
+      case ChurnOp::Kind::kUnregister: {
+        Result<int> r = Unregister(op.profile);
+        if (r.ok()) {
+          outcome.result = r.value();
+        } else {
+          outcome.status = r.status();
+        }
+        break;
+      }
+    }
+    return outcome;
+  });
+}
+
 Result<StepResult> DynamicMonitor::Step() {
   if (!validated_options_) {
     PULLMON_RETURN_NOT_OK(options_.retry.Validate());
@@ -256,6 +299,9 @@ Result<StepResult> DynamicMonitor::Step() {
   if (now_ >= epoch_length_) {
     return Status::FailedPrecondition("the epoch is over");
   }
+  // 0. Apply churn that concurrent clients queued since the last
+  // chronon boundary (single consumer: this thread).
+  DrainChurnQueue();
   StepResult step;
   step.chronon = now_;
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/candidate_index.h"
+#include "core/churn_queue.h"
 #include "core/completeness.h"
 #include "core/online_executor.h"
 #include "core/policy.h"
@@ -59,6 +60,10 @@ struct MonitorOptions {
   BreakerOptions breaker;
   /// Candidate-structure maintenance under churn.
   MonitorIndexMode maintenance = MonitorIndexMode::kIncremental;
+  /// Capacity of the thread-safe churn ingress queue (Enqueue* methods);
+  /// producers park (or TryEnqueue fails) once this many operations are
+  /// waiting for the next chronon boundary.
+  std::size_t churn_queue_capacity = 1024;
 };
 
 /// Deterministic counters of one monitor lifetime (mirrors the
@@ -193,8 +198,25 @@ class DynamicMonitor {
   Result<int> Edit(ProfileId profile, int submission_id,
                    TInterval replacement);
 
+  // --- Thread-safe churn ingress (DESIGN.md section 13, residual c). --
+  // Submit/Cancel/Edit/Unregister mutate the candidate structures and
+  // MUST be called from the monitor's own thread. Concurrent clients
+  // instead enqueue operations here from any thread; Step() drains the
+  // queue at the chronon boundary (FIFO, single consumer) and applies
+  // each operation through the synchronous entry points, delivering the
+  // per-op Status/submission-id to the operation's completion callback.
+
+  /// Blocking enqueue: parks while the queue is full.
+  void EnqueueChurn(ChurnOp op) { churn_queue_.Enqueue(std::move(op)); }
+  /// Non-blocking enqueue: false when the queue is full.
+  bool TryEnqueueChurn(ChurnOp op) {
+    return churn_queue_.TryEnqueue(std::move(op));
+  }
+  ChurnQueue& churn_queue() { return churn_queue_; }
+
   /// Executes the current chronon (probe selection, captures, expiry)
-  /// and advances time. FailedPrecondition once the epoch is over.
+  /// and advances time, applying queued churn operations first.
+  /// FailedPrecondition once the epoch is over.
   Result<StepResult> Step();
 
   /// Runs the remaining chronons; returns the final completeness.
@@ -262,6 +284,10 @@ class DynamicMonitor {
   /// as if every surviving EI had been registered into a fresh index.
   void RebuildIndex();
 
+  /// Applies every queued churn operation (FIFO) through the
+  /// synchronous entry points; called at the top of Step().
+  void DrainChurnQueue();
+
   int num_resources_;
   Chronon epoch_length_;
   BudgetVector budget_;
@@ -269,6 +295,7 @@ class DynamicMonitor {
   ExecutionMode mode_;
   MonitorOptions options_;
   ProbeCallback probe_callback_;
+  ChurnQueue churn_queue_;
   ResourceHealthTracker health_;
   bool validated_options_ = false;
 

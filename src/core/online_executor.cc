@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/candidate_index.h"
+#include "core/parallel_executor.h"
 #include "core/reference_executor.h"
 #include "util/logging.h"
 
@@ -16,6 +17,8 @@ const char* ExecutorBackendToString(ExecutorBackend backend) {
       return "indexed";
     case ExecutorBackend::kReference:
       return "reference";
+    case ExecutorBackend::kParallel:
+      return "parallel";
   }
   return "?";
 }
@@ -40,6 +43,12 @@ OnlineExecutor::OnlineExecutor(const MonitoringProblem* problem,
                                Policy* policy, ExecutionMode mode)
     : problem_(problem), policy_(policy), mode_(mode) {}
 
+OnlineExecutor::~OnlineExecutor() = default;
+
+void OnlineExecutor::set_parallel_hooks(ParallelProbeHooks hooks) {
+  parallel_hooks_ = std::make_shared<ParallelProbeHooks>(std::move(hooks));
+}
+
 Result<OnlineRunResult> OnlineExecutor::Run() {
   if (backend_ == ExecutorBackend::kReference) {
     ReferenceExecutor reference(problem_, policy_, mode_);
@@ -49,7 +58,107 @@ Result<OnlineRunResult> OnlineExecutor::Run() {
     reference.set_breaker_options(breaker_);
     return reference.Run();
   }
+  if (backend_ == ExecutorBackend::kParallel) {
+    return RunParallel();
+  }
   return RunIndexed();
+}
+
+Result<OnlineRunResult> OnlineExecutor::RunParallel() {
+  PULLMON_RETURN_NOT_OK(problem_->Validate());
+  PULLMON_RETURN_NOT_OK(retry_.Validate());
+  PULLMON_RETURN_NOT_OK(breaker_.Validate());
+
+  ParallelOptions options;
+  options.retry = retry_;
+  options.breaker = breaker_;
+  options.threads = threads_;
+  ParallelExecutor executor(problem_->num_resources, problem_->epoch.length,
+                            problem_->budget, policy_, mode_, options);
+
+  // Register every profile and submit its t-intervals in flattening
+  // order, so the executor sees exactly the workload RunIndexed flattens
+  // up front. Submission ids are per-profile and empty t-intervals are
+  // unsubmittable, so an explicit submission -> t-interval-index map
+  // keeps capture callbacks addressed like RunIndexed's.
+  std::vector<std::vector<std::size_t>> t_index_of_submission(
+      problem_->profiles.size());
+  for (ProfileId pid = 0;
+       pid < static_cast<ProfileId>(problem_->profiles.size()); ++pid) {
+    const Profile& p = problem_->profiles[static_cast<std::size_t>(pid)];
+    ProfileId handle = executor.RegisterProfile(p.name());
+    PULLMON_CHECK(handle == pid);
+    for (std::size_t ti = 0; ti < p.t_intervals().size(); ++ti) {
+      const TInterval& eta = p.t_intervals()[ti];
+      if (eta.empty()) continue;
+      auto submitted = executor.Submit(pid, eta);
+      PULLMON_RETURN_NOT_OK(submitted.status());
+      PULLMON_CHECK(static_cast<std::size_t>(*submitted) ==
+                    t_index_of_submission[static_cast<std::size_t>(pid)]
+                        .size());
+      t_index_of_submission[static_cast<std::size_t>(pid)].push_back(ti);
+    }
+  }
+
+  if (probe_callback_) executor.set_probe_callback(probe_callback_);
+  if (parallel_hooks_) executor.set_probe_hooks(*parallel_hooks_);
+  if (capture_callback_) {
+    executor.set_capture_callback(
+        [this, &t_index_of_submission](ProfileId profile, int submission,
+                                       Chronon now) {
+          capture_callback_(
+              profile,
+              t_index_of_submission[static_cast<std::size_t>(profile)]
+                                   [static_cast<std::size_t>(submission)],
+              now);
+        });
+  }
+
+  const auto run_start = std::chrono::steady_clock::now();
+  for (Chronon now = 0; now < problem_->epoch.length; ++now) {
+    PULLMON_RETURN_NOT_OK(executor.Step().status());
+  }
+  const auto run_end = std::chrono::steady_clock::now();
+
+  OnlineRunResult result;
+  result.schedule = executor.schedule();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(run_end - run_start).count();
+  const MonitorStats& ms = executor.stats();
+  result.probes_used = ms.probes_used;
+  result.t_intervals_completed = executor.t_intervals_completed();
+  result.t_intervals_failed = executor.t_intervals_failed();
+  result.candidates_scored = ms.candidates_scored;
+  result.max_concurrent_candidates = ms.max_concurrent_candidates;
+  result.probes_failed = ms.probes_failed;
+  result.retries_issued = ms.retries_issued;
+  result.retry_probes_spent = ms.retry_probes_spent;
+  result.t_intervals_lost_to_faults = ms.t_intervals_lost_to_faults;
+
+  const HealthStats& hs = executor.health().stats();
+  result.circuits_opened = hs.circuits_opened;
+  result.circuits_reopened = hs.circuits_reopened;
+  result.probation_probes = hs.probation_probes;
+  result.probation_successes = hs.probation_successes;
+  result.probes_suppressed = hs.probes_suppressed;
+  result.budget_reclaimed = hs.budget_reclaimed;
+  result.open_chronons_total = hs.open_chronons_total;
+  if (breaker_.enabled) {
+    result.open_chronons_by_resource =
+        executor.health().OpenChrononsByResource();
+  }
+
+  const ShardRunStats& ss = executor.shard_stats();
+  result.shard_count = static_cast<std::size_t>(ss.shard_count);
+  result.shard_candidates_scored = ss.candidates_scored;
+  result.shard_probes_executed = ss.probes_executed;
+  result.shard_merge_entries = ss.merge_entries;
+
+  result.completeness =
+      EvaluateCompleteness(problem_->profiles, result.schedule);
+  PULLMON_CHECK(result.completeness.captured_t_intervals ==
+                result.t_intervals_completed);
+  return result;
 }
 
 Result<OnlineRunResult> OnlineExecutor::RunIndexed() {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/completeness.h"
@@ -12,6 +13,8 @@
 #include "util/status.h"
 
 namespace pullmon {
+
+struct ParallelProbeHooks;  // core/parallel_executor.h
 
 /// Same-chronon retry behavior of the probe path. A failed probe may be
 /// retried with exponential backoff; every retry consumes one unit of
@@ -75,6 +78,15 @@ struct OnlineRunResult {
   /// Chronons each resource spent circuit-open (indexed by ResourceId);
   /// empty when the breaker is disabled.
   std::vector<std::size_t> open_chronons_by_resource;
+
+  // --- Shard telemetry (kParallel only; zero/empty on the serial
+  // --- backends; mirrors ShardRunStats, core/parallel_executor.h).
+  // --- Depends on the shard map and workload, never the thread count —
+  // --- the thread-invariance suite compares it bit-for-bit. ------------
+  std::size_t shard_count = 0;
+  std::vector<std::size_t> shard_candidates_scored;
+  std::vector<std::size_t> shard_probes_executed;
+  std::size_t shard_merge_entries = 0;
 };
 
 /// Which implementation of the online semantics executes a run. Both are
@@ -87,9 +99,14 @@ enum class ExecutorBackend {
   /// Rebuild-and-fully-sort every chronon (core/reference_executor.h) —
   /// the easy-to-audit oracle.
   kReference,
+  /// Sharded multi-threaded pipeline (core/parallel_executor.h):
+  /// consistent-hash resource shards, per-shard scoring/selection, a
+  /// deterministic ordered merge, and concurrent probe execution.
+  /// Decision-identical to kIndexed at every thread count.
+  kParallel,
 };
 
-/// "indexed" / "reference".
+/// "indexed" / "reference" / "parallel".
 const char* ExecutorBackendToString(ExecutorBackend backend);
 
 /// Runs an online policy over a monitoring problem, chronon by chronon.
@@ -132,6 +149,7 @@ class OnlineExecutor {
   /// not take ownership.
   OnlineExecutor(const MonitoringProblem* problem, Policy* policy,
                  ExecutionMode mode);
+  ~OnlineExecutor();
 
   void set_capture_callback(CaptureCallback callback) {
     capture_callback_ = std::move(callback);
@@ -152,12 +170,22 @@ class OnlineExecutor {
   void set_backend(ExecutorBackend backend) { backend_ = backend; }
   ExecutorBackend backend() const { return backend_; }
 
+  /// Worker threads of the kParallel backend (<= 1 runs the sharded
+  /// pipeline inline); ignored by the serial backends.
+  void set_threads(int threads) { threads_ = threads; }
+
+  /// Three-phase probe pipeline of the kParallel backend (defined in
+  /// core/parallel_executor.h); overrides the plain probe callback
+  /// there. Ignored by the serial backends.
+  void set_parallel_hooks(ParallelProbeHooks hooks);
+
   /// Validates the problem and executes the full epoch. Can be called
   /// repeatedly; each call is an independent run (the policy is Reset()).
   Result<OnlineRunResult> Run();
 
  private:
   Result<OnlineRunResult> RunIndexed();
+  Result<OnlineRunResult> RunParallel();
 
   const MonitoringProblem* problem_;
   Policy* policy_;
@@ -167,6 +195,10 @@ class OnlineExecutor {
   ProbeCallback probe_callback_;
   RetryPolicy retry_;
   BreakerOptions breaker_;
+  int threads_ = 1;
+  /// Owned by pointer so this header needs no parallel_executor.h
+  /// include (which includes this header back).
+  std::shared_ptr<ParallelProbeHooks> parallel_hooks_;
 };
 
 }  // namespace pullmon

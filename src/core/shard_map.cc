@@ -1,0 +1,62 @@
+#include "core/shard_map.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pullmon {
+
+namespace {
+
+/// One-shot SplitMix64 mix of a key (stateless keyed hash).
+uint64_t MixKey(uint64_t key) {
+  uint64_t state = key;
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(int num_shards, int vnodes, uint64_t salt)
+    : num_shards_(num_shards), vnodes_(vnodes) {
+  PULLMON_CHECK(num_shards >= 1);
+  PULLMON_CHECK(vnodes >= 1);
+  ring_.reserve(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(vnodes));
+  for (int shard = 0; shard < num_shards; ++shard) {
+    // Each shard draws its vnode positions from its own SplitMix64
+    // stream, so adding shard S+1 leaves every existing point exactly
+    // where it was — the root of the minimal-reassignment property.
+    uint64_t state =
+        salt ^ (static_cast<uint64_t>(shard) + 1) * 0x9E3779B97F4A7C15ULL;
+    for (int v = 0; v < vnodes; ++v) {
+      ring_.push_back(RingPoint{SplitMix64(&state), shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.shard < b.shard;
+            });
+}
+
+int ShardMap::ShardOf(uint64_t key) const {
+  const uint64_t h = MixKey(key);
+  // First ring point at or clockwise-after the key's position, wrapping
+  // past the top of the ring back to the first point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, uint64_t pos) { return p.position < pos; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+std::vector<int> ShardMap::AssignResources(int num_resources) const {
+  std::vector<int> assignment(static_cast<std::size_t>(num_resources));
+  for (ResourceId r = 0; r < num_resources; ++r) {
+    assignment[static_cast<std::size_t>(r)] = ShardOfResource(r);
+  }
+  return assignment;
+}
+
+}  // namespace pullmon

@@ -66,7 +66,16 @@ class MemoryStorage : public StableStorage {
 
 /// Real files under one directory — the CLI's --checkpoint-dir backend.
 /// Snapshots are written via a temporary file + rename so a torn
-/// whole-file write can never shadow a previously valid snapshot.
+/// whole-file write can never shadow a previously valid snapshot, and
+/// both write paths are power-fail safe (DESIGN.md section 15,
+/// durability residual b):
+///  * AppendFile (the WAL group-flush boundary) fdatasync()s the log
+///    before reporting success, so an acknowledged chronon's records
+///    survive an OS crash — not just a process crash.
+///  * WriteFile fdatasync()s the temporary before the rename and
+///    fsync()s the directory after it, so the rename itself (the
+///    snapshot commit point) is durable and cannot resurrect the old
+///    snapshot after power loss.
 class DirectoryStorage : public StableStorage {
  public:
   /// `directory` is created (with parents) when missing.
@@ -86,10 +95,18 @@ class DirectoryStorage : public StableStorage {
 
   const std::string& directory() const { return directory_; }
 
+  /// Successful fdatasync() calls on file data (one per append, one per
+  /// whole-file write) — lets tests pin the durability protocol down.
+  std::size_t data_syncs() const { return data_syncs_; }
+  /// Successful fsync() calls on the directory (one per rename).
+  std::size_t dir_syncs() const { return dir_syncs_; }
+
  private:
   std::string PathFor(const std::string& name) const;
 
   std::string directory_;
+  std::size_t data_syncs_ = 0;
+  std::size_t dir_syncs_ = 0;
 };
 
 }  // namespace pullmon

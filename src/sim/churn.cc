@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/dynamic_monitor.h"
+#include "core/parallel_executor.h"
 #include "policies/policy_factory.h"
 #include "sim/experiment.h"
 #include "util/random.h"
@@ -97,8 +98,15 @@ TInterval BuildEditReplacement(const TInterval& current, Chronon now,
   return replacement;
 }
 
-void FinalizeChurnReport(const DynamicMonitor& monitor, bool breaker_enabled,
-                         FeedPullSession* session, ProxyRunReport* report) {
+namespace {
+
+/// The telemetry mirroring shared by the serial and parallel churn
+/// arms: DynamicMonitor and ParallelExecutor expose the identical
+/// accessor surface, so one template covers both.
+template <typename Monitor>
+void FinalizeChurnReportImpl(const Monitor& monitor, bool breaker_enabled,
+                             FeedPullSession* session,
+                             ProxyRunReport* report) {
   const MonitorStats& ms = monitor.stats();
   report->run.schedule = monitor.schedule();
   report->run.completeness = monitor.Completeness();
@@ -153,6 +161,113 @@ void FinalizeChurnReport(const DynamicMonitor& monitor, bool breaker_enabled,
   session->FinishReport();
 }
 
+/// Registers every profile, buckets arrivals, generates the churn
+/// stream, and drives the monitor chronon by chronon — the epoch loop
+/// shared verbatim by both executor backends. Churn operations apply
+/// synchronously in both arms: the workload's pick-resolution
+/// (`pick % live submission count`) depends on every earlier operation
+/// of the same chronon having landed, so the parallel arm calls the
+/// executor's churn surface directly rather than through its ingress
+/// queue (the queue's drain-at-Step semantics are covered by the
+/// dedicated thread-invariance and queue suites).
+template <typename Monitor>
+Status DriveChurnEpoch(Monitor* monitor, const MonitoringProblem& problem,
+                       const SimulationConfig& config, uint64_t seed,
+                       ProxyRunReport* report) {
+  const Chronon epoch_length = problem.epoch.length;
+  std::vector<std::vector<std::pair<ProfileId, const TInterval*>>>
+      arrivals(static_cast<std::size_t>(epoch_length));
+  std::vector<ProfileId> handle;
+  handle.reserve(problem.profiles.size());
+  for (const Profile& p : problem.profiles) {
+    handle.push_back(monitor->RegisterProfile(p.name()));
+    for (const TInterval& eta : p.t_intervals()) {
+      if (eta.empty()) continue;
+      Chronon at = eta.EarliestStart();
+      if (at < 0 || at >= epoch_length) continue;
+      arrivals[static_cast<std::size_t>(at)].emplace_back(handle.back(),
+                                                          &eta);
+    }
+  }
+
+  // The churn stream draws from its own generator, so enabling churn
+  // perturbs no trace/profile/fault/policy randomness.
+  ChurnWorkload workload = GenerateChurnWorkload(
+      config.churn, static_cast<int>(problem.profiles.size()),
+      epoch_length, config.churn.seed ^ (seed * 0x9E3779B97F4A7C15ULL));
+
+  // Local shadow of each profile's submissions (the definition currently
+  // live under each submission id), used to resolve churn targets and to
+  // build edit replacements.
+  std::vector<std::vector<TInterval>> defs(problem.profiles.size());
+
+  std::size_t next_event = 0;
+  for (Chronon now = 0; now < epoch_length; ++now) {
+    for (const auto& [pid, eta] : arrivals[static_cast<std::size_t>(now)]) {
+      auto submitted = monitor->Submit(pid, *eta);
+      if (submitted.ok()) {
+        defs[static_cast<std::size_t>(pid)].push_back(*eta);
+      } else {
+        // Arrivals for unregistered clients bounce — expected churn.
+        ++report->churn_rejected_ops;
+      }
+    }
+    while (next_event < workload.events.size() &&
+           workload.events[next_event].chronon == now) {
+      const ChurnEvent& event = workload.events[next_event++];
+      auto pid = static_cast<std::size_t>(event.profile);
+      int count = static_cast<int>(defs[pid].size());
+      // An inactive client's op targets submission 0 (or a bogus id) on
+      // purpose: rejected operations are part of the workload and keep
+      // the error paths hot.
+      int sub = count > 0
+                    ? static_cast<int>(event.pick %
+                                       static_cast<uint64_t>(count))
+                    : 0;
+      switch (event.kind) {
+        case ChurnEvent::Kind::kCancel: {
+          if (!monitor->Cancel(event.profile, sub).ok()) {
+            ++report->churn_rejected_ops;
+          }
+          break;
+        }
+        case ChurnEvent::Kind::kEdit: {
+          TInterval replacement;
+          if (count > 0) {
+            replacement = BuildEditReplacement(
+                defs[pid][static_cast<std::size_t>(sub)], now,
+                epoch_length, event.deadline_delta, event.weight_factor);
+          }
+          auto edited = monitor->Edit(event.profile, sub, replacement);
+          if (edited.ok()) {
+            defs[pid].push_back(std::move(replacement));
+          } else {
+            ++report->churn_rejected_ops;
+          }
+          break;
+        }
+        case ChurnEvent::Kind::kUnregister: {
+          if (!monitor->Unregister(event.profile).ok()) {
+            ++report->churn_rejected_ops;
+          }
+          break;
+        }
+      }
+    }
+    StepResult step;
+    PULLMON_ASSIGN_OR_RETURN(step, monitor->Step());
+    report->notifications_delivered += step.captured.size();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void FinalizeChurnReport(const DynamicMonitor& monitor, bool breaker_enabled,
+                         FeedPullSession* session, ProxyRunReport* report) {
+  FinalizeChurnReportImpl(monitor, breaker_enabled, session, report);
+}
+
 Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed) {
   PULLMON_RETURN_NOT_OK(config.churn.Validate());
@@ -179,6 +294,58 @@ Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
   PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
                            MakePolicy(spec.policy, po));
 
+  ProxyRunReport report;
+  ProxyOptions popts;
+  popts.faults = config.faults;
+  popts.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  popts.retry = config.retry;
+  popts.breaker = config.breaker;
+  popts.parse_cache = config.parse_cache;
+  FeedPullSession session(&network, problem.num_resources, popts, &report);
+
+  const auto run_start = std::chrono::steady_clock::now();
+  if (config.executor_backend == ExecutorBackend::kParallel) {
+    ParallelOptions opts;
+    opts.retry = config.retry;
+    opts.breaker = config.breaker;
+    opts.threads = config.threads;
+    ParallelExecutor monitor(problem.num_resources, problem.epoch.length,
+                             problem.budget, policy.get(), spec.mode, opts);
+    monitor.set_probe_callback([&](ResourceId resource, Chronon now) {
+      return session.Probe(resource, now);
+    });
+    ParallelProbeHooks hooks;
+    hooks.begin_chronon = [&session](Chronon, int num_workers) {
+      session.BeginParallelChronon(num_workers);
+    };
+    hooks.decide = [&session](ResourceId resource, Chronon now, int token) {
+      return session.DecideAttempt(resource, now, token);
+    };
+    hooks.execute = [&session](const std::vector<int>& tokens, int worker) {
+      for (int token : tokens) session.ExecuteAttempt(token, worker);
+    };
+    hooks.commit = [&session](int token) { session.CommitAttempt(token); };
+    monitor.set_probe_hooks(std::move(hooks));
+    PULLMON_RETURN_NOT_OK(
+        DriveChurnEpoch(&monitor, problem, config, seed, &report));
+    report.run.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    FinalizeChurnReportImpl(monitor, config.breaker.enabled, &session,
+                            &report);
+    const ShardRunStats& ss = monitor.shard_stats();
+    report.run.shard_count = static_cast<std::size_t>(ss.shard_count);
+    report.run.shard_candidates_scored = ss.candidates_scored;
+    report.run.shard_probes_executed = ss.probes_executed;
+    report.run.shard_merge_entries = ss.merge_entries;
+    report.shard_count = report.run.shard_count;
+    report.shard_candidates_scored = report.run.shard_candidates_scored;
+    report.shard_probes_executed = report.run.shard_probes_executed;
+    report.shard_merge_entries = report.run.shard_merge_entries;
+    return report;
+  }
+
   MonitorOptions mo;
   mo.retry = config.retry;
   mo.breaker = config.breaker;
@@ -190,113 +357,18 @@ Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
                        : MonitorIndexMode::kIncremental;
   DynamicMonitor monitor(problem.num_resources, problem.epoch.length,
                          problem.budget, policy.get(), spec.mode, mo);
-
-  ProxyRunReport report;
-  ProxyOptions popts;
-  popts.faults = config.faults;
-  popts.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
-  popts.retry = config.retry;
-  popts.breaker = config.breaker;
-  popts.parse_cache = config.parse_cache;
-  FeedPullSession session(&network, problem.num_resources, popts, &report);
   monitor.set_probe_callback([&](ResourceId resource, Chronon now) {
     return session.Probe(resource, now);
   });
-
-  // Register every client and bucket its t-intervals by arrival chronon
-  // (a t-interval is submitted the moment its earliest EI opens — the
-  // online reveal rule of Section 4.2.1).
-  const Chronon epoch_length = problem.epoch.length;
-  std::vector<std::vector<std::pair<ProfileId, const TInterval*>>>
-      arrivals(static_cast<std::size_t>(epoch_length));
-  std::vector<ProfileId> handle;
-  handle.reserve(problem.profiles.size());
-  for (const Profile& p : problem.profiles) {
-    handle.push_back(monitor.RegisterProfile(p.name()));
-    for (const TInterval& eta : p.t_intervals()) {
-      if (eta.empty()) continue;
-      Chronon at = eta.EarliestStart();
-      if (at < 0 || at >= epoch_length) continue;
-      arrivals[static_cast<std::size_t>(at)].emplace_back(handle.back(),
-                                                          &eta);
-    }
-  }
-
-  // The churn stream draws from its own generator, so enabling churn
-  // perturbs no trace/profile/fault/policy randomness.
-  ChurnWorkload workload = GenerateChurnWorkload(
-      config.churn, static_cast<int>(problem.profiles.size()),
-      epoch_length, config.churn.seed ^ (seed * 0x9E3779B97F4A7C15ULL));
-
-  // Local shadow of each profile's submissions (the definition currently
-  // live under each submission id), used to resolve churn targets and to
-  // build edit replacements.
-  std::vector<std::vector<TInterval>> defs(problem.profiles.size());
-
-  const auto run_start = std::chrono::steady_clock::now();
-  std::size_t next_event = 0;
-  for (Chronon now = 0; now < epoch_length; ++now) {
-    for (const auto& [pid, eta] : arrivals[static_cast<std::size_t>(now)]) {
-      auto submitted = monitor.Submit(pid, *eta);
-      if (submitted.ok()) {
-        defs[static_cast<std::size_t>(pid)].push_back(*eta);
-      } else {
-        // Arrivals for unregistered clients bounce — expected churn.
-        ++report.churn_rejected_ops;
-      }
-    }
-    while (next_event < workload.events.size() &&
-           workload.events[next_event].chronon == now) {
-      const ChurnEvent& event = workload.events[next_event++];
-      auto pid = static_cast<std::size_t>(event.profile);
-      int count = static_cast<int>(defs[pid].size());
-      // An inactive client's op targets submission 0 (or a bogus id) on
-      // purpose: rejected operations are part of the workload and keep
-      // the error paths hot.
-      int sub = count > 0
-                    ? static_cast<int>(event.pick %
-                                       static_cast<uint64_t>(count))
-                    : 0;
-      switch (event.kind) {
-        case ChurnEvent::Kind::kCancel: {
-          if (!monitor.Cancel(event.profile, sub).ok()) {
-            ++report.churn_rejected_ops;
-          }
-          break;
-        }
-        case ChurnEvent::Kind::kEdit: {
-          TInterval replacement;
-          if (count > 0) {
-            replacement = BuildEditReplacement(
-                defs[pid][static_cast<std::size_t>(sub)], now,
-                epoch_length, event.deadline_delta, event.weight_factor);
-          }
-          auto edited = monitor.Edit(event.profile, sub, replacement);
-          if (edited.ok()) {
-            defs[pid].push_back(std::move(replacement));
-          } else {
-            ++report.churn_rejected_ops;
-          }
-          break;
-        }
-        case ChurnEvent::Kind::kUnregister: {
-          if (!monitor.Unregister(event.profile).ok()) {
-            ++report.churn_rejected_ops;
-          }
-          break;
-        }
-      }
-    }
-    PULLMON_ASSIGN_OR_RETURN(StepResult step, monitor.Step());
-    report.notifications_delivered += step.captured.size();
-  }
-  const auto run_end = std::chrono::steady_clock::now();
-
+  PULLMON_RETURN_NOT_OK(
+      DriveChurnEpoch(&monitor, problem, config, seed, &report));
+  report.run.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
   // Mirror the scheduling/fault/health/churn telemetry the way
   // MonitoringProxy::Run does, so churn and proxy reports compare
   // field-for-field.
-  report.run.elapsed_seconds =
-      std::chrono::duration<double>(run_end - run_start).count();
   FinalizeChurnReport(monitor, config.breaker.enabled, &session, &report);
   return report;
 }

@@ -1,0 +1,542 @@
+// Parallel executor differential suite (DESIGN.md section 16): the
+// sharded multi-threaded pipeline of ParallelExecutor must be
+// decision-identical to the serial DynamicMonitor under arbitrary
+// interleavings of submit/cancel/edit/unregister/step, faults, retries,
+// and the circuit breaker — at every thread count, and with shard
+// telemetry that is bit-identical across thread counts. A second layer
+// validates the churn-queue ingress (enqueue-then-drain equals direct
+// calls) and the three-phase probe hooks (decide/execute/commit replays
+// the plain callback path exactly, with every token executed once on
+// its owning lane and committed in decide order).
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_monitor.h"
+#include "core/parallel_executor.h"
+#include "policies/policy_factory.h"
+#include "sim/experiment.h"
+#include "util/random.h"
+
+namespace pullmon {
+namespace {
+
+struct FaultConfig {
+  /// Probability (permille) a probe attempt fails.
+  int fail_permille = 0;
+  RetryPolicy retry;
+  BreakerOptions breaker;
+};
+
+/// Everything observable about one run that both executors share.
+struct RunTrace {
+  std::vector<StepResult> steps;
+  MonitorStats stats;
+  HealthStats health;
+  CompletenessReport completeness;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t rejected_ops = 0;
+};
+
+/// Stateless probe-failure source: depends only on (seed, resource,
+/// chronon, per-(r,t) attempt ordinal), so the failure stream is
+/// identical whenever the probe sequences are — which is exactly what
+/// the differential asserts.
+bool ProbeFails(uint64_t seed, ResourceId r, Chronon t, int attempt,
+                int fail_permille) {
+  uint64_t state = seed ^ (static_cast<uint64_t>(r) * 0x9E3779B97F4A7C15ULL) ^
+                   (static_cast<uint64_t>(t) << 24) ^
+                   (static_cast<uint64_t>(attempt) << 48);
+  return SplitMix64(&state) % 1000 < static_cast<uint64_t>(fail_permille);
+}
+
+constexpr int kResources = 6;
+constexpr Chronon kEpoch = 24;
+constexpr int kProfiles = 4;
+
+TInterval RandomTInterval(Rng* rng, Chronon earliest) {
+  TInterval eta;
+  int rank = static_cast<int>(rng->NextInt(1, 2));
+  for (int i = 0; i < rank; ++i) {
+    ExecutionInterval ei;
+    ei.resource = static_cast<ResourceId>(rng->NextInt(0, kResources - 1));
+    ei.start = static_cast<Chronon>(
+        rng->NextInt(earliest, std::max(earliest, kEpoch - 2)));
+    ei.finish = static_cast<Chronon>(
+        rng->NextInt(ei.start, std::min<Chronon>(ei.start + 4, kEpoch - 1)));
+    eta.AddEi(ei);
+  }
+  eta.set_weight(0.5 + rng->NextDouble());
+  if (eta.size() >= 2 && rng->NextBool(0.3)) {
+    eta.set_required(eta.size() - 1);
+  }
+  return eta;
+}
+
+/// One churn operation of the scripted scenario stream.
+struct ScriptedOp {
+  ChurnOp::Kind kind = ChurnOp::Kind::kSubmit;
+  int profile_index = 0;
+  int submission_id = 0;
+  TInterval t_interval;  // kSubmit / kEdit
+};
+
+/// The per-chronon operation script: ops happen before the chronon's
+/// Step(). Drawn once per seed so every executor replays the exact same
+/// stream.
+std::vector<std::vector<ScriptedOp>> MakeScript(uint64_t seed) {
+  std::vector<std::vector<ScriptedOp>> script(kEpoch);
+  Rng ops(seed * 0x2545F4914F6CDD1DULL + 17);
+  for (Chronon t = 0; t < kEpoch; ++t) {
+    // Submissions (front-loaded, tapering off).
+    if (ops.NextBool(t < kEpoch / 2 ? 0.9 : 0.4)) {
+      ScriptedOp op;
+      op.kind = ChurnOp::Kind::kSubmit;
+      op.profile_index = static_cast<int>(ops.NextInt(0, kProfiles - 1));
+      op.t_interval = RandomTInterval(&ops, t);
+      script[static_cast<std::size_t>(t)].push_back(std::move(op));
+    }
+    // Cancels — sometimes aimed at dead/unknown submissions on purpose.
+    if (ops.NextBool(0.35)) {
+      ScriptedOp op;
+      op.kind = ChurnOp::Kind::kCancel;
+      op.profile_index = static_cast<int>(ops.NextInt(0, kProfiles - 1));
+      op.submission_id = static_cast<int>(ops.NextInt(0, 6));
+      script[static_cast<std::size_t>(t)].push_back(std::move(op));
+    }
+    // Edits — replacement drawn fresh; dead targets possible.
+    if (ops.NextBool(0.3)) {
+      ScriptedOp op;
+      op.kind = ChurnOp::Kind::kEdit;
+      op.profile_index = static_cast<int>(ops.NextInt(0, kProfiles - 1));
+      op.submission_id = static_cast<int>(ops.NextInt(0, 6));
+      op.t_interval = RandomTInterval(&ops, t);
+      script[static_cast<std::size_t>(t)].push_back(std::move(op));
+    }
+    // Rare unregister (kills the profile for the rest of the epoch).
+    if (ops.NextBool(0.02)) {
+      ScriptedOp op;
+      op.kind = ChurnOp::Kind::kUnregister;
+      op.profile_index = static_cast<int>(ops.NextInt(0, kProfiles - 1));
+      script[static_cast<std::size_t>(t)].push_back(std::move(op));
+    }
+  }
+  return script;
+}
+
+/// How the scenario feeds churn into the executor under test.
+enum class ChurnIngress {
+  kDirect,  // call Submit/Cancel/Edit/Unregister before Step()
+  kQueue,   // EnqueueChurn; Step() drains (ParallelExecutor only)
+};
+
+/// Applies one scripted op directly to `monitor` (works for both
+/// executors — they share the churn surface contract).
+template <typename Monitor>
+void ApplyDirect(Monitor* monitor, const ScriptedOp& op,
+                 const std::vector<ProfileId>& profiles,
+                 RunTrace* trace) {
+  ProfileId profile =
+      profiles[static_cast<std::size_t>(op.profile_index)];
+  switch (op.kind) {
+    case ChurnOp::Kind::kSubmit:
+      if (!monitor->Submit(profile, op.t_interval).ok()) {
+        ++trace->rejected_ops;
+      }
+      break;
+    case ChurnOp::Kind::kCancel:
+      if (!monitor->Cancel(profile, op.submission_id).ok()) {
+        ++trace->rejected_ops;
+      }
+      break;
+    case ChurnOp::Kind::kEdit:
+      if (!monitor->Edit(profile, op.submission_id, op.t_interval).ok()) {
+        ++trace->rejected_ops;
+      }
+      break;
+    case ChurnOp::Kind::kUnregister:
+      if (!monitor->Unregister(profile).ok()) {
+        ++trace->rejected_ops;
+      }
+      break;
+  }
+}
+
+/// Runs one scripted scenario on an already-constructed executor.
+/// `Monitor` is DynamicMonitor or ParallelExecutor; both expose the
+/// same churn/step/stats surface.
+template <typename Monitor>
+RunTrace RunScenario(Monitor* monitor, uint64_t seed,
+                     const FaultConfig& faults, ChurnIngress ingress) {
+  RunTrace trace;
+  std::vector<int> attempts_at(
+      static_cast<std::size_t>(kResources * kEpoch), 0);
+  monitor->set_probe_callback([&](ResourceId r, Chronon t) {
+    int attempt = attempts_at[static_cast<std::size_t>(t) * kResources +
+                              static_cast<std::size_t>(r)]++;
+    return !ProbeFails(seed, r, t, attempt, faults.fail_permille);
+  });
+
+  std::vector<ProfileId> profiles;
+  for (int p = 0; p < kProfiles; ++p) {
+    profiles.push_back(
+        monitor->RegisterProfile("client-" + std::to_string(p)));
+  }
+
+  std::vector<std::vector<ScriptedOp>> script = MakeScript(seed);
+  for (Chronon t = 0; t < kEpoch; ++t) {
+    for (const ScriptedOp& op : script[static_cast<std::size_t>(t)]) {
+      if (ingress == ChurnIngress::kDirect) {
+        ApplyDirect(monitor, op, profiles, &trace);
+      } else if constexpr (std::is_same_v<Monitor, ParallelExecutor>) {
+        ChurnOp queued;
+        queued.kind = op.kind;
+        queued.profile =
+            profiles[static_cast<std::size_t>(op.profile_index)];
+        queued.submission_id = op.submission_id;
+        queued.t_interval = op.t_interval;
+        queued.on_complete = [&trace](const ChurnOutcome& outcome) {
+          if (!outcome.status.ok()) ++trace.rejected_ops;
+        };
+        monitor->EnqueueChurn(std::move(queued));
+      }
+    }
+    auto step = monitor->Step();
+    PULLMON_CHECK(step.ok());
+    trace.steps.push_back(std::move(*step));
+    PULLMON_CHECK_OK(monitor->CheckInvariants());
+  }
+  trace.stats = monitor->stats();
+  trace.health = monitor->health().stats();
+  trace.completeness = monitor->Completeness();
+  trace.completed = monitor->t_intervals_completed();
+  trace.failed = monitor->t_intervals_failed();
+  return trace;
+}
+
+RunTrace RunSerial(uint64_t seed, const PolicySpec& spec,
+                   const FaultConfig& faults) {
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = kResources;
+  auto policy = MakePolicy(spec.policy, po);
+  PULLMON_CHECK(policy.ok());
+  MonitorOptions options;
+  options.retry = faults.retry;
+  options.breaker = faults.breaker;
+  DynamicMonitor monitor(kResources, kEpoch,
+                         BudgetVector::Uniform(2, kEpoch), policy->get(),
+                         spec.mode, options);
+  return RunScenario(&monitor, seed, faults, ChurnIngress::kDirect);
+}
+
+struct ParallelRun {
+  RunTrace trace;
+  ShardRunStats shard_stats;
+};
+
+ParallelRun RunParallel(uint64_t seed, const PolicySpec& spec,
+                        const FaultConfig& faults, int threads, int shards,
+                        ChurnIngress ingress = ChurnIngress::kDirect) {
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = kResources;
+  auto policy = MakePolicy(spec.policy, po);
+  PULLMON_CHECK(policy.ok());
+  ParallelOptions options;
+  options.retry = faults.retry;
+  options.breaker = faults.breaker;
+  options.threads = threads;
+  options.shards = shards;
+  ParallelExecutor executor(kResources, kEpoch,
+                            BudgetVector::Uniform(2, kEpoch),
+                            policy->get(), spec.mode, options);
+  ParallelRun run;
+  run.trace = RunScenario(&executor, seed, faults, ingress);
+  run.shard_stats = executor.shard_stats();
+  return run;
+}
+
+void ExpectTracesIdentical(const RunTrace& a, const RunTrace& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.steps.size(), b.steps.size()) << label;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].probed, b.steps[i].probed)
+        << label << " chronon " << i;
+    EXPECT_EQ(a.steps[i].captured, b.steps[i].captured)
+        << label << " chronon " << i;
+    EXPECT_EQ(a.steps[i].failed, b.steps[i].failed)
+        << label << " chronon " << i;
+  }
+  EXPECT_EQ(a.stats.probes_used, b.stats.probes_used) << label;
+  EXPECT_EQ(a.stats.probes_failed, b.stats.probes_failed) << label;
+  EXPECT_EQ(a.stats.retries_issued, b.stats.retries_issued) << label;
+  EXPECT_EQ(a.stats.candidates_scored, b.stats.candidates_scored) << label;
+  EXPECT_EQ(a.stats.t_intervals_lost_to_faults,
+            b.stats.t_intervals_lost_to_faults)
+      << label;
+  EXPECT_EQ(a.stats.submitted, b.stats.submitted) << label;
+  EXPECT_EQ(a.stats.cancelled, b.stats.cancelled) << label;
+  EXPECT_EQ(a.stats.edited, b.stats.edited) << label;
+  EXPECT_EQ(a.stats.unregistered_profiles, b.stats.unregistered_profiles)
+      << label;
+  EXPECT_EQ(a.stats.orphaned_probes, b.stats.orphaned_probes) << label;
+  EXPECT_TRUE(a.health == b.health) << label;
+  EXPECT_EQ(a.rejected_ops, b.rejected_ops) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.failed, b.failed) << label;
+  EXPECT_EQ(a.completeness.captured_t_intervals,
+            b.completeness.captured_t_intervals)
+      << label;
+  EXPECT_EQ(a.completeness.total_t_intervals,
+            b.completeness.total_t_intervals)
+      << label;
+  EXPECT_DOUBLE_EQ(a.completeness.captured_weight,
+                   b.completeness.captured_weight)
+      << label;
+}
+
+// The core differential: for seeded churn scenarios across all standard
+// policies and fault configurations, the parallel executor at 1/2/4/8
+// threads matches the serial monitor step-for-step, and its shard
+// telemetry is bit-identical across thread counts.
+TEST(ParallelExecutorTest, MatchesSerialAcrossThreadCounts) {
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  std::vector<FaultConfig> fault_configs(3);
+  fault_configs[1].fail_permille = 250;
+  fault_configs[1].retry.max_retries = 2;
+  fault_configs[1].retry.backoff_base = 0.1;
+  fault_configs[2].fail_permille = 350;
+  fault_configs[2].retry.max_retries = 2;
+  fault_configs[2].retry.backoff_base = 0.1;
+  fault_configs[2].breaker.enabled = true;
+  fault_configs[2].breaker.failure_threshold = 2;
+  fault_configs[2].breaker.cooldown_base = 2;
+
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  for (uint64_t seed = 0; seed < 48; ++seed) {
+    const PolicySpec& spec = specs[seed % specs.size()];
+    const FaultConfig& faults = fault_configs[seed % 3];
+    std::string label = spec.Label() + " seed=" + std::to_string(seed) +
+                        " faults=" + std::to_string(seed % 3);
+    RunTrace serial = RunSerial(seed, spec, faults);
+
+    ShardRunStats reference_shards;
+    bool have_reference = false;
+    for (int threads : kThreadCounts) {
+      ParallelRun run =
+          RunParallel(seed, spec, faults, threads,
+                      ParallelOptions::kDefaultShards);
+      ExpectTracesIdentical(serial, run.trace,
+                            label + " threads=" + std::to_string(threads));
+      if (!have_reference) {
+        reference_shards = run.shard_stats;
+        have_reference = true;
+      } else {
+        EXPECT_TRUE(reference_shards == run.shard_stats)
+            << label << " shard stats diverged at threads=" << threads;
+      }
+    }
+  }
+}
+
+// The shard count partitions state but must never change decisions:
+// degenerate (1) and non-default (5) shard counts still match serial.
+TEST(ParallelExecutorTest, ShardCountDoesNotChangeDecisions) {
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  FaultConfig faults;
+  faults.fail_permille = 300;
+  faults.retry.max_retries = 2;
+  faults.retry.backoff_base = 0.1;
+  faults.breaker.enabled = true;
+  faults.breaker.failure_threshold = 2;
+  faults.breaker.cooldown_base = 2;
+
+  for (uint64_t seed = 100; seed < 112; ++seed) {
+    const PolicySpec& spec = specs[seed % specs.size()];
+    std::string label = spec.Label() + " seed=" + std::to_string(seed);
+    RunTrace serial = RunSerial(seed, spec, faults);
+    for (int shards : {1, 5}) {
+      ParallelRun run = RunParallel(seed, spec, faults, /*threads=*/3,
+                                    shards);
+      ExpectTracesIdentical(serial, run.trace,
+                            label + " shards=" + std::to_string(shards));
+      EXPECT_EQ(run.shard_stats.shard_count, shards) << label;
+    }
+  }
+}
+
+// Churn submitted through the bounded MPSC queue and drained at the
+// chronon boundary must behave exactly like direct calls made before
+// Step(): same decisions, same accept/reject outcomes.
+TEST(ParallelExecutorTest, QueueIngressMatchesDirectCalls) {
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  FaultConfig faults;
+  faults.fail_permille = 200;
+  faults.retry.max_retries = 1;
+  faults.retry.backoff_base = 0.1;
+
+  for (uint64_t seed = 200; seed < 216; ++seed) {
+    const PolicySpec& spec = specs[seed % specs.size()];
+    std::string label = spec.Label() + " seed=" + std::to_string(seed);
+    ParallelRun direct = RunParallel(seed, spec, faults, /*threads=*/4,
+                                     ParallelOptions::kDefaultShards,
+                                     ChurnIngress::kDirect);
+    ParallelRun queued = RunParallel(seed, spec, faults, /*threads=*/4,
+                                     ParallelOptions::kDefaultShards,
+                                     ChurnIngress::kQueue);
+    ExpectTracesIdentical(direct.trace, queued.trace, label);
+    EXPECT_TRUE(direct.shard_stats == queued.shard_stats) << label;
+  }
+}
+
+// The three-phase probe hooks must replay the plain-callback run
+// exactly: decide order is the canonical attempt order, every decided
+// token is executed exactly once on its owning lane and committed in
+// decide order, and the resulting trace is identical.
+TEST(ParallelExecutorTest, ProbeHooksReplayCallbackPath) {
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  FaultConfig faults;
+  faults.fail_permille = 300;
+  faults.retry.max_retries = 2;
+  faults.retry.backoff_base = 0.1;
+
+  for (uint64_t seed = 300; seed < 312; ++seed) {
+    const PolicySpec& spec = specs[seed % specs.size()];
+    std::string label = spec.Label() + " seed=" + std::to_string(seed);
+    ParallelRun callback_run =
+        RunParallel(seed, spec, faults, /*threads=*/4,
+                    ParallelOptions::kDefaultShards);
+
+    // Hook-driven arm: decide mirrors the stateless failure source,
+    // execute records lane assignments, commit records replay order.
+    PolicyOptions po;
+    po.random_seed = seed ^ 0x5bf03635ULL;
+    po.num_resources = kResources;
+    auto policy = MakePolicy(spec.policy, po);
+    PULLMON_CHECK(policy.ok());
+    ParallelOptions options;
+    options.retry = faults.retry;
+    options.breaker = faults.breaker;
+    options.threads = 4;
+    ParallelExecutor executor(kResources, kEpoch,
+                              BudgetVector::Uniform(2, kEpoch),
+                              policy->get(), spec.mode, options);
+
+    std::vector<int> attempts_at(
+        static_cast<std::size_t>(kResources * kEpoch), 0);
+    std::vector<int> decide_order;      // tokens in decide order
+    std::vector<int> executed_count;    // per token
+    std::vector<int> commit_order;      // tokens in commit order
+    std::mutex executed_mu;
+    ParallelProbeHooks hooks;
+    hooks.begin_chronon = [&](Chronon, int num_workers) {
+      EXPECT_EQ(num_workers, 4);
+      decide_order.clear();
+      executed_count.clear();
+      commit_order.clear();
+    };
+    hooks.decide = [&](ResourceId r, Chronon t, int token) {
+      EXPECT_EQ(token, static_cast<int>(decide_order.size()))
+          << label << " tokens not dense/in order";
+      decide_order.push_back(token);
+      executed_count.push_back(0);
+      int attempt = attempts_at[static_cast<std::size_t>(t) * kResources +
+                                static_cast<std::size_t>(r)]++;
+      return !ProbeFails(seed, r, t, attempt, faults.fail_permille);
+    };
+    hooks.execute = [&](const std::vector<int>& tokens, int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, 4);
+      EXPECT_TRUE(std::is_sorted(tokens.begin(), tokens.end()))
+          << label << " lane tokens out of decide order";
+      std::lock_guard<std::mutex> lock(executed_mu);
+      for (int token : tokens) {
+        ASSERT_LT(static_cast<std::size_t>(token), executed_count.size());
+        ++executed_count[static_cast<std::size_t>(token)];
+      }
+    };
+    hooks.commit = [&](int token) { commit_order.push_back(token); };
+    executor.set_probe_hooks(hooks);
+
+    std::vector<ProfileId> profiles;
+    for (int p = 0; p < kProfiles; ++p) {
+      profiles.push_back(
+          executor.RegisterProfile("client-" + std::to_string(p)));
+    }
+    RunTrace trace;
+    std::vector<std::vector<ScriptedOp>> script = MakeScript(seed);
+    for (Chronon t = 0; t < kEpoch; ++t) {
+      for (const ScriptedOp& op : script[static_cast<std::size_t>(t)]) {
+        ApplyDirect(&executor, op, profiles, &trace);
+      }
+      auto step = executor.Step();
+      PULLMON_CHECK(step.ok());
+      trace.steps.push_back(std::move(*step));
+      // Every decided token executed exactly once, committed in order.
+      ASSERT_EQ(commit_order, decide_order) << label << " chronon " << t;
+      for (std::size_t i = 0; i < executed_count.size(); ++i) {
+        EXPECT_EQ(executed_count[i], 1)
+            << label << " token " << i << " chronon " << t;
+      }
+    }
+    trace.stats = executor.stats();
+    trace.health = executor.health().stats();
+    trace.completeness = executor.Completeness();
+    trace.completed = executor.t_intervals_completed();
+    trace.failed = executor.t_intervals_failed();
+    ExpectTracesIdentical(callback_run.trace, trace, label);
+    EXPECT_TRUE(callback_run.shard_stats == executor.shard_stats())
+        << label;
+  }
+}
+
+// Capture callbacks must fire during the commit replay in exactly the
+// order StepResult::captured reports.
+TEST(ParallelExecutorTest, CaptureCallbackOrderMatchesStepResult) {
+  std::vector<PolicySpec> specs = StandardPolicySpecs();
+  FaultConfig faults;
+  for (uint64_t seed = 400; seed < 408; ++seed) {
+    const PolicySpec& spec = specs[seed % specs.size()];
+    PolicyOptions po;
+    po.random_seed = seed ^ 0x5bf03635ULL;
+    po.num_resources = kResources;
+    auto policy = MakePolicy(spec.policy, po);
+    PULLMON_CHECK(policy.ok());
+    ParallelOptions options;
+    options.threads = 2;
+    ParallelExecutor executor(kResources, kEpoch,
+                              BudgetVector::Uniform(2, kEpoch),
+                              policy->get(), spec.mode, options);
+    std::vector<std::pair<ProfileId, int>> fired;
+    executor.set_capture_callback(
+        [&](ProfileId profile, int submission, Chronon) {
+          fired.emplace_back(profile, submission);
+        });
+    std::vector<ProfileId> profiles;
+    for (int p = 0; p < kProfiles; ++p) {
+      profiles.push_back(
+          executor.RegisterProfile("client-" + std::to_string(p)));
+    }
+    RunTrace trace;
+    std::vector<std::vector<ScriptedOp>> script = MakeScript(seed);
+    for (Chronon t = 0; t < kEpoch; ++t) {
+      for (const ScriptedOp& op : script[static_cast<std::size_t>(t)]) {
+        ApplyDirect(&executor, op, profiles, &trace);
+      }
+      fired.clear();
+      auto step = executor.Step();
+      PULLMON_CHECK(step.ok());
+      EXPECT_EQ(fired, step->captured)
+          << spec.Label() << " seed=" << seed << " chronon " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

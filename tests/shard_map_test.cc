@@ -1,0 +1,104 @@
+// ShardMap property suite (DESIGN.md section 16): determinism, load
+// spread, and — the consistent-hashing contract — growth stability:
+// adding shard S+1 moves keys only onto the new shard, never between
+// surviving shards.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shard_map.h"
+
+namespace pullmon {
+namespace {
+
+constexpr int kKeys = 20000;
+
+TEST(ShardMapTest, DeterministicAndInRange) {
+  ShardMap a(7);
+  ShardMap b(7);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    int shard = a.ShardOf(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 7);
+    EXPECT_EQ(shard, b.ShardOf(key)) << "key " << key;
+  }
+}
+
+TEST(ShardMapTest, SingleShardOwnsEverything) {
+  ShardMap map(1);
+  for (uint64_t key = 0; key < 256; ++key) {
+    EXPECT_EQ(map.ShardOf(key), 0);
+  }
+}
+
+TEST(ShardMapTest, AssignResourcesMatchesShardOf) {
+  ShardMap map(16);
+  std::vector<int> dense = map.AssignResources(512);
+  ASSERT_EQ(dense.size(), 512u);
+  for (int r = 0; r < 512; ++r) {
+    EXPECT_EQ(dense[static_cast<std::size_t>(r)],
+              map.ShardOfResource(static_cast<ResourceId>(r)));
+  }
+}
+
+TEST(ShardMapTest, SaltChangesAssignment) {
+  ShardMap a(16, ShardMap::kDefaultVnodes, 0x5A17D00DULL);
+  ShardMap b(16, ShardMap::kDefaultVnodes, 0xDEADBEEFULL);
+  int moved = 0;
+  for (uint64_t key = 0; key < 4096; ++key) {
+    if (a.ShardOf(key) != b.ShardOf(key)) ++moved;
+  }
+  // Independent assignments agree ~1/16 of the time; equal maps never
+  // reach this threshold.
+  EXPECT_GT(moved, 2048);
+}
+
+// The consistent-hashing property the multi-proxy tier relies on:
+// growing from S to S+1 shards reassigns keys only TO the new shard.
+// A key owned by shard k < S either stays on k or moves to shard S.
+TEST(ShardMapTest, GrowthMovesKeysOnlyToNewShard) {
+  for (int shards = 1; shards <= 24; ++shards) {
+    ShardMap before(shards);
+    ShardMap after(shards + 1);
+    int moved = 0;
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      int old_shard = before.ShardOf(key);
+      int new_shard = after.ShardOf(key);
+      if (new_shard != old_shard) {
+        EXPECT_EQ(new_shard, shards)
+            << "key " << key << " moved between surviving shards ("
+            << old_shard << " -> " << new_shard << ") growing "
+            << shards << " -> " << shards + 1;
+        ++moved;
+      }
+    }
+    // The new shard should take roughly 1/(S+1) of the keyspace —
+    // allow a generous band, but it must take *something* and must not
+    // take the majority once several shards exist.
+    EXPECT_GT(moved, 0) << "growing " << shards;
+    if (shards >= 3) {
+      EXPECT_LT(moved, kKeys / 2) << "growing " << shards;
+    }
+  }
+}
+
+TEST(ShardMapTest, LoadSpreadIsSane) {
+  ShardMap map(16);
+  std::map<int, int> load;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ++load[map.ShardOf(key)];
+  }
+  ASSERT_EQ(load.size(), 16u) << "some shard owns no keys";
+  // With 64 vnodes per shard the spread is loose but bounded: no shard
+  // should see more than ~3x or less than ~1/4 of the fair share.
+  const int fair = kKeys / 16;
+  for (const auto& [shard, count] : load) {
+    EXPECT_GT(count, fair / 4) << "shard " << shard;
+    EXPECT_LT(count, fair * 3) << "shard " << shard;
+  }
+}
+
+}  // namespace
+}  // namespace pullmon

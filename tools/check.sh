@@ -16,7 +16,10 @@
 #                             # trace store (8x compression + 0.5x
 #                             # replay + cross-backend equality) and
 #                             # the durability layer (<= 5% checkpoint
-#                             # overhead + replay-exact recovery)
+#                             # overhead + replay-exact recovery) and
+#                             # the parallel pipeline (hardware-scaled
+#                             # speedup + bit-identical cross-backend
+#                             # reports)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,6 +52,15 @@ else
   cmake --preset ubsan > /dev/null
   cmake --build --preset ubsan -j "$jobs"
   (cd build-ubsan && ctest --output-on-failure -j "$jobs")
+  echo "== sanitizer pass: tsan (parallel pipeline) =="
+  # Only the suites that actually spawn threads: the full suite under
+  # tsan is slow, and the single-threaded tests cannot race.
+  cmake --preset tsan > /dev/null
+  cmake --build --preset tsan -j "$jobs" --target \
+    parallel_executor_test parallel_invariance_test churn_queue_test \
+    shard_map_test
+  (cd build-tsan && ctest --output-on-failure -j "$jobs" -R \
+    'parallel_executor_test|parallel_invariance_test|churn_queue_test|shard_map_test')
 fi
 
 if [[ "$bench" == 1 ]]; then
@@ -73,6 +85,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_recovery
   ./build-release/bench/bench_recovery --json=BENCH_recovery_local.json
   python3 tools/bench_diff.py BENCH_recovery.json BENCH_recovery_local.json
+  echo "== parallel bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_parallel
+  ./build-release/bench/bench_parallel --json=BENCH_parallel_local.json
+  python3 tools/bench_diff.py BENCH_parallel.json BENCH_parallel_local.json
 fi
 
 echo "== all checks passed =="

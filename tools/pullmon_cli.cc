@@ -89,7 +89,11 @@ void AddConfigFlags(FlagParser* flags) {
                  "path (proxy runs)");
   flags->AddString("executor", "indexed",
                    "scheduling backend: indexed (incremental candidate "
-                   "index) | reference (scan-based oracle)");
+                   "index) | reference (scan-based oracle) | parallel "
+                   "(sharded multi-threaded pipeline)");
+  flags->AddInt64("threads", 1,
+                  "worker threads of the parallel executor (results are "
+                  "bit-identical at every thread count)");
   flags->AddBool("trace-store", false,
                  "generate and replay the trace through the paged "
                  "compressed trace store instead of in memory "
@@ -154,8 +158,10 @@ Result<ExecutorBackend> BackendFromFlags(const FlagParser& flags) {
   std::string name = ToLower(flags.GetString("executor"));
   if (name == "indexed") return ExecutorBackend::kIndexed;
   if (name == "reference") return ExecutorBackend::kReference;
-  return Status::InvalidArgument("unknown --executor backend '" + name +
-                                 "' (expected: indexed | reference)");
+  if (name == "parallel") return ExecutorBackend::kParallel;
+  return Status::InvalidArgument(
+      "unknown --executor backend '" + name +
+      "' (expected: indexed | reference | parallel)");
 }
 
 SimulationConfig ConfigFromFlags(const FlagParser& flags) {
@@ -229,6 +235,7 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   auto backend = BackendFromFlags(flags);
   config.executor_backend =
       backend.ok() ? *backend : ExecutorBackend::kIndexed;
+  config.threads = static_cast<int>(flags.GetInt64("threads"));
   return config;
 }
 
