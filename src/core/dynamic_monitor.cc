@@ -132,6 +132,25 @@ void DynamicMonitor::RetireParent(int t_id) {
                      parent.NumEis());
 }
 
+void DynamicMonitor::RecomputeProfileRank(ProfileId profile) {
+  auto& rank = rank_of_profile_[static_cast<std::size_t>(profile)];
+  int exact = 0;
+  for (int other :
+       runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    if (cancelled_[static_cast<std::size_t>(other)]) continue;
+    exact = std::max(
+        exact,
+        static_cast<int>(
+            runtimes_[static_cast<std::size_t>(other)].source->size()));
+  }
+  if (exact == rank) return;
+  rank = exact;
+  for (int other :
+       runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    runtimes_[static_cast<std::size_t>(other)].profile_rank = rank;
+  }
+}
+
 void DynamicMonitor::CancelLive(int t_id) {
   TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
   // Captures already spent on a submission the client is withdrawing
@@ -139,6 +158,12 @@ void DynamicMonitor::CancelLive(int t_id) {
   stats_.orphaned_probes += static_cast<std::size_t>(rt.num_captured);
   cancelled_[static_cast<std::size_t>(t_id)] = 1;
   RetireParent(t_id);
+  // Rank is exact, not a high-water mark: withdrawing the submission
+  // that carried the profile's maximum size may lower it.
+  if (static_cast<int>(rt.source->size()) >=
+      rank_of_profile_[static_cast<std::size_t>(rt.profile)]) {
+    RecomputeProfileRank(rt.profile);
+  }
   if (options_.maintenance == MonitorIndexMode::kRebuild) RebuildIndex();
 }
 
@@ -540,6 +565,13 @@ Status DynamicMonitor::Restore(const MonitorImage& image) {
     fault_touched_[static_cast<std::size_t>(t_id)] = sub.fault_touched;
     if (rt.completed) ++completed_;
     if (rt.failed) ++failed_;
+  }
+  // The replay lays cancelled flags after AppendSubmission's high-water
+  // growth already ran, so bring every profile's rank back to the exact
+  // (non-cancelled) value the interrupted run was carrying.
+  for (ProfileId p = 0;
+       p < static_cast<ProfileId>(profile_names_.size()); ++p) {
+    RecomputeProfileRank(p);
   }
 
   now_ = image.now;

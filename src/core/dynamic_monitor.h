@@ -156,8 +156,11 @@ struct MonitorImage {
 ///  * Cancelled submissions leave the completeness denominator — they
 ///    were withdrawn, not missed. Captures they already consumed are
 ///    surfaced as MonitorStats::orphaned_probes.
-///  * A profile's rank is a high-water mark: cancels never lower it
-///    (rank-level policies stay monotone under churn).
+///  * A profile's rank is exact: it is the maximum t-interval size over
+///    the profile's non-withdrawn submissions, so cancelling or editing
+///    away the submission that carried the maximum lowers it (rank-level
+///    policies — including the explore/exploit scorer — see the current
+///    complexity, not a stale high-water mark).
 class DynamicMonitor {
  public:
   /// Invoked for every probe attempt: (resource, chronon) -> success.
@@ -275,9 +278,16 @@ class DynamicMonitor {
   /// from the candidate index.
   void RetireParent(int t_id);
 
-  /// Marks a live submission cancelled: orphan accounting, retire, and —
-  /// under MonitorIndexMode::kRebuild — the from-scratch rebuild.
+  /// Marks a live submission cancelled: orphan accounting, retire, rank
+  /// recompute when the withdrawn submission carried the profile's
+  /// maximum, and — under MonitorIndexMode::kRebuild — the from-scratch
+  /// rebuild.
   void CancelLive(int t_id);
+
+  /// Recomputes `profile`'s rank as the maximum t-interval size over its
+  /// non-cancelled submissions and refreshes every sibling runtime's
+  /// cached profile_rank when the value changed.
+  void RecomputeProfileRank(ProfileId profile);
 
   /// The rebuild oracle: reconstructs `index_` from the monitor's parent
   /// bookkeeping (flat ids, live/dead state, activation replay), exactly

@@ -228,11 +228,36 @@ void ParallelExecutor::RetireParent(int t_id) {
   }
 }
 
+void ParallelExecutor::RecomputeProfileRank(ProfileId profile) {
+  auto& rank = rank_of_profile_[static_cast<std::size_t>(profile)];
+  int exact = 0;
+  for (int other :
+       runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    if (cancelled_[static_cast<std::size_t>(other)]) continue;
+    exact = std::max(
+        exact,
+        static_cast<int>(
+            runtimes_[static_cast<std::size_t>(other)].source->size()));
+  }
+  if (exact == rank) return;
+  rank = exact;
+  for (int other :
+       runtimes_of_profile_[static_cast<std::size_t>(profile)]) {
+    runtimes_[static_cast<std::size_t>(other)].profile_rank = rank;
+  }
+}
+
 void ParallelExecutor::CancelLive(int t_id) {
   TIntervalRuntime& rt = runtimes_[static_cast<std::size_t>(t_id)];
   stats_.orphaned_probes += static_cast<std::size_t>(rt.num_captured);
   cancelled_[static_cast<std::size_t>(t_id)] = 1;
   RetireParent(t_id);
+  // Rank is exact (see DynamicMonitor's churn semantics): withdrawing
+  // the submission that carried the profile's maximum may lower it.
+  if (static_cast<int>(rt.source->size()) >=
+      rank_of_profile_[static_cast<std::size_t>(rt.profile)]) {
+    RecomputeProfileRank(rt.profile);
+  }
 }
 
 Status ParallelExecutor::Cancel(ProfileId profile, int submission_id) {

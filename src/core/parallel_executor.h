@@ -237,6 +237,10 @@ class ParallelExecutor {
   int AppendSubmission(ProfileId profile, TInterval t_interval);
   void RetireParent(int t_id);
   void CancelLive(int t_id);
+  /// Recomputes `profile`'s rank as the maximum t-interval size over its
+  /// non-cancelled submissions (same exact-rank contract as
+  /// DynamicMonitor::RecomputeProfileRank).
+  void RecomputeProfileRank(ProfileId profile);
   void DrainChurnQueue();
 
   /// Serial capture bookkeeping of a successful probe of `resource`

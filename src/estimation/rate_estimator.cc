@@ -11,13 +11,20 @@ Result<double> PoissonRateEstimator::EstimateRate(const UpdateTrace& history,
                                                   ResourceId resource,
                                                   Chronon from,
                                                   Chronon to) const {
-  if (from > to) {
+  if (to < from - 1) {
     return Status::InvalidArgument(
         StringFormat("malformed estimation window [%d,%d]", from, to));
   }
   if (resource < 0 || resource >= history.num_resources()) {
     return Status::InvalidArgument(
         StringFormat("resource %d outside history", resource));
+  }
+  if (to == from - 1) {
+    // Empty window: no observations at all. Report the smoothing
+    // pseudo-events over a unit window so an empty-epoch history yields
+    // the documented smoothing-only rate instead of an error
+    // (EstimateAllRates hits this with [0, -1] when epoch_length == 0).
+    return smoothing_;
   }
   const auto& events = history.EventsFor(resource);
   std::size_t count = 0;

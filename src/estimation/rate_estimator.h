@@ -20,8 +20,9 @@ class PoissonRateEstimator {
       : smoothing_(smoothing) {}
 
   /// Rate from the events of `resource` within [from, to] (inclusive).
-  /// Returns 0 smoothing-rate on an empty window; InvalidArgument on a
-  /// malformed window.
+  /// The zero-length window `to == from - 1` is a valid empty window and
+  /// yields the smoothing-only rate (pseudo-events over a unit window);
+  /// anything shorter is malformed and returns InvalidArgument.
   Result<double> EstimateRate(const UpdateTrace& history,
                               ResourceId resource, Chronon from,
                               Chronon to) const;

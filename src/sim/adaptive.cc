@@ -1,0 +1,468 @@
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/completeness.h"
+#include "core/dynamic_monitor.h"
+#include "core/parallel_executor.h"
+#include "estimation/estimation_session.h"
+#include "policies/policy_factory.h"
+#include "sim/experiment.h"
+#include "trace/update_model.h"
+#include "util/datetime.h"
+#include "util/random.h"
+
+namespace pullmon {
+
+namespace {
+
+/// Publication chronons of the items a just-committed probe appended to
+/// the session's notification buffer, ascending. `items_before` is the
+/// buffer size the caller sampled before the probe landed (zero when
+/// the probe opened a new chronon, because the buffer resets then).
+std::vector<Chronon> NewItemChronons(const FeedPullSession& session,
+                                     Chronon now, std::size_t items_before,
+                                     const ChrononClock& clock,
+                                     Chronon epoch_length) {
+  std::vector<Chronon> updates;
+  if (session.fetch_chronon() != now) return updates;
+  const std::vector<FeedItem>& items = session.current_items();
+  for (std::size_t i = items_before; i < items.size(); ++i) {
+    auto u = static_cast<Chronon>(clock.FromUnix(items[i].published));
+    if (u < 0) u = 0;
+    if (u >= epoch_length) u = epoch_length - 1;
+    updates.push_back(u);
+  }
+  std::sort(updates.begin(), updates.end());
+  return updates;
+}
+
+/// Serial probe path with observation capture: runs the session probe
+/// and feeds its outcome — success, 304, and the new-item diff — to the
+/// estimation session. Used by the serial monitor's probe callback and
+/// by the explore probes of both arms.
+bool ObservedProbe(FeedPullSession* session, EstimationSession* model,
+                   const ProxyRunReport& report, ResourceId resource,
+                   Chronon now, const ChrononClock& clock,
+                   Chronon epoch_length) {
+  ProbeObservation obs;
+  obs.resource = resource;
+  obs.probed_at = now;
+  const std::size_t items_before = session->fetch_chronon() == now
+                                       ? session->current_items().size()
+                                       : 0;
+  const std::size_t nm_before = report.not_modified;
+  obs.success = session->Probe(resource, now);
+  if (obs.success) {
+    obs.not_modified = report.not_modified > nm_before;
+    if (!obs.not_modified) {
+      obs.update_chronons = NewItemChronons(*session, now, items_before,
+                                            clock, epoch_length);
+    }
+  }
+  model->Ingest(obs);
+  return obs.success;
+}
+
+/// Per-chronon explore decisions, fixed up front from (seed, chronon)
+/// alone so the budget split is identical across backends and thread
+/// counts. A marked chronon diverts one budget unit from the monitor
+/// into an epsilon probe of the coldest resource.
+std::vector<uint8_t> PlanExploreChronons(const SimulationConfig& config,
+                                         uint64_t seed) {
+  std::vector<uint8_t> explore(
+      static_cast<std::size_t>(config.epoch_length), 0);
+  if (config.explore_eps <= 0.0 || config.budget < 1) return explore;
+  for (Chronon t = 0; t < config.epoch_length; ++t) {
+    uint64_t state = (seed * 0x9E3779B97F4A7C15ULL) ^
+                     (static_cast<uint64_t>(t) + 0x632BE59BD9B4E019ULL);
+    const double u =
+        static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
+    if (u < config.explore_eps) explore[static_cast<std::size_t>(t)] = 1;
+  }
+  return explore;
+}
+
+/// The coldest resource: maximal chronons since the estimator last saw
+/// a probe of it (never-probed resources sort first), ties to the
+/// lowest id. Purely a function of the ingested observation sequence.
+ResourceId ColdestResource(const EstimationSession& model,
+                           int num_resources) {
+  ResourceId coldest = 0;
+  Chronon best = model.LastProbe(0);
+  for (ResourceId r = 1; r < num_resources; ++r) {
+    const Chronon lp = model.LastProbe(r);
+    if (lp < best) {
+      best = lp;
+      coldest = r;
+    }
+  }
+  return coldest;
+}
+
+/// Registers every true profile, then drives the monitor chronon by
+/// chronon: at each forecast-horizon boundary it regenerates predicted
+/// t-intervals from the estimation session and submits them, fires the
+/// chronon's explore probe if one is planned, and steps. The epoch loop
+/// is shared verbatim by both executor backends (like DriveChurnEpoch).
+template <typename Monitor>
+Status DriveAdaptiveEpoch(Monitor* monitor,
+                          const MonitoringProblem& problem,
+                          const SimulationConfig& config,
+                          EstimationSession* model,
+                          FeedPullSession* session,
+                          const std::vector<uint8_t>& explore_at,
+                          const BudgetVector& monitor_budget,
+                          const ChrononClock& clock,
+                          Schedule* explore_schedule,
+                          std::size_t* explore_issued,
+                          ProxyRunReport* report) {
+  const Chronon epoch_length = problem.epoch.length;
+  EiDerivationOptions deriv;
+  deriv.restriction = config.restriction;
+  deriv.window = config.window;
+
+  // The true profiles contribute only their identity and resource sets;
+  // their oracle EIs never reach the monitor.
+  std::vector<ProfileId> handle;
+  std::vector<std::vector<ResourceId>> resources_of;
+  handle.reserve(problem.profiles.size());
+  resources_of.reserve(problem.profiles.size());
+  for (const Profile& p : problem.profiles) {
+    handle.push_back(monitor->RegisterProfile(p.name()));
+    std::vector<ResourceId> rs;
+    for (const TInterval& eta : p.t_intervals()) {
+      for (const ExecutionInterval& ei : eta.eis()) {
+        if (std::find(rs.begin(), rs.end(), ei.resource) == rs.end()) {
+          rs.push_back(ei.resource);
+        }
+      }
+    }
+    resources_of.push_back(std::move(rs));
+  }
+
+  std::vector<std::vector<ExecutionInterval>> predicted(
+      static_cast<std::size_t>(problem.num_resources));
+  for (Chronon now = 0; now < epoch_length; ++now) {
+    if (now % config.forecast_horizon == 0) {
+      ++report->estimation_forecast_refreshes;
+      const Chronon horizon_end =
+          std::min<Chronon>(now + config.forecast_horizon, epoch_length);
+      for (ResourceId r = 0; r < problem.num_resources; ++r) {
+        predicted[static_cast<std::size_t>(r)] =
+            DeriveExecutionIntervalsFromEvents(
+                model->PredictEvents(r, now, horizon_end), r, epoch_length,
+                deriv);
+      }
+      for (std::size_t p = 0; p < problem.profiles.size(); ++p) {
+        std::size_t rounds = 0;
+        for (ResourceId r : resources_of[p]) {
+          rounds = std::max(rounds,
+                            predicted[static_cast<std::size_t>(r)].size());
+        }
+        // The i-th predicted update round of each resource forms the
+        // i-th predicted t-interval, mirroring how the oracle derivation
+        // pairs update rounds across a profile's resources; resources
+        // predicted to fall silent early simply drop out of later
+        // rounds.
+        for (std::size_t i = 0; i < rounds; ++i) {
+          TInterval predicted_eta;
+          for (ResourceId r : resources_of[p]) {
+            const auto& eis = predicted[static_cast<std::size_t>(r)];
+            if (i < eis.size()) predicted_eta.AddEi(eis[i]);
+          }
+          if (predicted_eta.empty()) continue;
+          PULLMON_ASSIGN_OR_RETURN(
+              int submission, monitor->Submit(handle[p], predicted_eta));
+          (void)submission;
+          ++report->estimation_predicted_t_intervals;
+          report->estimation_predicted_eis += predicted_eta.size();
+        }
+      }
+    }
+    auto explore_probe = [&]() -> Status {
+      const ResourceId target =
+          ColdestResource(*model, problem.num_resources);
+      ++(*explore_issued);
+      ++report->estimation_explore_probes;
+      if (ObservedProbe(session, model, *report, target, now, clock,
+                        epoch_length)) {
+        PULLMON_RETURN_NOT_OK(explore_schedule->AddProbe(target, now));
+      }
+      return Status::OK();
+    };
+    if (explore_at[static_cast<std::size_t>(now)] != 0) {
+      PULLMON_RETURN_NOT_OK(explore_probe());
+    }
+    const std::size_t monitor_probes_before = monitor->stats().probes_used;
+    StepResult step;
+    PULLMON_ASSIGN_OR_RETURN(step, monitor->Step());
+    report->notifications_delivered += step.captured.size();
+    // Work conservation: budget units the monitor left on the table
+    // (too few live predicted candidates this chronon) become further
+    // explore probes instead of evaporating — this is also what
+    // bootstraps the loop, since a cold estimator yields no candidates
+    // at all. Each probe's observation lands before the next target is
+    // chosen, so consecutive leftover probes walk the coldest
+    // resources in round-robin order.
+    const auto monitor_probes = static_cast<int>(
+        monitor->stats().probes_used - monitor_probes_before);
+    for (int leftover = monitor_budget.at(now) - monitor_probes;
+         leftover > 0; --leftover) {
+      PULLMON_RETURN_NOT_OK(explore_probe());
+    }
+  }
+  return Status::OK();
+}
+
+/// Telemetry mirroring of the adaptive arms. Unlike the churn
+/// finalizer, completeness is scored against the *true* profiles over
+/// the combined monitor + explore schedule — the monitor only ever saw
+/// predicted submissions, so its own capture accounting measures the
+/// forecasts, not the ground truth.
+template <typename Monitor>
+Status FinalizeAdaptiveReport(const Monitor& monitor, bool breaker_enabled,
+                              const MonitoringProblem& problem,
+                              const Schedule& explore_schedule,
+                              std::size_t explore_issued,
+                              FeedPullSession* session,
+                              ProxyRunReport* report) {
+  const MonitorStats& ms = monitor.stats();
+  Schedule combined(problem.epoch.length);
+  for (Chronon t = 0; t < problem.epoch.length; ++t) {
+    for (ResourceId r : monitor.schedule().ProbesAt(t)) {
+      PULLMON_RETURN_NOT_OK(combined.AddProbe(r, t));
+    }
+    for (ResourceId r : explore_schedule.ProbesAt(t)) {
+      PULLMON_RETURN_NOT_OK(combined.AddProbe(r, t));
+    }
+  }
+  report->run.schedule = combined;
+  report->run.completeness =
+      EvaluateCompleteness(problem.profiles, combined);
+  report->run.probes_used = ms.probes_used + explore_issued;
+  report->run.t_intervals_completed = monitor.t_intervals_completed();
+  report->run.t_intervals_failed = monitor.t_intervals_failed();
+  report->run.candidates_scored = ms.candidates_scored;
+  report->run.max_concurrent_candidates = ms.max_concurrent_candidates;
+  report->run.probes_failed = ms.probes_failed;
+  report->run.retries_issued = ms.retries_issued;
+  report->run.retry_probes_spent = ms.retry_probes_spent;
+  report->run.t_intervals_lost_to_faults = ms.t_intervals_lost_to_faults;
+  const HealthStats& hs = monitor.health().stats();
+  report->run.circuits_opened = hs.circuits_opened;
+  report->run.circuits_reopened = hs.circuits_reopened;
+  report->run.probation_probes = hs.probation_probes;
+  report->run.probation_successes = hs.probation_successes;
+  report->run.probes_suppressed = hs.probes_suppressed;
+  report->run.budget_reclaimed = hs.budget_reclaimed;
+  report->run.open_chronons_total = hs.open_chronons_total;
+  if (breaker_enabled) {
+    report->run.open_chronons_by_resource =
+        monitor.health().OpenChrononsByResource();
+  }
+  report->probes_failed = ms.probes_failed;
+  report->retries_issued = ms.retries_issued;
+  report->retry_probes_spent = ms.retry_probes_spent;
+  report->circuits_opened = report->run.circuits_opened;
+  report->circuits_reopened = report->run.circuits_reopened;
+  report->probation_probes = report->run.probation_probes;
+  report->probation_successes = report->run.probation_successes;
+  report->probes_suppressed = report->run.probes_suppressed;
+  report->budget_reclaimed = report->run.budget_reclaimed;
+  report->open_chronons_total = report->run.open_chronons_total;
+  report->open_chronons_by_resource =
+      report->run.open_chronons_by_resource;
+  const std::size_t total = report->run.completeness.total_t_intervals;
+  report->gc_lost_to_faults =
+      total == 0
+          ? 0.0
+          : static_cast<double>(report->run.t_intervals_lost_to_faults) /
+                static_cast<double>(total);
+  session->FinishReport();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProxyRunReport> RunAdaptiveOnce(const SimulationConfig& config,
+                                       const PolicySpec& spec,
+                                       uint64_t seed) {
+  PULLMON_RETURN_NOT_OK(config.faults.Validate());
+  PULLMON_RETURN_NOT_OK(config.retry.Validate());
+  PULLMON_RETURN_NOT_OK(config.breaker.Validate());
+  if (config.estimator_half_life <= 0.0) {
+    return Status::InvalidArgument(
+        "--estimator-half-life must be > 0 chronons");
+  }
+  if (config.explore_eps < 0.0 || config.explore_eps > 1.0) {
+    return Status::InvalidArgument("--explore-eps must be in [0, 1]");
+  }
+  if (config.forecast_horizon < 1) {
+    return Status::InvalidArgument(
+        "--forecast-horizon must be >= 1 chronons");
+  }
+
+  UpdateTrace trace(0, 0);
+  std::optional<TraceStore> store;
+  PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,
+                           BuildProblem(config, seed, &trace, &store));
+  const auto buffer_capacity = static_cast<std::size_t>(
+      config.feed_buffer_capacity < 1 ? 1 : config.feed_buffer_capacity);
+  std::optional<FeedNetwork> network_holder;
+  if (store.has_value()) {
+    network_holder.emplace(&*store, buffer_capacity);
+  } else {
+    network_holder.emplace(&trace, buffer_capacity);
+  }
+  FeedNetwork& network = *network_holder;
+  PolicyOptions po;
+  po.random_seed = seed ^ 0x5bf03635ULL;
+  po.num_resources = problem.num_resources;
+  PULLMON_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                           MakePolicy(spec.policy, po));
+
+  ProxyRunReport report;
+  ProxyOptions popts;
+  popts.faults = config.faults;
+  popts.fault_seed = config.fault_seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  popts.retry = config.retry;
+  popts.breaker = config.breaker;
+  popts.parse_cache = config.parse_cache;
+  FeedPullSession session(&network, problem.num_resources, popts, &report);
+
+  const ChrononClock clock;
+  EstimationOptions eopts;
+  eopts.half_life = config.estimator_half_life;
+  EstimationSession model(problem.num_resources, problem.epoch.length,
+                          eopts);
+
+  // The explore split is fixed up front; the monitor's budget vector is
+  // the configured one minus the diverted explore units, so the two
+  // probe streams together never exceed C_j.
+  const std::vector<uint8_t> explore_at = PlanExploreChronons(config, seed);
+  std::vector<int> monitor_budgets(
+      static_cast<std::size_t>(problem.epoch.length), config.budget);
+  for (std::size_t t = 0; t < explore_at.size(); ++t) {
+    if (explore_at[t] != 0) monitor_budgets[t] = config.budget - 1;
+  }
+  BudgetVector monitor_budget =
+      BudgetVector::FromVector(std::move(monitor_budgets));
+  Schedule explore_schedule(problem.epoch.length);
+  std::size_t explore_issued = 0;
+
+  const auto run_start = std::chrono::steady_clock::now();
+  if (config.executor_backend == ExecutorBackend::kParallel) {
+    ParallelOptions opts;
+    opts.retry = config.retry;
+    opts.breaker = config.breaker;
+    opts.threads = config.threads;
+    ParallelExecutor monitor(problem.num_resources, problem.epoch.length,
+                             monitor_budget, policy.get(), spec.mode, opts);
+    // Observation capture rides the serial decide/commit phases: decide
+    // records each token's resource, commit applies the attempt and
+    // derives the item diff — so the estimator ingests in canonical
+    // attempt order at every thread count.
+    struct AttemptMeta {
+      ResourceId resource = 0;
+      Chronon chronon = 0;
+    };
+    std::vector<AttemptMeta> metas;
+    ParallelProbeHooks hooks;
+    hooks.begin_chronon = [&](Chronon, int num_workers) {
+      metas.clear();
+      session.BeginParallelChronon(num_workers);
+    };
+    hooks.decide = [&](ResourceId resource, Chronon now, int token) {
+      PULLMON_CHECK(static_cast<std::size_t>(token) == metas.size());
+      metas.push_back({resource, now});
+      return session.DecideAttempt(resource, now, token);
+    };
+    hooks.execute = [&](const std::vector<int>& tokens, int worker) {
+      for (int token : tokens) session.ExecuteAttempt(token, worker);
+    };
+    hooks.commit = [&](int token) {
+      const AttemptMeta& meta = metas[static_cast<std::size_t>(token)];
+      const std::size_t items_before =
+          session.fetch_chronon() == meta.chronon
+              ? session.current_items().size()
+              : 0;
+      const std::size_t nm_before = report.not_modified;
+      const std::size_t failures_before =
+          report.timeouts + report.server_errors + report.outage_probes +
+          report.parse_failures;
+      session.CommitAttempt(token);
+      const std::size_t failures_after =
+          report.timeouts + report.server_errors + report.outage_probes +
+          report.parse_failures;
+      ProbeObservation obs;
+      obs.resource = meta.resource;
+      obs.probed_at = meta.chronon;
+      obs.success = failures_after == failures_before;
+      if (obs.success) {
+        obs.not_modified = report.not_modified > nm_before;
+        if (!obs.not_modified) {
+          obs.update_chronons =
+              NewItemChronons(session, meta.chronon, items_before, clock,
+                              problem.epoch.length);
+        }
+      }
+      model.Ingest(obs);
+    };
+    monitor.set_probe_hooks(std::move(hooks));
+    PULLMON_RETURN_NOT_OK(DriveAdaptiveEpoch(
+        &monitor, problem, config, &model, &session, explore_at, monitor_budget, clock,
+        &explore_schedule, &explore_issued, &report));
+    report.run.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    PULLMON_RETURN_NOT_OK(FinalizeAdaptiveReport(
+        monitor, config.breaker.enabled, problem, explore_schedule,
+        explore_issued, &session, &report));
+    const ShardRunStats& ss = monitor.shard_stats();
+    report.run.shard_count = static_cast<std::size_t>(ss.shard_count);
+    report.run.shard_candidates_scored = ss.candidates_scored;
+    report.run.shard_probes_executed = ss.probes_executed;
+    report.run.shard_merge_entries = ss.merge_entries;
+    report.shard_count = report.run.shard_count;
+    report.shard_candidates_scored = report.run.shard_candidates_scored;
+    report.shard_probes_executed = report.run.shard_probes_executed;
+    report.shard_merge_entries = report.run.shard_merge_entries;
+  } else {
+    MonitorOptions mo;
+    mo.retry = config.retry;
+    mo.breaker = config.breaker;
+    mo.maintenance = config.executor_backend == ExecutorBackend::kReference
+                         ? MonitorIndexMode::kRebuild
+                         : MonitorIndexMode::kIncremental;
+    DynamicMonitor monitor(problem.num_resources, problem.epoch.length,
+                           monitor_budget, policy.get(), spec.mode, mo);
+    monitor.set_probe_callback([&](ResourceId resource, Chronon now) {
+      return ObservedProbe(&session, &model, report, resource, now, clock,
+                           problem.epoch.length);
+    });
+    PULLMON_RETURN_NOT_OK(DriveAdaptiveEpoch(
+        &monitor, problem, config, &model, &session, explore_at, monitor_budget, clock,
+        &explore_schedule, &explore_issued, &report));
+    report.run.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    PULLMON_RETURN_NOT_OK(FinalizeAdaptiveReport(
+        monitor, config.breaker.enabled, problem, explore_schedule,
+        explore_issued, &session, &report));
+  }
+
+  const EstimationStats& es = model.stats();
+  report.estimation_probes_observed = es.probes_observed;
+  report.estimation_update_events = es.update_events;
+  report.estimation_not_modified = es.not_modified;
+  report.estimation_duplicate_events = es.duplicate_events;
+  report.estimation_periodic_resources = model.PeriodicResources();
+  return report;
+}
+
+}  // namespace pullmon

@@ -16,6 +16,16 @@ const char* DatasetKindToString(DatasetKind kind) {
   return "?";
 }
 
+const char* KnowledgeModelToString(KnowledgeModel model) {
+  switch (model) {
+    case KnowledgeModel::kOracle:
+      return "oracle";
+    case KnowledgeModel::kEstimated:
+      return "estimated";
+  }
+  return "?";
+}
+
 SimulationConfig BaselineConfig() { return SimulationConfig{}; }
 
 Status SimulationConfig::Validate() const {
@@ -51,6 +61,29 @@ Status SimulationConfig::Validate() const {
       return Status::InvalidArgument(
           "--recover requires --checkpoint-dir (nowhere to recover "
           "from)");
+    }
+  }
+  if (estimator_half_life <= 0.0) {
+    return Status::InvalidArgument(
+        "--estimator-half-life must be > 0 chronons");
+  }
+  if (explore_eps < 0.0 || explore_eps > 1.0) {
+    return Status::InvalidArgument("--explore-eps must be in [0, 1]");
+  }
+  if (forecast_horizon < 1) {
+    return Status::InvalidArgument(
+        "--forecast-horizon must be >= 1 chronons");
+  }
+  if (knowledge == KnowledgeModel::kEstimated) {
+    if (churn.enabled) {
+      return Status::InvalidArgument(
+          "--knowledge=estimated does not combine with --churn (the "
+          "adaptive runner generates its own predicted submissions)");
+    }
+    if (!checkpoint_dir.empty() || recover) {
+      return Status::InvalidArgument(
+          "--knowledge=estimated does not offer checkpoint/recovery "
+          "yet; run it volatile");
     }
   }
   return Status::OK();
@@ -142,6 +175,14 @@ std::vector<std::pair<std::string, std::string>> SimulationConfig::ToRows()
                                      crash_at_chronon, crash_at_offset));
     }
     if (recover) rows.emplace_back("recover", "yes");
+  }
+  if (knowledge != KnowledgeModel::kOracle) {
+    rows.emplace_back("knowledge", KnowledgeModelToString(knowledge));
+    rows.emplace_back("estimator half-life",
+                      StringFormat("%.1f", estimator_half_life));
+    rows.emplace_back("explore eps", StringFormat("%.3f", explore_eps));
+    rows.emplace_back("forecast horizon",
+                      StringFormat("%d", forecast_horizon));
   }
   return rows;
 }

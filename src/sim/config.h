@@ -31,6 +31,20 @@ enum class DatasetKind {
 
 const char* DatasetKindToString(DatasetKind kind);
 
+/// Where the online policies' execution intervals come from.
+enum class KnowledgeModel {
+  /// FPN(1): oracle EIs derived from the full update trace up front —
+  /// the paper's evaluation setting and the byte-identical default.
+  kOracle,
+  /// Closed-loop: predicted EIs regenerated on a rolling horizon from
+  /// an EstimationSession fed by the proxy's own (schedule-censored)
+  /// probe observations, with epsilon explore probes to cold resources
+  /// charged to the chronon budget (DESIGN.md section 17).
+  kEstimated,
+};
+
+const char* KnowledgeModelToString(KnowledgeModel model);
+
 /// The controlled parameters of Table 1 with their baseline settings.
 /// Every benchmark harness starts from BaselineConfig() and overrides
 /// the independent variables of its figure.
@@ -122,6 +136,18 @@ struct SimulationConfig {
   /// Resume from the newest valid checkpoint in checkpoint_dir instead
   /// of starting fresh. Requires checkpoint_dir.
   bool recover = false;
+  /// Knowledge model of the proxy's online policies: FPN(1) oracle EIs
+  /// (default, byte-identical to the pre-estimation behavior) or
+  /// closed-loop predicted EIs (RunAdaptiveOnce). Proxy runs only.
+  KnowledgeModel knowledge = KnowledgeModel::kOracle;
+  /// Half-life (chronons) of the estimator's per-resource decaying rate
+  /// tracker. Estimated-knowledge runs only.
+  double estimator_half_life = 32.0;
+  /// Fraction of chronons that divert one budget unit into an explore
+  /// probe of the coldest resource (0 disables exploration).
+  double explore_eps = 0.05;
+  /// Rolling horizon (chronons) on which predicted EIs are regenerated.
+  Chronon forecast_horizon = 50;
 
   /// Human-readable (parameter, value) rows — the Table 1 rendering.
   std::vector<std::pair<std::string, std::string>> ToRows() const;

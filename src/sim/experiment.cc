@@ -144,6 +144,9 @@ Result<MonitoringProblem> BuildProblem(
 
 Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed) {
+  if (config.knowledge == KnowledgeModel::kEstimated) {
+    return RunAdaptiveOnce(config, spec, seed);
+  }
   UpdateTrace trace(0, 0);
   std::optional<TraceStore> store;
   PULLMON_ASSIGN_OR_RETURN(MonitoringProblem problem,

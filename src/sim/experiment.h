@@ -63,6 +63,21 @@ Result<ProxyRunReport> RunProxyOnce(const SimulationConfig& config,
 Result<ProxyRunReport> RunChurnOnce(const SimulationConfig& config,
                                     const PolicySpec& spec, uint64_t seed);
 
+/// Runs the closed-loop, oracle-free proxy path once (sim/adaptive.cc):
+/// the monitor never sees the oracle EIs — an EstimationSession learns
+/// per-resource update behavior from the proxy's own probe diffs and
+/// 304s, predicted t-intervals are regenerated every
+/// config.forecast_horizon chronons, and an epsilon fraction of
+/// chronons divert one budget unit into an explore probe of the coldest
+/// resource. Completeness is scored against the true profiles over the
+/// combined schedule. RunProxyOnce dispatches here when
+/// config.knowledge == KnowledgeModel::kEstimated. Deterministic in
+/// (config, spec, seed) and bit-identical across executor backends and
+/// thread counts.
+Result<ProxyRunReport> RunAdaptiveOnce(const SimulationConfig& config,
+                                       const PolicySpec& spec,
+                                       uint64_t seed);
+
 /// Aggregated outcome of one policy over the experiment repetitions.
 struct PolicyOutcome {
   PolicySpec spec;

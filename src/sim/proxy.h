@@ -145,6 +145,28 @@ struct ProxyRunReport {
   std::vector<std::size_t> shard_probes_executed;
   /// Total entries through the two-phase selection merge.
   std::size_t shard_merge_entries = 0;
+  // --- Estimation telemetry (all zero under the oracle knowledge
+  // --- model; mirrors EstimationStats plus the adaptive runner's own
+  // --- counters, see estimation/estimation_session.h and DESIGN.md
+  // --- section 17). ---------------------------------------------------
+  /// Probe outcomes the estimation session ingested.
+  std::size_t estimation_probes_observed = 0;
+  /// Distinct update events learned from item diffs.
+  std::size_t estimation_update_events = 0;
+  /// 304-not-modified responses the estimator saw (censored negatives).
+  std::size_t estimation_not_modified = 0;
+  /// Item timestamps dropped as already-known (buffer overlap).
+  std::size_t estimation_duplicate_events = 0;
+  /// Resources carrying a detected periodic pattern at epoch end.
+  std::size_t estimation_periodic_resources = 0;
+  /// Rolling-horizon forecast refreshes performed.
+  std::size_t estimation_forecast_refreshes = 0;
+  /// Predicted t-intervals submitted to the monitor.
+  std::size_t estimation_predicted_t_intervals = 0;
+  /// Predicted EIs inside those t-intervals.
+  std::size_t estimation_predicted_eis = 0;
+  /// Epsilon explore probes issued to cold resources (budget-charged).
+  std::size_t estimation_explore_probes = 0;
 };
 
 /// Behavioral knobs of the proxy's physical probe path. The defaults

@@ -141,6 +141,53 @@ TEST(DynamicMonitorTest, RankGrowsWithSubmissions) {
   EXPECT_EQ(step0->probed, (std::vector<ResourceId>{0}));
 }
 
+TEST(DynamicMonitorTest, CancelOfMaxRankSubmissionLowersRank) {
+  // Rank is exact, not a high-water mark: a client that cancels its only
+  // rank-3 t-interval must go back to scoring as rank 1 (ROADMAP churn
+  // residual b — the explore/exploit scorer reads rank, so staleness
+  // changes schedules).
+  MrsfPolicy policy;
+  DynamicMonitor monitor(6, 12, BudgetVector::Uniform(1, 12), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId heavy = monitor.RegisterProfile("heavy");
+  ProfileId light = monitor.RegisterProfile("light");
+  // heavy: a rank-1 t-interval on r0 plus a rank-3 one opening later.
+  ASSERT_TRUE(monitor.Submit(heavy, TInterval({{0, 0, 9}})).ok());
+  auto bulky = monitor.Submit(
+      heavy, TInterval({{1, 6, 8}, {2, 6, 8}, {3, 6, 8}}));
+  ASSERT_TRUE(bulky.ok());
+  // light: a rank-2 t-interval live from the start.
+  ASSERT_TRUE(monitor.Submit(light, TInterval({{4, 0, 9}, {5, 0, 9}})).ok());
+  // With the rank-3 submission live, heavy's residual is 3 vs light's 2:
+  // MRSF would pick light. Cancelling the bulky submission drops
+  // rank(heavy) back to 1, so heavy's r0 EI (residual 1) wins.
+  ASSERT_TRUE(monitor.Cancel(heavy, *bulky).ok());
+  auto step = monitor.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->probed, (std::vector<ResourceId>{0}));
+}
+
+TEST(DynamicMonitorTest, EditLoweringRankTakesEffect) {
+  // Editing the rank-3 submission down to a rank-1 replacement must
+  // lower the profile's rank the same way an outright cancel does.
+  MrsfPolicy policy;
+  DynamicMonitor monitor(6, 12, BudgetVector::Uniform(1, 12), &policy,
+                         ExecutionMode::kPreemptive);
+  ProfileId heavy = monitor.RegisterProfile("heavy");
+  ProfileId light = monitor.RegisterProfile("light");
+  ASSERT_TRUE(monitor.Submit(heavy, TInterval({{0, 0, 9}})).ok());
+  auto bulky = monitor.Submit(
+      heavy, TInterval({{1, 6, 8}, {2, 6, 8}, {3, 6, 8}}));
+  ASSERT_TRUE(bulky.ok());
+  ASSERT_TRUE(monitor.Submit(light, TInterval({{4, 0, 9}, {5, 0, 9}})).ok());
+  ASSERT_TRUE(monitor.Edit(heavy, *bulky, TInterval({{1, 6, 8}})).ok());
+  auto step = monitor.Step();
+  ASSERT_TRUE(step.ok());
+  // rank(heavy) is now 1 (both submissions are rank 1), beating light's
+  // residual of 2.
+  EXPECT_EQ(step->probed, (std::vector<ResourceId>{0}));
+}
+
 TEST(DynamicMonitorTest, CancelledLeaveCompletenessDenominator) {
   SEdfPolicy policy;
   DynamicMonitor monitor(2, 8, BudgetVector::Uniform(1, 8), &policy,

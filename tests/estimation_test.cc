@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "estimation/estimation_session.h"
 #include "estimation/forecaster.h"
 #include "estimation/periodic_detector.h"
 #include "estimation/rate_estimator.h"
@@ -40,6 +41,29 @@ TEST(PoissonRateEstimatorTest, RejectsBadInput) {
   PoissonRateEstimator estimator;
   EXPECT_FALSE(estimator.EstimateRate(trace, 0, 10, 5).ok());
   EXPECT_FALSE(estimator.EstimateRate(trace, 5, 0, 10).ok());
+}
+
+TEST(PoissonRateEstimatorTest, EmptyWindowYieldsSmoothingRate) {
+  UpdateTrace trace(1, 50);
+  PoissonRateEstimator estimator(/*smoothing=*/0.5);
+  // [from, from-1] is the canonical empty window, not a malformed one.
+  auto rate = estimator.EstimateRate(trace, 0, 0, -1);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 0.5);
+  auto mid = estimator.EstimateRate(trace, 0, 10, 9);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(*mid, 0.5);
+}
+
+TEST(PoissonRateEstimatorTest, AllRatesOnEmptyEpochHistory) {
+  // epoch_length == 0 used to turn into EstimateRate(r, 0, -1) ->
+  // InvalidArgument; the documented behavior is the smoothing-only rate.
+  UpdateTrace trace(3, 0);
+  PoissonRateEstimator estimator(/*smoothing=*/0.5);
+  auto rates = estimator.EstimateAllRates(trace);
+  ASSERT_TRUE(rates.ok());
+  ASSERT_EQ(rates->size(), 3u);
+  for (double r : *rates) EXPECT_DOUBLE_EQ(r, 0.5);
 }
 
 TEST(PoissonRateEstimatorTest, AllRatesRecoverTrueLambda) {
@@ -220,6 +244,81 @@ TEST(ForecasterTest, RejectsBadHorizon) {
   Rng rng(1);
   EXPECT_FALSE(forecaster.Forecast(history, 0, &rng).ok());
   EXPECT_FALSE(forecaster.Forecast(history, -5, &rng).ok());
+}
+
+// --- EstimationSession ---------------------------------------------------
+
+/// One successful probe delivering the given update chronons.
+ProbeObservation Delivery(ResourceId resource, Chronon probed_at,
+                          std::vector<Chronon> updates) {
+  ProbeObservation obs;
+  obs.resource = resource;
+  obs.probed_at = probed_at;
+  obs.success = true;
+  obs.update_chronons = std::move(updates);
+  return obs;
+}
+
+TEST(EstimationSessionTest, CountsAndDeduplicatesObservations) {
+  EstimationSession session(2, 100);
+  session.Ingest(Delivery(0, 10, {3, 7}));
+  // Buffer overlap: the next probe re-delivers event 7 alongside a new
+  // one; the duplicate must not inflate the rate model.
+  session.Ingest(Delivery(0, 20, {7, 15}));
+  ProbeObservation nm;
+  nm.resource = 1;
+  nm.probed_at = 20;
+  nm.success = true;
+  nm.not_modified = true;
+  session.Ingest(nm);
+  ProbeObservation failed;
+  failed.resource = 1;
+  failed.probed_at = 30;
+  session.Ingest(failed);
+
+  EXPECT_EQ(session.stats().probes_observed, 4u);
+  EXPECT_EQ(session.stats().update_events, 3u);
+  EXPECT_EQ(session.stats().duplicate_events, 1u);
+  EXPECT_EQ(session.stats().not_modified, 1u);
+  EXPECT_EQ(session.LastProbe(0), 20);
+  // A failed probe still moves the staleness clock.
+  EXPECT_EQ(session.LastProbe(1), 30);
+  EXPECT_GT(session.RateAt(0, 20), 0.0);
+  EXPECT_DOUBLE_EQ(session.RateAt(1, 30), 0.0);
+}
+
+TEST(EstimationSessionTest, LearnsPeriodicPatternFromCensoredProbes) {
+  // Period-10 updates observed through sparse probes (every third
+  // event's items arrive batched) — the detector must still lock on and
+  // the forecast must continue the grid.
+  EstimationSession session(1, 400);
+  for (Chronon probe = 30; probe <= 210; probe += 30) {
+    session.Ingest(
+        Delivery(0, probe, {probe - 25, probe - 15, probe - 5}));
+  }
+  ASSERT_TRUE(session.PatternFor(0).has_value());
+  EXPECT_EQ(session.PatternFor(0)->period, 10);
+  EXPECT_EQ(session.PeriodicResources(), 1u);
+
+  std::vector<Chronon> predicted = session.PredictEvents(0, 210, 250);
+  ASSERT_EQ(predicted.size(), 4u);
+  for (Chronon u : predicted) {
+    EXPECT_EQ((u - session.PatternFor(0)->phase) %
+                  session.PatternFor(0)->period,
+              0)
+        << "event " << u << " off the grid";
+  }
+}
+
+TEST(EstimationSessionTest, SilentAndUnprobedResourcesPredictNothing) {
+  EstimationSession session(2, 100);
+  EXPECT_TRUE(session.PredictEvents(0, 0, 100).empty());
+  // A long-decayed burst drops below min_rate and goes silent again.
+  EstimationOptions options;
+  options.half_life = 2.0;
+  EstimationSession decayed(1, 10000, options);
+  decayed.Ingest(Delivery(0, 5, {1, 2, 3}));
+  EXPECT_TRUE(decayed.PredictEvents(0, 9000, 9100).empty());
 }
 
 }  // namespace

@@ -194,5 +194,39 @@ TEST(SimulationConfigTest, ValidateCoversCheckpointFlags) {
   EXPECT_TRUE(config.Validate().ok());
 }
 
+TEST(SimulationConfigTest, ValidateCoversEstimationFlags) {
+  SimulationConfig config;
+  ASSERT_TRUE(config.Validate().ok());
+
+  // The estimator knobs are range-checked whatever the knowledge model
+  // (like fault rates: bad values never ride along silently).
+  config.estimator_half_life = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.estimator_half_life = 32.0;
+  config.explore_eps = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.explore_eps = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.explore_eps = 0.05;
+  config.forecast_horizon = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.forecast_horizon = 50;
+  ASSERT_TRUE(config.Validate().ok());
+
+  // The estimated model rejects the run paths it does not combine with.
+  config.knowledge = KnowledgeModel::kEstimated;
+  EXPECT_TRUE(config.Validate().ok());
+  config.churn.enabled = true;
+  EXPECT_FALSE(config.Validate().ok());
+  config.churn.enabled = false;
+  config.checkpoint_dir = "/tmp/ckpt";
+  EXPECT_FALSE(config.Validate().ok());
+  config.checkpoint_dir.clear();
+  config.recover = true;
+  EXPECT_FALSE(config.Validate().ok());
+  config.recover = false;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace pullmon

@@ -538,5 +538,30 @@ TEST(ParallelExecutorTest, CaptureCallbackOrderMatchesStepResult) {
   }
 }
 
+TEST(ParallelExecutorTest, CancelOfMaxRankSubmissionLowersRank) {
+  // Mirror of DynamicMonitorTest.CancelOfMaxRankSubmissionLowersRank:
+  // the parallel executor's exact-rank bookkeeping must match the serial
+  // monitor's (the differential suite enforces equality; this pins the
+  // intended behavior directly).
+  PolicyOptions po;
+  auto policy = MakePolicy("mrsf", po);
+  ASSERT_TRUE(policy.ok());
+  ParallelExecutor executor(6, 12, BudgetVector::Uniform(1, 12),
+                            policy->get(), ExecutionMode::kPreemptive);
+  ProfileId heavy = executor.RegisterProfile("heavy");
+  ProfileId light = executor.RegisterProfile("light");
+  ASSERT_TRUE(executor.Submit(heavy, TInterval({{0, 0, 9}})).ok());
+  auto bulky = executor.Submit(
+      heavy, TInterval({{1, 6, 8}, {2, 6, 8}, {3, 6, 8}}));
+  ASSERT_TRUE(bulky.ok());
+  ASSERT_TRUE(
+      executor.Submit(light, TInterval({{4, 0, 9}, {5, 0, 9}})).ok());
+  ASSERT_TRUE(executor.Cancel(heavy, *bulky).ok());
+  auto step = executor.Step();
+  ASSERT_TRUE(step.ok());
+  // rank(heavy) dropped back to 1 < light's residual 2.
+  EXPECT_EQ(step->probed, (std::vector<ResourceId>{0}));
+}
+
 }  // namespace
 }  // namespace pullmon

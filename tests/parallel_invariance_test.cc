@@ -171,6 +171,60 @@ TEST(ParallelInvarianceTest, ChurnParallelMatchesSerialMonitor) {
                           options);
 }
 
+/// The closed-loop estimation path (knowledge=estimated) feeds probe
+/// outcomes back into the scheduler, so any thread-count-dependent
+/// ordering in observation ingestion would compound over the epoch.
+/// The periodic feed workload keeps the estimator busy enough that the
+/// loop actually steers the schedule.
+SimulationConfig AdaptiveConfig() {
+  SimulationConfig config = SmallConfig();
+  config.dataset = DatasetKind::kFeedWorkload;
+  config.knowledge = KnowledgeModel::kEstimated;
+  config.faults.timeout_rate = 0.05;
+  config.faults.server_error_rate = 0.05;
+  config.retry.max_retries = 1;
+  return config;
+}
+
+TEST(ParallelInvarianceTest, AdaptiveReportsBitIdenticalAcrossThreadCounts) {
+  SimulationConfig config = AdaptiveConfig();
+  config.executor_backend = ExecutorBackend::kParallel;
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  for (uint64_t seed : {13u, 77u}) {
+    config.threads = 1;
+    auto baseline = RunProxyOnce(config, spec, seed);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    // The loop actually closed, or the sweep proves nothing.
+    EXPECT_GT(baseline->estimation_update_events, 0u);
+    EXPECT_GT(baseline->estimation_predicted_eis, 0u);
+    for (int threads : {2, 4, 8}) {
+      config.threads = threads;
+      auto report = RunProxyOnce(config, spec, seed);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      ExpectProxyReportsEqual(*baseline, *report, config.epoch_length,
+                              "adaptive seed " + std::to_string(seed) +
+                                  " threads " + std::to_string(threads));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ParallelInvarianceTest, AdaptiveParallelMatchesSerialModuloShardBlock) {
+  SimulationConfig config = AdaptiveConfig();
+  PolicySpec spec{"MRSF", ExecutionMode::kPreemptive};
+  ReportEqualityOptions options;
+  options.shard_stats = false;
+  config.executor_backend = ExecutorBackend::kIndexed;
+  auto serial = RunProxyOnce(config, spec, 31337);
+  config.executor_backend = ExecutorBackend::kParallel;
+  config.threads = 4;
+  auto parallel = RunProxyOnce(config, spec, 31337);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectProxyReportsEqual(*serial, *parallel, config.epoch_length,
+                          "adaptive", options);
+}
+
 /// Notification payloads, not just counters: the items delivered with
 /// every captured t-interval (assembled during the serial commit
 /// replay) must match the serial proxy item for item, in delivery

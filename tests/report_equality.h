@@ -126,6 +126,18 @@ inline void ExpectProxyReportsEqual(const ProxyRunReport& a,
     PULLMON_REPORT_FIELD_EQ(shard_merge_entries);
   }
 
+  // The estimation telemetry (all zero under the oracle knowledge
+  // model).
+  PULLMON_REPORT_FIELD_EQ(estimation_probes_observed);
+  PULLMON_REPORT_FIELD_EQ(estimation_update_events);
+  PULLMON_REPORT_FIELD_EQ(estimation_not_modified);
+  PULLMON_REPORT_FIELD_EQ(estimation_duplicate_events);
+  PULLMON_REPORT_FIELD_EQ(estimation_periodic_resources);
+  PULLMON_REPORT_FIELD_EQ(estimation_forecast_refreshes);
+  PULLMON_REPORT_FIELD_EQ(estimation_predicted_t_intervals);
+  PULLMON_REPORT_FIELD_EQ(estimation_predicted_eis);
+  PULLMON_REPORT_FIELD_EQ(estimation_explore_probes);
+
   // The trace-store telemetry.
   if (options.trace_stats) {
     PULLMON_REPORT_FIELD_EQ(trace_pages_written);

@@ -16,10 +16,12 @@
 #                             # trace store (8x compression + 0.5x
 #                             # replay + cross-backend equality) and
 #                             # the durability layer (<= 5% checkpoint
-#                             # overhead + replay-exact recovery) and
-#                             # the parallel pipeline (hardware-scaled
+#                             # overhead + replay-exact recovery), the
+#                             # parallel pipeline (hardware-scaled
 #                             # speedup + bit-identical cross-backend
-#                             # reports)
+#                             # reports) and the closed-loop estimator
+#                             # (>= 0.5x oracle GC on the steady feed
+#                             # regime)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -89,6 +91,10 @@ if [[ "$bench" == 1 ]]; then
   cmake --build --preset release -j "$jobs" --target bench_parallel
   ./build-release/bench/bench_parallel --json=BENCH_parallel_local.json
   python3 tools/bench_diff.py BENCH_parallel.json BENCH_parallel_local.json
+  echo "== adaptive estimation bench gate: Release + LTO =="
+  cmake --build --preset release -j "$jobs" --target bench_adaptive
+  ./build-release/bench/bench_adaptive --json=BENCH_adaptive_local.json
+  python3 tools/bench_diff.py BENCH_adaptive.json BENCH_adaptive_local.json
 fi
 
 echo "== all checks passed =="

@@ -103,6 +103,21 @@ void AddConfigFlags(FlagParser* flags) {
   flags->AddInt64("trace-cache-pages", 64,
                   "decoded pages the trace store's LRU cache keeps "
                   "resident");
+  flags->AddString("knowledge", "oracle",
+                   "update-knowledge model of `run --proxy`: oracle "
+                   "(FPN(1) EIs from the full trace) | estimated "
+                   "(closed-loop EIs predicted from the proxy's own "
+                   "probe diffs)");
+  flags->AddDouble("estimator-half-life", 32.0,
+                   "half-life (chronons) of the estimator's decaying "
+                   "per-resource rate tracker (--knowledge=estimated)");
+  flags->AddDouble("explore-eps", 0.05,
+                   "fraction of chronons that divert one budget unit "
+                   "into an explore probe of the coldest resource "
+                   "(--knowledge=estimated)");
+  flags->AddInt64("forecast-horizon", 50,
+                  "chronons between predicted-EI regenerations "
+                  "(--knowledge=estimated)");
   // Profile churn (churn runs only; see --churn under `run`).
   flags->AddDouble("churn-rate", 0.0,
                    "mean churn operations per chronon");
@@ -152,6 +167,15 @@ Status ApplyCrashAtFlag(const std::string& value,
     config->crash_at_offset = static_cast<std::size_t>(offset);
   }
   return Status::OK();
+}
+
+Result<KnowledgeModel> KnowledgeFromFlags(const FlagParser& flags) {
+  std::string name = ToLower(flags.GetString("knowledge"));
+  if (name == "oracle") return KnowledgeModel::kOracle;
+  if (name == "estimated") return KnowledgeModel::kEstimated;
+  return Status::InvalidArgument(
+      "unknown --knowledge model '" + name +
+      "' (expected: oracle | estimated)");
 }
 
 Result<ExecutorBackend> BackendFromFlags(const FlagParser& flags) {
@@ -236,6 +260,13 @@ SimulationConfig ConfigFromFlags(const FlagParser& flags) {
   config.executor_backend =
       backend.ok() ? *backend : ExecutorBackend::kIndexed;
   config.threads = static_cast<int>(flags.GetInt64("threads"));
+  auto knowledge = KnowledgeFromFlags(flags);
+  config.knowledge =
+      knowledge.ok() ? *knowledge : KnowledgeModel::kOracle;
+  config.estimator_half_life = flags.GetDouble("estimator-half-life");
+  config.explore_eps = flags.GetDouble("explore-eps");
+  config.forecast_horizon =
+      static_cast<Chronon>(flags.GetInt64("forecast-horizon"));
   return config;
 }
 
@@ -576,6 +607,10 @@ int CommandRun(const std::vector<std::string>& args) {
     std::cerr << backend.status().ToString() << "\n";
     return 2;
   }
+  if (auto knowledge = KnowledgeFromFlags(flags); !knowledge.ok()) {
+    std::cerr << knowledge.status().ToString() << "\n";
+    return 2;
+  }
 
   auto specs = SpecsFromFlags(flags);
   if (!specs.ok()) {
@@ -640,6 +675,12 @@ int CommandRun(const std::vector<std::string>& args) {
   if (config.trace_backend != TraceBackend::kInMemory) {
     std::cerr << "--trace-store only affects --proxy runs; the logical "
                  "executor replays the in-memory trace directly\n";
+    return 2;
+  }
+  if (config.knowledge != KnowledgeModel::kOracle) {
+    std::cerr << "--knowledge=estimated only affects --proxy runs; the "
+                 "logical executor consumes oracle EIs by "
+                 "construction\n";
     return 2;
   }
   ExperimentRunner runner(static_cast<int>(flags.GetInt64("reps")),
@@ -713,6 +754,15 @@ int CommandSweep(const std::vector<std::string>& args) {
   }
   if (flags.GetBool("trace-store")) {
     std::cerr << "--trace-store only affects `run --proxy`; sweeps use "
+                 "the logical executor\n";
+    return 2;
+  }
+  if (auto knowledge = KnowledgeFromFlags(flags); !knowledge.ok()) {
+    std::cerr << knowledge.status().ToString() << "\n";
+    return 2;
+  }
+  if (ToLower(flags.GetString("knowledge")) != "oracle") {
+    std::cerr << "--knowledge only affects `run --proxy`; sweeps use "
                  "the logical executor\n";
     return 2;
   }
